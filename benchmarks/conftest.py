@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark module reproduces one paper artifact (figure or
+quantitative claim — see DESIGN.md §3).  The convention:
+
+* compute the experiment's result table once,
+* assert the paper's *shape* claims (who wins, by roughly what factor),
+* attach the rows to ``benchmark.extra_info`` and echo them so
+  ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+  reproduction report,
+* time a representative kernel via the ``benchmark`` fixture
+  (``pedantic`` with one round for simulation-heavy experiments).
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, title: str, rows: list[str], **extra) -> None:
+    """Attach a result table to the benchmark and echo it."""
+    benchmark.extra_info["experiment"] = title
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(row)

@@ -1,0 +1,46 @@
+"""CLM-IDLE: "a powered on server with zero workload consumes about
+60 % of its peak power" (paper §4.3, citing [10], [18]).
+
+Sweeps the calibrated server power model across utilization and CPU
+states, and reports the §4.3 consequences: the idle floor, what DVFS
+can and cannot reach, and what only OFF eliminates.
+"""
+
+from conftest import record
+
+from repro.power import ENERGY_PROPORTIONAL, TYPICAL_2008_SERVER
+
+
+def sweep():
+    model = TYPICAL_2008_SERVER()
+    return {u / 10: model.power(u / 10) for u in range(11)}
+
+
+def test_clm_idle_power(benchmark):
+    model = TYPICAL_2008_SERVER()
+    ideal = ENERGY_PROPORTIONAL()
+
+    idle_fraction = model.power(0.0) / model.power(1.0)
+    assert idle_fraction == 0.6  # the paper's number, exactly
+
+    # DVFS at the deepest P-state cannot touch the idle floor…
+    deepest = len(model.pstates) - 1
+    assert model.power(0.0, pstate=deepest) == model.idle_w
+    # …only OFF does.
+    assert model.off_w < 0.05 * model.idle_w
+
+    rows = [f"{'util':>6}{'2008 server W':>15}"
+            f"{'energy-proportional W':>23}"]
+    for u in range(0, 11, 2):
+        rows.append(f"{u / 10:>6.0%}{model.power(u / 10):>15.1f}"
+                    f"{ideal.power(u / 10):>23.1f}")
+    rows.append(f"idle / peak = {idle_fraction:.0%} (paper: ~60%)")
+    # Energy-proportionality gap at the typical 30% utilization:
+    gap = model.power(0.3) / ideal.power(0.3)
+    rows.append(f"power at 30% util vs energy-proportional ideal: "
+                f"{gap:.1f}x")
+    assert gap > 2.0
+
+    record(benchmark, "CLM-IDLE: idle power is ~60% of peak", rows,
+           idle_fraction=float(idle_fraction))
+    benchmark(sweep)

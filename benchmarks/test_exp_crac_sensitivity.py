@@ -1,0 +1,86 @@
+"""EXP-CRAC: the CRAC-sensitivity migration hazard (paper §5.1, [30]).
+
+    "Consider now that we migrate load from servers at location A to
+    servers at location B and shut down the servers at A.  The CRAC
+    then believes that there is not much heat generated in its
+    effective zone and thus increases the temperature of the cooling
+    air ... Servers at B are then at risk of generating thermal alarms
+    and shutting down."
+
+Three runs of the same room and heat budget:
+
+1. load at the CRAC-sensitive zone A — safe;
+2. oblivious migration of everything to the insensitive zone B —
+   thermal alarm, with the CRAC *raising* its supply temperature;
+3. the cooling-aware macro layer vets the move first — predicted
+   unsafe, load stays at A, no alarm.
+"""
+
+from conftest import record
+
+from repro.cooling import CRACUnit, MachineRoom, ThermalZone
+from repro.core import CoolingAwarePlacer
+from repro.sim import Environment
+
+HEAT_W = 20_000.0
+
+
+def build_room():
+    env = Environment()
+    zones = [ThermalZone("A", initial_temp_c=24.0, alarm_temp_c=32.0),
+             ThermalZone("B", initial_temp_c=24.0, alarm_temp_c=32.0)]
+    crac = CRACUnit("crac", transport_delay_s=120.0,
+                    return_setpoint_c=25.0, deadband_c=0.5,
+                    initial_supply_c=14.0)
+    room = MachineRoom(env, zones, [crac], [[3000.0], [400.0]],
+                       step_s=30.0)
+    return env, room, zones, crac
+
+
+def run_with_heat(heat_a, heat_b, hours=6.0):
+    env, room, zones, crac = build_room()
+    zones[0].set_heat_load(heat_a)
+    zones[1].set_heat_load(heat_b)
+    env.process(room.run())
+    env.run(until=hours * 3600.0)
+    return room, zones, crac
+
+
+def test_exp_crac_sensitivity(benchmark):
+    # 1. Load where the CRAC can see it.
+    room_a, zones_a, crac_a = run_with_heat(HEAT_W, 0.0)
+    assert not room_a.alarms
+
+    # 2. Oblivious consolidation onto the blind zone.
+    room_b, zones_b, crac_b = run_with_heat(0.0, HEAT_W)
+    assert room_b.alarms, "the paper's hazard must fire"
+    assert room_b.alarms[0].zone == "B"
+    # The mechanism: the CRAC raised (or failed to lower) its supply
+    # because its return air stayed cool.
+    assert crac_b.supply_temp_c >= crac_a.supply_temp_c
+
+    # 3. The cooling-aware macro layer predicts and prevents it.
+    env, room, zones, crac = build_room()
+    placer = CoolingAwarePlacer(room, margin_c=1.0)
+    verdict = placer.assess({"A": 0.0, "B": HEAT_W})
+    assert not verdict.safe
+    assert verdict.hottest_zone == "B"
+    chosen = placer.choose_zone(HEAT_W, {"A": 0.0, "B": 0.0})
+    assert chosen == "A"
+
+    rows = [f"{'scenario':<30}{'zone A C':>9}{'zone B C':>9}"
+            f"{'supply C':>9}{'alarm':>7}",
+            f"{'load at sensitive A':<30}{zones_a[0].temp_c:>9.1f}"
+            f"{zones_a[1].temp_c:>9.1f}{crac_a.supply_temp_c:>9.1f}"
+            f"{'no':>7}",
+            f"{'oblivious migration to B':<30}{zones_b[0].temp_c:>9.1f}"
+            f"{zones_b[1].temp_c:>9.1f}{crac_b.supply_temp_c:>9.1f}"
+            f"{'YES':>7}",
+            f"cooling-aware verdict on the move: REJECTED "
+            f"(predicted B at {verdict.hottest_temp_c:.0f} C); "
+            f"placer keeps load at {chosen}"]
+    record(benchmark, "EXP-CRAC: sensitivity migration hazard", rows,
+           alarm_zone=room_b.alarms[0].zone,
+           predicted_b_temp=float(verdict.hottest_temp_c))
+    benchmark.pedantic(run_with_heat, args=(HEAT_W, 0.0),
+                       kwargs={"hours": 1.0}, rounds=1, iterations=1)

@@ -1,0 +1,87 @@
+"""EXP-ECON: air-side economizers (paper §2.2, §4.5).
+
+    "the industry has moved to extensive use of air-side economizers
+    ... rather than relying on energy consuming water chillers.
+    However, the temperature and humidity of outside air change
+    continuously, bringing additional challenges."
+
+One synthetic year of weather in three climates; cooling energy with
+and without the economizer, plus the fraction of hours in each mode.
+Shape claims: large savings in mild climates, modest in hot ones;
+humidity gates a visible share of otherwise-cool hours.
+"""
+
+from conftest import record
+
+from repro.cooling import (
+    AirSideEconomizer,
+    DUBLIN_LIKE,
+    EconomizerMode,
+    PHOENIX_LIKE,
+    SEATTLE_LIKE,
+)
+
+HEAT_W = 500_000.0  # a 0.5 MW IT floor
+YEAR_S = 365 * 86_400.0
+
+
+def annual(economizer_on: bool, weather):
+    econ = AirSideEconomizer()
+    if not economizer_on:
+        # Chiller-only: disable the free/mixed window entirely.
+        econ = AirSideEconomizer(free_below_c=-100.0,
+                                 mixed_below_c=-99.0)
+    energy = econ.annual_energy_j(weather, HEAT_W, step_s=3600.0)
+    return energy, econ.mode_fractions()
+
+
+def run_climate(make_weather):
+    with_econ, modes = annual(True, make_weather(seed=1))
+    without, _ = annual(False, make_weather(seed=1))
+    return with_econ, without, modes
+
+
+def test_exp_economizer(benchmark):
+    climates = {
+        "Dublin-like": run_climate(DUBLIN_LIKE),
+        "Seattle-like": run_climate(SEATTLE_LIKE),
+        "Phoenix-like": run_climate(PHOENIX_LIKE),
+    }
+
+    savings = {name: 1.0 - with_e / without
+               for name, (with_e, without, _) in climates.items()}
+    # Shape: the mild-and-dry-enough climate saves the most; the hot
+    # desert saves the least.
+    assert savings["Seattle-like"] > 0.4
+    assert savings["Phoenix-like"] < savings["Seattle-like"] - 0.1
+    # The §2.2 humidity challenge, quantified: Dublin is the *coolest*
+    # climate yet saves less than Seattle, because its damp air fails
+    # the humidity admission check for a large share of hours.
+    chiller = {name: modes[EconomizerMode.CHILLER]
+               for name, (_, _, modes) in climates.items()}
+    assert savings["Dublin-like"] < savings["Seattle-like"]
+    assert chiller["Dublin-like"] > chiller["Seattle-like"] + 0.1
+    assert savings["Dublin-like"] > 0.3  # still clearly worth having
+    # Free-cooling hours: both maritime climates far above the desert.
+    free = {name: modes[EconomizerMode.FREE]
+            for name, (_, _, modes) in climates.items()}
+    assert min(free["Dublin-like"], free["Seattle-like"]) \
+        > free["Phoenix-like"]
+
+    rows = [f"{'climate':<14}{'chiller MWh':>13}{'econ MWh':>10}"
+            f"{'saving':>8}{'free h%':>9}{'mixed%':>8}{'chiller%':>10}"]
+    for name, (with_e, without, modes) in climates.items():
+        rows.append(
+            f"{name:<14}{without / 3.6e9:>13.0f}"
+            f"{with_e / 3.6e9:>10.0f}{savings[name]:>8.0%}"
+            f"{modes[EconomizerMode.FREE]:>9.0%}"
+            f"{modes[EconomizerMode.MIXED]:>8.0%}"
+            f"{modes[EconomizerMode.CHILLER]:>10.0%}")
+    rows.append("note: Dublin is coolest but saves less than Seattle — "
+                "its damp air fails the RH admission check (§2.2's "
+                "humidity challenge)")
+    record(benchmark, "EXP-ECON: air-side economizer by climate", rows,
+           **{f"saving_{k.split('-')[0].lower()}": float(v)
+              for k, v in savings.items()})
+    benchmark.pedantic(run_climate, args=(SEATTLE_LIKE,), rounds=1,
+                       iterations=1)

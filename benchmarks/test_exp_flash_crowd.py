@@ -1,0 +1,58 @@
+"""EXP-FLASH: the Animoto surge (paper §3, quoting [5]).
+
+    "growing from 50 servers to 3500 servers in three days ... After
+    the peak subsided, traffic fell to a level that was well below
+    the peak."
+
+Replays the surge against static fleets and the elastic autoscaler.
+Shape claims (the §3.1 dilemma): a static fleet sized near the mean
+drops a large share of the surge; a static fleet sized for the peak
+wastes most of its capacity; elastic allocation serves ~everything
+with a peak-sized fleet only while needed.
+"""
+
+from conftest import record
+
+from repro.core import ReactiveAutoscaler, static_provisioning
+from repro.workload import animoto_demand
+
+
+def run_all():
+    times, demand = animoto_demand(step_s=900.0)
+    return times, demand, {
+        "static @ 50 (baseline)": static_provisioning(times, demand, 50.0),
+        "static @ mean": static_provisioning(times, demand,
+                                             float(demand.mean())),
+        "static @ 3500 (peak)": static_provisioning(times, demand, 3500.0),
+        "elastic": ReactiveAutoscaler(
+            headroom=0.2, provision_delay_s=600.0, max_up_rate=0.5,
+            scale_down_delay_s=3600.0).replay(times, demand),
+    }
+
+
+def test_exp_flash_crowd(benchmark):
+    times, demand, results = run_all()
+
+    # Trace fidelity to the quote.
+    assert demand[0] == 50.0
+    assert abs(demand.max() - 3500.0) < 40.0
+    assert demand[-1] < 0.2 * demand.max()
+
+    elastic = results["elastic"]
+    assert elastic.unmet_fraction < 0.02
+    assert elastic.fleet[-1] < 0.3 * elastic.peak_fleet
+    assert results["static @ mean"].unmet_fraction > 0.3
+    assert results["static @ 3500 (peak)"].waste_fraction > 0.5
+    assert results["static @ 50 (baseline)"].unmet_fraction > 0.8
+
+    rows = [f"{'strategy':<26}{'unmet':>8}{'waste':>8}{'peak fleet':>12}"]
+    for label, result in results.items():
+        rows.append(f"{label:<26}{result.unmet_fraction:>8.1%}"
+                    f"{result.waste_fraction:>8.1%}"
+                    f"{result.peak_fleet:>12.0f}")
+    rows.append(f"elastic served {elastic.served_fraction:.1%}, "
+                f"released to {elastic.fleet[-1]:.0f} servers after "
+                f"the peak")
+    record(benchmark, "EXP-FLASH: Animoto 50 -> 3500 surge", rows,
+           elastic_unmet=float(elastic.unmet_fraction))
+    benchmark.pedantic(run_all, rounds=1, iterations=1)

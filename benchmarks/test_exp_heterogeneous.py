@@ -1,0 +1,56 @@
+"""EXP-HET: heterogeneous machine classes (paper §4.1).
+
+    "Heterogeneous CMPs has further potentials to selectively use
+    cores with different power and performance trade-offs to meet
+    workload variation."
+
+Fleet-level instantiation: brawny (300 W / 100 units) vs wimpy
+(50 W / 30 units) machines across the demand range.  Shape claims:
+the mix is never worse than brawny-only; at low demand wimpy nodes
+carry the load and the saving is large; at peak demand the brawny
+machines dominate and the advantage shrinks.
+"""
+
+from conftest import record
+
+import dataclasses
+
+from repro.cluster import BRAWNY_2008, HeterogeneousScheduler, WIMPY_2008
+
+
+def build_scheduler():
+    return HeterogeneousScheduler([
+        dataclasses.replace(BRAWNY_2008(), count=8),
+        dataclasses.replace(WIMPY_2008(), count=16),
+    ])
+
+
+def test_exp_heterogeneous(benchmark):
+    scheduler = build_scheduler()
+    demands = [30.0, 60.0, 120.0, 240.0, 480.0, 700.0]
+    rows = [f"{'demand':>8}{'mixed W':>9}{'brawny-only W':>15}"
+            f"{'saving':>9}{'brawny':>8}{'wimpy':>7}"]
+    savings = {}
+    for demand in demands:
+        mixed = scheduler.plan(demand)
+        brawny_only = scheduler.homogeneous_power(demand, "brawny")
+        saving = 1.0 - mixed.total_power_w / brawny_only
+        savings[demand] = saving
+        assert mixed.total_power_w <= brawny_only + 1e-9
+        rows.append(f"{demand:>8.0f}{mixed.total_power_w:>9.0f}"
+                    f"{brawny_only:>15.0f}{saving:>9.1%}"
+                    f"{mixed.machines['brawny']:>8}"
+                    f"{mixed.machines['wimpy']:>7}")
+
+    # Low demand: the mix saves a lot (wimpy nodes, tiny idle floor).
+    assert savings[30.0] > 0.4
+    # High demand: brawny machines dominate; the advantage shrinks.
+    assert savings[700.0] < savings[30.0]
+    low_plan = scheduler.plan(30.0)
+    assert low_plan.machines["brawny"] == 0
+    high_plan = scheduler.plan(700.0)
+    assert high_plan.machines["brawny"] >= 6
+
+    record(benchmark, "EXP-HET: heterogeneous fleet vs brawny-only",
+           rows, low_demand_saving=float(savings[30.0]))
+    benchmark(lambda: build_scheduler().plan(240.0))

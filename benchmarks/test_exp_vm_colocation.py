@@ -1,0 +1,118 @@
+"""EXP-VMIX: VM colocation interference and power-aware placement
+(paper §4.4 and §5.2).
+
+Two claims in one experiment:
+
+* "due to disk contention, putting two disk IO intensive applications
+  on the same host machine may cause significant throughput
+  degradation" — measured as realized throughput of stacked vs mixed
+  colocations;
+* "two processes, or VMs, from different applications are unlikely to
+  generate power spikes at the same time.  This will reduce the
+  probability of power capping" — measured as overflow probability of
+  hosts packed by a correlation-aware placer vs a blind best-fit.
+"""
+
+from conftest import record
+
+import numpy as np
+
+from repro.cluster import (
+    BestFitPlacer,
+    CorrelationAwarePlacer,
+    InterferenceModel,
+    VMHost,
+    VirtualMachine,
+)
+from repro.core import OversubscriptionPlanner
+from repro.workload import CPU_BOUND, DISK_BOUND, ResourceProfile
+
+
+def throughput_experiment():
+    model = InterferenceModel(disk_contention_beta=0.7)
+    stacked = VMHost("stacked", capacity=(2.0, 2.0, 2.0, 2.0))
+    stacked.place(VirtualMachine("d1", DISK_BOUND))
+    stacked.place(VirtualMachine("d2", DISK_BOUND))
+    mixed = VMHost("mixed", capacity=(2.0, 2.0, 2.0, 2.0))
+    mixed.place(VirtualMachine("d3", DISK_BOUND))
+    mixed.place(VirtualMachine("c1", CPU_BOUND))
+    return (model.aggregate_throughput(stacked),
+            model.aggregate_throughput(mixed),
+            model.evaluate(stacked).worst_slowdown)
+
+
+def placement_experiment(seed=5):
+    """Pack phase-annotated VMs two ways; compare capping risk."""
+    rng = np.random.default_rng(seed)
+    phases = [2.0, 8.0, 14.0, 20.0]
+    vms = [VirtualMachine(
+        f"vm{i}",
+        ResourceProfile(cpu=0.45, disk=0.1, network=0.1, memory=0.2,
+                        phase_hour=phases[i % 4]))
+        for i in range(16)]
+    rng.shuffle(vms)
+
+    def pack(placer_cls):
+        hosts = [VMHost(f"h{i}", capacity=(1.0, 1.0, 1.0, 1.0))
+                 for i in range(8)]
+        placer = placer_cls(hosts)
+        for vm in vms:
+            placer.place(vm)
+        # Undo placement afterwards so the other packer can reuse VMs.
+        packed = [[resident.profile for resident in host.vms]
+                  for host in hosts if host.vms]
+        for host in hosts:
+            for resident in list(host.vms):
+                host.evict(resident)
+        return packed
+
+    def worst_host_overflow(packed):
+        """Max per-host overflow probability of a tight host budget.
+
+        The per-host budget is 15 % under the sum of the residents'
+        *realistic* peaks (peak_w × their 0.45 dominant demand): an
+        aligned-phase pair exceeds it near its common peak; an
+        anti-phase pair's aggregate is nearly flat and never does.
+        """
+        planner = OversubscriptionPlanner(peak_power_w=150.0,
+                                          noise_sigma=0.1, seed=7)
+        worst = 0.0
+        for residents in packed:
+            if len(residents) < 2:
+                continue
+            realistic_peak = 150.0 * 0.45 * len(residents)
+            estimate = planner.simulate_draw(
+                residents, budget_w=realistic_peak / 1.15, days=15)
+            worst = max(worst, estimate.overflow_probability)
+        return worst
+
+    return (worst_host_overflow(pack(BestFitPlacer)),
+            worst_host_overflow(pack(CorrelationAwarePlacer)))
+
+
+def test_exp_vm_colocation(benchmark):
+    stacked_tp, mixed_tp, stacked_slowdown = throughput_experiment()
+
+    # "Significant throughput degradation": stacked disk pair loses
+    # >30 % of its nominal throughput; the mixed pair loses none.
+    assert stacked_slowdown < 0.7
+    assert mixed_tp > 1.2 * stacked_tp
+
+    blind_overflow, aware_overflow = placement_experiment()
+    # The §5.2 claim: decorrelated packing lowers capping probability.
+    assert aware_overflow < blind_overflow
+
+    rows = [f"{'colocation':<28}{'realized throughput':>21}",
+            f"{'disk + disk (stacked)':<28}{stacked_tp:>21.2f}",
+            f"{'disk + cpu (mixed)':<28}{mixed_tp:>21.2f}",
+            f"stacked pair slowdown: {stacked_slowdown:.2f} "
+            f"(paper: 'significant degradation')",
+            "",
+            f"{'placement policy':<28}{'worst host P(cap)':>21}",
+            f"{'blind best-fit':<28}{blind_overflow:>21.3%}",
+            f"{'correlation-aware':<28}{aware_overflow:>21.3%}"]
+    record(benchmark, "EXP-VMIX: interference + power-aware placement",
+           rows, stacked_slowdown=float(stacked_slowdown),
+           blind_overflow=float(blind_overflow),
+           aware_overflow=float(aware_overflow))
+    benchmark(throughput_experiment)

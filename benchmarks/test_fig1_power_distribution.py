@@ -1,0 +1,51 @@
+"""FIG-1: power distribution tiers (paper Figure 1, §2.1).
+
+Regenerates the figure's content as numbers: grid power flowing
+through transformer → UPS → PDUs → racks at several facility
+utilizations, with per-stage losses.  Shape claims checked:
+
+* every stage loses power (grid input > IT output);
+* the UPS double conversion is the dominant loss;
+* distribution efficiency degrades at low utilization (§2.2's
+  under-utilization penalty).
+"""
+
+from conftest import record
+
+from repro.power import build_tier2_power_tree, summarize
+
+
+def evaluate_at(utilization: float):
+    tree = build_tier2_power_tree(n_pdus=4, racks_per_pdu=8,
+                                  rack_capacity_w=12_000.0)
+    for node in tree.walk():
+        if not node.children:
+            node.set_demand(12_000.0 * utilization)
+    return summarize(tree)
+
+
+def test_fig1_power_distribution(benchmark):
+    reports = {u: evaluate_at(u) for u in (0.1, 0.3, 0.5, 0.8, 1.0)}
+
+    rows = [f"{'util':>6}{'IT kW':>9}{'grid kW':>9}{'loss kW':>9}"
+            f"{'UPS loss':>10}{'efficiency':>12}"]
+    for u, report in reports.items():
+        rows.append(
+            f"{u:>6.0%}{report.it_output_w / 1000:>9.1f}"
+            f"{report.grid_input_w / 1000:>9.1f}"
+            f"{report.total_loss_w / 1000:>9.1f}"
+            f"{report.per_node_loss_w['ups'] / 1000:>10.1f}"
+            f"{report.distribution_efficiency:>12.1%}")
+
+    # Shape claims.
+    for report in reports.values():
+        assert report.grid_input_w > report.it_output_w
+        other = max(v for k, v in report.per_node_loss_w.items()
+                    if k != "ups")
+        assert report.per_node_loss_w["ups"] > other
+    assert (reports[0.1].distribution_efficiency
+            < reports[0.8].distribution_efficiency)
+
+    record(benchmark, "FIG-1: power distribution tiers", rows,
+           efficiency_at_80pct=reports[0.8].distribution_efficiency)
+    benchmark(evaluate_at, 0.8)

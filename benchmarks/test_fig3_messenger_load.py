@@ -1,0 +1,67 @@
+"""FIG-3: Messenger weekly load variation (paper Figure 3, §3).
+
+Regenerates both series of the figure — concurrent connections and
+new-login rate over one week, normalized to 1 M users and 1400
+logins/s — and checks every shape the paper reads off the plot:
+
+* early-afternoon users ≈ 2× after-midnight users;
+* weekday demand above weekend demand;
+* flash-crowd spikes visible in the login rate but smoothed out of
+  the connection count.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.workload import MessengerTraceGenerator
+
+WEEK = 7 * 86_400.0
+DAY = 86_400.0
+
+
+def generate_week():
+    generator = MessengerTraceGenerator(seed=42,
+                                        flash_crowds_per_week=3.0)
+    return generator.generate(WEEK, step_s=60.0).normalized()
+
+
+def test_fig3_messenger_load(benchmark):
+    trace = generate_week()
+
+    # Paper normalization.
+    assert trace.connections.max() == 1_000_000.0
+    assert trace.login_rate.max() == 1_400.0
+
+    # Afternoon ≈ 2× after midnight.
+    afternoon = trace.mean_over_hours(13, 16, "connections",
+                                      weekdays_only=True)
+    midnight = trace.mean_over_hours(1, 4, "connections",
+                                     weekdays_only=True)
+    ratio = afternoon / midnight
+    assert 1.6 < ratio < 2.6
+
+    # Weekday > weekend.
+    day = (trace.times_s // DAY).astype(int) % 7
+    weekday = trace.connections[day < 5].mean()
+    weekend = trace.connections[day >= 5].mean()
+    assert weekday > weekend
+
+    # Login-rate spikes, connection-count smoothness.
+    login_p2m = trace.login_rate.max() / trace.login_rate.mean()
+    conn_p2m = trace.connections.max() / trace.connections.mean()
+    assert login_p2m > 1.5 * conn_p2m
+
+    rows = [f"{'day':>4}{'peak conn (M)':>15}{'trough conn (M)':>17}"
+            f"{'peak logins/s':>15}"]
+    for d in range(7):
+        piece = trace.window(d * DAY, (d + 1) * DAY)
+        rows.append(f"{d:>4}{piece.connections.max() / 1e6:>15.2f}"
+                    f"{piece.connections.min() / 1e6:>17.2f}"
+                    f"{piece.login_rate.max():>15.0f}")
+    rows.append(f"afternoon/midnight ratio: {ratio:.2f} (paper: ~2)")
+    rows.append(f"weekday/weekend mean:     {weekday / weekend:.2f}")
+
+    record(benchmark, "FIG-3: Messenger weekly load", rows,
+           day_night_ratio=float(ratio),
+           weekday_weekend=float(weekday / weekend))
+    benchmark.pedantic(generate_week, rounds=1, iterations=1)

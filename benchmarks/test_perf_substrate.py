@@ -1,0 +1,74 @@
+"""PERF: throughput of the simulation substrate itself.
+
+Not a paper artifact — engineering benchmarks that keep the library
+honest about scale: the §5.3 data-volume story and the fleet-size
+claims only hold if the kernel and the telemetry pipeline keep up.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.sim import Environment
+from repro.telemetry import MultiScalePyramid
+
+
+def kernel_events(n_processes=100, events_per_process=200):
+    """Run n interleaved timers; returns events processed."""
+    env = Environment()
+
+    def ticker(env, period):
+        for _ in range(events_per_process):
+            yield env.timeout(period)
+
+    for i in range(n_processes):
+        env.process(ticker(env, 1.0 + i * 0.01))
+    env.run()
+    return n_processes * events_per_process
+
+
+def telemetry_ingest(days=30):
+    times = np.arange(0.0, days * 86_400.0, 15.0)
+    values = np.random.default_rng(0).random(len(times))
+    pyramid = MultiScalePyramid()
+    pyramid.ingest_array(times, values)
+    return len(times)
+
+
+def test_perf_kernel_event_throughput(benchmark):
+    events = benchmark(kernel_events)
+    rate = events / benchmark.stats["mean"]
+    record(benchmark, "PERF: kernel event throughput",
+           [f"{events:,} events per run, {rate:,.0f} events/s"],
+           events_per_second=rate)
+    # Generous floor: a usable DES kernel does > 50k events/s.
+    assert rate > 50_000
+
+
+def test_perf_telemetry_ingest_rate(benchmark):
+    samples = benchmark(telemetry_ingest)
+    rate = samples / benchmark.stats["mean"]
+    record(benchmark, "PERF: telemetry bulk ingest",
+           [f"{samples:,} samples per run, {rate:,.0f} samples/s"],
+           samples_per_second=rate)
+    assert rate > 100_000
+
+
+def test_scale_smoke_500_servers(benchmark):
+    """A 500-server facility co-simulates a day in seconds."""
+    from repro.datacenter import CoSimulation, DataCenterSpec
+
+    def run():
+        spec = DataCenterSpec(racks=25, servers_per_rack=20, zones=5,
+                              cracs=2,
+                              zone_conductance_w_per_k=20_000.0)
+        demand = spec.total_servers * spec.server_capacity * 0.5
+        sim = CoSimulation(spec, lambda t: demand, managed=True)
+        return sim.run(86_400.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.thermal_alarms == 0
+    assert result.sla.served_fraction > 0.99
+    record(benchmark, "PERF: 500-server day",
+           [f"facility energy {result.facility_kwh:.0f} kWh, "
+            f"PUE {result.energy_weighted_pue:.2f}, "
+            f"wall time {benchmark.stats['mean']:.1f} s"])

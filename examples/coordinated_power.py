@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The §5.1 pathology, live: oblivious DVFS × On/Off vs coordination.
+
+The paper's case study [29]: a DVFS policy that slows CPUs when
+utilization is low, composed with a DVS-oblivious On/Off policy that
+adds machines when delay is high, chases its own tail —
+
+    slow CPUs -> higher delay -> more machines -> lower utilization
+    -> slower CPUs -> ...
+
+This example runs both compositions on an identical constant workload
+and prints the spiral as it happens, then the final scoreboard.
+
+Run:  python examples/coordinated_power.py
+"""
+
+from repro.cluster import Server
+from repro.control import (
+    CoordinatedController,
+    DelayBasedOnOff,
+    ServerFarm,
+    UtilizationDVFS,
+)
+from repro.sim import Environment
+
+HOURS = 8
+
+
+def build_farm():
+    env = Environment()
+    servers = [Server(env, f"s{i}", capacity=100.0, boot_s=120.0,
+                      wake_s=15.0) for i in range(20)]
+    for server in servers[:10]:
+        server.power_on()
+    env.run(until=130.0)
+    farm = ServerFarm(env, servers, demand_fn=lambda t: 600.0,
+                      dispatch_period_s=30.0)
+    env.process(farm.run())
+    return env, farm
+
+
+def main() -> None:
+    print("Workload: constant 600 work/s on servers of capacity 100 "
+          "(needs ~6-8 machines).\n")
+
+    # --- Uncoordinated: two locally-sensible controllers -------------
+    env, farm = build_farm()
+    dvfs = UtilizationDVFS(farm, period_s=60.0, low=0.7, high=0.95)
+    onoff = DelayBasedOnOff(farm, period_s=120.0,
+                            high_delay_s=0.045, low_delay_s=0.01)
+    env.process(dvfs.run())
+    env.process(onoff.run())
+
+    print("UNCOORDINATED composition (watch the spiral):")
+    print(f"{'t/min':>6}{'active':>8}{'P-state':>9}{'util':>7}"
+          f"{'delay ms':>10}{'power W':>9}")
+    for minute in range(0, HOURS * 60 + 1, 30):
+        env.run(until=130.0 + minute * 60.0)
+        pstate = dvfs.pstate_monitor.last
+        pstate = 0 if pstate != pstate else int(pstate)  # NaN before 1st tick
+        print(f"{minute:>6}{len(farm.active_servers()):>8}"
+              f"{pstate:>9}"
+              f"{farm.mean_utilization():>7.2f}"
+              f"{farm.mean_response_time_s() * 1000:>10.1f}"
+              f"{farm.total_power_w():>9.0f}")
+    uncoordinated = farm
+
+    # --- Coordinated: one controller owns both knobs -----------------
+    env, farm = build_farm()
+    coordinator = CoordinatedController(farm, period_s=120.0,
+                                        target_utilization=0.8,
+                                        headroom=1.1)
+    env.process(coordinator.run())
+    env.run(until=130.0 + HOURS * 3600.0)
+    coordinated = farm
+
+    power_u = uncoordinated.power_monitor.time_weighted_mean(1000.0, None)
+    power_c = coordinated.power_monitor.time_weighted_mean(1000.0, None)
+    delay_u = uncoordinated.delay_monitor.time_weighted_mean(1000.0, None)
+    delay_c = coordinated.delay_monitor.time_weighted_mean(1000.0, None)
+
+    print(f"\n{'composition':<16}{'avg power W':>12}{'avg delay ms':>14}"
+          f"{'machines':>10}{'P-state':>9}")
+    print(f"{'uncoordinated':<16}{power_u:>12.0f}{delay_u * 1000:>14.1f}"
+          f"{len(uncoordinated.active_servers()):>10}"
+          f"{max(s.pstate for s in uncoordinated.active_servers()):>9}")
+    print(f"{'coordinated':<16}{power_c:>12.0f}{delay_c * 1000:>14.1f}"
+          f"{len(coordinated.active_servers()):>10}"
+          f"{max(s.pstate for s in coordinated.active_servers()):>9}")
+    print(f"\nCoordination uses {1 - power_c / power_u:.0%} less power "
+          f"*and* delivers lower delay —\nexactly the paper's point: "
+          f"both oblivious policies had the same energy goal.")
+
+
+if __name__ == "__main__":
+    main()

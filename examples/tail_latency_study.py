@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Tail latency under power management (§3 + §4.2).
+
+"Users expect sub-second response time" — and user experience lives in
+the p99, not the mean.  This example pushes discrete requests through
+a request-granular farm and shows two things fluid models cannot:
+
+1. dispatch policy moves the tail: join-shortest-queue vs round-robin
+   at the same load;
+2. fleet-wide DVFS that looks harmless on mean utilization multiplies
+   the p99 — the §4.2 response-time trade-off, measured end to end.
+
+Run:  python examples/tail_latency_study.py
+"""
+
+import numpy as np
+
+from repro.cluster import RequestFarm, Server
+from repro.sim import Environment
+
+
+def run(policy="jsq", pstate=0, rate=240.0, horizon=300.0, seed=1):
+    env = Environment()
+    servers = [Server(env, f"s{i}", capacity=100.0, boot_s=10.0)
+               for i in range(4)]
+    for server in servers:
+        server.power_on()
+    env.run(until=11.0)
+    for server in servers:
+        server.set_pstate(pstate)
+    farm = RequestFarm(env, servers, policy=policy,
+                       rng=np.random.default_rng(seed))
+    env.process(farm.drive_poisson(rate, horizon_s=horizon))
+    env.run(until=horizon + 20.0)
+    return farm.stats(discard_first=300)
+
+
+def row(label, stats):
+    print(f"{label:<26}{stats.mean_s * 1000:>9.1f}"
+          f"{stats.p50_s * 1000:>9.1f}{stats.p95_s * 1000:>9.1f}"
+          f"{stats.p99_s * 1000:>9.1f}{stats.completed:>10,}")
+
+
+def main() -> None:
+    print("4 servers x 100 units/s, Poisson arrivals at rho = 0.6, "
+          "exponential work\n")
+    print(f"{'scenario':<26}{'mean ms':>9}{'p50 ms':>9}{'p95 ms':>9}"
+          f"{'p99 ms':>9}{'served':>10}")
+
+    jsq = run(policy="jsq")
+    rr = run(policy="round-robin")
+    row("JSQ dispatch", jsq)
+    row("round-robin dispatch", rr)
+    print(f"  -> same servers, same load: round-robin's p99 is "
+          f"{rr.p99_s / jsq.p99_s:.1f}x JSQ's\n")
+
+    fast = run(pstate=0)
+    slow = run(pstate=3)  # 0.7x clock: rho climbs from 0.60 to 0.86
+    row("all servers at P0", fast)
+    row("all servers at P3 (0.7x)", slow)
+    print(f"  -> a 30% clock cut at 60% load multiplies the p99 "
+          f"by {slow.p99_s / fast.p99_s:.1f}x (mean only "
+          f"{slow.mean_s / fast.mean_s:.1f}x)")
+    print("\nThe §4.2 lesson: fleet-wide DVFS must be sized against "
+          "the tail, not the mean —\nwhich is why the coordinated "
+          "controller trims speed only after fleet size is right.")
+
+
+if __name__ == "__main__":
+    main()

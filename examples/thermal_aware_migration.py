@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The CRAC-sensitivity migration hazard, and how to avoid it (§5.1).
+
+The paper (citing Project Genome [30]) describes a concrete trap:
+
+    locations A and B share a CRAC; the CRAC is very sensitive to
+    servers at A and insensitive to B.  Migrate the load from A to B
+    and shut A's servers down, and the CRAC — seeing its return air
+    cool — *raises* the supply temperature.  B's servers, with extra
+    load and little cold air, overheat and trip thermal alarms.
+
+This example builds exactly that room, executes the oblivious
+consolidation, and watches the alarm fire; then re-plans the same
+consolidation through the cooling-aware placer, which predicts the
+hazard and places the load safely.
+
+Run:  python examples/thermal_aware_migration.py
+"""
+
+from repro.cooling import CRACUnit, MachineRoom, ThermalZone
+from repro.core import CoolingAwarePlacer
+from repro.sim import Environment
+
+HEAT_W = 20_000.0  # the workload's total heat, wherever it lives
+
+
+def build_room(env):
+    zones = [ThermalZone("A", initial_temp_c=24.0, alarm_temp_c=32.0),
+             ThermalZone("B", initial_temp_c=24.0, alarm_temp_c=32.0)]
+    crac = CRACUnit("crac", transport_delay_s=120.0,
+                    return_setpoint_c=25.0, deadband_c=0.5,
+                    initial_supply_c=14.0)
+    # The §5.1 asymmetry: the CRAC sees zone A 7.5x better than B.
+    room = MachineRoom(env, zones, [crac], [[3000.0], [400.0]],
+                       step_s=30.0)
+    return room, zones, crac
+
+
+def run_scenario(heat_a, heat_b, label, hours=6):
+    env = Environment()
+    room, zones, crac = build_room(env)
+    zones[0].set_heat_load(heat_a)
+    zones[1].set_heat_load(heat_b)
+    env.process(room.run())
+    env.run(until=hours * 3600.0)
+    print(f"\n{label}")
+    print(f"  zone A: {zones[0].temp_c:5.1f} C   "
+          f"zone B: {zones[1].temp_c:5.1f} C   "
+          f"CRAC supply: {crac.supply_temp_c:4.1f} C")
+    if room.alarms:
+        alarm = room.alarms[0]
+        print(f"  !! THERMAL ALARM in zone {alarm.zone} at "
+              f"t={alarm.time_s / 3600:.1f} h ({alarm.temp_c:.1f} C) — "
+              f"servers would shut down")
+    else:
+        print("  no thermal alarms")
+    return room
+
+
+def main() -> None:
+    print("Room: zones A and B, one CRAC; conductance A=3000 W/K, "
+          "B=400 W/K.")
+    print(f"Workload heat: {HEAT_W / 1000:.0f} kW total.")
+
+    run_scenario(HEAT_W, 0.0,
+                 "1) Load at A (where the CRAC can see it):")
+
+    room = run_scenario(0.0, HEAT_W,
+                        "2) Oblivious consolidation: move everything "
+                        "to B, shut A down:")
+
+    # --- The cooling-aware re-plan ------------------------------------
+    env = Environment()
+    room, zones, crac = build_room(env)
+    placer = CoolingAwarePlacer(room, margin_c=1.0)
+
+    verdict_b = placer.assess({"A": 0.0, "B": HEAT_W})
+    print("\n3) Cooling-aware macro layer vets the same move first:")
+    print(f"   predicted zone temps: "
+          + ", ".join(f"{z}={t:.1f}C"
+                      for z, t in verdict_b.predicted_temps_c.items()))
+    print(f"   verdict: {'SAFE' if verdict_b.safe else 'REJECTED'} "
+          f"(hottest: zone {verdict_b.hottest_zone} at "
+          f"{verdict_b.hottest_temp_c:.1f} C, alarm at 32 C)")
+
+    chosen = placer.choose_zone(HEAT_W, {"A": 0.0, "B": 0.0})
+    print(f"   placer's choice for the {HEAT_W / 1000:.0f} kW load: "
+          f"zone {chosen}")
+    print("\nThe §5.1 lesson: the cooling system 'knows nothing about "
+          "the states of the servers' —\nso the macro layer must "
+          "predict thermal consequences before it migrates, not after.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build their
+editable wheel.  This shim lets ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on hosts that do have wheel)
+install the package; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

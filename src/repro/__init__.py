@@ -1,0 +1,36 @@
+"""elastic-dc: elastic power management for Internet data centers.
+
+A from-scratch reproduction of the system called for by
+
+    Jie Liu, Feng Zhao, Xue Liu, Wenbo He,
+    "Challenges Towards Elastic Power Management in Internet Data Centers",
+    ICDCS 2009 Workshops.
+
+The package is layered bottom-up:
+
+``repro.sim``
+    A deterministic discrete-event simulation kernel (event heap,
+    generator-based processes, resources, monitors, seeded RNG streams).
+
+``repro.power`` / ``repro.cooling`` / ``repro.workload`` / ``repro.cluster``
+    The physical and cyber substrates of a data center: power delivery,
+    air cooling, service demand, and machines/VMs.
+
+``repro.control`` / ``repro.telemetry``
+    The micro-foundations: feedback controllers (DVFS, On/Off,
+    coordinated) and the multi-scale telemetry pipeline.
+
+``repro.core``
+    The paper's contribution: the macro-resource management layer that
+    coordinates cyber and physical resources (Figure 4).
+
+``repro.datacenter``
+    Declarative assembly of complete data centers and the end-to-end
+    co-simulation harness.
+"""
+
+from repro.sim import Environment
+
+__version__ = "0.1.0"
+
+__all__ = ["Environment", "__version__"]

@@ -1,0 +1,147 @@
+"""Command-line interface: run the library's canonical scenarios.
+
+``python -m repro list`` shows the scenarios; ``python -m repro run
+<name>`` executes one and prints its report.  The scenarios are thin
+wrappers over the same public API the examples use, so the CLI doubles
+as a smoke test of the full stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "SCENARIOS"]
+
+
+def _quickstart(args: argparse.Namespace) -> int:
+    from repro.core import SLA
+    from repro.datacenter import CoSimulation, DataCenterSpec
+    from repro.workload import DiurnalProfile
+
+    zones = min(4, args.racks)
+    spec = DataCenterSpec(racks=args.racks,
+                          servers_per_rack=args.servers_per_rack,
+                          zones=zones, cracs=min(2, zones))
+    profile = DiurnalProfile()
+    peak = spec.total_servers * spec.server_capacity * 0.6
+    sla = SLA("cli", response_target_s=0.15)
+    print(f"{'mode':<16}{'kWh':>8}{'PUE':>7}{'avg srv':>9}{'SLA':>6}")
+    for label, managed in (("static", False), ("managed", True)):
+        sim = CoSimulation(spec, lambda t: peak * profile(t),
+                           managed=managed, sla=sla)
+        result = sim.run(args.hours * 3600.0)
+        print(f"{label:<16}{result.facility_kwh:>8.1f}"
+              f"{result.energy_weighted_pue:>7.2f}"
+              f"{result.mean_active_servers:>9.1f}"
+              f"{'ok' if result.sla.compliant else 'VIOL':>6}")
+    return 0
+
+
+def _pathology(args: argparse.Namespace) -> int:
+    from repro.cluster import Server
+    from repro.control import (CoordinatedController, DelayBasedOnOff,
+                               ServerFarm, UtilizationDVFS)
+    from repro.sim import Environment
+
+    def build():
+        env = Environment()
+        servers = [Server(env, f"s{i}", capacity=100.0, boot_s=120.0)
+                   for i in range(20)]
+        for server in servers[:10]:
+            server.power_on()
+        env.run(until=130.0)
+        farm = ServerFarm(env, servers, demand_fn=lambda t: 600.0)
+        env.process(farm.run())
+        return env, farm
+
+    env, farm_u = build()
+    env.process(UtilizationDVFS(farm_u, period_s=60.0, low=0.7,
+                                high=0.95).run())
+    env.process(DelayBasedOnOff(farm_u, period_s=120.0,
+                                high_delay_s=0.045,
+                                low_delay_s=0.01).run())
+    env.run(until=args.hours * 3600.0)
+
+    env, farm_c = build()
+    env.process(CoordinatedController(farm_c, period_s=120.0).run())
+    env.run(until=args.hours * 3600.0)
+
+    print(f"{'composition':<15}{'machines':>9}{'avg W':>8}"
+          f"{'delay ms':>10}")
+    for label, farm in (("oblivious", farm_u), ("coordinated", farm_c)):
+        print(f"{label:<15}{len(farm.active_servers()):>9}"
+              f"{farm.power_monitor.time_weighted_mean(1000, None):>8.0f}"
+              f"{farm.delay_monitor.time_weighted_mean(1000, None) * 1000:>10.1f}")
+    return 0
+
+
+def _flashcrowd(args: argparse.Namespace) -> int:
+    from repro.core import ReactiveAutoscaler, static_provisioning
+    from repro.workload import animoto_demand
+
+    times, demand = animoto_demand(step_s=900.0)
+    elastic = ReactiveAutoscaler().replay(times, demand)
+    static = static_provisioning(times, demand, float(demand.mean()))
+    print(f"{'strategy':<14}{'unmet':>8}{'waste':>8}{'peak':>7}")
+    print(f"{'static@mean':<14}{static.unmet_fraction:>8.1%}"
+          f"{static.waste_fraction:>8.1%}{static.peak_fleet:>7.0f}")
+    print(f"{'elastic':<14}{elastic.unmet_fraction:>8.1%}"
+          f"{elastic.waste_fraction:>8.1%}{elastic.peak_fleet:>7.0f}")
+    return 0
+
+
+def _tiers(args: argparse.Namespace) -> int:
+    from repro.datacenter import AvailabilityModel, TIER_SPECS, Tier
+
+    print(f"{'tier':>5}{'simulated':>12}{'published':>11}"
+          f"{'downtime h/yr':>15}")
+    for tier in Tier:
+        estimate = AvailabilityModel.for_tier(tier).simulate(args.years)
+        print(f"{tier.name:>5}{estimate.availability:>12.4%}"
+              f"{TIER_SPECS[tier].availability:>11.3%}"
+              f"{estimate.downtime_h_per_year:>15.1f}")
+    return 0
+
+
+SCENARIOS = {
+    "quickstart": (_quickstart, "co-simulate a facility, static vs "
+                   "macro-managed"),
+    "pathology": (_pathology, "the §5.1 DVFS x On/Off spiral vs "
+                  "coordination"),
+    "flashcrowd": (_flashcrowd, "the Animoto surge vs static and "
+                   "elastic allocation"),
+    "tiers": (_tiers, "Monte-Carlo the Uptime tier availability table"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="elastic-dc: elastic power management scenarios")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available scenarios")
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("--hours", type=float, default=8.0,
+                     help="simulated hours (where applicable)")
+    run.add_argument("--racks", type=int, default=4)
+    run.add_argument("--servers-per-rack", type=int, default=10)
+    run.add_argument("--years", type=int, default=2_000,
+                     help="Monte-Carlo years for the tiers scenario")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list" or args.command is None:
+        for name, (_, description) in sorted(SCENARIOS.items()):
+            print(f"{name:<12} {description}")
+        return 0
+    handler, _ = SCENARIOS[args.scenario]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Cluster substrate: servers, racks, VMs, interference, placement,
+migration, and load balancing (paper §3, §4.3, §4.4, §5.2)."""
+
+from repro.cluster.hetero import (
+    BRAWNY_2008,
+    FleetPlan,
+    HeterogeneousScheduler,
+    ServerClass,
+    WIMPY_2008,
+)
+from repro.cluster.interference import ColocationReport, InterferenceModel
+from repro.cluster.loadbalancer import (
+    EvenSplit,
+    LoadBalancer,
+    PackFirst,
+    WeightedSplit,
+)
+from repro.cluster.migration import (
+    MigrationCostModel,
+    MigrationManager,
+    MigrationRecord,
+)
+from repro.cluster.placement import (
+    BestFitPlacer,
+    CorrelationAwarePlacer,
+    FirstFitPlacer,
+    PlacementError,
+)
+from repro.cluster.rack import Cluster, Rack
+from repro.cluster.request_farm import RequestFarm, RequestFarmStats
+from repro.cluster.server import InvalidTransition, Server, ServerState
+from repro.cluster.vm import SoftPowerState, VMHost, VirtualMachine
+
+__all__ = [
+    "BRAWNY_2008",
+    "BestFitPlacer",
+    "FleetPlan",
+    "HeterogeneousScheduler",
+    "ServerClass",
+    "WIMPY_2008",
+    "Cluster",
+    "ColocationReport",
+    "CorrelationAwarePlacer",
+    "EvenSplit",
+    "FirstFitPlacer",
+    "InterferenceModel",
+    "InvalidTransition",
+    "LoadBalancer",
+    "MigrationCostModel",
+    "MigrationManager",
+    "MigrationRecord",
+    "PackFirst",
+    "PlacementError",
+    "Rack",
+    "RequestFarm",
+    "RequestFarmStats",
+    "Server",
+    "ServerState",
+    "SoftPowerState",
+    "VMHost",
+    "VirtualMachine",
+    "WeightedSplit",
+]

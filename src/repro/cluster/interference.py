@@ -1,0 +1,137 @@
+"""Colocation interference: resource use across VMs is not additive.
+
+§4.4: "how to group VMs together remains challenging since hardware
+resource utilization across VMs are not additive.  For example, due to
+disk contention, putting two disk IO intensive applications on the
+same host machine may cause significant throughput degradation."
+
+The model has two effects:
+
+* **Saturation** — if aggregate demand on a resource exceeds host
+  capacity, everyone on that resource is slowed proportionally (fair
+  sharing).
+* **Super-linear contention** — for *seek-bound* resources (disk by
+  default) the mere presence of multiple intensive users destroys
+  capacity: effective disk capacity shrinks by a factor
+  ``1 / (1 + beta·(k−1))`` where ``k`` is the number of disk-intensive
+  residents.  Two streaming readers turn each other into random
+  readers; that loss has no analogue on CPU.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cluster.vm import VMHost, VirtualMachine
+
+__all__ = ["InterferenceModel", "ColocationReport"]
+
+_RESOURCES = ("cpu", "disk", "network", "memory")
+
+
+class ColocationReport(typing.NamedTuple):
+    """Per-VM slowdowns and the bottleneck that caused them."""
+
+    slowdowns: dict
+    bottleneck: str | None
+    effective_capacity: np.ndarray
+
+    @property
+    def worst_slowdown(self) -> float:
+        if not self.slowdowns:
+            return 1.0
+        return min(self.slowdowns.values())
+
+
+class InterferenceModel:
+    """Compute realized throughput of colocated VMs.
+
+    Parameters
+    ----------
+    disk_contention_beta:
+        Capacity destroyed per extra disk-intensive resident.  0.7
+        means a second disk-bound VM leaves only 1/1.7 ≈ 59 % of the
+        disk bandwidth — "significant throughput degradation".
+    intensity_threshold:
+        Demand (fraction of host capacity) above which a VM counts as
+        *intensive* on a resource.
+    """
+
+    def __init__(self, disk_contention_beta: float = 0.7,
+                 intensity_threshold: float = 0.5,
+                 contended_resources: typing.Sequence[str] = ("disk",)):
+        if disk_contention_beta < 0:
+            raise ValueError("beta cannot be negative")
+        if not 0.0 < intensity_threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        unknown = set(contended_resources) - set(_RESOURCES)
+        if unknown:
+            raise ValueError(f"unknown resources: {sorted(unknown)}")
+        self.beta = float(disk_contention_beta)
+        self.intensity_threshold = float(intensity_threshold)
+        self.contended = tuple(contended_resources)
+
+    def effective_capacity(self, host: VMHost) -> np.ndarray:
+        """Host capacity after contention destruction."""
+        capacity = host.capacity.copy()
+        for resource in self.contended:
+            axis = _RESOURCES.index(resource)
+            intensive = sum(
+                vm.demand_vector()[axis] >= self.intensity_threshold
+                for vm in host.vms)
+            if intensive > 1:
+                capacity[axis] /= (1.0 + self.beta * (intensive - 1))
+        return capacity
+
+    def evaluate(self, host: VMHost) -> ColocationReport:
+        """Slowdown factor (≤ 1) for each VM on ``host``.
+
+        Fair sharing per resource: if demand exceeds effective
+        capacity, every VM receives ``capacity / demand`` of its ask
+        on that resource; a VM's overall slowdown is its worst
+        resource.
+        """
+        capacity = self.effective_capacity(host)
+        if not host.vms:
+            return ColocationReport({}, None, capacity)
+        demand = host.naive_demand()
+        ratios = np.where(demand > capacity, capacity / demand, 1.0)
+        bottleneck_axis = int(np.argmin(ratios))
+        bottleneck = (_RESOURCES[bottleneck_axis]
+                      if ratios[bottleneck_axis] < 1.0 else None)
+        slowdowns = {}
+        for vm in host.vms:
+            vector = vm.demand_vector()
+            relevant = ratios[vector > 1e-12]
+            slowdowns[vm.name] = float(relevant.min()) if len(relevant) else 1.0
+        return ColocationReport(slowdowns, bottleneck, capacity)
+
+    def aggregate_throughput(self, host: VMHost) -> float:
+        """Sum of realized dominant-resource throughput on the host.
+
+        The quantity the EXP-VMIX benchmark reports: how much useful
+        work the box actually completes given its guests.
+        """
+        report = self.evaluate(host)
+        total = 0.0
+        for vm in host.vms:
+            axis = _RESOURCES.index(vm.profile.dominant)
+            total += vm.demand_vector()[axis] * report.slowdowns[vm.name]
+        return total
+
+    def pairwise_slowdown(self, a: VirtualMachine,
+                          b: VirtualMachine) -> float:
+        """Worst slowdown when exactly ``a`` and ``b`` share a host.
+
+        Convenience for placement policies scoring candidate pairs.
+        VMs are scored on a throwaway host; their placement state is
+        untouched.
+        """
+        probe = VMHost("probe")
+        for vm in (a, b):
+            clone = VirtualMachine(vm.name, vm.profile, vm.scale,
+                                   vm.memory_gb)
+            probe.place(clone)
+        return self.evaluate(probe).worst_slowdown

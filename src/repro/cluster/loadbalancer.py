@@ -1,0 +1,143 @@
+"""Load balancing across active servers.
+
+§3: "Load balancing policies are usually updated at the scale of
+minutes" — the balancer here is a fluid dispatcher invoked on that
+cadence: given total offered work, it splits it over the currently
+ACTIVE servers under a policy and pushes per-server offered loads.
+
+Policies:
+
+* :class:`EvenSplit` — equal share to every active server.
+* :class:`WeightedSplit` — shares proportional to effective capacity
+  (the right thing when DVFS has made servers heterogeneous).
+* :class:`PackFirst` — fill servers in order to their target
+  utilization, leaving the tail idle (the shape On/Off consolidation
+  wants, §4.3: "workload needs to be routed properly to remaining
+  active systems to preserve application performance").
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.server import Server
+from repro.sim import Monitor
+
+__all__ = ["LoadBalancer", "EvenSplit", "WeightedSplit", "PackFirst"]
+
+
+class DispatchPolicy(typing.Protocol):
+    """Split ``total_load`` over ``servers`` (all ACTIVE)."""
+
+    def split(self, total_load: float,
+              servers: list[Server]) -> list[float]: ...
+
+
+class EvenSplit:
+    """Equal share per active server."""
+
+    def split(self, total_load: float,
+              servers: list[Server]) -> list[float]:
+        share = total_load / len(servers)
+        return [share] * len(servers)
+
+
+class WeightedSplit:
+    """Shares proportional to each server's effective capacity."""
+
+    def split(self, total_load: float,
+              servers: list[Server]) -> list[float]:
+        capacities = [s.effective_capacity for s in servers]
+        total_capacity = sum(capacities)
+        if total_capacity <= 0:
+            return EvenSplit().split(total_load, servers)
+        return [total_load * c / total_capacity for c in capacities]
+
+
+class PackFirst:
+    """Fill servers to ``target_utilization`` in order; spill the rest.
+
+    Leaves a maximal idle tail for the On/Off controller to put to
+    sleep.  Any overflow beyond everyone's target goes evenly on top
+    (better overloaded than dropped).
+    """
+
+    def __init__(self, target_utilization: float = 0.8):
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target utilization must be in (0, 1]")
+        self.target_utilization = float(target_utilization)
+
+    def split(self, total_load: float,
+              servers: list[Server]) -> list[float]:
+        shares = [0.0] * len(servers)
+        remaining = total_load
+        for i, server in enumerate(servers):
+            room = server.effective_capacity * self.target_utilization
+            take = min(remaining, room)
+            shares[i] = take
+            remaining -= take
+            if remaining <= 0:
+                break
+        if remaining > 0:
+            bump = remaining / len(servers)
+            shares = [s + bump for s in shares]
+        return shares
+
+
+class LoadBalancer:
+    """Dispatch total offered load across a server pool."""
+
+    def __init__(self, servers: typing.Sequence[Server],
+                 policy: DispatchPolicy | None = None):
+        if not servers:
+            raise ValueError("need at least one server")
+        self.servers = list(servers)
+        self.policy = policy or WeightedSplit()
+        env = self.servers[0].env
+        self.offered_monitor = Monitor(env, "lb.offered")
+        self.shed_monitor = Monitor(env, "lb.shed")
+
+    def active_servers(self) -> list[Server]:
+        """Servers currently able to take traffic."""
+        return [s for s in self.servers if s.is_serving]
+
+    def dispatch(self, total_load: float) -> float:
+        """Split ``total_load``; returns the amount actually served.
+
+        Inactive servers are zeroed (they cannot hold traffic).  If no
+        server is active the entire load is shed — the catastrophic
+        outcome mis-coordinated On/Off control risks.
+        """
+        if total_load < 0:
+            raise ValueError(f"negative load {total_load}")
+        self.offered_monitor.record(total_load)
+        active = self.active_servers()
+        for server in self.servers:
+            if not server.is_serving:
+                # Skip redundant zeroing of an already-idle server so
+                # monitors do not fill with no-op samples.
+                if server.offered_load:
+                    server.set_offered_load(0.0)
+        if not active:
+            self.shed_monitor.record(total_load)
+            return 0.0
+        shares = self.policy.split(total_load, active)
+        if len(shares) != len(active):
+            raise RuntimeError("policy returned wrong number of shares")
+        served = 0.0
+        for server, share in zip(active, shares):
+            server.set_offered_load(share)
+            served += server.delivered_load
+        self.shed_monitor.record(max(0.0, total_load - served))
+        return served
+
+    def total_power_w(self) -> float:
+        """Wall power of the whole pool (all states)."""
+        return sum(s.power_w() for s in self.servers)
+
+    def mean_utilization(self) -> float:
+        """Average utilization across *active* servers (0 if none)."""
+        active = self.active_servers()
+        if not active:
+            return 0.0
+        return sum(s.utilization for s in active) / len(active)

@@ -1,0 +1,140 @@
+"""Live VM migration (paper §4.4, §5.3).
+
+"Certain resource allocations, such as VM migration ... take minutes
+to make effects" — the cost model here makes that latency (and the
+bandwidth and downtime it implies) explicit, so macro-layer policies
+that casually migrate hot VMs pay the true price.
+
+Pre-copy live migration: iteratively copy memory while the guest runs
+and dirties pages; each round copies what the last round left dirty;
+when the remainder fits the downtime budget, stop-and-copy finishes.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.vm import VMHost, VirtualMachine
+from repro.sim import Environment
+
+__all__ = ["MigrationCostModel", "MigrationRecord", "MigrationManager"]
+
+_GB = 1024.0 ** 3
+
+
+class MigrationCostModel:
+    """Pre-copy duration/downtime/energy estimates.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Network bandwidth dedicated to migration traffic.
+    dirty_rate_gbps:
+        Rate at which the running guest re-dirties memory.  Must be
+        below bandwidth or pre-copy cannot converge (we then force a
+        stop-and-copy with a long downtime).
+    downtime_budget_s:
+        Acceptable stop-and-copy pause.
+    overhead_w:
+        Extra power drawn on source + destination while copying.
+    """
+
+    def __init__(self, bandwidth_gbps: float = 4.0,
+                 dirty_rate_gbps: float = 1.0,
+                 downtime_budget_s: float = 0.3,
+                 overhead_w: float = 30.0):
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if dirty_rate_gbps < 0:
+            raise ValueError("dirty rate cannot be negative")
+        if downtime_budget_s <= 0:
+            raise ValueError("downtime budget must be positive")
+        self.bandwidth_gbps = float(bandwidth_gbps)
+        self.dirty_rate_gbps = float(dirty_rate_gbps)
+        self.downtime_budget_s = float(downtime_budget_s)
+        self.overhead_w = float(overhead_w)
+
+    def duration_s(self, memory_gb: float) -> float:
+        """Total copy time of pre-copy rounds (excludes downtime)."""
+        if memory_gb <= 0:
+            raise ValueError("memory must be positive")
+        ratio = self.dirty_rate_gbps / self.bandwidth_gbps
+        seconds_per_gb = 8.0 / self.bandwidth_gbps  # GB -> Gb
+        if ratio >= 1.0:
+            # Non-convergent: one full copy, then stop-and-copy the rest.
+            return memory_gb * seconds_per_gb
+        # Geometric series of rounds: V + V·r + V·r² + ...
+        return memory_gb * seconds_per_gb / (1.0 - ratio)
+
+    def downtime_s(self, memory_gb: float) -> float:
+        """Stop-and-copy pause at the end."""
+        ratio = self.dirty_rate_gbps / self.bandwidth_gbps
+        if ratio >= 1.0:
+            # Whole dirty working set must move while paused.
+            return memory_gb * 8.0 / self.bandwidth_gbps
+        return self.downtime_budget_s
+
+    def energy_j(self, memory_gb: float) -> float:
+        """Extra energy of one migration (both endpoints)."""
+        return 2.0 * self.overhead_w * self.duration_s(memory_gb)
+
+
+class MigrationRecord(typing.NamedTuple):
+    """Audit record of one completed migration."""
+
+    vm: str
+    source: str
+    destination: str
+    started_s: float
+    finished_s: float
+    downtime_s: float
+    energy_j: float
+
+
+class MigrationManager:
+    """Execute live migrations on the simulation clock."""
+
+    def __init__(self, env: Environment,
+                 cost_model: MigrationCostModel | None = None,
+                 max_concurrent: int = 4):
+        if max_concurrent < 1:
+            raise ValueError("need at least one migration slot")
+        self.env = env
+        self.cost = cost_model or MigrationCostModel()
+        self.max_concurrent = max_concurrent
+        self.in_flight = 0
+        self.records: list[MigrationRecord] = []
+
+    def migrate(self, vm: VirtualMachine, destination: VMHost):
+        """Process generator: move ``vm`` to ``destination``.
+
+        Yields through the copy time; the VM switches hosts at the end
+        (the guest runs at the source during pre-copy, which is the
+        point of *live* migration).  Raises if the VM is unplaced or
+        all migration slots are busy.
+        """
+        source = vm.host
+        if source is None:
+            raise ValueError(f"{vm.name} is not placed anywhere")
+        if destination is source:
+            raise ValueError(f"{vm.name} is already on {destination.name}")
+        if self.in_flight >= self.max_concurrent:
+            raise RuntimeError("all migration slots busy")
+        self.in_flight += 1
+        started = self.env.now
+        try:
+            yield self.env.timeout(self.cost.duration_s(vm.memory_gb))
+            downtime = self.cost.downtime_s(vm.memory_gb)
+            yield self.env.timeout(downtime)
+            source.evict(vm)
+            destination.place(vm)
+            self.records.append(MigrationRecord(
+                vm.name, source.name, destination.name,
+                started, self.env.now, downtime,
+                self.cost.energy_j(vm.memory_gb)))
+        finally:
+            self.in_flight -= 1
+
+    def total_migration_energy_j(self) -> float:
+        """Energy spent on all completed migrations."""
+        return sum(record.energy_j for record in self.records)

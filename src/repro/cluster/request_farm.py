@@ -1,0 +1,149 @@
+"""Request-granular server farm (paper §3).
+
+    "Users expect sub-second response time from web pages."
+
+The fluid :class:`~repro.control.farm.ServerFarm` is the right plant
+for control loops, but user experience lives in the latency *tail*,
+which only discrete requests can show.  :class:`RequestFarm` runs
+individual requests through per-server queues on the kernel:
+
+* a dispatcher assigns each arrival to a server (round-robin or
+  join-shortest-queue);
+* each server serves its queue at a rate set by its P-state — so the
+  latency cost of fleet-wide DVFS, invisible to means, shows up in
+  the p99 exactly as §4.2's response-time trade-off says it should;
+* requests that wait longer than ``patience_s`` abandon (users
+  reload or leave), giving an honest goodput number under overload.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cluster.server import Server
+from repro.sim import Environment, Store
+
+__all__ = ["RequestFarm", "RequestFarmStats"]
+
+
+class RequestFarmStats(typing.NamedTuple):
+    """Latency/goodput measurements from a run."""
+
+    completed: int
+    abandoned: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+    @property
+    def goodput_fraction(self) -> float:
+        total = self.completed + self.abandoned
+        return self.completed / total if total else 1.0
+
+
+class _ServerQueue:
+    """One server's FIFO of (arrival time, work) requests."""
+
+    def __init__(self, env: Environment, server: Server,
+                 farm: "RequestFarm"):
+        self.env = env
+        self.server = server
+        self.farm = farm
+        self.queue: Store = Store(env)
+        env.process(self._serve(), name=f"{server.name}:serve")
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def _serve(self):
+        while True:
+            arrival_s, work = yield self.queue.get()
+            waited = self.env.now - arrival_s
+            if waited > self.farm.patience_s:
+                self.farm._abandoned += 1
+                continue
+            # Service time stretches with the current P-state (and is
+            # re-read per request, so a DVFS change mid-run applies).
+            capacity = max(self.server.effective_capacity, 1e-9)
+            yield self.env.timeout(work / capacity)
+            self.farm._latencies.append(self.env.now - arrival_s)
+
+
+class RequestFarm:
+    """Dispatch discrete requests over a pool of servers.
+
+    ``work_sampler`` draws each request's work in the same units as
+    :class:`Server.capacity` (work units; a server at P0 completes
+    ``capacity`` units/second).
+    """
+
+    def __init__(self, env: Environment,
+                 servers: typing.Sequence[Server],
+                 work_sampler: typing.Callable[[], float] | None = None,
+                 policy: str = "jsq",
+                 patience_s: float = 10.0,
+                 rng: np.random.Generator | None = None):
+        if not servers:
+            raise ValueError("need at least one server")
+        if policy not in ("jsq", "round-robin"):
+            raise ValueError(f"unknown policy {policy!r}")
+        if patience_s <= 0:
+            raise ValueError("patience must be positive")
+        self.env = env
+        self.servers = list(servers)
+        self.rng = rng or np.random.default_rng(0)
+        self.work_sampler = work_sampler or (
+            lambda: self.rng.exponential(1.0))
+        self.policy = policy
+        self.patience_s = float(patience_s)
+        self._queues = [_ServerQueue(env, s, self) for s in self.servers]
+        self._rr_index = 0
+        self._latencies: list[float] = []
+        self._abandoned = 0
+
+    # ------------------------------------------------------------------
+    def _pick_queue(self) -> _ServerQueue:
+        serving = [q for q in self._queues if q.server.is_serving]
+        pool = serving or self._queues
+        if self.policy == "jsq":
+            return min(pool, key=len)
+        self._rr_index = (self._rr_index + 1) % len(pool)
+        return pool[self._rr_index]
+
+    def submit(self, work: float | None = None) -> None:
+        """Enqueue one request now."""
+        if work is None:
+            work = self.work_sampler()
+        if work < 0:
+            raise ValueError("work cannot be negative")
+        queue = self._pick_queue()
+        queue.queue.put((self.env.now, work))
+
+    def drive_poisson(self, rate_per_s: float, horizon_s: float):
+        """Process generator: Poisson arrivals until ``horizon_s``."""
+        if rate_per_s <= 0:
+            raise ValueError("rate must be positive")
+        while self.env.now < horizon_s:
+            yield self.env.timeout(
+                self.rng.exponential(1.0 / rate_per_s))
+            if self.env.now >= horizon_s:
+                break
+            self.submit()
+
+    # ------------------------------------------------------------------
+    def stats(self, discard_first: int = 0) -> RequestFarmStats:
+        """Latency statistics (optionally discarding a warmup prefix)."""
+        samples = np.array(self._latencies[discard_first:])
+        if len(samples) == 0:
+            raise RuntimeError("no completed requests to report")
+        return RequestFarmStats(
+            completed=len(self._latencies),
+            abandoned=self._abandoned,
+            mean_s=float(samples.mean()),
+            p50_s=float(np.percentile(samples, 50)),
+            p95_s=float(np.percentile(samples, 95)),
+            p99_s=float(np.percentile(samples, 99)),
+        )

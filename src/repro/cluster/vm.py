@@ -1,0 +1,130 @@
+"""Virtual machines and hosts (paper §4.4).
+
+VMs are migratable resource consumers described by a
+:class:`~repro.workload.mix.ResourceProfile`.  A :class:`VMHost`
+aggregates resident VMs; crucially, "hardware resource utilization
+across VMs are not additive" — the interference model in
+:mod:`repro.cluster.interference` owns that correction, the host just
+exposes the naive vectors.
+
+The module also implements VirtualPower-style *soft* power states
+(Nathuji & Schwan [27]): a guest requests a soft P-state, and the
+host maps the aggregate of its guests' requests onto the one real
+CPU knob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.workload.mix import ResourceProfile
+
+__all__ = ["VirtualMachine", "VMHost", "SoftPowerState"]
+
+
+@dataclasses.dataclass
+class SoftPowerState:
+    """A guest-visible 'virtual' power state request.
+
+    ``level`` is the fraction of full speed the guest asks for; the
+    VPM-style mapping on the host turns the set of requests into one
+    hardware P-state.
+    """
+
+    level: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 < self.level <= 1.0:
+            raise ValueError(f"soft state level {self.level} outside (0, 1]")
+
+
+class VirtualMachine:
+    """One VM: identity, resource profile, demand scale, soft state."""
+
+    def __init__(self, name: str, profile: ResourceProfile,
+                 scale: float = 1.0, memory_gb: float = 4.0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        if memory_gb <= 0:
+            raise ValueError(f"memory must be positive, got {memory_gb}")
+        self.name = name
+        self.profile = profile
+        self.scale = float(scale)
+        self.memory_gb = float(memory_gb)
+        self.soft_state = SoftPowerState()
+        self.host: "VMHost | None" = None
+
+    def demand_vector(self) -> np.ndarray:
+        """(cpu, disk, network, memory) demand at the VM's own peak."""
+        return self.profile.as_vector() * self.scale
+
+    def demand_at(self, t_s: float) -> float:
+        """Dominant-resource demand at time ``t_s`` (diurnal)."""
+        return self.profile.utilization_at(t_s) * self.scale
+
+    def request_soft_state(self, level: float) -> None:
+        """Guest-side DVFS request ('virtual power', §4.4)."""
+        self.soft_state = SoftPowerState(level)
+
+    def __repr__(self) -> str:
+        return f"<VM {self.name!r} dom={self.profile.dominant}>"
+
+
+class VMHost:
+    """A physical machine hosting VMs, with capacity 1.0 per resource."""
+
+    def __init__(self, name: str,
+                 capacity: typing.Sequence[float] = (1.0, 1.0, 1.0, 1.0)):
+        cap = np.asarray(capacity, dtype=float)
+        if cap.shape != (4,) or (cap <= 0).any():
+            raise ValueError("capacity must be 4 positive numbers")
+        self.name = name
+        self.capacity = cap
+        self.vms: list[VirtualMachine] = []
+
+    def can_fit(self, vm: VirtualMachine) -> bool:
+        """Naive bin-packing feasibility (additive demand)."""
+        return bool((self.naive_demand() + vm.demand_vector()
+                     <= self.capacity + 1e-12).all())
+
+    def place(self, vm: VirtualMachine) -> None:
+        """Admit ``vm`` (caller is responsible for feasibility policy)."""
+        if vm.host is not None:
+            raise ValueError(f"{vm.name} is already placed on {vm.host.name}")
+        vm.host = self
+        self.vms.append(vm)
+
+    def evict(self, vm: VirtualMachine) -> None:
+        """Remove ``vm`` from this host."""
+        if vm not in self.vms:
+            raise ValueError(f"{vm.name} is not on {self.name}")
+        self.vms.remove(vm)
+        vm.host = None
+
+    def naive_demand(self) -> np.ndarray:
+        """Additive sum of resident demand vectors (the §4.4 fiction)."""
+        if not self.vms:
+            return np.zeros(4)
+        return np.sum([vm.demand_vector() for vm in self.vms], axis=0)
+
+    def resolve_hard_pstate(self, n_pstates: int) -> int:
+        """Map guests' soft states onto one hardware P-state (VPM rule).
+
+        Conservative: the CPU must satisfy the *most demanding* guest,
+        so the hardware runs at the max requested level; only when
+        every guest asks for less does the host step down.
+        """
+        if n_pstates < 1:
+            raise ValueError("need at least one P-state")
+        if not self.vms:
+            return n_pstates - 1  # idle host: deepest state
+        top_request = max(vm.soft_state.level for vm in self.vms)
+        # level 1.0 -> index 0 (fastest); level ~0 -> deepest index.
+        index = int(round((1.0 - top_request) * (n_pstates - 1)))
+        return min(max(index, 0), n_pstates - 1)
+
+    def __repr__(self) -> str:
+        return f"<VMHost {self.name!r} vms={len(self.vms)}>"

@@ -1,0 +1,36 @@
+"""Control substrate: PID, queueing models, DVFS policies, On/Off
+provisioning, coordination, and request batching (paper §4.2, §4.3,
+§5.1)."""
+
+from repro.control.batching import BatchingModel
+from repro.control.coordinator import CoordinatedController
+from repro.control.dvfs import PerTaskDVFS, ResponseTimeDVFS, UtilizationDVFS
+from repro.control.farm import ServerFarm
+from repro.control.onoff import DelayBasedOnOff, ForecastOnOff
+from repro.control.pid import PIDController
+from repro.control.queueing import (
+    erlang_c,
+    mm1_response_time,
+    mm1_utilization,
+    mmc_response_time,
+    mmc_wait_time,
+    servers_for_response_time,
+)
+
+__all__ = [
+    "BatchingModel",
+    "CoordinatedController",
+    "DelayBasedOnOff",
+    "ForecastOnOff",
+    "PIDController",
+    "PerTaskDVFS",
+    "ResponseTimeDVFS",
+    "ServerFarm",
+    "UtilizationDVFS",
+    "erlang_c",
+    "mm1_response_time",
+    "mm1_utilization",
+    "mmc_response_time",
+    "mmc_wait_time",
+    "servers_for_response_time",
+]

@@ -1,0 +1,133 @@
+"""Request batching (paper §4.2, Elnozahy et al. [21]).
+
+At low load, the CPU wakes for every straggling request and never
+sleeps long enough to matter.  Batching holds requests for up to a
+timeout, then processes the accumulated batch in one burst — the
+processor idles (deep C-state / very deep P-state) between bursts at
+the cost of added queueing latency.
+
+The analytic model answers the policy question directly: given an
+arrival rate and a latency budget, what batching timeout maximizes
+energy savings, and what does it cost in response time?
+"""
+
+from __future__ import annotations
+
+__all__ = ["BatchingModel"]
+
+
+class BatchingModel:
+    """Energy/latency trade-off of timeout-based request batching.
+
+    Parameters
+    ----------
+    service_s:
+        CPU time per request at full speed.
+    busy_w / idle_deep_w / idle_shallow_w:
+        Draw while processing, while parked between batches, and
+        while idling *without* batching (shallow idle: the CPU keeps
+        getting poked).  Batching's entire benefit is
+        ``idle_shallow_w − idle_deep_w`` during coalesced idle time.
+    wake_s:
+        Time to come out of the deep idle state per batch.
+    """
+
+    def __init__(self, service_s: float = 0.005,
+                 busy_w: float = 100.0,
+                 idle_shallow_w: float = 45.0,
+                 idle_deep_w: float = 8.0,
+                 wake_s: float = 0.002):
+        if service_s <= 0:
+            raise ValueError("service time must be positive")
+        if not 0 <= idle_deep_w <= idle_shallow_w <= busy_w:
+            raise ValueError("need idle_deep <= idle_shallow <= busy")
+        if wake_s < 0:
+            raise ValueError("wake time cannot be negative")
+        self.service_s = float(service_s)
+        self.busy_w = float(busy_w)
+        self.idle_shallow_w = float(idle_shallow_w)
+        self.idle_deep_w = float(idle_deep_w)
+        self.wake_s = float(wake_s)
+
+    def _check(self, arrival_rate: float, timeout_s: float) -> None:
+        if arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if timeout_s < 0:
+            raise ValueError("timeout cannot be negative")
+        if arrival_rate * self.service_s >= 1.0:
+            raise ValueError("system overloaded: rho >= 1")
+
+    def mean_batch_size(self, arrival_rate: float,
+                        timeout_s: float) -> float:
+        """Requests accumulated per batch window (≥ 1).
+
+        The window opens at the *first* arrival and closes
+        ``timeout_s`` later, so a batch is that opener plus the
+        Poisson arrivals inside the window: 1 + λ·T.  (Getting this
+        +1 right is what makes the model agree with the event-level
+        simulation in the cross-validation test.)
+        """
+        self._check(arrival_rate, timeout_s)
+        if timeout_s == 0.0:
+            return 1.0
+        return 1.0 + arrival_rate * timeout_s
+
+    def added_latency_s(self, arrival_rate: float,
+                        timeout_s: float) -> float:
+        """Mean extra response time batching introduces.
+
+        A request waits on average half the timeout window, plus the
+        wake-up, plus its position inside the burst.
+        """
+        self._check(arrival_rate, timeout_s)
+        batch = self.mean_batch_size(arrival_rate, timeout_s)
+        # The opener waits the full window; the λ·T later arrivals wait
+        # half of it on average.
+        followers = batch - 1.0
+        mean_window_wait = (timeout_s + followers * timeout_s / 2.0) / batch
+        in_burst = (batch - 1.0) / 2.0 * self.service_s
+        return mean_window_wait + self.wake_s + in_burst
+
+    def mean_power_w(self, arrival_rate: float, timeout_s: float) -> float:
+        """Average CPU power with batching timeout ``timeout_s``.
+
+        ``timeout_s = 0`` degenerates to no batching: busy while
+        serving, shallow idle otherwise.
+        """
+        self._check(arrival_rate, timeout_s)
+        rho = arrival_rate * self.service_s
+        if timeout_s == 0.0:
+            return rho * self.busy_w + (1.0 - rho) * self.idle_shallow_w
+        batch = self.mean_batch_size(arrival_rate, timeout_s)
+        cycle_s = batch / arrival_rate
+        busy_s = batch * self.service_s + self.wake_s
+        busy_s = min(busy_s, cycle_s)
+        idle_s = cycle_s - busy_s
+        return (busy_s * self.busy_w + idle_s * self.idle_deep_w) / cycle_s
+
+    def savings_fraction(self, arrival_rate: float,
+                         timeout_s: float) -> float:
+        """Power saved relative to no batching (0 … 1)."""
+        base = self.mean_power_w(arrival_rate, 0.0)
+        batched = self.mean_power_w(arrival_rate, timeout_s)
+        return (base - batched) / base
+
+    def best_timeout_s(self, arrival_rate: float,
+                       latency_budget_s: float,
+                       resolution: int = 200,
+                       max_timeout_s: float = 1.0) -> float:
+        """Largest timeout whose added latency fits the budget.
+
+        Power is monotone non-increasing in the timeout, so the best
+        feasible timeout is the largest feasible one; a simple grid
+        scan suffices and keeps the code honest.
+        """
+        if latency_budget_s <= 0:
+            raise ValueError("latency budget must be positive")
+        best = 0.0
+        for i in range(1, resolution + 1):
+            candidate = max_timeout_s * i / resolution
+            if self.added_latency_s(arrival_rate, candidate) \
+                    <= latency_budget_s:
+                best = candidate
+        return best

@@ -1,0 +1,107 @@
+"""Coordinated multi-level power control (paper §5.1).
+
+The paper's case study [29]: composing an interval DVFS policy with a
+delay-based On/Off policy, each locally sensible, produces a cycle —
+
+    DVFS slows CPUs → delay rises → On/Off adds machines → utilization
+    falls → DVFS slows further → ...
+
+— ending with *more* machines at *deep* P-states, which costs more
+than fewer machines at full speed because every powered-on machine
+pays the ~60 % idle floor.
+
+:class:`CoordinatedController` removes the conflict by making both
+decisions jointly from one demand signal, in the right order:
+
+1. **Fleet size first**: the fewest machines that serve the demand at
+   full speed and the target utilization (idle floors dominate, so
+   machine count is the big knob).
+2. **Speed second**: with the fleet fixed, the slowest P-state that
+   still leaves the required capacity (DVFS trims the residual slack
+   it is actually good at).
+
+Because one controller owns both knobs, the delay signal can never be
+misattributed.  This is the minimal instance of the paper's
+macro-level "coordination layer".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.server import ServerState
+from repro.control.farm import ServerFarm
+from repro.control.onoff import _activate_one, _deactivate_one
+from repro.sim import Monitor
+
+__all__ = ["CoordinatedController"]
+
+
+class CoordinatedController:
+    """Joint fleet-size + P-state controller over a server farm."""
+
+    def __init__(self, farm: ServerFarm, period_s: float = 120.0,
+                 target_utilization: float = 0.8,
+                 headroom: float = 1.1,
+                 to_sleep: bool = True,
+                 demand_source=None):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target utilization must be in (0, 1]")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        self.farm = farm
+        # Demand signal to provision against; the macro layer passes a
+        # *forecast* here so booting machines lands ahead of the peak.
+        self.demand_source = demand_source or (
+            lambda t: farm.demand_fn(t))
+        self.period_s = float(period_s)
+        self.target_utilization = float(target_utilization)
+        self.headroom = float(headroom)
+        self.to_sleep = to_sleep
+        self.fleet_monitor = Monitor(farm.env, "coord.fleet")
+        self.pstate_monitor = Monitor(farm.env, "coord.pstate")
+
+    def decide(self) -> tuple[int, int]:
+        """One joint decision; returns (target fleet, P-state)."""
+        farm = self.farm
+        demand = self.demand_source(farm.env.now) * self.headroom
+        per_server_full = farm.servers[0].capacity * self.target_utilization
+
+        # Step 1: machine count at full speed.
+        target = max(1, math.ceil(demand / per_server_full))
+        target = min(target, len(farm.servers))
+        committed = sum(
+            1 for s in farm.servers
+            if s.state in (ServerState.ACTIVE, ServerState.BOOTING,
+                           ServerState.WAKING))
+        if committed < target:
+            for _ in range(target - committed):
+                if not _activate_one(farm):
+                    break
+        elif committed > target:
+            for _ in range(committed - target):
+                if not _deactivate_one(farm, self.to_sleep):
+                    break
+
+        # Step 2: trim speed on the fleet we just sized.  Required
+        # per-server speed fraction so that `target` machines at the
+        # target utilization still cover demand.
+        active = farm.active_servers()
+        pstate = 0
+        if active:
+            capacity_needed = demand / (target * per_server_full)
+            table = active[0].model.pstates
+            pstate = table.slowest_state_meeting(min(capacity_needed, 1.0))
+            for server in active:
+                server.set_pstate(pstate)
+        self.fleet_monitor.record(target)
+        self.pstate_monitor.record(pstate)
+        return target, pstate
+
+    def run(self):
+        """Process generator: decide every period."""
+        while True:
+            self.decide()
+            yield self.farm.env.timeout(self.period_s)

@@ -1,0 +1,129 @@
+"""The closed-loop server-farm plant that controllers act on.
+
+A :class:`ServerFarm` wires a demand function, a load balancer, and a
+pool of servers into one periodically-sampled plant with the three
+signals every §4/§5 policy consumes:
+
+* mean utilization of active servers (what DVFS policies watch),
+* a response-time estimate from per-server M/M/1 (what On/Off
+  policies watch — deliberately computed from *measured* delay so a
+  DVS-oblivious controller cannot tell "slow CPUs" from "too few
+  machines", which is precisely the §5.1 failure mode),
+* total wall power.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.loadbalancer import EvenSplit, LoadBalancer
+from repro.cluster.server import Server, ServerState
+from repro.control.queueing import mm1_response_time
+from repro.sim import CounterMonitor, Environment, Monitor
+
+__all__ = ["ServerFarm"]
+
+
+class ServerFarm:
+    """Demand → dispatch → measurement loop over a server pool.
+
+    Parameters
+    ----------
+    demand_fn:
+        Total offered work (work units/s) as a function of time.
+    dispatch_period_s:
+        How often the balancer re-splits load ("load balancing
+        policies are usually updated at the scale of minutes", §3).
+    delay_cap_s:
+        Finite stand-in for an overloaded server's infinite delay.
+    """
+
+    def __init__(self, env: Environment,
+                 servers: typing.Sequence[Server],
+                 demand_fn: typing.Callable[[float], float],
+                 dispatch_period_s: float = 30.0,
+                 delay_cap_s: float = 10.0,
+                 policy=None):
+        if dispatch_period_s <= 0:
+            raise ValueError("dispatch period must be positive")
+        self.env = env
+        self.servers = list(servers)
+        self.demand_fn = demand_fn
+        self.dispatch_period_s = float(dispatch_period_s)
+        self.delay_cap_s = float(delay_cap_s)
+        self.balancer = LoadBalancer(self.servers, policy=policy or EvenSplit())
+        self.power_monitor = Monitor(env, "farm.power_w")
+        self.delay_monitor = Monitor(env, "farm.delay_s")
+        self.utilization_monitor = Monitor(env, "farm.utilization")
+        self.active_monitor = CounterMonitor(env, "farm.active", initial=0)
+        self.shed_monitor = Monitor(env, "farm.shed")
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def active_servers(self) -> list[Server]:
+        return [s for s in self.servers if s.state is ServerState.ACTIVE]
+
+    def mean_utilization(self) -> float:
+        """Mean busy fraction of active servers (1.0 if none active)."""
+        active = self.active_servers()
+        if not active:
+            return 1.0  # no capacity at all: saturated by definition
+        return sum(s.utilization for s in active) / len(active)
+
+    def mean_response_time_s(self) -> float:
+        """Measured mean response time across active servers.
+
+        Per-server M/M/1 on *effective* capacity: slowing the CPU via
+        a P-state raises this exactly as adding load does — the
+        ambiguity that makes oblivious On/Off control dangerous.
+        """
+        active = self.active_servers()
+        if not active:
+            return self.delay_cap_s
+        total = 0.0
+        for server in active:
+            total += mm1_response_time(server.offered_load,
+                                       max(server.effective_capacity, 1e-9),
+                                       saturation_cap_s=self.delay_cap_s)
+        return total / len(active)
+
+    def total_power_w(self) -> float:
+        return sum(s.power_w() for s in self.servers)
+
+    # ------------------------------------------------------------------
+    # Plant loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """One dispatch + measurement tick."""
+        demand = self.demand_fn(self.env.now)
+        served = self.balancer.dispatch(demand)
+        self.shed_monitor.record(max(0.0, demand - served))
+        self.power_monitor.record(self.total_power_w())
+        self.delay_monitor.record(self.mean_response_time_s())
+        self.utilization_monitor.record(self.mean_utilization())
+        self.active_monitor.record(len(self.active_servers()))
+
+    def run(self):
+        """Process generator: dispatch loop forever."""
+        while True:
+            self.step()
+            yield self.env.timeout(self.dispatch_period_s)
+
+    # ------------------------------------------------------------------
+    # Summary metrics for experiments
+    # ------------------------------------------------------------------
+    def energy_j(self, start: float | None = None,
+                 end: float | None = None) -> float:
+        """Total farm energy over an interval."""
+        return self.power_monitor.integral(start, end)
+
+    def active_count_switches(self) -> int:
+        """Number of changes in the active-server count.
+
+        The oscillation metric for EXP-DVFSOO: a stable controller
+        changes the fleet a handful of times per day; the §5.1
+        pathological composition churns continuously.
+        """
+        values = self.active_monitor.values
+        return sum(1 for a, b in zip(values, values[1:]) if a != b)

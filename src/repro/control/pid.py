@@ -1,0 +1,62 @@
+"""A discrete PID controller with clamping and anti-windup.
+
+§5.1: "feedback control theories all play important roles" — the PID
+is the workhorse regulator used by the DVFS response-time policy
+(Elnozahy et al. [21] implement exactly "a feedback control framework
+to maintain a specific response time level").
+"""
+
+from __future__ import annotations
+
+__all__ = ["PIDController"]
+
+
+class PIDController:
+    """Positional PID with output limits and conditional integration.
+
+    The controller is sample-time aware: pass the actual ``dt`` so the
+    gains stay meaningful if the control period changes.  Integration
+    freezes while the output is saturated (anti-windup), the standard
+    fix for the long actuator delays data-center plants have.
+    """
+
+    def __init__(self, kp: float, ki: float = 0.0, kd: float = 0.0,
+                 setpoint: float = 0.0,
+                 output_min: float = float("-inf"),
+                 output_max: float = float("inf")):
+        if output_min >= output_max:
+            raise ValueError("output_min must be below output_max")
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.setpoint = float(setpoint)
+        self.output_min = float(output_min)
+        self.output_max = float(output_max)
+        self._integral = 0.0
+        self._previous_error: float | None = None
+
+    def reset(self) -> None:
+        """Clear integral and derivative memory."""
+        self._integral = 0.0
+        self._previous_error = None
+
+    def update(self, measurement: float, dt: float) -> float:
+        """One control step; returns the clamped actuation."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        error = self.setpoint - measurement
+
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / dt
+        self._previous_error = error
+
+        candidate_integral = self._integral + error * dt
+        unclamped = (self.kp * error
+                     + self.ki * candidate_integral
+                     + self.kd * derivative)
+        output = min(max(unclamped, self.output_min), self.output_max)
+        if output == unclamped:
+            # Not saturated: commit the integral (anti-windup).
+            self._integral = candidate_integral
+        return output

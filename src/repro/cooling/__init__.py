@@ -1,0 +1,35 @@
+"""Cooling substrate: thermal zones, CRAC units, sensitivity coupling,
+air-side economizer, and synthetic weather (paper §2.2, §4.5, §5.1)."""
+
+from repro.cooling.crac import CRACUnit, default_cop
+from repro.cooling.economizer import (
+    AirSideEconomizer,
+    EconomizerDecision,
+    EconomizerMode,
+)
+from repro.cooling.room import MachineRoom, ThermalAlarm
+from repro.cooling.sensing import SensitivityEstimator, probe_schedule
+from repro.cooling.weather import (
+    DUBLIN_LIKE,
+    PHOENIX_LIKE,
+    SEATTLE_LIKE,
+    WeatherModel,
+)
+from repro.cooling.zone import ThermalZone
+
+__all__ = [
+    "AirSideEconomizer",
+    "CRACUnit",
+    "DUBLIN_LIKE",
+    "EconomizerDecision",
+    "EconomizerMode",
+    "MachineRoom",
+    "PHOENIX_LIKE",
+    "SEATTLE_LIKE",
+    "SensitivityEstimator",
+    "ThermalAlarm",
+    "probe_schedule",
+    "ThermalZone",
+    "WeatherModel",
+    "default_cop",
+]

@@ -1,0 +1,156 @@
+"""Computer Room Air Conditioning units.
+
+§2.2: "Air cooling systems have slow dynamics.  To avoid over reaction
+and oscillation, CRAC units usually react every 15 minutes.  Their
+actions also take long propagation delays to reach the servers."
+
+The CRAC here is a dead-band thermostat on *return-air* temperature
+that moves its supply setpoint in fixed increments once per control
+period, plus a pure transport delay between commanding a supply
+temperature and the cold air actually arriving at the racks.
+
+The chiller work needed to produce the supply air follows a
+coefficient-of-performance (COP) curve that improves with warmer
+supply air — the physical reason conservative (cold) setpoints are
+expensive and economizers/setpoint raises save energy.
+"""
+
+from __future__ import annotations
+
+import collections
+
+__all__ = ["CRACUnit", "default_cop"]
+
+
+def default_cop(supply_temp_c: float) -> float:
+    """Chilled-water COP as a function of supply temperature.
+
+    Quadratic fit published for an HP Utility Data Center chiller
+    (Moore et al., USENIX '05): COP = 0.0068·T² + 0.0008·T + 0.458.
+    At 15 °C supply the plant moves ≈ 2 W of heat per watt of work; at
+    25 °C nearly 5 W — the lever dynamic smart cooling pulls.
+    """
+    return 0.0068 * supply_temp_c ** 2 + 0.0008 * supply_temp_c + 0.458
+
+
+class CRACUnit:
+    """One CRAC: dead-band control, transport delay, COP energy model.
+
+    Parameters
+    ----------
+    control_period_s:
+        Seconds between control decisions (paper: 900 s).
+    transport_delay_s:
+        Delay before a commanded supply temperature takes effect at
+        the racks (air path + coil thermal mass).
+    return_setpoint_c / deadband_c:
+        The thermostat: if return air is hotter than setpoint + band,
+        lower supply temperature; colder than setpoint − band, raise.
+    supply_step_c:
+        Setpoint increment per decision — deliberately coarse, as real
+        units are, to avoid oscillation at the cost of sluggishness.
+    fan_power_w:
+        Fixed power of the blowers, drawn whenever the unit runs.
+    """
+
+    def __init__(self, name: str = "crac",
+                 control_period_s: float = 900.0,
+                 transport_delay_s: float = 120.0,
+                 return_setpoint_c: float = 24.0,
+                 deadband_c: float = 1.0,
+                 supply_step_c: float = 1.0,
+                 supply_min_c: float = 10.0,
+                 supply_max_c: float = 20.0,
+                 initial_supply_c: float = 14.0,
+                 fan_power_w: float = 3_000.0,
+                 cop_curve=default_cop):
+        if control_period_s <= 0:
+            raise ValueError("control period must be positive")
+        if transport_delay_s < 0:
+            raise ValueError("transport delay cannot be negative")
+        if supply_min_c >= supply_max_c:
+            raise ValueError("supply_min must be below supply_max")
+        if not supply_min_c <= initial_supply_c <= supply_max_c:
+            raise ValueError("initial supply outside limits")
+        self.name = name
+        self.control_period_s = float(control_period_s)
+        self.transport_delay_s = float(transport_delay_s)
+        self.return_setpoint_c = float(return_setpoint_c)
+        self.deadband_c = float(deadband_c)
+        self.supply_step_c = float(supply_step_c)
+        self.supply_min_c = float(supply_min_c)
+        self.supply_max_c = float(supply_max_c)
+        self.fan_power_w = float(fan_power_w)
+        self.cop_curve = cop_curve
+
+        self._commanded_supply_c = float(initial_supply_c)
+        self._effective_supply_c = float(initial_supply_c)
+        # Pending (time_due, value) supply changes in flight.
+        self._in_flight: collections.deque[tuple[float, float]] = (
+            collections.deque())
+        self._next_decision_s = 0.0
+        self.decisions: list[tuple[float, float, float]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def supply_temp_c(self) -> float:
+        """Supply temperature currently delivered at the racks."""
+        return self._effective_supply_c
+
+    @property
+    def commanded_supply_c(self) -> float:
+        """Most recently commanded setpoint (may not have arrived yet)."""
+        return self._commanded_supply_c
+
+    def advance(self, now_s: float) -> None:
+        """Apply any in-flight supply changes that are now due."""
+        while self._in_flight and self._in_flight[0][0] <= now_s:
+            _, value = self._in_flight.popleft()
+            self._effective_supply_c = value
+
+    def command_supply(self, now_s: float, temp_c: float) -> None:
+        """Command a new supply temperature (subject to transport delay)."""
+        clamped = min(max(temp_c, self.supply_min_c), self.supply_max_c)
+        self._commanded_supply_c = clamped
+        self._in_flight.append((now_s + self.transport_delay_s, clamped))
+
+    def maybe_decide(self, now_s: float, return_temp_c: float) -> bool:
+        """Run the thermostat if a control period has elapsed.
+
+        Returns True when a decision was taken.  ``return_temp_c`` is
+        the temperature of the air the unit ingests — note it reflects
+        only the zones this CRAC is *sensitive to*, which is the crux
+        of the §5.1 hazard.
+        """
+        self.advance(now_s)
+        if now_s < self._next_decision_s:
+            return False
+        self._next_decision_s = now_s + self.control_period_s
+
+        error = return_temp_c - self.return_setpoint_c
+        if error > self.deadband_c:
+            target = self._commanded_supply_c - self.supply_step_c
+        elif error < -self.deadband_c:
+            target = self._commanded_supply_c + self.supply_step_c
+        else:
+            self.decisions.append((now_s, return_temp_c,
+                                   self._commanded_supply_c))
+            return True
+        self.command_supply(now_s, target)
+        self.decisions.append((now_s, return_temp_c,
+                               self._commanded_supply_c))
+        return True
+
+    def mechanical_power_w(self, heat_removed_w: float) -> float:
+        """Electrical power to remove ``heat_removed_w`` of IT heat."""
+        if heat_removed_w < 0:
+            heat_removed_w = 0.0
+        cop = self.cop_curve(self._effective_supply_c)
+        if cop <= 0:
+            raise ValueError(f"non-positive COP at "
+                             f"{self._effective_supply_c} C supply")
+        return heat_removed_w / cop + self.fan_power_w
+
+    def __repr__(self) -> str:
+        return (f"<CRACUnit {self.name!r} supply={self.supply_temp_c:.1f}C "
+                f"setpoint={self.return_setpoint_c:.1f}C>")

@@ -1,0 +1,147 @@
+"""Air-side economizer: free cooling with outside air.
+
+§2.2: "the industry has moved to extensive use of air-side
+economizers, using outside air to cool data centers directly, rather
+than relying on energy consuming water chillers."
+
+The controller selects among three modes each decision:
+
+* ``FREE`` — outside air is cold and dry enough; only fans run.
+* ``MIXED`` — outside air helps but needs trimming by the chiller.
+* ``CHILLER`` — outside conditions unusable; full mechanical cooling.
+
+Mode admission checks both temperature *and* humidity, because §2.2
+flags continuously-varying outside humidity as the hard part: server
+rooms must stay inside the ASHRAE envelope, and very damp (or very
+dry) air cannot be pushed straight through the racks.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.cooling.crac import default_cop
+from repro.cooling.weather import WeatherModel
+
+__all__ = ["EconomizerMode", "AirSideEconomizer", "EconomizerDecision"]
+
+
+class EconomizerMode(enum.Enum):
+    """Which cooling path is active."""
+
+    FREE = "free"
+    MIXED = "mixed"
+    CHILLER = "chiller"
+
+
+class EconomizerDecision(typing.NamedTuple):
+    """One control decision with its inputs, for audit trails."""
+
+    time_s: float
+    mode: EconomizerMode
+    outside_temp_c: float
+    outside_rh: float
+    mechanical_power_w: float
+
+
+class AirSideEconomizer:
+    """Choose cooling mode and compute mechanical power for a heat load.
+
+    Parameters
+    ----------
+    free_below_c:
+        Outside temperatures at or below this allow 100 % free cooling
+        (need a few degrees of approach below the supply setpoint).
+    mixed_below_c:
+        Between ``free_below_c`` and this, outside air pre-cools and
+        the chiller trims the remainder proportionally.
+    rh_low / rh_high:
+        Admission band on outside relative humidity; outside it the
+        unit falls back to the chiller (humidification/dehumidification
+        costs would erase the savings).
+    fan_power_per_kw:
+        Fan watts per kW of heat moved when using outside air (free
+        cooling is not literally free).
+    """
+
+    def __init__(self, supply_setpoint_c: float = 18.0,
+                 free_below_c: float = 15.0,
+                 mixed_below_c: float = 24.0,
+                 rh_low: float = 0.20,
+                 rh_high: float = 0.80,
+                 fan_power_per_kw: float = 40.0,
+                 cop_curve=default_cop):
+        if free_below_c >= mixed_below_c:
+            raise ValueError("free threshold must be below mixed threshold")
+        if not 0.0 <= rh_low < rh_high <= 1.0:
+            raise ValueError("need 0 <= rh_low < rh_high <= 1")
+        self.supply_setpoint_c = float(supply_setpoint_c)
+        self.free_below_c = float(free_below_c)
+        self.mixed_below_c = float(mixed_below_c)
+        self.rh_low = float(rh_low)
+        self.rh_high = float(rh_high)
+        self.fan_power_per_kw = float(fan_power_per_kw)
+        self.cop_curve = cop_curve
+        self.decisions: list[EconomizerDecision] = []
+
+    def select_mode(self, outside_temp_c: float,
+                    outside_rh: float) -> EconomizerMode:
+        """Admission logic for the given outside conditions."""
+        humidity_ok = self.rh_low <= outside_rh <= self.rh_high
+        if not humidity_ok:
+            return EconomizerMode.CHILLER
+        if outside_temp_c <= self.free_below_c:
+            return EconomizerMode.FREE
+        if outside_temp_c <= self.mixed_below_c:
+            return EconomizerMode.MIXED
+        return EconomizerMode.CHILLER
+
+    def mechanical_power_w(self, heat_load_w: float, outside_temp_c: float,
+                           outside_rh: float,
+                           time_s: float = 0.0) -> float:
+        """Cooling power for ``heat_load_w`` under outside conditions."""
+        if heat_load_w < 0:
+            raise ValueError(f"negative heat load {heat_load_w}")
+        mode = self.select_mode(outside_temp_c, outside_rh)
+        fan_w = heat_load_w / 1000.0 * self.fan_power_per_kw
+        chiller_cop = self.cop_curve(self.supply_setpoint_c)
+
+        if mode is EconomizerMode.FREE:
+            power = fan_w
+        elif mode is EconomizerMode.CHILLER:
+            power = heat_load_w / chiller_cop + fan_w
+        else:
+            # Outside air removes a share proportional to how far the
+            # outside temperature sits below the mixed threshold.
+            span = self.mixed_below_c - self.free_below_c
+            free_share = (self.mixed_below_c - outside_temp_c) / span
+            chiller_load = heat_load_w * (1.0 - free_share)
+            power = chiller_load / chiller_cop + fan_w
+        self.decisions.append(EconomizerDecision(
+            time_s, mode, outside_temp_c, outside_rh, power))
+        return power
+
+    def annual_energy_j(self, weather: WeatherModel, heat_load_w: float,
+                        step_s: float = 3600.0,
+                        duration_s: float = 365 * 86_400.0) -> float:
+        """Integrate mechanical energy over a synthetic year."""
+        if step_s <= 0:
+            raise ValueError("step must be positive")
+        total = 0.0
+        t = 0.0
+        while t < duration_s:
+            power = self.mechanical_power_w(
+                heat_load_w, weather.temperature_c(t),
+                weather.relative_humidity(t), time_s=t)
+            total += power * min(step_s, duration_s - t)
+            t += step_s
+        return total
+
+    def mode_fractions(self) -> dict[EconomizerMode, float]:
+        """Share of past decisions spent in each mode."""
+        if not self.decisions:
+            return {mode: 0.0 for mode in EconomizerMode}
+        n = len(self.decisions)
+        return {mode: sum(d.mode is mode for d in self.decisions) / n
+                for mode in EconomizerMode}

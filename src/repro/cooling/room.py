@@ -1,0 +1,147 @@
+"""The machine room: zones × CRACs coupled by a sensitivity matrix.
+
+This is the co-simulation glue for the paper's cooling story: server
+heat lands in zones, CRACs regulate on the return air *they see*, and
+the conductance (sensitivity) matrix decides who actually gets cold
+air.  A :class:`MachineRoom` runs as a process on the simulation
+environment, stepping the thermal ODEs on a fine grid while the CRACs
+decide on their own slow 15-minute schedule.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cooling.crac import CRACUnit
+from repro.cooling.zone import ThermalZone
+from repro.sim import Environment, Monitor
+
+__all__ = ["MachineRoom", "ThermalAlarm"]
+
+
+class ThermalAlarm(typing.NamedTuple):
+    """A zone crossed its protective temperature threshold."""
+
+    time_s: float
+    zone: str
+    temp_c: float
+
+
+class MachineRoom:
+    """Zones and CRACs coupled through a conductance matrix.
+
+    ``conductance_w_per_k[i][j]`` is the thermal conductance between
+    zone ``i`` and CRAC ``j`` — the sensitivity structure of §5.1.
+    Rows with one dominant entry mean the zone depends on a single
+    CRAC; columns with one dominant entry mean the CRAC's return air
+    (and therefore its control decisions) reflect mostly that zone.
+    """
+
+    def __init__(self, env: Environment,
+                 zones: typing.Sequence[ThermalZone],
+                 cracs: typing.Sequence[CRACUnit],
+                 conductance_w_per_k: typing.Sequence[typing.Sequence[float]],
+                 step_s: float = 30.0):
+        matrix = np.asarray(conductance_w_per_k, dtype=float)
+        if matrix.shape != (len(zones), len(cracs)):
+            raise ValueError(
+                f"conductance matrix shape {matrix.shape} does not match "
+                f"{len(zones)} zones x {len(cracs)} CRACs")
+        if (matrix < 0).any():
+            raise ValueError("conductances must be non-negative")
+        if step_s <= 0:
+            raise ValueError("step must be positive")
+        self.env = env
+        self.zones = list(zones)
+        self.cracs = list(cracs)
+        self.conductance = matrix
+        self.step_s = float(step_s)
+        self.alarms: list[ThermalAlarm] = []
+        self._alarm_callbacks: list[typing.Callable[[ThermalAlarm], None]] = []
+        self._in_alarm: set[str] = set()
+        self.zone_monitors = {z.name: Monitor(env, f"zone.{z.name}.temp_c")
+                              for z in self.zones}
+        self.mechanical_monitor = Monitor(env, "room.mechanical_w")
+
+    def on_alarm(self, callback: typing.Callable[[ThermalAlarm], None]) -> None:
+        """Register a callback fired on each new thermal alarm.
+
+        The macro layer uses this to shut down / shed the affected
+        servers, mirroring the protective behaviour of §2.2.
+        """
+        self._alarm_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    def return_temp_c(self, crac_index: int) -> float:
+        """Return-air temperature a CRAC senses.
+
+        Conductance-weighted mix of zone temperatures: the CRAC
+        ingests more air from the zones it is strongly coupled to.
+        """
+        column = self.conductance[:, crac_index]
+        total = column.sum()
+        if total <= 0:
+            # A disconnected CRAC senses generic room air.
+            return float(np.mean([z.temp_c for z in self.zones]))
+        temps = np.array([z.temp_c for z in self.zones])
+        return float((column * temps).sum() / total)
+
+    def heat_removed_w(self, crac_index: int) -> float:
+        """Heat the CRAC currently extracts from its coupled zones."""
+        supply = self.cracs[crac_index].supply_temp_c
+        column = self.conductance[:, crac_index]
+        temps = np.array([z.temp_c for z in self.zones])
+        return float(np.maximum(temps - supply, 0.0) @ column)
+
+    def mechanical_power_w(self) -> float:
+        """Total electrical power of the cooling plant right now."""
+        return sum(crac.mechanical_power_w(self.heat_removed_w(j))
+                   for j, crac in enumerate(self.cracs))
+
+    # ------------------------------------------------------------------
+    def step_once(self) -> None:
+        """Advance thermals by one step and let CRACs decide."""
+        now = self.env.now
+        supplies = [c.supply_temp_c for c in self.cracs]
+        for i, zone in enumerate(self.zones):
+            zone.step(self.step_s, supplies, list(self.conductance[i]))
+            self.zone_monitors[zone.name].record(zone.temp_c)
+            self._check_alarm(zone)
+        for j, crac in enumerate(self.cracs):
+            crac.maybe_decide(now, self.return_temp_c(j))
+        self.mechanical_monitor.record(self.mechanical_power_w())
+
+    def _check_alarm(self, zone: ThermalZone) -> None:
+        if zone.in_alarm and zone.name not in self._in_alarm:
+            self._in_alarm.add(zone.name)
+            alarm = ThermalAlarm(self.env.now, zone.name, zone.temp_c)
+            self.alarms.append(alarm)
+            for callback in self._alarm_callbacks:
+                callback(alarm)
+        elif not zone.in_alarm and zone.name in self._in_alarm:
+            self._in_alarm.discard(zone.name)
+
+    def run(self):
+        """Process generator: step thermals forever on the fine grid."""
+        while True:
+            self.step_once()
+            yield self.env.timeout(self.step_s)
+
+    # ------------------------------------------------------------------
+    def zone(self, name: str) -> ThermalZone:
+        """Look up a zone by name."""
+        for zone in self.zones:
+            if zone.name == name:
+                return zone
+        raise KeyError(f"no zone named {name!r}")
+
+    def hottest_zone(self) -> ThermalZone:
+        """The zone with the highest current temperature."""
+        return max(self.zones, key=lambda z: z.temp_c)
+
+    def ashrae_compliant(self, low_c: float = 20.0,
+                         high_c: float = 25.0) -> bool:
+        """Are all zones inside the ASHRAE recommended envelope (§2.2)?"""
+        return all(low_c <= z.temp_c <= high_c for z in self.zones)

@@ -1,0 +1,117 @@
+"""Learning the CRAC sensitivity matrix from sensor data (§4.5).
+
+    "With latest advances in sensing, especially wireless sensor
+    networks, we are able to collect data center environmental
+    conditions at a fine granularity.  The ground truth data are more
+    accurate than the simulation, and gathering those bridges the gaps
+    between servers and CRAC systems."
+
+The §5.1 hazard analysis needs the zone↔CRAC conductance matrix — but
+nobody hands operators that matrix; Project Genome's contribution was
+*measuring* it.  :class:`SensitivityEstimator` does the same from
+passive observations: at near-steady operation each zone satisfies
+
+    Q_i  =  Σ_j G_ij · (T_i − S_j)
+
+which is linear in the unknown row ``G_i*``, so a collection of
+(zone temps, supply temps, heat loads) snapshots under varied
+conditions yields each row by non-negative least squares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cooling.room import MachineRoom
+
+__all__ = ["SensitivityEstimator", "probe_schedule"]
+
+
+class SensitivityEstimator:
+    """Estimate zone↔CRAC conductances from steady-state snapshots."""
+
+    def __init__(self, n_zones: int, n_cracs: int):
+        if n_zones < 1 or n_cracs < 1:
+            raise ValueError("need at least one zone and one CRAC")
+        self.n_zones = n_zones
+        self.n_cracs = n_cracs
+        self._rows: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+    def observe(self, zone_temps_c, supply_temps_c, heat_loads_w) -> None:
+        """Record one near-steady snapshot."""
+        temps = np.asarray(zone_temps_c, dtype=float)
+        supplies = np.asarray(supply_temps_c, dtype=float)
+        heats = np.asarray(heat_loads_w, dtype=float)
+        if temps.shape != (self.n_zones,):
+            raise ValueError(f"expected {self.n_zones} zone temps")
+        if supplies.shape != (self.n_cracs,):
+            raise ValueError(f"expected {self.n_cracs} supply temps")
+        if heats.shape != (self.n_zones,):
+            raise ValueError(f"expected {self.n_zones} heat loads")
+        self._rows.append((temps, supplies, heats))
+
+    @property
+    def snapshots(self) -> int:
+        return len(self._rows)
+
+    def estimate(self) -> np.ndarray:
+        """The conductance matrix (W/K), non-negative least squares.
+
+        Needs at least ``n_cracs`` diverse snapshots; raises otherwise.
+        NNLS is implemented as clipped iterated least squares (no scipy
+        dependency): solve, clip negatives to zero, re-solve on the
+        active set.
+        """
+        if len(self._rows) < self.n_cracs:
+            raise ValueError(
+                f"need >= {self.n_cracs} snapshots, have {len(self._rows)}")
+        estimate = np.zeros((self.n_zones, self.n_cracs))
+        for i in range(self.n_zones):
+            # Design matrix: rows are snapshots, columns CRACs,
+            # entries (T_i − S_j); target Q_i.
+            design = np.array([[temps[i] - supplies[j]
+                                for j in range(self.n_cracs)]
+                               for temps, supplies, _ in self._rows])
+            target = np.array([heats[i] for _, _, heats in self._rows])
+            active = np.ones(self.n_cracs, dtype=bool)
+            row = np.zeros(self.n_cracs)
+            for _ in range(self.n_cracs + 1):
+                if not active.any():
+                    break
+                sub = design[:, active]
+                solution, *_ = np.linalg.lstsq(sub, target, rcond=None)
+                if (solution >= -1e-9).all():
+                    row[:] = 0.0
+                    row[active] = np.clip(solution, 0.0, None)
+                    break
+                # Deactivate the most negative coefficient and retry.
+                full = np.full(self.n_cracs, np.inf)
+                full[active] = solution
+                active[np.argmin(full)] = False
+            estimate[i] = row
+        return estimate
+
+    def relative_error(self, truth) -> float:
+        """‖Ĝ − G‖₁ / ‖G‖₁ against a known matrix (for validation)."""
+        truth = np.asarray(truth, dtype=float)
+        return float(np.abs(self.estimate() - truth).sum()
+                     / np.abs(truth).sum())
+
+
+def probe_schedule(room: MachineRoom, heat_levels_w, settle_s: float,
+                   env, estimator: SensitivityEstimator):
+    """Process generator: actively probe the room and feed snapshots.
+
+    Steps through ``heat_levels_w`` — each entry is a per-zone heat
+    assignment — letting the room settle between steps, then records
+    the (zone temps, supply temps, heats) triple.  This is the sensor-
+    network experiment Project Genome ran, in simulation.
+    """
+    for assignment in heat_levels_w:
+        for zone, heat in zip(room.zones, assignment):
+            zone.set_heat_load(float(heat))
+        yield env.timeout(settle_s)
+        estimator.observe(
+            [z.temp_c for z in room.zones],
+            [c.supply_temp_c for c in room.cracs],
+            list(assignment))

@@ -1,0 +1,90 @@
+"""Synthetic outside weather.
+
+§2.2: "the industry has moved to extensive use of air-side
+economizers ... However, the temperature and humidity of outside air
+change continuously, bringing additional challenges to cooling
+control."  The economizer experiments need a year of plausible
+outside conditions; this generator supplies them deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["WeatherModel", "SEATTLE_LIKE", "PHOENIX_LIKE", "DUBLIN_LIKE"]
+
+_DAY_S = 86_400.0
+_YEAR_S = 365.0 * _DAY_S
+
+
+class WeatherModel:
+    """Deterministic-plus-noise outside temperature and humidity.
+
+    Temperature = annual sinusoid + diurnal sinusoid + weather-system
+    noise (smooth, via a slow random walk seeded per model).  Relative
+    humidity moves inversely with the diurnal temperature swing, as it
+    does physically for a fixed moisture content.
+    """
+
+    def __init__(self, mean_temp_c: float = 12.0,
+                 annual_swing_c: float = 10.0,
+                 diurnal_swing_c: float = 6.0,
+                 noise_c: float = 3.0,
+                 mean_rh: float = 0.6,
+                 seed: int = 0):
+        if not 0.0 < mean_rh < 1.0:
+            raise ValueError("mean_rh must be in (0, 1)")
+        self.mean_temp_c = float(mean_temp_c)
+        self.annual_swing_c = float(annual_swing_c)
+        self.diurnal_swing_c = float(diurnal_swing_c)
+        self.noise_c = float(noise_c)
+        self.mean_rh = float(mean_rh)
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        # Pre-draw a year of daily weather-system offsets so queries
+        # are pure functions of time (any order, repeatable).
+        self._daily_offsets = self._rng.normal(0.0, noise_c, size=366)
+
+    def temperature_c(self, t_s: float) -> float:
+        """Outside dry-bulb temperature at simulation time ``t_s``."""
+        annual = -math.cos(2 * math.pi * t_s / _YEAR_S) * self.annual_swing_c
+        # Diurnal peak mid-afternoon (hour 15).
+        hour = (t_s % _DAY_S) / 3600.0
+        diurnal = -math.cos(2 * math.pi * (hour - 3.0) / 24.0) \
+            * self.diurnal_swing_c / 2.0
+        day = int(t_s // _DAY_S) % len(self._daily_offsets)
+        return self.mean_temp_c + annual + diurnal + self._daily_offsets[day]
+
+    def relative_humidity(self, t_s: float) -> float:
+        """Relative humidity in [0.05, 0.99] at time ``t_s``.
+
+        Anti-correlated with the diurnal temperature swing: afternoons
+        are drier, nights damper.
+        """
+        hour = (t_s % _DAY_S) / 3600.0
+        diurnal = math.cos(2 * math.pi * (hour - 3.0) / 24.0) * 0.15
+        day = int(t_s // _DAY_S) % len(self._daily_offsets)
+        wobble = (self._daily_offsets[day] / max(self.noise_c, 1e-9)) * 0.05
+        return float(min(max(self.mean_rh + diurnal - wobble, 0.05), 0.99))
+
+
+def SEATTLE_LIKE(seed: int = 0) -> WeatherModel:
+    """Mild maritime climate: economizer-friendly most of the year."""
+    return WeatherModel(mean_temp_c=11.0, annual_swing_c=8.0,
+                        diurnal_swing_c=6.0, noise_c=2.5,
+                        mean_rh=0.72, seed=seed)
+
+
+def PHOENIX_LIKE(seed: int = 0) -> WeatherModel:
+    """Hot desert climate: economizer rarely usable in summer."""
+    return WeatherModel(mean_temp_c=23.0, annual_swing_c=12.0,
+                        diurnal_swing_c=10.0, noise_c=2.0,
+                        mean_rh=0.30, seed=seed)
+
+
+def DUBLIN_LIKE(seed: int = 0) -> WeatherModel:
+    """Cool oceanic climate: near-year-round free cooling."""
+    return WeatherModel(mean_temp_c=9.5, annual_swing_c=6.0,
+                        diurnal_swing_c=5.0, noise_c=2.0,
+                        mean_rh=0.80, seed=seed)

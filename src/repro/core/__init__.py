@@ -1,0 +1,57 @@
+"""The paper's contribution: the macro-resource management layer and
+its planning models (paper §3.1, §3.2, Figure 4, §5)."""
+
+from repro.core.autoscale import (
+    AutoscaleResult,
+    ReactiveAutoscaler,
+    static_provisioning,
+)
+from repro.core.chaos import FailureInjector
+from repro.core.consolidation import ConsolidationManager
+from repro.core.cooling_aware import CoolingAwarePlacer, MoveAssessment
+from repro.core.forecast import (
+    EWMAForecaster,
+    HoltWintersForecaster,
+    ReactiveForecaster,
+)
+from repro.core.geo import GeoScheduler, RegionDemand, RoutingPlan, SiteSpec
+from repro.core.geodynamic import (
+    DynamicSite,
+    FollowTheMoonScheduler,
+    MoonScheduleResult,
+)
+from repro.core.manager import MacroDecision, MacroResourceManager
+from repro.core.oversubscription import (
+    OverflowEstimate,
+    OversubscriptionPlanner,
+)
+from repro.core.risk import RiskAssessment, RiskModel
+from repro.core.sla import SLA, SLAReport
+
+__all__ = [
+    "AutoscaleResult",
+    "ConsolidationManager",
+    "CoolingAwarePlacer",
+    "DynamicSite",
+    "EWMAForecaster",
+    "FailureInjector",
+    "FollowTheMoonScheduler",
+    "GeoScheduler",
+    "MoonScheduleResult",
+    "HoltWintersForecaster",
+    "MacroDecision",
+    "MacroResourceManager",
+    "MoveAssessment",
+    "OverflowEstimate",
+    "OversubscriptionPlanner",
+    "ReactiveAutoscaler",
+    "ReactiveForecaster",
+    "RegionDemand",
+    "RiskAssessment",
+    "RiskModel",
+    "RoutingPlan",
+    "SLA",
+    "SLAReport",
+    "SiteSpec",
+    "static_provisioning",
+]

@@ -1,0 +1,57 @@
+"""Failure injection for resilience experiments.
+
+The paper's elasticity argument cuts both ways: a facility that
+dynamically rightsizes its fleet has less slack when machines die.
+:class:`FailureInjector` kills random servers on a Poisson schedule
+(and optionally repairs them after a repair time), so tests can ask
+whether a management policy keeps its SLA through attrition — the
+kind of "diagnose possible failures" duty Figure 4 assigns to the
+macro layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.server import Server, ServerState
+from repro.sim import Environment
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Kill random ACTIVE servers; optionally repair them later."""
+
+    def __init__(self, env: Environment, servers: list[Server],
+                 mtbf_s: float, repair_s: float | None = 1_800.0,
+                 rng: np.random.Generator | None = None):
+        if mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        if repair_s is not None and repair_s <= 0:
+            raise ValueError("repair time must be positive")
+        self.env = env
+        self.servers = servers
+        self.mtbf_s = float(mtbf_s)
+        self.repair_s = repair_s
+        self.rng = rng or np.random.default_rng(0)
+        self.failures: list[tuple[float, str]] = []
+
+    def _repair(self, server: Server):
+        yield self.env.timeout(self.repair_s)
+        if server.state is ServerState.FAILED:
+            server.repair()
+
+    def run(self):
+        """Process generator: one fleet-wide failure per MTBF on
+        average (exponential gaps)."""
+        while True:
+            yield self.env.timeout(self.rng.exponential(self.mtbf_s))
+            candidates = [s for s in self.servers
+                          if s.state is ServerState.ACTIVE]
+            if not candidates:
+                continue
+            victim = candidates[self.rng.integers(len(candidates))]
+            victim.fail()
+            self.failures.append((self.env.now, victim.name))
+            if self.repair_s is not None:
+                self.env.process(self._repair(victim))

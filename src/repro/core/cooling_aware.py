@@ -1,0 +1,136 @@
+"""Cooling-aware load placement and migration vetting (paper §5.1).
+
+The Genome case study: CRACs are far more sensitive to some zones
+than others.  A cooling-*oblivious* consolidation that moves load from
+a sensitive zone A to an insensitive zone B makes the CRAC believe the
+room cooled down, it raises its supply temperature, and the servers
+at B overheat — "Servers at B are then at risk of generating thermal
+alarms and shutting down."
+
+:class:`CoolingAwarePlacer` closes the loop the paper asks for: it
+*predicts* post-move equilibrium temperatures (including how every
+CRAC's thermostat will re-settle) and vetoes moves that would push any
+zone past its alarm threshold, preferring zones the cooling system can
+actually see.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cooling.room import MachineRoom
+
+__all__ = ["CoolingAwarePlacer", "MoveAssessment"]
+
+
+class MoveAssessment(typing.NamedTuple):
+    """Prediction for one candidate heat redistribution."""
+
+    safe: bool
+    predicted_temps_c: dict
+    hottest_zone: str
+    hottest_temp_c: float
+
+
+class CoolingAwarePlacer:
+    """Predict thermal consequences of heat placement in a room."""
+
+    def __init__(self, room: MachineRoom, margin_c: float = 1.0):
+        if margin_c < 0:
+            raise ValueError("margin cannot be negative")
+        self.room = room
+        self.margin_c = float(margin_c)
+
+    # ------------------------------------------------------------------
+    def predict_equilibrium(self, heat_by_zone: dict[str, float]
+                            ) -> dict[str, float]:
+        """Steady-state zone temperatures for a heat assignment.
+
+        Iterates the coupled fixed point: zone temperatures settle for
+        the current supply temperatures, then each CRAC's dead-band
+        thermostat moves its supply toward whatever its (sensitivity-
+        weighted) return temperature demands, until nothing changes.
+        This captures the §5.1 hazard mechanism: a CRAC blind to the
+        loaded zone will happily *raise* its supply.
+        """
+        room = self.room
+        zones = room.zones
+        conductance = room.conductance
+        heat = np.array([heat_by_zone.get(z.name, 0.0) for z in zones])
+        if (heat < 0).any():
+            raise ValueError("heat loads cannot be negative")
+        supplies = np.array([c.commanded_supply_c for c in room.cracs])
+        temps = np.array([z.temp_c for z in zones])
+
+        for _ in range(500):
+            g_total = conductance.sum(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                new_temps = np.where(
+                    g_total > 0,
+                    (heat + conductance @ supplies) / g_total,
+                    np.inf)
+            # Thermostat response: each CRAC walks its supply one step
+            # per iteration toward satisfying its return setpoint.
+            new_supplies = supplies.copy()
+            for j, crac in enumerate(room.cracs):
+                column = conductance[:, j]
+                total = column.sum()
+                if total <= 0:
+                    continue
+                finite = np.where(np.isfinite(new_temps), new_temps,
+                                  crac.return_setpoint_c + 100.0)
+                return_temp = float((column * finite).sum() / total)
+                error = return_temp - crac.return_setpoint_c
+                if error > crac.deadband_c:
+                    new_supplies[j] -= crac.supply_step_c
+                elif error < -crac.deadband_c:
+                    new_supplies[j] += crac.supply_step_c
+                new_supplies[j] = min(max(new_supplies[j],
+                                          crac.supply_min_c),
+                                      crac.supply_max_c)
+            converged = (np.allclose(new_supplies, supplies)
+                         and np.allclose(
+                             np.where(np.isfinite(new_temps), new_temps, 1e9),
+                             np.where(np.isfinite(temps), temps, 1e9),
+                             atol=1e-6))
+            temps, supplies = new_temps, new_supplies
+            if converged:
+                break
+        return {z.name: float(t) for z, t in zip(zones, temps)}
+
+    def assess(self, heat_by_zone: dict[str, float]) -> MoveAssessment:
+        """Is a heat assignment thermally safe at equilibrium?"""
+        predicted = self.predict_equilibrium(heat_by_zone)
+        hottest = max(predicted, key=predicted.get)
+        alarm = {z.name: z.alarm_temp_c for z in self.room.zones}
+        safe = all(t <= alarm[name] - self.margin_c
+                   for name, t in predicted.items())
+        return MoveAssessment(safe, predicted, hottest, predicted[hottest])
+
+    def choose_zone(self, additional_heat_w: float,
+                    current_heat_by_zone: dict[str, float]) -> str:
+        """Coolest-safe-landing policy for new load.
+
+        Scores each zone by its predicted hottest-zone temperature if
+        the heat lands there; picks the zone minimizing it, requiring
+        safety.  Raises if nowhere is safe — the correct answer is
+        then "don't consolidate", not "alarm later".
+        """
+        if additional_heat_w < 0:
+            raise ValueError("heat cannot be negative")
+        best_zone: str | None = None
+        best_score = float("inf")
+        for zone in self.room.zones:
+            candidate = dict(current_heat_by_zone)
+            candidate[zone.name] = (candidate.get(zone.name, 0.0)
+                                    + additional_heat_w)
+            assessment = self.assess(candidate)
+            if assessment.safe and assessment.hottest_temp_c < best_score:
+                best_zone = zone.name
+                best_score = assessment.hottest_temp_c
+        if best_zone is None:
+            raise RuntimeError(
+                "no zone can safely absorb the additional heat")
+        return best_zone

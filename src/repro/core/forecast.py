@@ -1,0 +1,151 @@
+"""Demand forecasting for provisioning decisions.
+
+Figure 4: "An important role for macro-resource management is to
+build and refine models to predict performance impacts and risks on
+resource allocation decisions."  Provisioning at the time scale of
+demand variation (§3.2) needs a forecast at least one actuation
+latency ahead — booting a server takes minutes, so a purely reactive
+controller is always late to a flash crowd.
+
+Three forecasters with one interface (``observe`` / ``forecast``):
+
+* :class:`ReactiveForecaster` — predicts the last observation
+  (the baseline every paper beats);
+* :class:`EWMAForecaster` — exponentially weighted moving average;
+* :class:`HoltWintersForecaster` — double smoothing plus an additive
+  daily-seasonal component, the right shape for diurnal demand.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ReactiveForecaster", "EWMAForecaster", "HoltWintersForecaster"]
+
+
+class ReactiveForecaster:
+    """Persistence forecast: tomorrow looks exactly like right now."""
+
+    def __init__(self):
+        self._last: float | None = None
+
+    def observe(self, t_s: float, value: float) -> None:
+        self._last = float(value)
+
+    def forecast(self, horizon_s: float) -> float:
+        if self._last is None:
+            raise RuntimeError("no observations yet")
+        return self._last
+
+
+class EWMAForecaster:
+    """Exponentially weighted moving average with trend damping."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self._level: float | None = None
+
+    def observe(self, t_s: float, value: float) -> None:
+        if self._level is None:
+            self._level = float(value)
+        else:
+            self._level = (self.alpha * float(value)
+                           + (1.0 - self.alpha) * self._level)
+
+    def forecast(self, horizon_s: float) -> float:
+        if self._level is None:
+            raise RuntimeError("no observations yet")
+        return self._level
+
+
+class HoltWintersForecaster:
+    """Additive Holt-Winters with a daily season.
+
+    Observations may arrive at any cadence; they are binned into
+    ``season_buckets`` slots per day for the seasonal component.
+    ``forecast(h)`` extrapolates level + trend·h and adds the seasonal
+    term of the target slot — so the controller can pre-boot servers
+    for the afternoon peak while it is still morning.
+    """
+
+    def __init__(self, alpha: float = 0.05, beta: float = 0.005,
+                 gamma: float = 0.5, season_buckets: int = 48,
+                 day_s: float = 86_400.0):
+        for name, value in (("alpha", alpha), ("beta", beta),
+                            ("gamma", gamma)):
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if season_buckets < 2:
+            raise ValueError("need at least 2 seasonal buckets")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.season_buckets = int(season_buckets)
+        self.day_s = float(day_s)
+        self._level: float | None = None
+        self._trend = 0.0
+        self._season = [0.0] * self.season_buckets
+        self._seen = [False] * self.season_buckets
+        self._last_t: float | None = None
+
+    def _bucket(self, t_s: float) -> int:
+        frac = (t_s % self.day_s) / self.day_s
+        return min(int(frac * self.season_buckets), self.season_buckets - 1)
+
+    def observe(self, t_s: float, value: float) -> None:
+        value = float(value)
+        bucket = self._bucket(t_s)
+        if self._level is None:
+            self._level = value
+            self._season[bucket] = 0.0
+            self._seen[bucket] = True
+            self._last_t = t_s
+            return
+        dt = max(t_s - (self._last_t if self._last_t is not None else t_s),
+                 0.0)
+        self._last_t = t_s
+        seasonal = self._season[bucket] if self._seen[bucket] else 0.0
+        deseasoned = value - seasonal
+        previous_level = self._level
+        self._level = (self.alpha * deseasoned
+                       + (1.0 - self.alpha) * (self._level + self._trend))
+        if dt > 0:
+            observed_trend = (self._level - previous_level)
+            self._trend = (self.beta * observed_trend
+                           + (1.0 - self.beta) * self._trend)
+        self._season[bucket] = (self.gamma * (value - self._level)
+                                + (1.0 - self.gamma) * seasonal)
+        self._seen[bucket] = True
+
+    def forecast(self, horizon_s: float) -> float:
+        if self._level is None or self._last_t is None:
+            raise RuntimeError("no observations yet")
+        target_bucket = self._bucket(self._last_t + horizon_s)
+        seasonal = (self._season[target_bucket]
+                    if self._seen[target_bucket] else 0.0)
+        steps = horizon_s / (self.day_s / self.season_buckets)
+        value = self._level + self._trend * steps + seasonal
+        return max(value, 0.0)
+
+    def mean_absolute_error(self, times, values, horizon_s: float) -> float:
+        """Walk-forward MAE of ``forecast(horizon)`` on a trace.
+
+        Scores the forecaster the way the controller consumes it: at
+        each step predict one horizon ahead, then learn the truth.
+        """
+        if len(times) != len(values):
+            raise ValueError("times and values must have the same length")
+        errors = []
+        pending: list[tuple[float, float]] = []  # (due time, prediction)
+        for t, v in zip(times, values):
+            matured = [p for due, p in pending if due <= t]
+            if matured:
+                errors.extend(abs(p - v) for p in matured)
+                pending = [(due, p) for due, p in pending if due > t]
+            self.observe(t, v)
+            pending.append((t + horizon_s, self.forecast(horizon_s)))
+        if not errors:
+            return math.nan
+        return sum(errors) / len(errors)

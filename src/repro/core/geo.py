@@ -1,0 +1,144 @@
+"""Multi-data-center federation and geo-aware routing (paper §3.2).
+
+    "Where to migrate power consuming operations to best utilize
+    cooling and power conversion efficiency across data centers
+    without sacrificing user experience?"
+
+A :class:`GeoScheduler` splits demand from user regions across sites
+to minimize energy cost — each site has its own PUE and electricity
+price — subject to per-region latency ceilings and per-site capacity.
+Greedy by effective cost is optimal here because the cost of a site
+is linear in the load placed on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+__all__ = ["SiteSpec", "RegionDemand", "GeoScheduler", "RoutingPlan"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteSpec:
+    """One data center in the federation."""
+
+    name: str
+    capacity: float                  # work units/s it can host
+    pue: float                      # facility overhead multiplier
+    energy_price_per_kwh: float     # local electricity price
+    watts_per_unit: float = 3.0     # IT watts per work unit/s
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1")
+        if self.energy_price_per_kwh < 0:
+            raise ValueError("price cannot be negative")
+        if self.watts_per_unit <= 0:
+            raise ValueError("watts per unit must be positive")
+
+    @property
+    def cost_per_unit_hour(self) -> float:
+        """$ per work-unit-hour served here (the greedy key)."""
+        return (self.watts_per_unit * self.pue / 1000.0
+                * self.energy_price_per_kwh)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionDemand:
+    """Demand originating from one user region."""
+
+    region: str
+    demand: float                          # work units/s
+    latency_ms: typing.Mapping[str, float]  # region -> site RTT
+    latency_ceiling_ms: float = 150.0
+
+    def __post_init__(self):
+        if self.demand < 0:
+            raise ValueError("demand cannot be negative")
+        if self.latency_ceiling_ms <= 0:
+            raise ValueError("latency ceiling must be positive")
+
+    def eligible_sites(self, sites: typing.Sequence[SiteSpec]
+                       ) -> list[SiteSpec]:
+        """Sites this region may use without hurting user experience."""
+        out = []
+        for site in sites:
+            rtt = self.latency_ms.get(site.name)
+            if rtt is not None and rtt <= self.latency_ceiling_ms:
+                out.append(site)
+        return out
+
+
+class RoutingPlan(typing.NamedTuple):
+    """Result of one global routing decision."""
+
+    allocation: dict          # (region, site) -> work units/s
+    unplaced: dict            # region -> work units/s that fit nowhere
+    cost_per_hour: float
+
+    @property
+    def total_unplaced(self) -> float:
+        return sum(self.unplaced.values())
+
+
+class GeoScheduler:
+    """Cheapest-feasible-site greedy router."""
+
+    def __init__(self, sites: typing.Sequence[SiteSpec]):
+        if not sites:
+            raise ValueError("need at least one site")
+        names = [s.name for s in sites]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate site names")
+        self.sites = list(sites)
+
+    def route(self, demands: typing.Sequence[RegionDemand]) -> RoutingPlan:
+        """Split every region's demand across its eligible sites.
+
+        Regions are processed most-constrained first (fewest eligible
+        sites), the classic heuristic that avoids squandering scarce
+        nearby capacity on footloose demand.
+        """
+        remaining = {site.name: site.capacity for site in self.sites}
+        allocation: dict[tuple[str, str], float] = {}
+        unplaced: dict[str, float] = {}
+        cost = 0.0
+        ordered = sorted(demands,
+                         key=lambda d: len(d.eligible_sites(self.sites)))
+        for demand in ordered:
+            todo = demand.demand
+            eligible = sorted(demand.eligible_sites(self.sites),
+                              key=lambda s: s.cost_per_unit_hour)
+            for site in eligible:
+                if todo <= 0:
+                    break
+                take = min(todo, remaining[site.name])
+                if take <= 0:
+                    continue
+                allocation[(demand.region, site.name)] = take
+                remaining[site.name] -= take
+                cost += take * site.cost_per_unit_hour
+                todo -= take
+            if todo > 1e-12:
+                unplaced[demand.region] = todo
+        return RoutingPlan(allocation, unplaced, cost)
+
+    def cost_of_naive_plan(self, demands: typing.Sequence[RegionDemand]
+                           ) -> float:
+        """Cost if every region simply uses its lowest-latency site.
+
+        The latency-only baseline the geo experiment compares against;
+        ignores capacity (assumes it fits) for a clean upper bound.
+        """
+        cost = 0.0
+        for demand in demands:
+            eligible = demand.eligible_sites(self.sites)
+            if not eligible:
+                continue
+            nearest = min(eligible,
+                          key=lambda s: demand.latency_ms[s.name])
+            cost += demand.demand * nearest.cost_per_unit_hour
+        return cost

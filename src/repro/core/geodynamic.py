@@ -1,0 +1,133 @@
+"""Follow-the-moon scheduling: time-varying cross-DC routing (§3.2).
+
+The static :class:`~repro.core.geo.GeoScheduler` prices each site by a
+fixed PUE.  In reality a site's overhead moves hour by hour with the
+weather through its economizer — which is exactly why the paper asks
+*where to migrate power consuming operations* rather than where to
+place them once.  This module prices sites dynamically (weather →
+economizer mode → effective PUE) and re-routes on a schedule, the
+"follow the moon" pattern: work drifts to whichever site is coolest
+(and cheapest) right now.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cooling.economizer import AirSideEconomizer
+from repro.cooling.weather import WeatherModel
+from repro.core.geo import GeoScheduler, RegionDemand, SiteSpec
+
+__all__ = ["DynamicSite", "FollowTheMoonScheduler", "MoonScheduleResult"]
+
+
+@dataclasses.dataclass
+class DynamicSite:
+    """A site whose cooling overhead follows its local weather.
+
+    ``utc_offset_h`` shifts the site's local diurnal cycle so a global
+    federation actually has usable phase differences (that offset *is*
+    the moon being followed).
+    """
+
+    name: str
+    capacity: float
+    energy_price_per_kwh: float
+    weather: WeatherModel
+    utc_offset_h: float = 0.0
+    watts_per_unit: float = 3.0
+    baseline_overhead: float = 1.15  # distribution losses etc.
+    economizer: AirSideEconomizer = dataclasses.field(
+        default_factory=AirSideEconomizer)
+
+    def local_time_s(self, utc_s: float) -> float:
+        return utc_s + self.utc_offset_h * 3600.0
+
+    def effective_pue(self, utc_s: float) -> float:
+        """PUE right now: baseline + weather-dependent cooling share."""
+        t = self.local_time_s(utc_s)
+        # Mechanical watts per IT watt for a 1 kW probe load.
+        mech_per_it = self.economizer.mechanical_power_w(
+            1_000.0, self.weather.temperature_c(t),
+            self.weather.relative_humidity(t), time_s=t) / 1_000.0
+        return self.baseline_overhead + mech_per_it
+
+    def snapshot(self, utc_s: float) -> SiteSpec:
+        """A static SiteSpec priced at this instant."""
+        return SiteSpec(self.name, self.capacity,
+                        pue=self.effective_pue(utc_s),
+                        energy_price_per_kwh=self.energy_price_per_kwh,
+                        watts_per_unit=self.watts_per_unit)
+
+
+class MoonScheduleResult(typing.NamedTuple):
+    """Outcome of a multi-hour dynamic routing run."""
+
+    hourly_costs: list
+    total_cost: float
+    moves: int                      # how often any region changed site
+    site_hours: dict                # site -> work-unit-hours hosted
+
+    @property
+    def mean_cost_per_hour(self) -> float:
+        return self.total_cost / max(len(self.hourly_costs), 1)
+
+
+class FollowTheMoonScheduler:
+    """Re-route demand across dynamic sites every period."""
+
+    def __init__(self, sites: typing.Sequence[DynamicSite],
+                 period_s: float = 3_600.0):
+        if not sites:
+            raise ValueError("need at least one site")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.sites = list(sites)
+        self.period_s = float(period_s)
+
+    def run(self, demands: typing.Sequence[RegionDemand],
+            duration_s: float) -> MoonScheduleResult:
+        """Dynamic routing over ``duration_s``; returns the ledger."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        hourly_costs: list[float] = []
+        site_hours: dict[str, float] = {s.name: 0.0 for s in self.sites}
+        moves = 0
+        previous: dict[str, str] | None = None
+        t = 0.0
+        hours_per_period = self.period_s / 3_600.0
+        while t < duration_s:
+            scheduler = GeoScheduler([s.snapshot(t) for s in self.sites])
+            plan = scheduler.route(demands)
+            hourly_costs.append(plan.cost_per_hour * hours_per_period)
+            primary: dict[str, str] = {}
+            for (region, site), amount in plan.allocation.items():
+                site_hours[site] += amount * hours_per_period
+                if (region not in primary
+                        or amount > plan.allocation[
+                            (region, primary[region])]):
+                    primary[region] = site
+            if previous is not None:
+                moves += sum(1 for region, site in primary.items()
+                             if previous.get(region) != site)
+            previous = primary
+            t += self.period_s
+        return MoonScheduleResult(hourly_costs, sum(hourly_costs),
+                                  moves, site_hours)
+
+    def static_cost(self, demands: typing.Sequence[RegionDemand],
+                    duration_s: float) -> float:
+        """Baseline: one routing decision at t=0, held forever."""
+        scheduler = GeoScheduler([s.snapshot(0.0) for s in self.sites])
+        plan = scheduler.route(demands)
+        total = 0.0
+        t = 0.0
+        while t < duration_s:
+            for (region, site_name), amount in plan.allocation.items():
+                site = next(s for s in self.sites
+                            if s.name == site_name)
+                cost = site.snapshot(t).cost_per_unit_hour
+                total += amount * cost * (self.period_s / 3_600.0)
+            t += self.period_s
+        return total

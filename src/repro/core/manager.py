@@ -1,0 +1,192 @@
+"""The macro-resource management layer (paper Figure 4).
+
+    "A macro-resource management layer ... takes information such as
+    service-level agreement (SLA), application structures, and
+    environmental conditions, and physical facility constraints ...
+    monitors the operation status from application, system, and
+    physical data ... and makes decisions that affect power
+    provisioning, cooling control, server allocation, service
+    placement, load balancing, and job priorities."
+
+:class:`MacroResourceManager` is that layer for one facility: it owns
+a demand forecaster, a coordinated fleet/P-state controller, the
+facility power capper, and (when a machine room is attached) thermal
+protection + cooling-aware vetting.  Each decision cycle produces an
+auditable :class:`MacroDecision`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cluster.server import ServerState
+from repro.control.coordinator import CoordinatedController
+from repro.control.farm import ServerFarm
+from repro.cooling.room import MachineRoom, ThermalAlarm
+from repro.core.cooling_aware import CoolingAwarePlacer
+from repro.core.forecast import HoltWintersForecaster
+from repro.core.sla import SLA, SLAReport
+from repro.power.capping import PowerCapper
+from repro.sim import Monitor
+
+__all__ = ["MacroResourceManager", "MacroDecision"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MacroDecision:
+    """One decision cycle's outputs, for the audit trail."""
+
+    time_s: float
+    observed_demand: float
+    forecast_demand: float
+    target_fleet: int
+    pstate: int
+    capped: bool
+    thermal_safe: bool
+    sla_risk: float | None = None
+
+
+class MacroResourceManager:
+    """Coordinated cyber-physical control of one data center.
+
+    Parameters
+    ----------
+    farm:
+        The compute plant (servers + load balancer + demand).
+    power_budget_w:
+        Facility (UPS) budget the capper enforces; ``None`` disables
+        capping.
+    room:
+        Thermal plant; enables protective shutdown on alarms and the
+        cooling-aware safety check.
+    heat_by_zone_fn:
+        Callable returning the current {zone: watts} map (supplied by
+        the co-simulation harness, which knows the rack layout).
+    """
+
+    def __init__(self, farm: ServerFarm,
+                 sla: SLA | None = None,
+                 power_budget_w: float | None = None,
+                 room: MachineRoom | None = None,
+                 heat_by_zone_fn: typing.Callable[[], dict] | None = None,
+                 period_s: float = 300.0,
+                 forecast_horizon_s: float = 600.0,
+                 forecaster=None,
+                 target_utilization: float = 0.8,
+                 headroom: float = 1.1,
+                 risk_model=None):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if forecast_horizon_s < 0:
+            raise ValueError("forecast horizon cannot be negative")
+        self.farm = farm
+        self.env = farm.env
+        self.sla = sla or SLA("default")
+        self.period_s = float(period_s)
+        self.forecast_horizon_s = float(forecast_horizon_s)
+        self.forecaster = forecaster or HoltWintersForecaster()
+        self._forecast_ready = False
+
+        self.coordinator = CoordinatedController(
+            farm, period_s=period_s,
+            target_utilization=target_utilization,
+            headroom=headroom,
+            demand_source=self._provision_signal)
+
+        self.capper: PowerCapper | None = None
+        if power_budget_w is not None:
+            self.capper = PowerCapper(self.env, power_budget_w,
+                                      farm.servers)
+
+        self.room = room
+        self.heat_by_zone_fn = heat_by_zone_fn
+        self.placer = CoolingAwarePlacer(room) if room is not None else None
+        if room is not None:
+            room.on_alarm(self._handle_thermal_alarm)
+
+        #: Optional :class:`~repro.core.risk.RiskModel`; when present
+        #: each decision carries its predicted SLA-violation
+        #: probability (the Figure 4 "predict performance impacts and
+        #: risks" duty).
+        self.risk_model = risk_model
+        self.decisions: list[MacroDecision] = []
+        self.forecast_monitor = Monitor(self.env, "macro.forecast")
+        self.thermal_shutdowns: list[tuple[float, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def _provision_signal(self, t_s: float) -> float:
+        """Demand signal the coordinator provisions against.
+
+        Uses the forecast once it has warmed up; falls back to the
+        instantaneous demand before that.
+        """
+        if self._forecast_ready:
+            return self.forecaster.forecast(self.forecast_horizon_s)
+        return self.farm.demand_fn(t_s)
+
+    def _handle_thermal_alarm(self, alarm: ThermalAlarm) -> None:
+        """§2.2 protective behaviour: servers in a hot zone trip off."""
+        victims = [s for s in self.farm.servers
+                   if s.zone == alarm.zone
+                   and s.state is ServerState.ACTIVE]
+        for server in victims:
+            server.fail()
+        self.thermal_shutdowns.append(
+            (alarm.time_s, alarm.zone, len(victims)))
+
+    # ------------------------------------------------------------------
+    # Decision cycle
+    # ------------------------------------------------------------------
+    def decide(self) -> MacroDecision:
+        """One full macro cycle: observe → forecast → actuate → audit."""
+        now = self.env.now
+        observed = self.farm.demand_fn(now)
+        self.forecaster.observe(now, observed)
+        self._forecast_ready = True
+        forecast = self.forecaster.forecast(self.forecast_horizon_s)
+        self.forecast_monitor.record(forecast)
+
+        target_fleet, pstate = self.coordinator.decide()
+
+        capped = False
+        if self.capper is not None:
+            capped = self.capper.evaluate().capped
+
+        thermal_safe = True
+        if self.placer is not None and self.heat_by_zone_fn is not None:
+            thermal_safe = self.placer.assess(self.heat_by_zone_fn()).safe
+
+        sla_risk = None
+        if self.risk_model is not None and target_fleet > 0:
+            sla_risk = self.risk_model.assess(
+                target_fleet, forecast).sla_violation_probability
+
+        decision = MacroDecision(now, observed, forecast, target_fleet,
+                                 pstate, capped, thermal_safe, sla_risk)
+        self.decisions.append(decision)
+        return decision
+
+    def run(self):
+        """Process generator: decide every period."""
+        while True:
+            self.decide()
+            yield self.env.timeout(self.period_s)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def sla_report(self, start: float | None = None,
+                   end: float | None = None) -> SLAReport:
+        """Evaluate the SLA against the farm's measured signals."""
+        return self.sla.evaluate(self.farm.delay_monitor,
+                                 self.farm.balancer.offered_monitor,
+                                 self.farm.shed_monitor, start, end)
+
+    def capping_fraction(self) -> float:
+        """Fraction of capper evaluations that engaged (0 if disabled)."""
+        if self.capper is None:
+            return 0.0
+        return self.capper.capped_fraction()

@@ -1,0 +1,113 @@
+"""Risk models for resource-allocation decisions (Figure 4).
+
+    "An important role for macro-resource management is to build and
+    refine models to predict performance impacts and risks on
+    resource allocation decisions."
+
+:class:`RiskModel` answers the what-if questions a fleet-size decision
+raises *before* the decision is taken:
+
+* probability the SLA response-time target is violated, given a
+  demand forecast with uncertainty (M/M/c under demand quantiles);
+* probability the fleet saturates outright (demand > capacity);
+* the smallest fleet whose violation risk is under a target — the
+  risk-aware alternative to point-forecast provisioning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.control.queueing import mmc_response_time
+
+__all__ = ["RiskModel", "RiskAssessment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RiskAssessment:
+    """What-if result for one (fleet size, demand distribution)."""
+
+    servers: int
+    sla_violation_probability: float
+    saturation_probability: float
+    expected_response_s: float
+
+
+class RiskModel:
+    """Demand-uncertainty-aware performance risk.
+
+    Demand is modeled as lognormal around the forecast with relative
+    sigma ``forecast_error`` — the empirically right shape for demand
+    forecast errors (multiplicative, right-skewed).
+    """
+
+    def __init__(self, service_rate_per_server: float,
+                 response_target_s: float,
+                 forecast_error: float = 0.15,
+                 samples: int = 400, seed: int = 0):
+        if service_rate_per_server <= 0:
+            raise ValueError("service rate must be positive")
+        if response_target_s <= 0:
+            raise ValueError("response target must be positive")
+        if forecast_error < 0:
+            raise ValueError("forecast error cannot be negative")
+        if samples < 10:
+            raise ValueError("need at least 10 samples")
+        self.mu = float(service_rate_per_server)
+        self.target_s = float(response_target_s)
+        self.forecast_error = float(forecast_error)
+        self.samples = int(samples)
+        self._rng = np.random.default_rng(seed)
+
+    def _demand_samples(self, forecast: float) -> np.ndarray:
+        if self.forecast_error == 0:
+            return np.full(self.samples, forecast)
+        sigma = math.sqrt(math.log(1 + self.forecast_error ** 2))
+        return forecast * self._rng.lognormal(-sigma ** 2 / 2, sigma,
+                                              self.samples)
+
+    def assess(self, servers: int, forecast_demand: float
+               ) -> RiskAssessment:
+        """Risk of running ``servers`` against an uncertain forecast."""
+        if servers < 1:
+            raise ValueError("need at least one server")
+        if forecast_demand < 0:
+            raise ValueError("demand cannot be negative")
+        demands = self._demand_samples(forecast_demand)
+        violations = 0
+        saturations = 0
+        total_response = 0.0
+        for lam in demands:
+            if lam >= servers * self.mu:
+                saturations += 1
+                violations += 1
+                total_response += self.target_s * 10  # capped penalty
+                continue
+            response = mmc_response_time(servers, float(lam), self.mu)
+            total_response += response
+            if response > self.target_s:
+                violations += 1
+        n = len(demands)
+        return RiskAssessment(
+            servers=servers,
+            sla_violation_probability=violations / n,
+            saturation_probability=saturations / n,
+            expected_response_s=total_response / n,
+        )
+
+    def servers_for_risk(self, forecast_demand: float,
+                         max_violation_probability: float = 0.01,
+                         max_servers: int = 100_000) -> int:
+        """Smallest fleet with violation risk under the ceiling."""
+        if not 0.0 < max_violation_probability < 1.0:
+            raise ValueError("risk ceiling must be in (0, 1)")
+        servers = max(1, math.ceil(forecast_demand / self.mu))
+        while servers <= max_servers:
+            risk = self.assess(servers, forecast_demand)
+            if risk.sla_violation_probability <= max_violation_probability:
+                return servers
+            servers += 1
+        raise ValueError("no fleet size meets the risk ceiling")

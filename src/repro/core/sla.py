@@ -1,0 +1,79 @@
+"""Service-level agreements.
+
+Figure 4 lists SLA as a primary *input* to the macro-resource
+management layer: every trade the layer makes (fewer machines, deeper
+P-states, warmer rooms) is legal only while the SLA holds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.sim import Monitor
+
+__all__ = ["SLA", "SLAReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SLA:
+    """A response-time and availability contract for one service.
+
+    ``response_target_s`` applies at ``percentile`` (users feel the
+    tail, not the mean); ``availability`` is the fraction of demand
+    that must be served (tier-2 facilities quote 99.741 %, §2.1).
+    """
+
+    name: str
+    response_target_s: float = 0.1
+    percentile: float = 95.0
+    availability: float = 0.99741
+
+    def __post_init__(self):
+        if self.response_target_s <= 0:
+            raise ValueError("response target must be positive")
+        if not 0.0 < self.percentile < 100.0:
+            raise ValueError("percentile must be in (0, 100)")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+
+    def evaluate(self, delay_monitor: Monitor,
+                 offered_monitor: Monitor, shed_monitor: Monitor,
+                 start: float | None = None,
+                 end: float | None = None) -> "SLAReport":
+        """Check the contract against measured farm signals."""
+        delays = np.asarray(delay_monitor.values, dtype=float)
+        if len(delays) == 0:
+            measured_response = float("nan")
+        else:
+            measured_response = float(np.percentile(delays, self.percentile))
+        offered = offered_monitor.integral(start, end)
+        shed = shed_monitor.integral(start, end)
+        served_fraction = 1.0 if offered <= 0 else 1.0 - shed / offered
+        return SLAReport(
+            sla=self,
+            measured_response_s=measured_response,
+            served_fraction=served_fraction,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SLAReport:
+    """Outcome of one SLA evaluation."""
+
+    sla: SLA
+    measured_response_s: float
+    served_fraction: float
+
+    @property
+    def response_ok(self) -> bool:
+        return self.measured_response_s <= self.sla.response_target_s
+
+    @property
+    def availability_ok(self) -> bool:
+        return self.served_fraction >= self.sla.availability
+
+    @property
+    def compliant(self) -> bool:
+        return self.response_ok and self.availability_ok

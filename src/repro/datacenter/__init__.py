@@ -1,0 +1,26 @@
+"""Data-center assembly: tier classification, declarative specs, and
+the end-to-end cyber-physical co-simulation harness."""
+
+from repro.datacenter.availability import (
+    AvailabilityEstimate,
+    AvailabilityModel,
+    AvailabilityParameters,
+    TIER_AVAILABILITY_PARAMETERS,
+)
+from repro.datacenter.cosim import CoSimResult, CoSimulation
+from repro.datacenter.spec import DataCenter, DataCenterSpec
+from repro.datacenter.tiers import Tier, TIER_SPECS, TierSpec
+
+__all__ = [
+    "AvailabilityEstimate",
+    "AvailabilityModel",
+    "AvailabilityParameters",
+    "CoSimResult",
+    "CoSimulation",
+    "DataCenter",
+    "DataCenterSpec",
+    "TIER_AVAILABILITY_PARAMETERS",
+    "TIER_SPECS",
+    "Tier",
+    "TierSpec",
+]

@@ -1,0 +1,117 @@
+"""End-to-end cyber-physical co-simulation (the Figure 4 testbench).
+
+:class:`CoSimulation` closes every loop the paper describes in one
+harness: workload drives the farm, the farm's servers heat zones and
+load the power tree, CRACs chase the heat on their slow schedule, the
+PUE meter watches everything, and — optionally — a
+:class:`~repro.core.manager.MacroResourceManager` coordinates.
+
+Running the same workload with the manager on and off is the FIG-4
+experiment: macro-coordination versus a statically provisioned,
+locally-controlled facility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.control.farm import ServerFarm
+from repro.core.manager import MacroResourceManager
+from repro.core.sla import SLA, SLAReport
+from repro.datacenter.spec import DataCenter, DataCenterSpec
+from repro.sim import Environment
+
+__all__ = ["CoSimulation", "CoSimResult"]
+
+
+@dataclasses.dataclass
+class CoSimResult:
+    """Summary of one co-simulation run."""
+
+    duration_s: float
+    it_energy_j: float
+    facility_energy_j: float
+    energy_weighted_pue: float
+    mean_active_servers: float
+    sla: SLAReport
+    thermal_alarms: int
+    peak_grid_w: float
+
+    @property
+    def facility_kwh(self) -> float:
+        return self.facility_energy_j / 3.6e6
+
+
+class CoSimulation:
+    """Wire a DataCenter + workload (+ optional macro manager)."""
+
+    def __init__(self, spec: DataCenterSpec,
+                 demand_fn: typing.Callable[[float], float],
+                 managed: bool = True,
+                 initial_active: int | None = None,
+                 sla: SLA | None = None,
+                 physical_step_s: float = 60.0,
+                 manager_kwargs: dict | None = None):
+        if physical_step_s <= 0:
+            raise ValueError("physical step must be positive")
+        self.env = Environment()
+        self.dc: DataCenter = spec.build(self.env)
+        self.demand_fn = demand_fn
+        self.physical_step_s = float(physical_step_s)
+        self.sla = sla or SLA("cosim")
+
+        # Bring up the initial fleet synchronously.
+        n_start = (spec.total_servers if initial_active is None
+                   else initial_active)
+        for server in self.dc.servers[:n_start]:
+            server.power_on()
+        self.env.run(until=spec.boot_s + 1.0)
+
+        self.farm = ServerFarm(self.env, self.dc.servers,
+                               demand_fn=demand_fn,
+                               dispatch_period_s=30.0)
+        self.env.process(self.farm.run())
+        self.env.process(self.dc.room.run())
+        self.env.process(self._physical_loop())
+
+        self.manager: MacroResourceManager | None = None
+        if managed:
+            self.manager = MacroResourceManager(
+                self.farm, sla=self.sla,
+                power_budget_w=self.dc.ups.steady_rating_w,
+                room=self.dc.room,
+                heat_by_zone_fn=self.dc.cluster.heat_by_zone,
+                **(manager_kwargs or {}))
+            self.env.process(self.manager.run())
+        self._grid_peak_w = 0.0
+
+    def _physical_loop(self):
+        """Sync compute → power/heat → PUE on a fixed cadence."""
+        while True:
+            snapshot = self.dc.sync_physical()
+            if snapshot["grid_w"] > self._grid_peak_w:
+                self._grid_peak_w = snapshot["grid_w"]
+            yield self.env.timeout(self.physical_step_s)
+
+    def run(self, duration_s: float) -> CoSimResult:
+        """Advance the co-simulation and summarize the interval."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        start = self.env.now
+        self.env.run(until=start + duration_s)
+        end = self.env.now
+        report = self.sla.evaluate(self.farm.delay_monitor,
+                                   self.farm.balancer.offered_monitor,
+                                   self.farm.shed_monitor, start, end)
+        return CoSimResult(
+            duration_s=duration_s,
+            it_energy_j=self.dc.pue.it_monitor.integral(start, end),
+            facility_energy_j=self.dc.pue.total_facility_energy_j(start, end),
+            energy_weighted_pue=self.dc.pue.energy_weighted_pue(start, end),
+            mean_active_servers=self.farm.active_monitor
+            .time_weighted_mean(start, end),
+            sla=report,
+            thermal_alarms=len(self.dc.room.alarms),
+            peak_grid_w=self._grid_peak_w,
+        )

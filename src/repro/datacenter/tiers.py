@@ -1,0 +1,67 @@
+"""Uptime Institute tier classification (paper §2.1, citing [6]).
+
+    "A tier-2 data center, providing 99.741% availability, is typical
+    for hosting Internet services."
+
+The tier determines redundancy of power and cooling paths, which the
+spec builder translates into UPS margin and CRAC count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["Tier", "TierSpec", "TIER_SPECS"]
+
+_HOURS_PER_YEAR = 8766.0
+
+
+class Tier(enum.Enum):
+    """Uptime Institute site-infrastructure tiers."""
+
+    I = 1
+    II = 2
+    III = 3
+    IV = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class TierSpec:
+    """Availability and redundancy implied by a tier."""
+
+    tier: Tier
+    availability: float
+    redundancy: str
+    power_paths: int
+    concurrent_maintainable: bool
+
+    @property
+    def downtime_hours_per_year(self) -> float:
+        """Expected annual downtime at the rated availability."""
+        return (1.0 - self.availability) * _HOURS_PER_YEAR
+
+    def ups_margin(self) -> float:
+        """Capacity margin the spec builder applies to the UPS.
+
+        N (tier I) gets no margin; N+1 (II, III) gets one extra
+        module's worth (~25 % at typical module counts); 2N (IV)
+        doubles it.
+        """
+        if self.redundancy == "N":
+            return 1.0
+        if self.redundancy == "N+1":
+            return 1.25
+        return 2.0
+
+
+TIER_SPECS: dict[Tier, TierSpec] = {
+    Tier.I: TierSpec(Tier.I, availability=0.99671, redundancy="N",
+                     power_paths=1, concurrent_maintainable=False),
+    Tier.II: TierSpec(Tier.II, availability=0.99741, redundancy="N+1",
+                      power_paths=1, concurrent_maintainable=False),
+    Tier.III: TierSpec(Tier.III, availability=0.99982, redundancy="N+1",
+                       power_paths=2, concurrent_maintainable=True),
+    Tier.IV: TierSpec(Tier.IV, availability=0.99995, redundancy="2N",
+                      power_paths=2, concurrent_maintainable=True),
+}

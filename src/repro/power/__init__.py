@@ -1,0 +1,52 @@
+"""Power substrate: server models, CPU states, distribution, UPS,
+capping, and PUE accounting (paper §2.1, §4.2, §4.3)."""
+
+from repro.power.capping import CapDecision, PowerCapper
+from repro.power.distribution import (
+    EfficiencyCurve,
+    PDU_EFFICIENCY,
+    PowerDeliveryReport,
+    PowerNode,
+    TRANSFORMER_EFFICIENCY,
+    UPS_DOUBLE_CONVERSION_EFFICIENCY,
+    build_tier2_power_tree,
+    summarize,
+)
+from repro.power.models import (
+    ENERGY_PROPORTIONAL,
+    ServerPowerModel,
+    TYPICAL_2008_SERVER,
+)
+from repro.power.pstates import (
+    DEFAULT_PSTATES,
+    DEFAULT_TSTATES,
+    PState,
+    PStateTable,
+    TState,
+)
+from repro.power.pue import PUEAccountant
+from repro.power.ups import SurgeViolation, UPSUnit
+
+__all__ = [
+    "CapDecision",
+    "DEFAULT_PSTATES",
+    "DEFAULT_TSTATES",
+    "ENERGY_PROPORTIONAL",
+    "EfficiencyCurve",
+    "PDU_EFFICIENCY",
+    "PState",
+    "PStateTable",
+    "PUEAccountant",
+    "PowerCapper",
+    "PowerDeliveryReport",
+    "PowerNode",
+    "ServerPowerModel",
+    "SurgeViolation",
+    "TRANSFORMER_EFFICIENCY",
+    "TState",
+    "TYPICAL_2008_SERVER",
+    "UPSUnit",
+    "UPS_DOUBLE_CONVERSION_EFFICIENCY",
+    "build_tier2_power_tree",
+    "summarize",
+]

@@ -1,0 +1,232 @@
+"""The tiered power-distribution system (paper Figure 1).
+
+Power drawn from the grid is transformed and conditioned, charges the
+UPS, and is distributed through PDUs to racks.  Each conversion stage
+loses power; the fraction lost depends on the stage's *load* — UPS
+double conversion in particular is markedly less efficient at low
+load, which is one concrete reason under-utilized data centers have
+poor PUE (§2.2).
+
+The model is a tree of :class:`PowerNode` objects.  Demand is injected
+at the leaves (racks / IT loads) and propagated upward: each node's
+input power is its children's demand divided by its efficiency at that
+load.  Capacity checks run at every level, because the paper notes the
+UPS rating "determines how many servers can a data center host"
+(§2.1) — exceeding it is exactly the event power capping must prevent.
+"""
+
+from __future__ import annotations
+
+import typing
+
+__all__ = [
+    "EfficiencyCurve",
+    "PowerNode",
+    "PowerDeliveryReport",
+    "build_tier2_power_tree",
+    "summarize",
+    "CapacityExceeded",
+    "TRANSFORMER_EFFICIENCY",
+    "UPS_DOUBLE_CONVERSION_EFFICIENCY",
+    "PDU_EFFICIENCY",
+]
+
+
+class EfficiencyCurve:
+    """Piecewise-linear efficiency as a function of load fraction.
+
+    Defined by ``(load_fraction, efficiency)`` knots; interpolates
+    linearly between them and clamps outside.  Real conversion stages
+    are inefficient at low load and flatten out near rating.
+    """
+
+    def __init__(self, knots: typing.Sequence[tuple[float, float]]):
+        knots = sorted((float(l), float(e)) for l, e in knots)
+        if not knots:
+            raise ValueError("need at least one knot")
+        for load, eff in knots:
+            if not 0.0 <= load <= 1.5:
+                raise ValueError(f"load fraction {load} outside [0, 1.5]")
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(f"efficiency {eff} outside (0, 1]")
+        self.knots = knots
+
+    def __call__(self, load_fraction: float) -> float:
+        """Efficiency at ``load_fraction`` of rated capacity."""
+        knots = self.knots
+        if load_fraction <= knots[0][0]:
+            return knots[0][1]
+        if load_fraction >= knots[-1][0]:
+            return knots[-1][1]
+        for (l0, e0), (l1, e1) in zip(knots, knots[1:]):
+            if l0 <= load_fraction <= l1:
+                if l1 == l0:
+                    return e1
+                frac = (load_fraction - l0) / (l1 - l0)
+                return e0 + frac * (e1 - e0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: Dry-type transformer: very efficient, slightly worse at low load.
+TRANSFORMER_EFFICIENCY = EfficiencyCurve(
+    [(0.0, 0.95), (0.1, 0.97), (0.25, 0.985), (0.5, 0.99), (1.0, 0.985)])
+
+#: Double-conversion UPS: poor below ~20 % load (fixed losses dominate).
+UPS_DOUBLE_CONVERSION_EFFICIENCY = EfficiencyCurve(
+    [(0.0, 0.60), (0.1, 0.80), (0.2, 0.86), (0.4, 0.91),
+     (0.7, 0.93), (1.0, 0.94)])
+
+#: PDU: transformer + breakers; mostly flat.
+PDU_EFFICIENCY = EfficiencyCurve(
+    [(0.0, 0.93), (0.2, 0.96), (0.5, 0.975), (1.0, 0.97)])
+
+
+class CapacityExceeded(RuntimeError):
+    """A node was asked to deliver more than its rating allows."""
+
+    def __init__(self, node: "PowerNode", demand_w: float):
+        super().__init__(
+            f"{node.name}: demand {demand_w:.0f} W exceeds "
+            f"capacity {node.capacity_w:.0f} W")
+        self.node = node
+        self.demand_w = demand_w
+
+
+class PowerNode:
+    """One stage of the distribution tree (transformer, UPS, PDU, rack).
+
+    Leaves carry an externally-set IT demand via :meth:`set_demand`;
+    interior nodes aggregate their children.
+    """
+
+    def __init__(self, name: str, capacity_w: float,
+                 efficiency: EfficiencyCurve | None = None,
+                 strict: bool = False):
+        if capacity_w <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_w}")
+        self.name = name
+        self.capacity_w = float(capacity_w)
+        self.efficiency = efficiency or EfficiencyCurve([(0.0, 1.0)])
+        self.strict = strict
+        self.children: list[PowerNode] = []
+        self.parent: PowerNode | None = None
+        self._leaf_demand_w = 0.0
+
+    def add_child(self, child: "PowerNode") -> "PowerNode":
+        """Attach ``child`` below this node and return it (chainable)."""
+        if child.parent is not None:
+            raise ValueError(f"{child.name} already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def set_demand(self, watts: float) -> None:
+        """Set the IT demand at a leaf node."""
+        if self.children:
+            raise ValueError(f"{self.name} is not a leaf")
+        if watts < 0:
+            raise ValueError(f"negative demand {watts}")
+        self._leaf_demand_w = float(watts)
+
+    def output_w(self) -> float:
+        """Power this node must deliver downstream."""
+        if not self.children:
+            return self._leaf_demand_w
+        return sum(child.input_w() for child in self.children)
+
+    def input_w(self) -> float:
+        """Power this node draws from upstream (output / efficiency)."""
+        out = self.output_w()
+        if out == 0.0:
+            return 0.0
+        load_fraction = out / self.capacity_w
+        if self.strict and load_fraction > 1.0:
+            raise CapacityExceeded(self, out)
+        return out / self.efficiency(load_fraction)
+
+    def loss_w(self) -> float:
+        """Power converted to heat inside this node."""
+        return self.input_w() - self.output_w()
+
+    def load_fraction(self) -> float:
+        """Output as a fraction of rated capacity."""
+        return self.output_w() / self.capacity_w
+
+    def headroom_w(self) -> float:
+        """Remaining deliverable power before hitting the rating."""
+        return self.capacity_w - self.output_w()
+
+    def walk(self) -> typing.Iterator["PowerNode"]:
+        """Iterate this node and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "PowerNode":
+        """Locate a descendant (or self) by name."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r} under {self.name!r}")
+
+    def __repr__(self) -> str:
+        return (f"<PowerNode {self.name!r} cap={self.capacity_w:.0f}W "
+                f"children={len(self.children)}>")
+
+
+class PowerDeliveryReport(typing.NamedTuple):
+    """Snapshot of the whole tree for one demand assignment."""
+
+    grid_input_w: float
+    it_output_w: float
+    total_loss_w: float
+    per_node_loss_w: dict
+    worst_load_fraction: float
+
+    @property
+    def distribution_efficiency(self) -> float:
+        """IT power delivered per watt drawn from the grid."""
+        if self.grid_input_w == 0:
+            return 1.0
+        return self.it_output_w / self.grid_input_w
+
+
+def summarize(root: PowerNode) -> PowerDeliveryReport:
+    """Evaluate the tree bottom-up and report losses and loading."""
+    per_node = {node.name: node.loss_w() for node in root.walk()}
+    leaves_w = sum(n._leaf_demand_w for n in root.walk() if not n.children)
+    worst = max((n.load_fraction() for n in root.walk()), default=0.0)
+    return PowerDeliveryReport(
+        grid_input_w=root.input_w(),
+        it_output_w=leaves_w,
+        total_loss_w=sum(per_node.values()),
+        per_node_loss_w=per_node,
+        worst_load_fraction=worst,
+    )
+
+
+def build_tier2_power_tree(n_pdus: int = 4, racks_per_pdu: int = 8,
+                           rack_capacity_w: float = 12_000.0,
+                           overhead_factor: float = 1.25,
+                           strict: bool = False) -> PowerNode:
+    """A tier-2 style tree: grid transformer → UPS → PDUs → racks.
+
+    ``overhead_factor`` sizes each stage above the sum of its children
+    (tier-2 has limited redundancy — a single distribution path —
+    hence the modest margin).  Returns the transformer (root) node.
+    """
+    pdu_capacity = racks_per_pdu * rack_capacity_w * overhead_factor
+    ups_capacity = n_pdus * pdu_capacity * overhead_factor
+    transformer = PowerNode("transformer", ups_capacity * 1.1,
+                            TRANSFORMER_EFFICIENCY, strict=strict)
+    ups = transformer.add_child(
+        PowerNode("ups", ups_capacity,
+                  UPS_DOUBLE_CONVERSION_EFFICIENCY, strict=strict))
+    for p in range(n_pdus):
+        pdu = ups.add_child(
+            PowerNode(f"pdu-{p}", pdu_capacity, PDU_EFFICIENCY,
+                      strict=strict))
+        for r in range(racks_per_pdu):
+            pdu.add_child(
+                PowerNode(f"rack-{p}-{r}", rack_capacity_w, strict=strict))
+    return transformer

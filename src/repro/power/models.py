@@ -1,0 +1,147 @@
+"""Server power models.
+
+The paper's provisioning arguments hinge on one stylized fact (§4.3,
+citing Fan et al. [10] and Chen et al. [18]):
+
+    "a powered on server with zero workload consumes about 60 % of its
+    peak power"
+
+so the baseline model is *idle floor plus utilization-proportional
+dynamic power*.  The models also understand P-/T-states, because the
+DVFS controllers (§4.2) act by moving the CPU down the ladder, which
+scales the **dynamic** term only — the idle floor (fans, disks, memory
+refresh, chipset, PSU overhead) is unaffected by CPU frequency.
+"""
+
+from __future__ import annotations
+
+from repro.power.pstates import PStateTable
+
+__all__ = ["ServerPowerModel", "ENERGY_PROPORTIONAL", "TYPICAL_2008_SERVER"]
+
+
+class ServerPowerModel:
+    """Power draw of one server as a function of utilization and state.
+
+    Parameters
+    ----------
+    peak_w:
+        Wall power at 100 % utilization in P0.
+    idle_fraction:
+        Idle power as a fraction of peak (paper: ≈ 0.6).
+    nonlinearity:
+        Exponent ``r`` of the calibrated Fan-et-al. form
+        ``P = P_idle + (P_peak − P_idle) · (2u − u^r) / 1`` when
+        ``r > 1``; ``r = 1`` selects the plain linear model.  The
+        mildly concave form matches the empirical observation that
+        power rises faster at low utilization.
+    off_w:
+        Residual draw when switched off (e.g. management controller).
+    boot_w:
+        Draw while booting (typically near peak — spinning disks, POST).
+    cpu_share:
+        Fraction of the *dynamic* range attributable to the CPU, i.e.
+        the part that P-states can scale.  Memory/disk/network dynamic
+        power is untouched by DVFS.
+    """
+
+    def __init__(self, peak_w: float = 300.0, idle_fraction: float = 0.6,
+                 nonlinearity: float = 1.0, off_w: float = 5.0,
+                 boot_w: float | None = None, cpu_share: float = 0.6,
+                 pstate_table: PStateTable | None = None):
+        if peak_w <= 0:
+            raise ValueError(f"peak_w must be positive, got {peak_w}")
+        if not 0.0 <= idle_fraction < 1.0:
+            raise ValueError(f"idle_fraction must be in [0, 1), got {idle_fraction}")
+        if nonlinearity < 1.0:
+            raise ValueError(f"nonlinearity must be >= 1, got {nonlinearity}")
+        if off_w < 0 or off_w > peak_w:
+            raise ValueError(f"off_w must be in [0, peak_w], got {off_w}")
+        if not 0.0 <= cpu_share <= 1.0:
+            raise ValueError(f"cpu_share must be in [0, 1], got {cpu_share}")
+        self.peak_w = float(peak_w)
+        self.idle_fraction = float(idle_fraction)
+        self.nonlinearity = float(nonlinearity)
+        self.off_w = float(off_w)
+        self.boot_w = float(peak_w if boot_w is None else boot_w)
+        self.cpu_share = float(cpu_share)
+        self.pstates = pstate_table or PStateTable()
+
+    @property
+    def idle_w(self) -> float:
+        """Power at zero utilization, fully on, P0."""
+        return self.idle_fraction * self.peak_w
+
+    @property
+    def dynamic_range_w(self) -> float:
+        """Peak minus idle: the utilization-dependent power band."""
+        return self.peak_w - self.idle_w
+
+    def _utilization_shape(self, utilization: float) -> float:
+        """Map utilization to the fraction of the dynamic range drawn."""
+        u = min(max(utilization, 0.0), 1.0)
+        r = self.nonlinearity
+        if r == 1.0:
+            return u
+        # Fan et al. calibrated form: concave, equals u at 0 and 1.
+        # Clamped so exotic exponents can never overshoot the peak.
+        return min(2.0 * u - u ** r, 1.0)
+
+    def power(self, utilization: float, pstate: int = 0,
+              tstate: int = 0) -> float:
+        """Wall power (W) at ``utilization`` in the given CPU state.
+
+        ``utilization`` is the fraction of the *current state's*
+        capacity in use (what an OS reports), in [0, 1].
+
+        The CPU dynamic term scales with busy fraction × the state's
+        V²f power fraction.  The non-CPU dynamic term (disk, memory,
+        network) scales with *delivered throughput* — utilization
+        times the state's capacity fraction — because slowing the CPU
+        stretches CPU busy time but moves no extra bytes.  Getting
+        this split right is what makes DVFS actually save energy in
+        the model, as it does on real hardware.
+        """
+        cpu_shape = self._utilization_shape(utilization)
+        throughput = utilization * self.pstates.capacity_fraction(pstate,
+                                                                  tstate)
+        other_shape = self._utilization_shape(throughput)
+        cpu_dynamic = self.dynamic_range_w * self.cpu_share
+        other_dynamic = self.dynamic_range_w * (1.0 - self.cpu_share)
+        scale = self.pstates.dynamic_power_fraction(pstate, tstate)
+        return (self.idle_w + cpu_shape * cpu_dynamic * scale
+                + other_shape * other_dynamic)
+
+    def capacity_fraction(self, pstate: int = 0, tstate: int = 0) -> float:
+        """Throughput available in this state, relative to P0/T0."""
+        return self.pstates.capacity_fraction(pstate, tstate)
+
+    def energy_per_request_j(self, service_time_s: float,
+                             pstate: int = 0) -> float:
+        """Marginal energy of one request of given P0 service time.
+
+        In a slower P-state the request holds the CPU longer but the
+        dynamic power is lower; this helper exposes the trade-off that
+        per-task DVFS policies (Vertigo, §4.2) navigate.
+        """
+        if service_time_s < 0:
+            raise ValueError(f"negative service time {service_time_s}")
+        cap = self.pstates.capacity_fraction(pstate)
+        stretched = service_time_s / cap
+        dynamic_w = (self.dynamic_range_w * self.cpu_share
+                     * self.pstates.dynamic_power_fraction(pstate))
+        return dynamic_w * stretched
+
+    def __repr__(self) -> str:
+        return (f"ServerPowerModel(peak={self.peak_w:.0f}W, "
+                f"idle={self.idle_fraction:.0%}, r={self.nonlinearity})")
+
+
+def TYPICAL_2008_SERVER() -> ServerPowerModel:
+    """The paper's stylized server: 300 W peak, 60 % idle floor."""
+    return ServerPowerModel(peak_w=300.0, idle_fraction=0.6)
+
+
+def ENERGY_PROPORTIONAL() -> ServerPowerModel:
+    """Barroso & Hölzle's ideal [9]: power tracks utilization to zero."""
+    return ServerPowerModel(peak_w=300.0, idle_fraction=0.0, off_w=0.0)

@@ -1,0 +1,147 @@
+"""CPU performance (P) and throttling (T) states.
+
+Section 4.2 of the paper: modern CPUs expose *P-states* (joint
+voltage/frequency reduction inside the C0 working state) and *T-states*
+(duty-cycle throttling via STPCLK that does not change the clock rate).
+
+The model here captures the two facts every DVFS policy in this code
+base relies on:
+
+* dynamic power scales roughly with ``V² · f`` — so a P-state buys a
+  super-linear power reduction for a linear capacity reduction;
+* a T-state merely skips duty cycles — capacity falls linearly while
+  voltage stays put, so it saves *less* power per lost cycle than a
+  P-state (which is why policies prefer P-states and keep T-states for
+  emergencies such as power capping).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["PState", "TState", "PStateTable", "DEFAULT_PSTATES",
+           "DEFAULT_TSTATES"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PState:
+    """One performance state of a CPU.
+
+    ``frequency_ghz`` and ``voltage_v`` are relative to physical
+    hardware; only their ratios to P0 matter to the models.
+    """
+
+    name: str
+    frequency_ghz: float
+    voltage_v: float
+
+    def __post_init__(self):
+        if self.frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive: {self}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage must be positive: {self}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TState:
+    """One throttling state: the CPU runs ``duty_cycle`` of the time."""
+
+    name: str
+    duty_cycle: float
+
+    def __post_init__(self):
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(f"duty cycle must be in (0, 1]: {self}")
+
+
+#: A representative 2008-era server CPU ladder (Xeon-style).
+DEFAULT_PSTATES = (
+    PState("P0", frequency_ghz=3.0, voltage_v=1.25),
+    PState("P1", frequency_ghz=2.7, voltage_v=1.18),
+    PState("P2", frequency_ghz=2.4, voltage_v=1.12),
+    PState("P3", frequency_ghz=2.1, voltage_v=1.05),
+    PState("P4", frequency_ghz=1.8, voltage_v=1.00),
+    PState("P5", frequency_ghz=1.5, voltage_v=0.95),
+)
+
+#: T-states throttle in 12.5 % duty-cycle steps (ACPI style), T0 = full.
+DEFAULT_TSTATES = tuple(
+    TState(f"T{i}", duty_cycle=1.0 - i * 0.125) for i in range(8)
+)
+
+
+class PStateTable:
+    """An ordered ladder of P-states plus optional T-states.
+
+    Index 0 is the fastest state.  The table answers the two questions
+    controllers ask: *how much capacity* does a state deliver and *how
+    much dynamic power* does it draw, both relative to P0.
+    """
+
+    def __init__(self, pstates=DEFAULT_PSTATES, tstates=DEFAULT_TSTATES):
+        pstates = tuple(pstates)
+        if not pstates:
+            raise ValueError("need at least one P-state")
+        freqs = [p.frequency_ghz for p in pstates]
+        if freqs != sorted(freqs, reverse=True):
+            raise ValueError("P-states must be ordered fastest first")
+        self.pstates = pstates
+        self.tstates = tuple(tstates)
+        self._p0 = pstates[0]
+
+    def __len__(self) -> int:
+        return len(self.pstates)
+
+    def state(self, index: int) -> PState:
+        """The P-state at ``index`` (0 = fastest)."""
+        return self.pstates[index]
+
+    def capacity_fraction(self, index: int, tstate: int = 0) -> float:
+        """Usable compute capacity relative to P0/T0.
+
+        Frequency ratio times duty cycle: a CPU at half clock and 75 %
+        duty cycle delivers 0.375 of its P0 throughput.
+        """
+        p = self.pstates[index]
+        duty = self.tstates[tstate].duty_cycle if self.tstates else 1.0
+        return (p.frequency_ghz / self._p0.frequency_ghz) * duty
+
+    def dynamic_power_fraction(self, index: int, tstate: int = 0) -> float:
+        """Dynamic power relative to P0/T0, using P ∝ V²·f.
+
+        Throttling only gates the clock, so a T-state scales power by
+        its duty cycle at an unchanged voltage.
+        """
+        p = self.pstates[index]
+        duty = self.tstates[tstate].duty_cycle if self.tstates else 1.0
+        v_ratio = p.voltage_v / self._p0.voltage_v
+        f_ratio = p.frequency_ghz / self._p0.frequency_ghz
+        return (v_ratio ** 2) * f_ratio * duty
+
+    def slowest_state_meeting(self, required_capacity: float) -> int:
+        """Deepest (most power-saving) P-state still delivering capacity.
+
+        ``required_capacity`` is a fraction of P0 throughput.  Returns
+        the index of the slowest adequate state; if even the fastest
+        state is insufficient, returns 0 (run flat out).
+        """
+        if required_capacity > 1.0:
+            return 0
+        chosen = 0
+        for index in range(len(self.pstates)):
+            if self.capacity_fraction(index) >= required_capacity:
+                chosen = index
+            else:
+                break
+        return chosen
+
+    def efficiency_gain(self, index: int) -> float:
+        """Power saved per unit capacity lost, vs P0 (∞-safe).
+
+        A figure of merit: P-states with high gain are worth entering.
+        """
+        cap_lost = 1.0 - self.capacity_fraction(index)
+        power_saved = 1.0 - self.dynamic_power_fraction(index)
+        if cap_lost <= 0:
+            return 0.0
+        return power_saved / cap_lost

@@ -1,0 +1,70 @@
+"""Power Usage Effectiveness accounting.
+
+§2.2: "most data centers have power utilization effectiveness (PUE,
+defined as the total power consumed by the data center over the total
+power used to power computing devices) close to 2."
+
+The accountant tracks the three components the paper identifies —
+critical (IT) power, distribution losses, and mechanical (cooling)
+power — and reports instantaneous and energy-weighted PUE.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Monitor
+
+__all__ = ["PUEAccountant"]
+
+
+class PUEAccountant:
+    """Track IT / loss / mechanical power and derive PUE over time."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.it_monitor = Monitor(env, "pue.it_w")
+        self.loss_monitor = Monitor(env, "pue.distribution_loss_w")
+        self.mechanical_monitor = Monitor(env, "pue.mechanical_w")
+        self.pue_monitor = Monitor(env, "pue.instantaneous")
+
+    def record(self, it_w: float, distribution_loss_w: float,
+               mechanical_w: float) -> float:
+        """Record one snapshot; returns the instantaneous PUE."""
+        for name, value in (("it", it_w), ("loss", distribution_loss_w),
+                            ("mechanical", mechanical_w)):
+            if value < 0:
+                raise ValueError(f"negative {name} power: {value}")
+        self.it_monitor.record(it_w)
+        self.loss_monitor.record(distribution_loss_w)
+        self.mechanical_monitor.record(mechanical_w)
+        pue = self.instantaneous(it_w, distribution_loss_w, mechanical_w)
+        self.pue_monitor.record(pue)
+        return pue
+
+    @staticmethod
+    def instantaneous(it_w: float, distribution_loss_w: float,
+                      mechanical_w: float) -> float:
+        """Total facility power over IT power (∞-safe at zero IT)."""
+        if it_w <= 0:
+            return float("inf")
+        return (it_w + distribution_loss_w + mechanical_w) / it_w
+
+    def energy_weighted_pue(self, start: float | None = None,
+                            end: float | None = None) -> float:
+        """Total facility energy over IT energy across an interval.
+
+        This is the number operators quote: it weights each instant by
+        how much energy actually flowed, unlike a mean of snapshots.
+        """
+        it_j = self.it_monitor.integral(start, end)
+        if it_j <= 0:
+            return float("inf")
+        loss_j = self.loss_monitor.integral(start, end)
+        mech_j = self.mechanical_monitor.integral(start, end)
+        return (it_j + loss_j + mech_j) / it_j
+
+    def total_facility_energy_j(self, start: float | None = None,
+                                end: float | None = None) -> float:
+        """Facility energy (IT + losses + mechanical) in joules."""
+        return (self.it_monitor.integral(start, end)
+                + self.loss_monitor.integral(start, end)
+                + self.mechanical_monitor.integral(start, end))

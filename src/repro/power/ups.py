@@ -1,0 +1,156 @@
+"""Uninterruptible power supply with a finite energy reserve.
+
+Section 2.1: "The power capacity of a data center is primarily defined
+by the capability of the UPS system, both in terms of steady load
+handling and surge withstand."  This module models both dimensions:
+
+* **steady rating** — continuous watts the UPS can condition;
+* **surge rating** — short-duration overload tolerance with a budget
+  that recovers over time (thermal model of the power electronics);
+* **ride-through** — a battery (or flywheel) energy store that carries
+  the critical load between a grid failure and generator start.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Monitor
+
+__all__ = ["UPSUnit", "SurgeViolation"]
+
+
+class SurgeViolation(RuntimeError):
+    """The UPS was pushed beyond even its surge envelope."""
+
+
+class UPSUnit:
+    """A UPS with steady/surge ratings and stored ride-through energy.
+
+    The unit integrates an "overload heat" budget: running above the
+    steady rating accumulates stress proportional to the excess; the
+    budget drains back when the load drops below rating.  Exceeding
+    ``surge_rating_w`` instantly, or exhausting the overload budget,
+    raises :class:`SurgeViolation` — the facility-safety event that
+    power capping exists to prevent (§3.2).
+    """
+
+    def __init__(self, env: Environment, name: str = "ups",
+                 steady_rating_w: float = 500_000.0,
+                 surge_rating_w: float | None = None,
+                 surge_budget_ws: float | None = None,
+                 battery_energy_j: float = 500_000.0 * 300.0,
+                 charge_rate_w: float = 50_000.0):
+        if steady_rating_w <= 0:
+            raise ValueError("steady rating must be positive")
+        self.env = env
+        self.name = name
+        self.steady_rating_w = float(steady_rating_w)
+        self.surge_rating_w = float(surge_rating_w
+                                    if surge_rating_w is not None
+                                    else steady_rating_w * 1.25)
+        if self.surge_rating_w < self.steady_rating_w:
+            raise ValueError("surge rating below steady rating")
+        # Default: tolerate 10 % overload for 60 s before tripping.
+        self.surge_budget_ws = float(
+            surge_budget_ws if surge_budget_ws is not None
+            else 0.10 * steady_rating_w * 60.0)
+        self.battery_capacity_j = float(battery_energy_j)
+        self.battery_j = float(battery_energy_j)
+        self.charge_rate_w = float(charge_rate_w)
+
+        self._load_w = 0.0
+        self._stress_ws = 0.0
+        self._on_grid = True
+        self._last_update = env.now
+        self.load_monitor = Monitor(env, f"{name}.load_w")
+        self.battery_monitor = Monitor(env, f"{name}.battery_j")
+
+    # ------------------------------------------------------------------
+    @property
+    def load_w(self) -> float:
+        return self._load_w
+
+    @property
+    def on_grid(self) -> bool:
+        return self._on_grid
+
+    @property
+    def stress_fraction(self) -> float:
+        """How much of the overload budget is consumed (0–1)."""
+        if self.surge_budget_ws == 0:
+            return 0.0
+        return min(self._stress_ws / self.surge_budget_ws, 1.0)
+
+    @property
+    def ride_through_s(self) -> float:
+        """Seconds the battery sustains the *current* load."""
+        if self._load_w <= 0:
+            return float("inf")
+        return self.battery_j / self._load_w
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Integrate stress and battery state up to the current time."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt < 0:
+            raise RuntimeError("clock moved backwards")
+        if dt == 0:
+            return
+        excess = self._load_w - self.steady_rating_w
+        if excess > 0:
+            self._stress_ws += excess * dt
+            if self._stress_ws > self.surge_budget_ws:
+                raise SurgeViolation(
+                    f"{self.name}: sustained overload "
+                    f"({self._load_w:.0f} W > {self.steady_rating_w:.0f} W) "
+                    f"exhausted the surge budget")
+        else:
+            self._stress_ws = max(0.0, self._stress_ws + excess * dt)
+        if self._on_grid:
+            self.battery_j = min(self.battery_capacity_j,
+                                 self.battery_j + self.charge_rate_w * dt)
+        else:
+            self.battery_j = max(0.0, self.battery_j - self._load_w * dt)
+        self._last_update = now
+
+    def set_load(self, watts: float) -> None:
+        """Update the conditioned load (called by the metering layer)."""
+        if watts < 0:
+            raise ValueError(f"negative load {watts}")
+        self._advance()
+        if watts > self.surge_rating_w:
+            raise SurgeViolation(
+                f"{self.name}: instantaneous load {watts:.0f} W exceeds "
+                f"surge rating {self.surge_rating_w:.0f} W")
+        self._load_w = float(watts)
+        self.load_monitor.record(watts)
+        self.battery_monitor.record(self.battery_j)
+
+    def grid_failure(self) -> None:
+        """Grid drops; the battery carries the load."""
+        self._advance()
+        self._on_grid = False
+
+    def grid_restored(self) -> None:
+        """Grid (or generator) back; battery recharges."""
+        self._advance()
+        self._on_grid = True
+
+    def battery_depleted(self) -> bool:
+        """True if the reserve is empty (load would drop)."""
+        self._advance()
+        return not self._on_grid and self.battery_j <= 0.0
+
+    def headroom_w(self) -> float:
+        """Steady-state watts still available under the rating."""
+        return max(0.0, self.steady_rating_w - self._load_w)
+
+    def max_servers(self, per_server_peak_w: float) -> int:
+        """§2.1: how many servers the UPS rating can host.
+
+        Conservative (non-oversubscribed) sizing: every server at
+        nameplate peak simultaneously.
+        """
+        if per_server_peak_w <= 0:
+            raise ValueError("per-server power must be positive")
+        return int(self.steady_rating_w // per_server_peak_w)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic SimPy-style engine: generator processes yield
+events; an environment owns the clock and the event heap.  Everything
+in ``repro`` above this layer is written against these primitives.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.kernel import Environment
+from repro.sim.monitor import CounterMonitor, Monitor
+from repro.sim.process import Process
+from repro.sim.resources import Container, Request, Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "CounterMonitor",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Monitor",
+    "Process",
+    "Request",
+    "RandomStreams",
+    "Resource",
+    "Store",
+    "Timeout",
+]

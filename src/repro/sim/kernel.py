@@ -1,0 +1,149 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns simulated time and the event heap.  It is
+deliberately minimal and deterministic: ties in time are broken by
+priority and then by insertion order, so a simulation with a fixed seed
+replays identically — a property the test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Time is a float in **seconds** by convention across this code base
+    (workload generators, coolers, and controllers all agree on it).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Process | None = None
+
+    # ------------------------------------------------------------------
+    # Time & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = 1) -> None:
+        """Queue ``event`` to be processed after ``delay`` seconds.
+
+        Lower ``priority`` fires first among simultaneous events
+        (interrupts use 0 so they beat ordinary wakeups).
+        """
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator,
+                name: str | None = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Condition event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Condition event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`IndexError` when the queue is empty.
+        """
+        time, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if isinstance(event, Process) and not event._ok and not callbacks:
+            # Nobody was waiting on a crashed process: surface the error
+            # instead of letting it pass silently.
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None):
+        """Run the simulation.
+
+        * ``until`` is ``None``: run until the event queue drains.
+        * ``until`` is a number: run to that absolute time (events at
+          exactly that time are *not* processed, matching SimPy).
+        * ``until`` is an :class:`Event`: run until it is processed and
+          return its value.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.processed:
+                if not sentinel.ok:
+                    raise sentinel.value
+                return sentinel.value
+            fired: list[Event] = []
+            sentinel.callbacks.append(fired.append)
+            while self._queue and not fired:
+                self.step()
+            if not fired:
+                raise RuntimeError(
+                    "simulation ended before the awaited event fired")
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] < horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def _on_process_failure(self, process: Process,
+                            exc: BaseException) -> None:
+        """Hook invoked when a process dies with an exception.
+
+        The default implementation does nothing here; the failure is
+        re-raised by :meth:`step` when the dead process event is
+        processed with no waiters.
+        """

@@ -1,0 +1,153 @@
+"""Time-series monitors for simulation state.
+
+A :class:`Monitor` records ``(time, value)`` samples of a piecewise-
+constant signal (server power, zone temperature, queue depth, ...) and
+answers the statistics the experiments need: time-weighted mean,
+integral (e.g. joules from watts), maxima, and resampling onto a
+regular grid for plotting and benchmark comparison.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import typing
+
+import numpy as np
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+__all__ = ["Monitor", "CounterMonitor"]
+
+
+class Monitor:
+    """Record a piecewise-constant signal over simulated time.
+
+    The signal holds its last recorded value until the next sample;
+    integrals and means are computed under that step interpretation,
+    which matches how the physical models emit state (power levels
+    change at events, not continuously).
+    """
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def record(self, value: float, time: float | None = None) -> None:
+        """Append a sample (defaults to the current simulation time)."""
+        t = self.env.now if time is None else float(time)
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"sample at t={t} precedes last sample t={self.times[-1]}")
+        if self.times and t == self.times[-1]:
+            # Same-instant update wins; keeps the series a function of t.
+            self.values[-1] = float(value)
+            return
+        self.times.append(t)
+        self.values.append(float(value))
+
+    @property
+    def last(self) -> float:
+        """Most recent value (NaN if empty)."""
+        return self.values[-1] if self.values else math.nan
+
+    def value_at(self, time: float) -> float:
+        """Signal value at ``time`` (NaN before the first sample)."""
+        idx = bisect.bisect_right(self.times, time) - 1
+        return self.values[idx] if idx >= 0 else math.nan
+
+    def integral(self, start: float | None = None,
+                 end: float | None = None) -> float:
+        """∫ value dt over [start, end] under the step interpretation.
+
+        With watt samples this yields joules.  ``end`` defaults to the
+        current simulation time so a still-running signal integrates up
+        to "now".
+        """
+        if not self.times:
+            return 0.0
+        t0 = self.times[0] if start is None else float(start)
+        t1 = self.env.now if end is None else float(end)
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        times, values = self.times, self.values
+        first = max(bisect.bisect_right(times, t0) - 1, 0)
+        for i in range(first, len(times)):
+            if times[i] >= t1:
+                break
+            seg_start = max(times[i], t0)
+            seg_end = times[i + 1] if i + 1 < len(times) else t1
+            seg_end = min(seg_end, t1)
+            if seg_end > seg_start:
+                total += values[i] * (seg_end - seg_start)
+        return total
+
+    def time_weighted_mean(self, start: float | None = None,
+                           end: float | None = None) -> float:
+        """Mean value weighted by how long each value was held."""
+        if not self.times:
+            return math.nan
+        t0 = self.times[0] if start is None else float(start)
+        t1 = self.env.now if end is None else float(end)
+        duration = t1 - t0
+        if duration <= 0:
+            return self.value_at(t0)
+        return self.integral(t0, t1) / duration
+
+    def maximum(self) -> float:
+        """Largest recorded value (NaN if empty)."""
+        return max(self.values) if self.values else math.nan
+
+    def minimum(self) -> float:
+        """Smallest recorded value (NaN if empty)."""
+        return min(self.values) if self.values else math.nan
+
+    def resample(self, step: float, start: float | None = None,
+                 end: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Sample the step signal onto a regular grid.
+
+        Returns ``(times, values)`` arrays; convenient for comparing
+        series across runs and for the benchmark tables.
+        """
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if not self.times:
+            return np.array([]), np.array([])
+        t0 = self.times[0] if start is None else float(start)
+        t1 = self.env.now if end is None else float(end)
+        grid = np.arange(t0, t1 + step / 2, step)
+        idx = np.searchsorted(self.times, grid, side="right") - 1
+        vals = np.asarray(self.values, dtype=float)
+        out = np.where(idx >= 0, vals[np.clip(idx, 0, None)], np.nan)
+        return grid, out
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Raw samples as numpy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+class CounterMonitor(Monitor):
+    """Monitor for an integer count (queue depth, active servers, ...).
+
+    Adds :meth:`increment`/:meth:`decrement` conveniences on top of the
+    plain monitor.
+    """
+
+    def __init__(self, env: "Environment", name: str = "", initial: int = 0):
+        super().__init__(env, name)
+        self.record(initial)
+
+    def increment(self, by: int = 1) -> None:
+        """Raise the count by ``by`` at the current time."""
+        self.record(self.last + by)
+
+    def decrement(self, by: int = 1) -> None:
+        """Lower the count by ``by`` at the current time."""
+        self.record(self.last - by)

@@ -1,0 +1,109 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator ``yield``-s
+:class:`~repro.sim.events.Event` objects (or other processes) and is
+resumed with the event's value once it fires.  This mirrors the SimPy
+programming model, which we re-implement here because the execution
+environment is offline.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running process; also an event that fires when it terminates.
+
+    The process's value is whatever the generator returns; an uncaught
+    exception inside the generator fails the process event (and
+    propagates to the environment if nobody is waiting on it).
+    """
+
+    def __init__(self, env: "Environment", generator: typing.Generator,
+                 name: str | None = None):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Bootstrap: resume the generator at time `now`.
+        start = Event(env)
+        start._ok = True
+        start._value = None
+        start.callbacks.append(self._resume)
+        env.schedule(start)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a terminated process is an error.  The interrupt
+        is delivered immediately (at the current simulation time) and
+        the interrupted wait target stays pending — the process may
+        re-yield it to resume waiting.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=0)
+
+    def _resume(self, trigger: Event) -> None:
+        # Drop the subscription to the event we were genuinely waiting
+        # on if we are resumed by an interrupt instead.
+        if self._target is not None and trigger is not self._target:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        self.env._active_process = self
+        try:
+            if trigger._ok:
+                result = self._generator.send(trigger._value)
+            else:
+                result = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            self.env._on_process_failure(self, exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(result, Event):
+            self._generator.throw(
+                TypeError(f"process {self.name!r} yielded {result!r}, "
+                          f"expected an Event"))
+        if result.processed:
+            # Already fired: resume next tick at the same time.
+            relay = Event(self.env)
+            relay._ok = result._ok
+            relay._value = result._value
+            relay.callbacks.append(self._resume)
+            self.env.schedule(relay)
+        else:
+            self._target = result
+            result.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {hex(id(self))}>"

@@ -1,0 +1,201 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the data-center models need:
+
+* :class:`Resource` — a counted semaphore with a FIFO wait queue
+  (e.g. worker threads on a server, migration slots).
+* :class:`Container` — a continuous quantity with bounded capacity
+  (e.g. UPS battery charge, power budget headroom).
+* :class:`Store` — a FIFO buffer of Python objects (e.g. a request
+  queue in front of a service tier).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Environment
+
+__all__ = ["Resource", "Request", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Fires once the resource grants the claim.  Use as a context manager
+    so the slot is always released::
+
+        with server.threads.request() as req:
+            yield req
+            yield env.timeout(service_time)
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._grant()
+
+    def cancel(self) -> None:
+        """Withdraw the claim (granted or not)."""
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cancel()
+
+
+class Resource:
+    """A counted resource with ``capacity`` identical slots, FIFO grant."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._queue: collections.deque[Request] = collections.deque()
+        self._users: list[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of claims still waiting."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim one slot (an event that fires when granted)."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by ``request`` (idempotent)."""
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                return  # already fully released
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.append(request)
+            request.succeed(request)
+
+
+class Container:
+    """A continuous quantity between 0 and ``capacity``.
+
+    ``put``/``get`` return events that fire once the operation can
+    complete in full; partial fills are never granted, so invariants
+    such as "a battery never goes negative" hold by construction.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: collections.deque[tuple[float, Event]] = collections.deque()
+        self._putters: collections.deque[tuple[float, Event]] = collections.deque()
+
+    @property
+    def level(self) -> float:
+        """Current contents."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount`` (fires once there is room)."""
+        if amount < 0:
+            raise ValueError(f"negative amount {amount}")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount`` (fires once available)."""
+        if amount < 0:
+            raise ValueError(f"negative amount {amount}")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.popleft()
+                    event.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.popleft()
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of arbitrary items."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: collections.deque = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self._putters: collections.deque[tuple[object, Event]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item) -> Event:
+        """Append ``item`` (fires once the store has room)."""
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Pop the oldest item (fires once one exists)."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self.capacity:
+                item, event = self._putters.popleft()
+                self.items.append(item)
+                event.succeed(item)
+                progressed = True
+            if self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True

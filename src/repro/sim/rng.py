@@ -1,0 +1,47 @@
+"""Deterministic named random streams.
+
+Every stochastic component draws from its own named substream derived
+from one master seed.  Adding a new component therefore never perturbs
+the draws of existing components — experiments stay reproducible as the
+system grows, and paired comparisons (coordinated vs uncoordinated
+controller on *the same* workload) are exact.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A factory of independent, reproducible numpy generators.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.get("logins")
+    >>> b = streams.get("sessions")
+
+    ``a`` and ``b`` are statistically independent, and asking for
+    ``"logins"`` again returns the *same* generator object.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """The generator for substream ``name`` (created on first use)."""
+        if name not in self._streams:
+            # Key the child seed on a stable hash of the name so stream
+            # identity does not depend on creation order.
+            child = zlib.crc32(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self.seed,
+                                         spawn_key=(child,))
+            self._streams[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._streams[name]
+
+    def fork(self, offset: int) -> "RandomStreams":
+        """A new stream family for replica ``offset`` (e.g. per trial)."""
+        return RandomStreams(seed=self.seed * 1_000_003 + int(offset) + 1)

@@ -1,0 +1,29 @@
+"""Telemetry substrate: counters, multi-scale aggregation, band-limited
+queries, anomaly detection, and error-bounded compression (paper §5.3)."""
+
+from repro.telemetry.compress import DeadbandCompressor
+from repro.telemetry.counters import (
+    CounterRegistry,
+    CounterSpec,
+    data_points_per_minute,
+)
+from repro.telemetry.multiscale import (
+    AggregateBucket,
+    DEFAULT_RESOLUTIONS,
+    MultiScalePyramid,
+    PyramidLevel,
+)
+from repro.telemetry.query import QueryEngine, naive_scan_cost
+
+__all__ = [
+    "AggregateBucket",
+    "CounterRegistry",
+    "CounterSpec",
+    "DEFAULT_RESOLUTIONS",
+    "DeadbandCompressor",
+    "MultiScalePyramid",
+    "PyramidLevel",
+    "QueryEngine",
+    "data_points_per_minute",
+    "naive_scan_cost",
+]

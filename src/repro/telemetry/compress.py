@@ -1,0 +1,69 @@
+"""Error-bounded lossy compression of raw telemetry (paper §5.3).
+
+    "how to compress raw data without losing key information ... are
+    the keys to achieve scalability."
+
+A dead-band (swinging-gate) compressor: emit a sample only when the
+signal has moved more than ``epsilon`` from the last emitted value.
+Reconstruction holds the last emitted value, so the absolute
+reconstruction error is bounded by ``epsilon`` *by construction* —
+the property test pins exactly that invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DeadbandCompressor"]
+
+
+class DeadbandCompressor:
+    """Compress a sampled series with a hard absolute-error bound."""
+
+    def __init__(self, epsilon: float):
+        if epsilon < 0:
+            raise ValueError("epsilon cannot be negative")
+        self.epsilon = float(epsilon)
+
+    def compress(self, times_s: np.ndarray, values: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Keep only samples deviating > epsilon from the last kept."""
+        times_s = np.asarray(times_s, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times_s.shape != values.shape:
+            raise ValueError("times and values must have the same shape")
+        if len(values) == 0:
+            return times_s, values
+        keep = [0]
+        anchor = values[0]
+        for i in range(1, len(values)):
+            if abs(values[i] - anchor) > self.epsilon:
+                keep.append(i)
+                anchor = values[i]
+        return times_s[keep], values[keep]
+
+    def reconstruct(self, kept_times: np.ndarray, kept_values: np.ndarray,
+                    query_times: np.ndarray) -> np.ndarray:
+        """Zero-order hold of the kept samples at ``query_times``."""
+        kept_times = np.asarray(kept_times, dtype=float)
+        kept_values = np.asarray(kept_values, dtype=float)
+        query_times = np.asarray(query_times, dtype=float)
+        if len(kept_times) == 0:
+            return np.full(query_times.shape, np.nan)
+        idx = np.searchsorted(kept_times, query_times, side="right") - 1
+        idx = np.clip(idx, 0, len(kept_values) - 1)
+        return kept_values[idx]
+
+    def compression_ratio(self, times_s: np.ndarray,
+                          values: np.ndarray) -> float:
+        """Original points per kept point (≥ 1)."""
+        kept_t, _ = self.compress(times_s, values)
+        if len(kept_t) == 0:
+            return 1.0
+        return len(np.asarray(times_s)) / len(kept_t)
+
+    def max_error(self, times_s: np.ndarray, values: np.ndarray) -> float:
+        """Worst absolute reconstruction error on the input itself."""
+        kept_t, kept_v = self.compress(times_s, values)
+        rebuilt = self.reconstruct(kept_t, kept_v, np.asarray(times_s))
+        return float(np.max(np.abs(rebuilt - np.asarray(values))))

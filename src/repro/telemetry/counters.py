@@ -1,0 +1,101 @@
+"""Performance-counter registry and the §5.3 volume arithmetic.
+
+    "consider a 10,000 server cloud computing environment, if there
+    are 100 software performance counters of interests, and each of
+    them are sampled every 15 seconds, we will expect 2.4 million
+    data points per minutes."
+
+The registry maps (server, metric) pairs to multi-scale pyramids and
+exposes the raw data-rate arithmetic so the benchmark can reproduce
+the 2.4 M figure exactly.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.telemetry.multiscale import MultiScalePyramid
+
+__all__ = ["CounterSpec", "CounterRegistry", "data_points_per_minute"]
+
+
+def data_points_per_minute(servers: int, counters_per_server: int,
+                           sample_period_s: float) -> float:
+    """The paper's arithmetic: points/minute for a fleet."""
+    if servers < 0 or counters_per_server < 0:
+        raise ValueError("counts cannot be negative")
+    if sample_period_s <= 0:
+        raise ValueError("sample period must be positive")
+    return servers * counters_per_server * (60.0 / sample_period_s)
+
+
+class CounterSpec(typing.NamedTuple):
+    """Identity of one counter."""
+
+    server: str
+    metric: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.server}/{self.metric}"
+
+
+class CounterRegistry:
+    """All counters of a fleet, each backed by a pyramid.
+
+    Pyramids are created lazily on first ingestion, so registering a
+    100-counter schema for 10 000 servers costs nothing until samples
+    arrive.
+    """
+
+    def __init__(self, resolutions=None, retain_raw_s: float | None = None):
+        self._pyramid_kwargs: dict = {}
+        if resolutions is not None:
+            self._pyramid_kwargs["resolutions"] = resolutions
+        self._pyramid_kwargs["retain_raw_s"] = retain_raw_s
+        self._pyramids: dict[str, MultiScalePyramid] = {}
+
+    def __len__(self) -> int:
+        return len(self._pyramids)
+
+    def pyramid(self, spec: CounterSpec) -> MultiScalePyramid:
+        """The pyramid for ``spec`` (created on first use)."""
+        pyramid = self._pyramids.get(spec.key)
+        if pyramid is None:
+            pyramid = MultiScalePyramid(**self._pyramid_kwargs)
+            self._pyramids[spec.key] = pyramid
+        return pyramid
+
+    def ingest(self, spec: CounterSpec, t_s: float, value: float) -> None:
+        """Record one sample for one counter."""
+        self.pyramid(spec).ingest(t_s, value)
+
+    def ingest_fleet(self, metric: str, t_s: float,
+                     values_by_server: dict[str, float]) -> None:
+        """Record one scrape of ``metric`` across many servers."""
+        for server, value in values_by_server.items():
+            self.ingest(CounterSpec(server, metric), t_s, value)
+
+    def total_samples(self) -> int:
+        """Raw samples ingested across every counter."""
+        return sum(p.samples_ingested for p in self._pyramids.values())
+
+    def total_storage_points(self) -> int:
+        """Aggregate buckets held (after any raw expiry)."""
+        return sum(p.storage_points() for p in self._pyramids.values())
+
+    def fleet_mean(self, metric: str, start_s: float, end_s: float,
+                   window_s: float) -> float:
+        """Mean of ``metric`` across all servers over a band."""
+        means = []
+        for key, pyramid in self._pyramids.items():
+            if not key.endswith(f"/{metric}"):
+                continue
+            _, values, _ = pyramid.query(start_s, end_s, window_s)
+            if len(values):
+                means.append(float(np.nanmean(values)))
+        if not means:
+            raise KeyError(f"no data for metric {metric!r}")
+        return float(np.mean(means))

@@ -1,0 +1,114 @@
+"""Flash crowds and the Animoto surge (paper §3, quoting [5]).
+
+    "When Animoto made its service available via Facebook, it
+    experienced a demand surge that resulted in growing from 50
+    servers to 3500 servers in three days ... After the peak
+    subsided, traffic fell to a level that was well below the peak."
+
+This module produces demand traces in units of *servers' worth of
+work*, suitable for driving autoscalers directly (EXP-FLASH).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["FlashCrowdEvent", "animoto_demand", "demand_trace"]
+
+_DAY_S = 86_400.0
+
+
+class FlashCrowdEvent:
+    """One multiplicative demand surge with ramp, plateau, and decay.
+
+    The rise is exponential (viral spread doubles at a constant rate),
+    the fall is exponential with a slower constant (interest wanes
+    more gently than it spikes), and after the event demand settles at
+    ``aftermath`` times the pre-event level — above 1.0 because some
+    of the crowd sticks around.
+    """
+
+    def __init__(self, start_s: float, rise_s: float, plateau_s: float,
+                 decay_s: float, magnitude: float, aftermath: float = 1.0):
+        if min(rise_s, plateau_s, decay_s) < 0:
+            raise ValueError("phase durations cannot be negative")
+        if magnitude < 1.0:
+            raise ValueError("magnitude must be >= 1 (it is a multiplier)")
+        if aftermath < 0:
+            raise ValueError("aftermath cannot be negative")
+        self.start_s = float(start_s)
+        self.rise_s = float(rise_s)
+        self.plateau_s = float(plateau_s)
+        self.decay_s = float(decay_s)
+        self.magnitude = float(magnitude)
+        self.aftermath = float(aftermath)
+
+    def multiplier(self, t_s: float) -> float:
+        """Demand multiplier at absolute time ``t_s``."""
+        rel = t_s - self.start_s
+        if rel < 0:
+            return 1.0
+        if rel < self.rise_s:
+            # Exponential approach: 1 -> magnitude over the rise.
+            frac = rel / self.rise_s
+            return self.magnitude ** frac
+        rel -= self.rise_s
+        if rel < self.plateau_s:
+            return self.magnitude
+        rel -= self.plateau_s
+        if self.decay_s == 0:
+            return self.aftermath
+        # Exponential decay toward the aftermath level.
+        tail = (self.magnitude - self.aftermath) \
+            * math.exp(-3.0 * rel / self.decay_s)
+        return self.aftermath + tail
+
+
+def animoto_demand(step_s: float = 3600.0,
+                   duration_s: float = 14 * _DAY_S,
+                   baseline_servers: float = 50.0,
+                   peak_servers: float = 3500.0,
+                   rise_days: float = 3.0,
+                   plateau_days: float = 1.0,
+                   decay_days: float = 4.0,
+                   aftermath_servers: float = 400.0
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's Animoto scenario as a (times, servers-needed) trace.
+
+    Defaults follow the quote: 50 → 3500 servers over three days, then
+    traffic falls "well below the peak" (but settles above the original
+    50, as the real incident did).
+    """
+    if peak_servers <= baseline_servers:
+        raise ValueError("peak must exceed baseline")
+    event = FlashCrowdEvent(
+        start_s=2 * _DAY_S,
+        rise_s=rise_days * _DAY_S,
+        plateau_s=plateau_days * _DAY_S,
+        decay_s=decay_days * _DAY_S,
+        magnitude=peak_servers / baseline_servers,
+        aftermath=aftermath_servers / baseline_servers)
+    times = np.arange(0.0, duration_s, step_s)
+    demand = np.array([baseline_servers * event.multiplier(t)
+                       for t in times])
+    return times, demand
+
+
+def demand_trace(base: float, events: list[FlashCrowdEvent],
+                 duration_s: float, step_s: float = 300.0
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Compose a flat base demand with any number of surge events.
+
+    Multipliers of overlapping events combine by taking the maximum —
+    two simultaneous crowds do not multiply each other.
+    """
+    if base <= 0:
+        raise ValueError("base demand must be positive")
+    times = np.arange(0.0, duration_s, step_s)
+    mult = np.ones_like(times)
+    for event in events:
+        mult = np.maximum(mult,
+                          np.array([event.multiplier(t) for t in times]))
+    return times, base * mult

@@ -1,0 +1,106 @@
+"""Resource-usage profiles of workloads.
+
+§5.2: "different processes stress physical resources differently —
+some are CPU bound, some are disk IO bound, and some are network
+bound — it is desirable to break cyber-modularity when assigning
+processes to physical substrates."
+
+A :class:`ResourceProfile` is a normalized demand vector over the four
+resources the placement and interference models reason about.  The
+power-correlation machinery supports the §5.2 claim that colocating
+power-*uncorrelated* workloads reduces capping probability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = ["ResourceProfile", "CPU_BOUND", "DISK_BOUND", "NETWORK_BOUND",
+           "BALANCED", "peak_correlation"]
+
+_RESOURCES = ("cpu", "disk", "network", "memory")
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceProfile:
+    """Normalized demand on each resource at the workload's own peak.
+
+    Components are fractions of one server's capacity in [0, 1].
+    ``phase_hour`` locates the workload's daily demand peak — two
+    workloads whose phases differ by ~12 h have anti-correlated power
+    draws and pack well together under an oversubscribed budget.
+    """
+
+    cpu: float
+    disk: float
+    network: float
+    memory: float
+    phase_hour: float = 14.0
+
+    def __post_init__(self):
+        for name in _RESOURCES:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} outside [0, 1]")
+        if not 0.0 <= self.phase_hour < 24.0:
+            raise ValueError(f"phase_hour={self.phase_hour} outside [0, 24)")
+
+    def as_vector(self) -> np.ndarray:
+        """The (cpu, disk, network, memory) demand vector."""
+        return np.array([self.cpu, self.disk, self.network, self.memory])
+
+    @property
+    def dominant(self) -> str:
+        """Name of the most-stressed resource."""
+        vector = self.as_vector()
+        return _RESOURCES[int(vector.argmax())]
+
+    def add(self, other: "ResourceProfile") -> np.ndarray:
+        """Naive (additive) combined demand vector — the fiction that
+        interference models correct."""
+        return self.as_vector() + other.as_vector()
+
+    def utilization_at(self, t_s: float, trough_fraction: float = 0.4) -> float:
+        """Diurnal utilization of the dominant resource at time ``t_s``.
+
+        A simple sinusoid peaking at ``phase_hour``; ``trough_fraction``
+        is the off-peak level relative to peak.
+        """
+        if not 0.0 <= trough_fraction <= 1.0:
+            raise ValueError("trough fraction must be in [0, 1]")
+        hour = (t_s % 86_400.0) / 3600.0
+        mid = (1.0 + trough_fraction) / 2.0
+        amp = (1.0 - trough_fraction) / 2.0
+        shape = mid + amp * math.cos(2 * math.pi * (hour - self.phase_hour) / 24.0)
+        return float(getattr(self, self.dominant) * shape)
+
+
+#: A compute-heavy service (e.g. encoding, indexing).
+CPU_BOUND = ResourceProfile(cpu=0.9, disk=0.1, network=0.2, memory=0.4)
+
+#: A storage-heavy service (e.g. mail store, file serving).
+DISK_BOUND = ResourceProfile(cpu=0.2, disk=0.9, network=0.3, memory=0.3)
+
+#: A traffic-heavy service (e.g. chat relay, CDN edge).
+NETWORK_BOUND = ResourceProfile(cpu=0.25, disk=0.1, network=0.9, memory=0.2)
+
+#: A middle-of-the-road web tier.
+BALANCED = ResourceProfile(cpu=0.5, disk=0.4, network=0.4, memory=0.5)
+
+
+def peak_correlation(a: ResourceProfile, b: ResourceProfile,
+                     samples: int = 96) -> float:
+    """Pearson correlation of two workloads' diurnal utilization.
+
+    +1 for identical phases, −1 for opposite phases.  The §5.2
+    placement policy minimizes this across colocated pairs.
+    """
+    times = np.linspace(0.0, 86_400.0, samples, endpoint=False)
+    ua = np.array([a.utilization_at(t) for t in times])
+    ub = np.array([b.utilization_at(t) for t in times])
+    if ua.std() == 0 or ub.std() == 0:
+        return 0.0
+    return float(np.corrcoef(ua, ub)[0, 1])

@@ -1,0 +1,113 @@
+"""Requests and scatter-gather fan-out.
+
+§3: "For modern Internet application, each user request may hit
+hundreds to thousands of servers at various locations, which in turn,
+generates a power consumption spike of certain size at the servers."
+
+The :class:`FanoutModel` captures the latency-and-power signature of
+that pattern: a front-end scatters sub-requests to ``fanout`` servers
+and waits for the slowest (or the ``quorum``-th fastest) response, so
+user-visible latency is an order statistic of the per-server service
+times — the reason tail latency, not mean latency, governs user
+experience and why slowing a few servers (DVFS) can hurt a whole
+request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["Request", "FanoutModel"]
+
+
+@dataclasses.dataclass
+class Request:
+    """One user request traversing the service."""
+
+    arrival_s: float
+    service_s: float
+    fanout: int = 1
+    completed_s: float | None = None
+
+    def __post_init__(self):
+        if self.service_s < 0:
+            raise ValueError("service time cannot be negative")
+        if self.fanout < 1:
+            raise ValueError("fanout must be at least 1")
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (NaN until completed)."""
+        if self.completed_s is None:
+            return float("nan")
+        return self.completed_s - self.arrival_s
+
+
+class FanoutModel:
+    """Latency and energy of scatter-gather requests.
+
+    Per-server sub-request times are lognormal with median
+    ``median_service_s`` and dispersion ``sigma``; user latency is the
+    ``quorum``-th order statistic of the fan-out plus a fixed
+    aggregation overhead.
+    """
+
+    def __init__(self, median_service_s: float = 0.010,
+                 sigma: float = 0.5,
+                 aggregation_s: float = 0.002,
+                 rng: np.random.Generator | None = None):
+        if median_service_s <= 0:
+            raise ValueError("median service time must be positive")
+        if sigma < 0:
+            raise ValueError("sigma cannot be negative")
+        self.median_service_s = float(median_service_s)
+        self.sigma = float(sigma)
+        self.aggregation_s = float(aggregation_s)
+        self.rng = rng or np.random.default_rng(0)
+
+    def subrequest_times(self, fanout: int,
+                         slowdown: float = 1.0) -> np.ndarray:
+        """Per-server service times for one scatter (seconds).
+
+        ``slowdown`` multiplies every time — e.g. 2.0 when the servers
+        run at half frequency in a deep P-state.
+        """
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        if slowdown <= 0:
+            raise ValueError("slowdown must be positive")
+        mu = np.log(self.median_service_s * slowdown)
+        return self.rng.lognormal(mu, self.sigma, size=fanout)
+
+    def request_latency(self, fanout: int, quorum: int | None = None,
+                        slowdown: float = 1.0) -> float:
+        """Latency of one request: quorum-th order statistic + merge."""
+        times = self.subrequest_times(fanout, slowdown)
+        k = fanout if quorum is None else quorum
+        if not 1 <= k <= fanout:
+            raise ValueError(f"quorum {k} outside [1, {fanout}]")
+        return float(np.partition(times, k - 1)[k - 1]) + self.aggregation_s
+
+    def latency_percentile(self, fanout: int, percentile: float,
+                           trials: int = 2_000, quorum: int | None = None,
+                           slowdown: float = 1.0) -> float:
+        """Monte-Carlo latency percentile over ``trials`` requests."""
+        if not 0 < percentile < 100:
+            raise ValueError("percentile must be in (0, 100)")
+        samples = [self.request_latency(fanout, quorum, slowdown)
+                   for _ in range(trials)]
+        return float(np.percentile(samples, percentile))
+
+    def power_spike_w(self, fanout: int, per_server_dynamic_w: float) -> float:
+        """Instantaneous facility power spike one request causes.
+
+        Each touched server briefly runs its dynamic range; the spike
+        scales with fan-out — the paper's "power consumption spike of
+        certain size" whose *correlation* across requests is what
+        oversubscription must statistically absorb.
+        """
+        if per_server_dynamic_w < 0:
+            raise ValueError("dynamic power cannot be negative")
+        return fanout * per_server_dynamic_w

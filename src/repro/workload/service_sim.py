@@ -1,0 +1,129 @@
+"""Request-level service simulation on the discrete-event kernel.
+
+Where the rest of the library treats load as a fluid, this module
+simulates *individual requests* through a multi-server queue —
+the ground truth against which the analytic M/M/c formulas in
+:mod:`repro.control.queueing` are validated (a cross-model property
+test the paper's "queuing theory ... plays important roles" invites),
+and the tool for studying tail latency, which fluid models cannot see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.sim import Environment, Resource
+
+__all__ = ["ServiceSimulation", "ServiceStats"]
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Latency and throughput measurements from one run."""
+
+    completed: int
+    mean_response_s: float
+    p50_response_s: float
+    p95_response_s: float
+    p99_response_s: float
+    mean_wait_s: float
+    utilization: float
+
+    @classmethod
+    def from_samples(cls, responses: np.ndarray, waits: np.ndarray,
+                     busy_s: float, servers: int,
+                     duration_s: float) -> "ServiceStats":
+        return cls(
+            completed=len(responses),
+            mean_response_s=float(responses.mean()),
+            p50_response_s=float(np.percentile(responses, 50)),
+            p95_response_s=float(np.percentile(responses, 95)),
+            p99_response_s=float(np.percentile(responses, 99)),
+            mean_wait_s=float(waits.mean()),
+            utilization=busy_s / (servers * duration_s),
+        )
+
+
+class ServiceSimulation:
+    """An open G/G/c queue driven by explicit request events.
+
+    Defaults are exponential interarrivals and service times (M/M/c);
+    pass ``service_sampler``/``arrival_sampler`` callables for other
+    distributions (e.g. lognormal service for tail studies).
+    """
+
+    def __init__(self, servers: int, arrival_rate: float,
+                 service_rate: float,
+                 rng: np.random.Generator | None = None,
+                 arrival_sampler=None, service_sampler=None):
+        if servers < 1:
+            raise ValueError("need at least one server")
+        if arrival_rate <= 0 or service_rate <= 0:
+            raise ValueError("rates must be positive")
+        self.servers = servers
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+        self.rng = rng or np.random.default_rng(0)
+        self.arrival_sampler = arrival_sampler or (
+            lambda: self.rng.exponential(1.0 / self.arrival_rate))
+        self.service_sampler = service_sampler or (
+            lambda: self.rng.exponential(1.0 / self.service_rate))
+        self._responses: list[float] = []
+        self._waits: list[float] = []
+        self._busy_s = 0.0
+
+    def _request(self, env: Environment, pool: Resource) -> None:
+        arrived = env.now
+        with pool.request() as slot:
+            yield slot
+            started = env.now
+            service = self.service_sampler()
+            yield env.timeout(service)
+        self._busy_s += service
+        self._waits.append(started - arrived)
+        self._responses.append(env.now - arrived)
+
+    def _arrivals(self, env: Environment, pool: Resource,
+                  horizon_s: float):
+        while env.now < horizon_s:
+            yield env.timeout(self.arrival_sampler())
+            if env.now >= horizon_s:
+                break
+            env.process(self._request(env, pool))
+
+    def run(self, duration_s: float,
+            warmup_s: float = 0.0) -> ServiceStats:
+        """Simulate and return statistics over the post-warmup window.
+
+        Warmup completions are discarded so the stationary M/M/c
+        formulas are a fair comparison.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if warmup_s < 0 or warmup_s >= duration_s:
+            raise ValueError("warmup must be in [0, duration)")
+        env = Environment()
+        pool = Resource(env, capacity=self.servers)
+        env.process(self._arrivals(env, pool, duration_s))
+
+        warm_index = [0]
+
+        def mark(env):
+            yield env.timeout(warmup_s)
+            warm_index[0] = len(self._responses)
+
+        if warmup_s > 0:
+            env.process(mark(env))
+        env.run(until=duration_s)
+        # Let in-flight requests finish so their samples are counted.
+        env.run()
+
+        responses = np.array(self._responses[warm_index[0]:])
+        waits = np.array(self._waits[warm_index[0]:])
+        if len(responses) == 0:
+            raise RuntimeError("no requests completed after warmup")
+        return ServiceStats.from_samples(
+            responses, waits, self._busy_s, self.servers,
+            duration_s)

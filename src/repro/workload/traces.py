@@ -1,0 +1,62 @@
+"""Persistence and interchange for workload traces.
+
+Reproduction studies live and die by trace hygiene: the exact demand
+series behind a result must be storable, diffable, and reloadable.
+This module round-trips :class:`~repro.workload.diurnal.WorkloadTrace`
+objects through a simple CSV format (time_s, login_rate, connections)
+with a one-line metadata header.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import numpy as np
+
+from repro.workload.diurnal import WorkloadTrace
+
+__all__ = ["save_trace", "load_trace", "trace_to_csv", "trace_from_csv"]
+
+_HEADER = "time_s,login_rate,connections"
+
+
+def trace_to_csv(trace: WorkloadTrace) -> str:
+    """Serialize a trace to CSV text."""
+    out = io.StringIO()
+    out.write(f"# elastic-dc workload trace v1, {len(trace.times_s)} rows\n")
+    out.write(_HEADER + "\n")
+    for t, rate, conn in zip(trace.times_s, trace.login_rate,
+                             trace.connections):
+        out.write(f"{t:.6g},{rate:.10g},{conn:.10g}\n")
+    return out.getvalue()
+
+
+def trace_from_csv(text: str) -> WorkloadTrace:
+    """Parse a trace from CSV text (inverse of :func:`trace_to_csv`)."""
+    lines = [line.strip() for line in text.splitlines()
+             if line.strip() and not line.startswith("#")]
+    if not lines or lines[0] != _HEADER:
+        raise ValueError(f"expected header {_HEADER!r}")
+    rows = [line.split(",") for line in lines[1:]]
+    if not rows:
+        raise ValueError("trace has no data rows")
+    if any(len(row) != 3 for row in rows):
+        raise ValueError("malformed row: expected 3 columns")
+    data = np.array([[float(cell) for cell in row] for row in rows])
+    times = data[:, 0]
+    if (np.diff(times) <= 0).any():
+        raise ValueError("times must be strictly increasing")
+    return WorkloadTrace(times, data[:, 1], data[:, 2])
+
+
+def save_trace(trace: WorkloadTrace, path) -> pathlib.Path:
+    """Write a trace to ``path``; returns the resolved path."""
+    path = pathlib.Path(path)
+    path.write_text(trace_to_csv(trace))
+    return path.resolve()
+
+
+def load_trace(path) -> WorkloadTrace:
+    """Read a trace written by :func:`save_trace`."""
+    return trace_from_csv(pathlib.Path(path).read_text())

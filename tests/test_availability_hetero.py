@@ -1,0 +1,151 @@
+"""Tests for tier availability Monte-Carlo and heterogeneous fleets."""
+
+import pytest
+
+from repro.cluster import (
+    BRAWNY_2008,
+    HeterogeneousScheduler,
+    ServerClass,
+    WIMPY_2008,
+)
+from repro.datacenter import (
+    AvailabilityModel,
+    AvailabilityParameters,
+    TIER_AVAILABILITY_PARAMETERS,
+    TIER_SPECS,
+    Tier,
+)
+import dataclasses
+
+
+# ----------------------------------------------------------------------
+# Availability Monte-Carlo
+# ----------------------------------------------------------------------
+def test_parameters_validation():
+    with pytest.raises(ValueError):
+        AvailabilityParameters(10.0, 5.0, 2.0, 1.5, 1.0, 4.0, 0.5)
+    with pytest.raises(ValueError):
+        AvailabilityParameters(-1.0, 5.0, 2.0, 0.5, 1.0, 4.0, 0.5)
+
+
+def test_simulate_validation():
+    model = AvailabilityModel.for_tier(Tier.II)
+    with pytest.raises(ValueError):
+        model.simulate(years=0)
+
+
+def test_tier2_availability_near_published():
+    """§2.1: tier-2 provides 99.741% availability."""
+    estimate = AvailabilityModel.for_tier(Tier.II, seed=1).simulate(5_000)
+    assert estimate.availability == pytest.approx(0.99741, abs=0.0006)
+
+
+def test_tier_availability_ordering():
+    estimates = {tier: AvailabilityModel.for_tier(tier, seed=2)
+                 .simulate(3_000).availability for tier in Tier}
+    values = [estimates[t] for t in Tier]
+    assert values == sorted(values)
+    # And each lands within striking distance of the published table.
+    for tier in Tier:
+        assert estimates[tier] == pytest.approx(
+            TIER_SPECS[tier].availability, abs=0.0015)
+
+
+def test_breakdown_attribution():
+    """Low tiers are maintenance-dominated; high tiers are not."""
+    low = AvailabilityModel.for_tier(Tier.I, seed=3).simulate(2_000)
+    high = AvailabilityModel.for_tier(Tier.IV, seed=3).simulate(2_000)
+    assert low.downtime_breakdown_h["maintenance"] \
+        > low.downtime_breakdown_h["grid"]
+    assert high.downtime_breakdown_h["maintenance"] == 0.0
+    total = sum(low.downtime_breakdown_h.values())
+    assert total == pytest.approx(low.downtime_h_per_year, rel=1e-9)
+
+
+def test_redundancy_masks_internal_faults():
+    base = TIER_AVAILABILITY_PARAMETERS[Tier.II]
+    unmasked = dataclasses.replace(base, internal_masked_probability=0.0)
+    masked = dataclasses.replace(base, internal_masked_probability=0.95)
+    down_unmasked = AvailabilityModel(unmasked, seed=4).simulate(2_000)
+    down_masked = AvailabilityModel(masked, seed=4).simulate(2_000)
+    assert down_masked.downtime_h_per_year \
+        < down_unmasked.downtime_h_per_year
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous fleets (§4.1)
+# ----------------------------------------------------------------------
+def fleet(brawny=6, wimpy=12):
+    classes = [dataclasses.replace(BRAWNY_2008(), count=brawny),
+               dataclasses.replace(WIMPY_2008(), count=wimpy)]
+    return HeterogeneousScheduler(classes)
+
+
+def test_class_validation():
+    with pytest.raises(ValueError):
+        ServerClass("x", BRAWNY_2008().model, capacity=0.0, count=1)
+    with pytest.raises(ValueError):
+        HeterogeneousScheduler([])
+    with pytest.raises(ValueError):
+        HeterogeneousScheduler([BRAWNY_2008(), BRAWNY_2008()])
+
+
+def test_zero_demand_plan_is_empty():
+    plan = fleet().plan(0.0)
+    assert plan.total_machines == 0
+    assert plan.total_power_w == 0.0
+
+
+def test_plan_meets_demand():
+    scheduler = fleet()
+    for demand in (30.0, 100.0, 400.0, 700.0):
+        plan = scheduler.plan(demand)
+        assert sum(plan.load_share.values()) == pytest.approx(demand)
+
+
+def test_infeasible_demand_raises():
+    with pytest.raises(ValueError):
+        fleet(brawny=1, wimpy=1).plan(10_000.0)
+    with pytest.raises(ValueError):
+        fleet().plan(-1.0)
+
+
+def test_low_demand_prefers_wimpy_nodes():
+    """A trickle of work goes on low-floor machines."""
+    plan = fleet().plan(25.0)
+    assert plan.machines["brawny"] == 0
+    assert plan.machines["wimpy"] >= 1
+
+
+def test_high_demand_engages_brawny_nodes():
+    plan = fleet().plan(700.0)
+    assert plan.machines["brawny"] >= 5
+
+
+def test_heterogeneous_beats_homogeneous_somewhere():
+    """The §4.1 payoff: the mix beats either pure fleet at some load."""
+    scheduler = fleet(brawny=8, wimpy=16)
+    wins = 0
+    for demand in (30.0, 60.0, 120.0, 240.0, 480.0):
+        mixed = scheduler.plan(demand).total_power_w
+        brawny_only = scheduler.homogeneous_power(demand, "brawny")
+        assert mixed <= brawny_only + 1e-9
+        if mixed < brawny_only - 1.0:
+            wins += 1
+    assert wins >= 2  # strictly better at several demand points
+
+
+def test_power_monotone_in_demand():
+    scheduler = fleet()
+    powers = [scheduler.plan(d).total_power_w
+              for d in (50.0, 150.0, 300.0, 600.0)]
+    assert powers == sorted(powers)
+
+
+def test_energy_per_work_shapes():
+    brawny, wimpy = BRAWNY_2008(), WIMPY_2008()
+    # At full utilization the brawny machine is competitive…
+    assert brawny.energy_per_work_at(1.0) == pytest.approx(3.0)
+    # …but at 20 % utilization the wimpy node wins clearly.
+    assert wimpy.energy_per_work_at(0.2) < brawny.energy_per_work_at(0.2)
+    assert brawny.energy_per_work_at(0.0) == float("inf")

@@ -1,0 +1,88 @@
+"""Cross-validation: the analytic BatchingModel vs an event-level
+simulation of timeout-based batching on the kernel.
+
+The §4.2 batching policy is easy to get subtly wrong (window anchored
+at the first arrival, wake-up before the burst, in-burst ordering), so
+the analytic model's power and latency predictions are checked against
+a request-by-request simulation rather than trusted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import BatchingModel
+from repro.sim import Environment, RandomStreams, Store
+
+
+def simulate_batching(arrival_rate, timeout_s, model: BatchingModel,
+                      horizon_s=4_000.0, seed=0):
+    """Event-level timeout batching; returns (mean power, mean added
+    latency) measured over the horizon."""
+    env = Environment()
+    rng = RandomStreams(seed).get("arrivals")
+    inbox = Store(env)
+    added_latencies: list[float] = []
+    busy_s_total = [0.0]
+
+    def arrivals(env):
+        while True:
+            yield env.timeout(rng.exponential(1.0 / arrival_rate))
+            yield inbox.put(env.now)
+
+    def server(env):
+        while True:
+            # Deep idle until an opener arrives (event-driven).
+            opener = yield inbox.get()
+            yield env.timeout(max(0.0, opener + timeout_s - env.now))
+            batch = [opener] + list(inbox.items)
+            inbox.items.clear()
+            # Wake, then serve the burst in arrival order.
+            yield env.timeout(model.wake_s)
+            busy_s_total[0] += model.wake_s
+            for arrived in batch:
+                yield env.timeout(model.service_s)
+                busy_s_total[0] += model.service_s
+                added_latencies.append(
+                    env.now - arrived - model.service_s)
+
+    env.process(arrivals(env))
+    env.process(server(env))
+    env.run(until=horizon_s)
+
+    busy = busy_s_total[0]
+    idle = horizon_s - busy
+    mean_power = (busy * model.busy_w + idle * model.idle_deep_w) \
+        / horizon_s
+    return mean_power, float(np.mean(added_latencies))
+
+
+@pytest.mark.parametrize("arrival_rate,timeout_s", [
+    (10.0, 0.2),
+    (10.0, 0.5),
+    (40.0, 0.1),
+    (5.0, 0.3),
+])
+def test_analytic_power_matches_simulation(arrival_rate, timeout_s):
+    model = BatchingModel()
+    predicted = model.mean_power_w(arrival_rate, timeout_s)
+    measured, _ = simulate_batching(arrival_rate, timeout_s, model)
+    assert measured == pytest.approx(predicted, rel=0.1)
+
+
+@pytest.mark.parametrize("arrival_rate,timeout_s", [
+    (10.0, 0.2),
+    (40.0, 0.1),
+])
+def test_analytic_latency_matches_simulation(arrival_rate, timeout_s):
+    model = BatchingModel()
+    predicted = model.added_latency_s(arrival_rate, timeout_s)
+    _, measured = simulate_batching(arrival_rate, timeout_s, model,
+                                    horizon_s=6_000.0)
+    assert measured == pytest.approx(predicted, rel=0.15)
+
+
+def test_batch_size_plus_one_semantics():
+    """batch = 1 (opener) + λ·T (window arrivals)."""
+    model = BatchingModel()
+    assert model.mean_batch_size(10.0, 0.5) == pytest.approx(6.0)
+    assert model.mean_batch_size(10.0, 0.0) == 1.0

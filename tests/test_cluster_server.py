@@ -1,0 +1,230 @@
+"""Unit tests for the Server state machine and power behaviour."""
+
+import pytest
+
+from repro.cluster import InvalidTransition, Server, ServerState
+from repro.power import ServerPowerModel
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_server(env, **kwargs):
+    defaults = dict(boot_s=120.0, wake_s=15.0, sleep_w=10.0)
+    defaults.update(kwargs)
+    return Server(env, "s0", **defaults)
+
+
+def test_server_validation(env):
+    with pytest.raises(ValueError):
+        Server(env, "bad", capacity=0.0)
+    with pytest.raises(ValueError):
+        Server(env, "bad", boot_s=-1.0)
+    with pytest.raises(ValueError):
+        Server(env, "bad", sleep_w=-1.0)
+
+
+def test_initial_state_off(env):
+    server = make_server(env)
+    assert server.state is ServerState.OFF
+    assert server.power_w() == server.model.off_w
+    assert server.effective_capacity == 0.0
+
+
+def test_boot_takes_boot_seconds(env):
+    server = make_server(env)
+    done = server.power_on()
+    assert server.state is ServerState.BOOTING
+    assert server.power_w() == server.model.boot_w
+    env.run(until=done)
+    assert server.state is ServerState.ACTIVE
+    assert env.now == pytest.approx(120.0)
+
+
+def test_double_power_on_returns_same_transition(env):
+    server = make_server(env)
+    first = server.power_on()
+    second = server.power_on()
+    assert first is second
+
+
+def test_power_on_from_active_rejected(env):
+    server = make_server(env)
+    env.run(until=server.power_on())
+    with pytest.raises(InvalidTransition):
+        server.power_on()
+
+
+def test_shutdown_sheds_load(env):
+    server = make_server(env)
+    env.run(until=server.power_on())
+    server.set_offered_load(50.0)
+    server.shut_down()
+    assert server.state is ServerState.OFF
+    assert server.offered_load == 0.0
+
+
+def test_sleep_requires_drained_load(env):
+    server = make_server(env)
+    env.run(until=server.power_on())
+    server.set_offered_load(10.0)
+    with pytest.raises(InvalidTransition):
+        server.sleep()
+    server.set_offered_load(0.0)
+    server.sleep()
+    assert server.state is ServerState.SLEEPING
+    assert server.power_w() == pytest.approx(10.0)
+
+
+def test_wake_faster_than_boot(env):
+    server = make_server(env)
+    env.run(until=server.power_on())
+    server.sleep()
+    t0 = env.now
+    env.run(until=server.wake())
+    assert env.now - t0 == pytest.approx(15.0)
+    assert server.state is ServerState.ACTIVE
+
+
+def test_wake_from_off_rejected(env):
+    server = make_server(env)
+    with pytest.raises(InvalidTransition):
+        server.wake()
+
+
+def test_fail_and_repair_cycle(env):
+    server = make_server(env)
+    env.run(until=server.power_on())
+    server.set_offered_load(30.0)
+    server.fail()
+    assert server.state is ServerState.FAILED
+    assert server.offered_load == 0.0
+    with pytest.raises(InvalidTransition):
+        server.power_on()
+    server.repair()
+    assert server.state is ServerState.OFF
+
+
+def test_utilization_and_delivered_load(env):
+    server = make_server(env, capacity=100.0)
+    env.run(until=server.power_on())
+    server.set_offered_load(60.0)
+    assert server.utilization == pytest.approx(0.6)
+    assert server.delivered_load == pytest.approx(60.0)
+    assert server.shed_load == 0.0
+
+
+def test_overload_sheds_excess(env):
+    server = make_server(env, capacity=100.0)
+    env.run(until=server.power_on())
+    server.set_offered_load(150.0)
+    assert server.utilization == 1.0
+    assert server.delivered_load == pytest.approx(100.0)
+    assert server.shed_load == pytest.approx(50.0)
+
+
+def test_negative_load_rejected(env):
+    server = make_server(env)
+    with pytest.raises(ValueError):
+        server.set_offered_load(-5.0)
+
+
+def test_pstate_reduces_capacity_and_power(env):
+    server = make_server(env, capacity=100.0)
+    env.run(until=server.power_on())
+    server.set_offered_load(40.0)
+    p_full = server.power_w()
+    cap_full = server.effective_capacity
+    server.set_pstate(3)
+    assert server.effective_capacity < cap_full
+    assert server.power_w() < p_full
+
+
+def test_pstate_out_of_range(env):
+    server = make_server(env)
+    with pytest.raises(ValueError):
+        server.set_pstate(99)
+
+
+def test_idle_active_power_matches_claim(env):
+    """§4.3: powered-on idle server at ~60 % of peak."""
+    server = make_server(env)
+    env.run(until=server.power_on())
+    assert server.power_w() == pytest.approx(0.6 * server.model.peak_w)
+
+
+def test_apply_cap_throttles_to_budget(env):
+    server = make_server(env, capacity=100.0)
+    env.run(until=server.power_on())
+    server.set_offered_load(100.0)
+    demand = server.demand_w()
+    target = demand * 0.8
+    achieved = server.apply_cap(target)
+    assert achieved <= target + 1e-9
+    assert server.capped
+    assert server.demand_w() == pytest.approx(demand)  # demand unchanged
+
+
+def test_cap_below_floor_gets_deepest_throttle(env):
+    server = make_server(env, capacity=100.0)
+    env.run(until=server.power_on())
+    server.set_offered_load(100.0)
+    achieved = server.apply_cap(1.0)  # impossible budget
+    assert achieved == pytest.approx(server.min_power_w(), rel=0.05)
+
+
+def test_remove_cap_restores_power(env):
+    server = make_server(env, capacity=100.0)
+    env.run(until=server.power_on())
+    server.set_offered_load(100.0)
+    before = server.power_w()
+    server.apply_cap(before * 0.7)
+    server.remove_cap()
+    assert server.power_w() == pytest.approx(before)
+    assert not server.capped
+
+
+def test_cap_on_inactive_server_is_noop(env):
+    server = make_server(env)
+    assert server.apply_cap(50.0) == server.model.off_w
+
+
+def test_energy_accounting_over_boot_and_idle(env):
+    model = ServerPowerModel(peak_w=200.0, idle_fraction=0.5,
+                             off_w=0.0, boot_w=200.0)
+    server = Server(env, "s", power_model=model, boot_s=100.0)
+    env.run(until=server.power_on())
+    env.run(until=300.0)
+    server.set_offered_load(0.0)  # force a final power sample
+    # 100 s boot at 200 W + 200 s idle at 100 W.
+    assert server.energy_j(0.0, 300.0) == pytest.approx(
+        100.0 * 200.0 + 200.0 * 100.0)
+
+
+def test_state_log_records_transitions(env):
+    server = make_server(env)
+    env.run(until=server.power_on())
+    server.sleep()
+    env.run(until=server.wake())
+    states = [state for _, state in server.state_log]
+    assert states == [ServerState.OFF, ServerState.BOOTING,
+                      ServerState.ACTIVE, ServerState.SLEEPING,
+                      ServerState.WAKING, ServerState.ACTIVE]
+
+
+def test_wake_energy_cost_visible(env):
+    """Waking draws boot-level power — the §4.3 wake-cost caveat."""
+    server = make_server(env, wake_s=20.0)
+    env.run(until=server.power_on())
+    server.sleep()
+    sleep_start = env.now
+    env.run(until=env.now + 100.0)
+    wake_done = server.wake()
+    env.run(until=wake_done)
+    sleep_energy = server.energy_j(sleep_start, sleep_start + 100.0)
+    wake_energy = server.energy_j(sleep_start + 100.0, env.now)
+    assert sleep_energy == pytest.approx(10.0 * 100.0)
+    assert wake_energy == pytest.approx(server.model.boot_w * 20.0)

@@ -1,0 +1,309 @@
+"""Tests for VMs, hosts, interference, placement, and migration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BestFitPlacer,
+    CorrelationAwarePlacer,
+    FirstFitPlacer,
+    InterferenceModel,
+    MigrationCostModel,
+    MigrationManager,
+    PlacementError,
+    VMHost,
+    VirtualMachine,
+)
+from repro.sim import Environment
+from repro.workload import CPU_BOUND, DISK_BOUND, NETWORK_BOUND, ResourceProfile
+
+
+def vm(name, profile, scale=1.0, memory_gb=4.0):
+    return VirtualMachine(name, profile, scale=scale, memory_gb=memory_gb)
+
+
+# ----------------------------------------------------------------------
+# VM / VMHost basics
+# ----------------------------------------------------------------------
+def test_vm_validation():
+    with pytest.raises(ValueError):
+        VirtualMachine("x", CPU_BOUND, scale=0.0)
+    with pytest.raises(ValueError):
+        VirtualMachine("x", CPU_BOUND, memory_gb=-1.0)
+
+
+def test_host_validation():
+    with pytest.raises(ValueError):
+        VMHost("h", capacity=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        VMHost("h", capacity=(0.0, 1.0, 1.0, 1.0))
+
+
+def test_place_and_evict():
+    host = VMHost("h")
+    guest = vm("a", CPU_BOUND)
+    host.place(guest)
+    assert guest.host is host
+    with pytest.raises(ValueError):
+        host.place(guest)
+    host.evict(guest)
+    assert guest.host is None
+    with pytest.raises(ValueError):
+        host.evict(guest)
+
+
+def test_can_fit_additive():
+    host = VMHost("h")
+    a = vm("a", CPU_BOUND)   # cpu 0.9
+    b = vm("b", CPU_BOUND)
+    assert host.can_fit(a)
+    host.place(a)
+    assert not host.can_fit(b)  # 1.8 cpu > 1.0
+
+
+def test_soft_state_validation_and_mapping():
+    guest = vm("a", CPU_BOUND)
+    with pytest.raises(ValueError):
+        guest.request_soft_state(0.0)
+    host = VMHost("h")
+    host.place(guest)
+    guest.request_soft_state(1.0)
+    assert host.resolve_hard_pstate(6) == 0
+    guest.request_soft_state(0.2)
+    assert host.resolve_hard_pstate(6) == 4
+
+
+def test_soft_state_most_demanding_guest_wins():
+    """VPM rule: hardware follows the hungriest guest."""
+    host = VMHost("h", capacity=(2.0, 2.0, 2.0, 2.0))
+    a, b = vm("a", CPU_BOUND), vm("b", CPU_BOUND)
+    host.place(a)
+    host.place(b)
+    a.request_soft_state(0.2)
+    b.request_soft_state(1.0)
+    assert host.resolve_hard_pstate(6) == 0
+
+
+def test_idle_host_deepest_pstate():
+    host = VMHost("h")
+    assert host.resolve_hard_pstate(6) == 5
+
+
+# ----------------------------------------------------------------------
+# Interference (§4.4 disk contention)
+# ----------------------------------------------------------------------
+def test_interference_validation():
+    with pytest.raises(ValueError):
+        InterferenceModel(disk_contention_beta=-1.0)
+    with pytest.raises(ValueError):
+        InterferenceModel(intensity_threshold=0.0)
+    with pytest.raises(ValueError):
+        InterferenceModel(contended_resources=("gpu",))
+
+
+def test_single_vm_no_slowdown():
+    model = InterferenceModel()
+    host = VMHost("h")
+    host.place(vm("a", DISK_BOUND))
+    report = model.evaluate(host)
+    assert report.slowdowns["a"] == pytest.approx(1.0)
+    assert report.bottleneck is None
+
+
+def test_two_disk_bound_vms_degrade_significantly():
+    """The paper's exact example: two disk-IO-intensive colocated VMs."""
+    model = InterferenceModel(disk_contention_beta=0.7)
+    host = VMHost("h", capacity=(2.0, 2.0, 2.0, 2.0))
+    host.place(vm("a", DISK_BOUND))
+    host.place(vm("b", DISK_BOUND))
+    report = model.evaluate(host)
+    # Effective disk capacity: 2.0 / 1.7 ≈ 1.18; demand 1.8 -> ~0.65 each.
+    assert report.bottleneck == "disk"
+    assert report.slowdowns["a"] < 0.7
+    # The degradation is super-linear: worse than plain 2-way sharing
+    # of the nominal capacity would predict (which would be 1.0 here).
+    assert report.worst_slowdown < 1.0
+
+
+def test_cpu_plus_disk_mix_is_fine():
+    model = InterferenceModel()
+    host = VMHost("h", capacity=(2.0, 2.0, 2.0, 2.0))
+    host.place(vm("a", CPU_BOUND))
+    host.place(vm("b", DISK_BOUND))
+    report = model.evaluate(host)
+    assert report.worst_slowdown == pytest.approx(1.0)
+
+
+def test_aggregate_throughput_prefers_mixing():
+    """EXP-VMIX shape: mixed colocations complete more work."""
+    model = InterferenceModel()
+    same = VMHost("same", capacity=(2.0, 2.0, 2.0, 2.0))
+    same.place(vm("a", DISK_BOUND))
+    same.place(vm("b", DISK_BOUND))
+    mixed = VMHost("mixed", capacity=(2.0, 2.0, 2.0, 2.0))
+    mixed.place(vm("c", DISK_BOUND))
+    mixed.place(vm("d", CPU_BOUND))
+    assert model.aggregate_throughput(mixed) \
+        > model.aggregate_throughput(same)
+
+
+def test_pairwise_slowdown_does_not_mutate():
+    model = InterferenceModel()
+    a, b = vm("a", DISK_BOUND), vm("b", DISK_BOUND)
+    slowdown = model.pairwise_slowdown(a, b)
+    assert slowdown < 1.0
+    assert a.host is None and b.host is None
+
+
+def test_saturation_fair_sharing():
+    model = InterferenceModel(contended_resources=())
+    host = VMHost("h")
+    host.place(vm("a", CPU_BOUND))  # 0.9 cpu
+    host.place(vm("b", ResourceProfile(cpu=0.9, disk=0.0,
+                                       network=0.0, memory=0.0)))
+    report = model.evaluate(host)
+    # 1.8 demand on 1.0 capacity -> 5/9 each.
+    assert report.slowdowns["a"] == pytest.approx(1.0 / 1.8)
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+def hosts(n, capacity=(1.0, 1.0, 1.0, 1.0)):
+    return [VMHost(f"h{i}", capacity=capacity) for i in range(n)]
+
+
+def test_first_fit_takes_first_feasible():
+    pool = hosts(3)
+    placer = FirstFitPlacer(pool)
+    assert placer.place(vm("a", CPU_BOUND)) is pool[0]
+    assert placer.place(vm("b", CPU_BOUND)) is pool[1]  # h0 full on cpu
+
+
+def test_best_fit_packs_densely():
+    pool = hosts(2, capacity=(2.0, 2.0, 2.0, 2.0))
+    placer = BestFitPlacer(pool)
+    placer.place(vm("a", CPU_BOUND))
+    host_b = placer.place(vm("b", CPU_BOUND))
+    assert host_b is pool[0]  # least leftover: join the loaded host
+
+
+def test_placement_error_when_full():
+    pool = hosts(1)
+    placer = FirstFitPlacer(pool)
+    placer.place(vm("a", CPU_BOUND))
+    with pytest.raises(PlacementError):
+        placer.place(vm("b", CPU_BOUND))
+
+
+def test_placer_requires_hosts():
+    with pytest.raises(ValueError):
+        FirstFitPlacer([])
+
+
+def test_correlation_aware_avoids_disk_stacking():
+    """Given the choice, the §5.2 placer separates disk-bound VMs."""
+    pool = hosts(2, capacity=(3.0, 3.0, 3.0, 3.0))
+    placer = CorrelationAwarePlacer(pool)
+    placer.place(vm("a", DISK_BOUND))
+    host_b = placer.place(vm("b", DISK_BOUND))
+    assert host_b is pool[1]
+
+
+def test_correlation_aware_prefers_anti_correlated_phases():
+    day = ResourceProfile(cpu=0.4, disk=0.1, network=0.1, memory=0.2,
+                          phase_hour=14.0)
+    night = ResourceProfile(cpu=0.4, disk=0.1, network=0.1, memory=0.2,
+                            phase_hour=2.0)
+    pool = hosts(2, capacity=(3.0, 3.0, 3.0, 3.0))
+    placer = CorrelationAwarePlacer(pool, empty_host_penalty=0.5)
+    placer.place(vm("day1", day))
+    placer.place(vm("night1", night))  # joins day1: corr -1 < penalty
+    assert len(pool[0].vms) == 2
+    chosen = placer.place(vm("day2", day))
+    # day2 correlates +1 with day1, -1 with night1 -> mean 0; a fresh
+    # host scores 0.5, an all-day host would score 1.  It must not end
+    # up stacked on a same-phase pair.
+    resident_phases = [v.profile.phase_hour for v in chosen.vms]
+    assert resident_phases.count(14.0) <= 2
+
+
+def test_place_all_returns_mapping():
+    pool = hosts(4)
+    placer = FirstFitPlacer(pool)
+    mapping = placer.place_all([vm("a", CPU_BOUND), vm("b", DISK_BOUND)])
+    assert set(mapping) == {"a", "b"}
+
+
+# ----------------------------------------------------------------------
+# Migration
+# ----------------------------------------------------------------------
+def test_migration_cost_validation():
+    with pytest.raises(ValueError):
+        MigrationCostModel(bandwidth_gbps=0.0)
+    with pytest.raises(ValueError):
+        MigrationCostModel(dirty_rate_gbps=-1.0)
+    model = MigrationCostModel()
+    with pytest.raises(ValueError):
+        model.duration_s(0.0)
+
+
+def test_migration_duration_scales_with_memory():
+    model = MigrationCostModel(bandwidth_gbps=8.0, dirty_rate_gbps=0.0)
+    assert model.duration_s(8.0) == pytest.approx(8.0)  # 8 GB over 8 Gbps
+    assert model.duration_s(16.0) == pytest.approx(16.0)
+
+
+def test_dirty_pages_stretch_migration():
+    clean = MigrationCostModel(bandwidth_gbps=8.0, dirty_rate_gbps=0.0)
+    dirty = MigrationCostModel(bandwidth_gbps=8.0, dirty_rate_gbps=4.0)
+    assert dirty.duration_s(8.0) == pytest.approx(2 * clean.duration_s(8.0))
+
+
+def test_non_convergent_migration_long_downtime():
+    model = MigrationCostModel(bandwidth_gbps=2.0, dirty_rate_gbps=4.0,
+                               downtime_budget_s=0.3)
+    assert model.downtime_s(8.0) > 1.0
+
+
+def test_migration_moves_vm_on_clock():
+    env = Environment()
+    manager = MigrationManager(env, MigrationCostModel(
+        bandwidth_gbps=8.0, dirty_rate_gbps=0.0, downtime_budget_s=0.5))
+    src, dst = VMHost("src"), VMHost("dst")
+    guest = vm("a", CPU_BOUND, memory_gb=8.0)
+    src.place(guest)
+    env.run(until=env.process(manager.migrate(guest, dst)))
+    assert guest.host is dst
+    assert env.now == pytest.approx(8.0 + 0.5)
+    assert len(manager.records) == 1
+    record = manager.records[0]
+    assert record.source == "src" and record.destination == "dst"
+    assert manager.total_migration_energy_j() > 0
+
+
+def test_migration_validation():
+    env = Environment()
+    manager = MigrationManager(env)
+    guest = vm("a", CPU_BOUND)
+    with pytest.raises(ValueError):
+        env.run(until=env.process(manager.migrate(guest, VMHost("d"))))
+    with pytest.raises(ValueError):
+        MigrationManager(env, max_concurrent=0)
+
+
+def test_migration_slots_limit_concurrency():
+    env = Environment()
+    manager = MigrationManager(env, max_concurrent=1)
+    src, dst = VMHost("src"), VMHost("dst")
+    a, b = vm("a", CPU_BOUND), vm("b", NETWORK_BOUND)
+    src.place(a)
+    src.place(b)
+
+    def scenario(env):
+        env.process(manager.migrate(a, dst))
+        yield env.timeout(0.1)
+        with pytest.raises(RuntimeError):
+            yield env.process(manager.migrate(b, dst))
+
+    env.run(until=env.process(scenario(env)))

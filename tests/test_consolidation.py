@@ -1,0 +1,140 @@
+"""Tests for the dynamic VM consolidation manager (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VMHost, VirtualMachine
+from repro.core import ConsolidationManager
+from repro.sim import Environment
+from repro.workload import DISK_BOUND, ResourceProfile
+
+DAY = 86_400.0
+
+
+def small_profile(phase_hour=14.0, cpu=0.3):
+    return ResourceProfile(cpu=cpu, disk=0.1, network=0.1, memory=0.2,
+                           phase_hour=phase_hour)
+
+
+def build(n_hosts=6, n_vms=8, profile=None, **kwargs):
+    env = Environment()
+    hosts = [VMHost(f"h{i}") for i in range(n_hosts)]
+    vms = []
+    for i in range(n_vms):
+        vm = VirtualMachine(f"vm{i}", profile or small_profile(),
+                            memory_gb=2.0)
+        hosts[i % n_hosts].place(vm)
+        vms.append(vm)
+    manager = ConsolidationManager(env, hosts, vms, **kwargs)
+    return env, hosts, vms, manager
+
+
+def test_validation():
+    env, hosts, vms, _ = build()
+    with pytest.raises(ValueError):
+        ConsolidationManager(env, hosts, vms, period_s=0.0)
+    with pytest.raises(ValueError):
+        ConsolidationManager(env, hosts, vms, pack_limit=0.0)
+    with pytest.raises(ValueError):
+        ConsolidationManager(env, hosts, vms, min_slowdown=1.5)
+
+
+def test_plan_consolidates_at_trough():
+    """At 02:00, demand is low and few hosts should suffice."""
+    env, hosts, vms, manager = build()
+    trough = 2 * 3600.0  # VMs peak at 14:00
+    assignment = manager.plan(trough)
+    used = {host.name for host in assignment.values() if host}
+    assert len(used) < 6
+
+
+def test_plan_spreads_at_peak():
+    env, hosts, vms, manager = build(
+        profile=small_profile(cpu=0.45))
+    peak_hosts = {h.name for h in manager.plan(14 * 3600.0).values()}
+    trough_hosts = {h.name for h in manager.plan(2 * 3600.0).values()}
+    assert len(peak_hosts) > len(trough_hosts)
+
+
+def test_plan_respects_pack_limit():
+    # 5 VMs on 6 hosts: feasible at one per host, so no VM needs the
+    # leave-in-place fallback and the cap must hold everywhere.
+    env, hosts, vms, manager = build(n_vms=5, pack_limit=0.5)
+    assignment = manager.plan(14 * 3600.0)
+    # Rebuild packed demand per host and check the cap.
+    per_host = {}
+    for vm in vms:
+        host = assignment[vm.name]
+        demand = manager._demand_vector(vm, 14 * 3600.0)
+        per_host.setdefault(host.name, np.zeros(4))
+        per_host[host.name] += demand
+    for host in hosts:
+        if host.name in per_host:
+            assert (per_host[host.name]
+                    <= host.capacity * 0.5 + 1e-9).all()
+
+
+def test_disk_bound_vms_not_stacked():
+    """The §4.4 veto: consolidation never creates a disk pileup."""
+    env, hosts, vms, manager = build(n_hosts=4, n_vms=4,
+                                     profile=DISK_BOUND,
+                                     min_slowdown=0.9)
+    assignment = manager.plan(2 * 3600.0)  # trough: tempting to pack
+    hosts_used = {}
+    for vm_name, host in assignment.items():
+        hosts_used.setdefault(host.name, 0)
+        hosts_used[host.name] += 1
+    assert max(hosts_used.values()) == 1  # never two disk hogs together
+
+
+def test_cycle_migrates_and_parks_hosts():
+    env, hosts, vms, manager = build()
+    start_active = manager.active_hosts()
+    assert start_active == 6
+
+    def scenario(env):
+        # Run one cycle at the overnight trough.
+        env._now = 2 * 3600.0
+        yield env.process(manager.cycle())
+
+    env.process(scenario(env))
+    env.run()
+    assert manager.active_hosts() < start_active
+    assert manager.moves_planned > 0
+    assert manager.migrations.records  # real migrations happened
+    assert manager.migrations.total_migration_energy_j() > 0
+
+
+def test_power_accounting_parked_hosts_draw_off_power():
+    env, hosts, vms, manager = build(n_hosts=2, n_vms=1)
+    # One VM on h0; h1 empty.
+    power = manager.total_power_w(2 * 3600.0)
+    assert power < manager.model.peak_w + manager.model.off_w + 1.0
+    assert manager.host_power_w(hosts[1], 0.0) == manager.model.off_w
+
+
+def test_run_process_consolidates_over_a_day():
+    env, hosts, vms, manager = build(period_s=3_600.0)
+    env.process(manager.run())
+    env.run(until=DAY)
+    times, counts = manager.active_hosts_monitor.as_arrays()
+    assert counts.min() < counts.max()  # breathes with the diurnal
+    assert manager.energy_j(0.0, DAY) > 0
+
+
+def test_static_baseline_uses_all_hosts():
+    env, hosts, vms, manager = build()
+    static = manager.static_power_w(2 * 3600.0)
+    # All six hosts at least at idle power.
+    assert static >= 6 * manager.model.idle_w
+
+
+def test_infeasible_vm_stays_put():
+    """A VM nothing can host is left where it is, not dropped."""
+    env = Environment()
+    hosts = [VMHost("h0", capacity=(1.0, 1.0, 1.0, 1.0))]
+    big = VirtualMachine("big", small_profile(cpu=0.9), memory_gb=2.0)
+    hosts[0].place(big)
+    manager = ConsolidationManager(env, hosts, [big], pack_limit=0.5)
+    assignment = manager.plan(14 * 3600.0)
+    assert assignment["big"] is hosts[0]

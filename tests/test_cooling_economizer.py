@@ -1,0 +1,136 @@
+"""Unit tests for the air-side economizer and weather models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cooling import (
+    AirSideEconomizer,
+    DUBLIN_LIKE,
+    EconomizerMode,
+    PHOENIX_LIKE,
+    SEATTLE_LIKE,
+    WeatherModel,
+)
+
+
+# ----------------------------------------------------------------------
+# Weather
+# ----------------------------------------------------------------------
+def test_weather_is_deterministic():
+    a = WeatherModel(seed=3)
+    b = WeatherModel(seed=3)
+    for t in [0.0, 1e5, 1e7]:
+        assert a.temperature_c(t) == b.temperature_c(t)
+        assert a.relative_humidity(t) == b.relative_humidity(t)
+
+
+def test_weather_summer_warmer_than_winter():
+    w = WeatherModel(mean_temp_c=10.0, annual_swing_c=10.0, noise_c=0.0)
+    winter = w.temperature_c(0.0)  # year starts mid-winter (cos phase)
+    summer = w.temperature_c(182.5 * 86400.0)
+    assert summer > winter + 10.0
+
+
+def test_weather_afternoon_warmer_than_night():
+    w = WeatherModel(noise_c=0.0, diurnal_swing_c=8.0)
+    night = w.temperature_c(3 * 3600.0)
+    afternoon = w.temperature_c(15 * 3600.0)
+    assert afternoon > night
+
+
+def test_weather_humidity_bounds():
+    w = WeatherModel(seed=1)
+    for t in range(0, 365 * 86400, 6 * 3600):
+        rh = w.relative_humidity(float(t))
+        assert 0.05 <= rh <= 0.99
+
+
+def test_weather_rejects_bad_rh():
+    with pytest.raises(ValueError):
+        WeatherModel(mean_rh=1.5)
+
+
+def test_climate_presets_ordering():
+    """Phoenix is hotter than Seattle is hotter than Dublin, on average."""
+    def annual_mean(model):
+        temps = [model.temperature_c(t * 86400.0 + 43200.0)
+                 for t in range(365)]
+        return sum(temps) / len(temps)
+
+    assert annual_mean(PHOENIX_LIKE()) > annual_mean(SEATTLE_LIKE())
+    assert annual_mean(SEATTLE_LIKE()) > annual_mean(DUBLIN_LIKE())
+
+
+# ----------------------------------------------------------------------
+# Economizer
+# ----------------------------------------------------------------------
+def test_economizer_validation():
+    with pytest.raises(ValueError):
+        AirSideEconomizer(free_below_c=20.0, mixed_below_c=10.0)
+    with pytest.raises(ValueError):
+        AirSideEconomizer(rh_low=0.9, rh_high=0.5)
+    econ = AirSideEconomizer()
+    with pytest.raises(ValueError):
+        econ.mechanical_power_w(-1.0, 10.0, 0.5)
+
+
+def test_mode_selection_by_temperature():
+    econ = AirSideEconomizer(free_below_c=15.0, mixed_below_c=24.0)
+    assert econ.select_mode(10.0, 0.5) is EconomizerMode.FREE
+    assert econ.select_mode(20.0, 0.5) is EconomizerMode.MIXED
+    assert econ.select_mode(30.0, 0.5) is EconomizerMode.CHILLER
+
+
+def test_humidity_gate_forces_chiller():
+    """§2.2: outside humidity limits economizer use."""
+    econ = AirSideEconomizer(rh_low=0.2, rh_high=0.8)
+    assert econ.select_mode(10.0, 0.95) is EconomizerMode.CHILLER
+    assert econ.select_mode(10.0, 0.05) is EconomizerMode.CHILLER
+
+
+def test_free_cooling_cheaper_than_chiller():
+    econ = AirSideEconomizer()
+    free = econ.mechanical_power_w(100_000.0, 10.0, 0.5)
+    chiller = econ.mechanical_power_w(100_000.0, 30.0, 0.5)
+    assert free < chiller / 2
+
+
+def test_mixed_mode_between_free_and_chiller():
+    econ = AirSideEconomizer(free_below_c=15.0, mixed_below_c=25.0)
+    free = econ.mechanical_power_w(50_000.0, 10.0, 0.5)
+    mixed = econ.mechanical_power_w(50_000.0, 20.0, 0.5)
+    chiller = econ.mechanical_power_w(50_000.0, 30.0, 0.5)
+    assert free < mixed < chiller
+
+
+def test_annual_energy_mild_climate_cheaper():
+    """EXP-ECON shape: economizers win big in mild climates."""
+    heat = 200_000.0
+    seattle = AirSideEconomizer().annual_energy_j(
+        SEATTLE_LIKE(), heat, step_s=6 * 3600.0)
+    phoenix = AirSideEconomizer().annual_energy_j(
+        PHOENIX_LIKE(), heat, step_s=6 * 3600.0)
+    assert seattle < phoenix
+
+
+def test_mode_fractions_sum_to_one():
+    econ = AirSideEconomizer()
+    econ.annual_energy_j(SEATTLE_LIKE(), 10_000.0, step_s=86_400.0 / 2)
+    fractions = econ.mode_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert fractions[EconomizerMode.FREE] > 0
+
+
+def test_mode_fractions_empty():
+    econ = AirSideEconomizer()
+    assert all(v == 0.0 for v in econ.mode_fractions().values())
+
+
+@given(temp=st.floats(min_value=-20, max_value=45),
+       rh=st.floats(min_value=0.0, max_value=1.0),
+       load=st.floats(min_value=0.0, max_value=1e6))
+def test_power_at_least_fan_property(temp, rh, load):
+    """Mechanical power is never below the fan floor, never negative."""
+    econ = AirSideEconomizer()
+    power = econ.mechanical_power_w(load, temp, rh)
+    assert power >= load / 1000.0 * econ.fan_power_per_kw - 1e-9

@@ -1,0 +1,161 @@
+"""Unit tests for thermal zones and CRAC units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cooling import CRACUnit, ThermalZone, default_cop
+
+
+# ----------------------------------------------------------------------
+# ThermalZone
+# ----------------------------------------------------------------------
+def test_zone_validation():
+    with pytest.raises(ValueError):
+        ThermalZone("z", thermal_capacitance_j_per_k=0.0)
+    zone = ThermalZone("z")
+    with pytest.raises(ValueError):
+        zone.set_heat_load(-1.0)
+    with pytest.raises(ValueError):
+        zone.step(0.0, [15.0], [100.0])
+    with pytest.raises(ValueError):
+        zone.step(1.0, [15.0], [100.0, 200.0])
+
+
+def test_zone_relaxes_to_equilibrium():
+    zone = ThermalZone("z", initial_temp_c=22.0)
+    zone.set_heat_load(5_000.0)
+    supply, conductance = [15.0], [1_000.0]
+    expected = zone.equilibrium_temp_c(supply, conductance)
+    assert expected == pytest.approx(15.0 + 5.0)  # T_s + Q/G
+    for _ in range(10_000):
+        zone.step(60.0, supply, conductance)
+    assert zone.temp_c == pytest.approx(expected, abs=1e-6)
+
+
+def test_zone_heats_when_load_rises():
+    zone = ThermalZone("z", initial_temp_c=20.0)
+    zone.set_heat_load(10_000.0)
+    before = zone.temp_c
+    zone.step(300.0, [15.0], [500.0])
+    assert zone.temp_c > before
+
+
+def test_zone_cools_when_supply_drops():
+    zone = ThermalZone("z", initial_temp_c=30.0)
+    zone.set_heat_load(0.0)
+    zone.step(600.0, [10.0], [2_000.0])
+    assert zone.temp_c < 30.0
+
+
+def test_adiabatic_zone_accumulates_heat_linearly():
+    zone = ThermalZone("z", thermal_capacitance_j_per_k=1_000.0,
+                       initial_temp_c=20.0)
+    zone.set_heat_load(100.0)
+    zone.step(10.0, [], [])
+    assert zone.temp_c == pytest.approx(21.0)  # 100 W * 10 s / 1000 J/K
+
+
+def test_zone_alarm_threshold():
+    zone = ThermalZone("z", initial_temp_c=31.0, alarm_temp_c=32.0)
+    assert not zone.in_alarm
+    zone.temp_c = 33.0
+    assert zone.in_alarm
+
+
+def test_equilibrium_unbounded_without_cooling():
+    zone = ThermalZone("z")
+    zone.set_heat_load(100.0)
+    assert zone.equilibrium_temp_c([], []) == float("inf")
+
+
+@given(dt=st.floats(min_value=1.0, max_value=10_000.0),
+       load=st.floats(min_value=0.0, max_value=50_000.0),
+       supply=st.floats(min_value=5.0, max_value=20.0))
+def test_zone_step_stable_property(dt, load, supply):
+    """Exponential integration never overshoots the equilibrium."""
+    zone = ThermalZone("z", initial_temp_c=22.0)
+    zone.set_heat_load(load)
+    eq = zone.equilibrium_temp_c([supply], [1_000.0])
+    lo, hi = min(22.0, eq), max(22.0, eq)
+    zone.step(dt, [supply], [1_000.0])
+    assert lo - 1e-9 <= zone.temp_c <= hi + 1e-9
+
+
+# ----------------------------------------------------------------------
+# CRACUnit
+# ----------------------------------------------------------------------
+def test_crac_validation():
+    with pytest.raises(ValueError):
+        CRACUnit(control_period_s=0.0)
+    with pytest.raises(ValueError):
+        CRACUnit(transport_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        CRACUnit(supply_min_c=20.0, supply_max_c=10.0)
+    with pytest.raises(ValueError):
+        CRACUnit(initial_supply_c=50.0)
+
+
+def test_crac_respects_control_period():
+    crac = CRACUnit(control_period_s=900.0)
+    assert crac.maybe_decide(0.0, return_temp_c=30.0)
+    assert not crac.maybe_decide(100.0, return_temp_c=30.0)
+    assert not crac.maybe_decide(899.0, return_temp_c=30.0)
+    assert crac.maybe_decide(900.0, return_temp_c=30.0)
+
+
+def test_crac_lowers_supply_when_return_hot():
+    crac = CRACUnit(initial_supply_c=14.0, return_setpoint_c=24.0,
+                    deadband_c=1.0, transport_delay_s=0.0)
+    crac.maybe_decide(0.0, return_temp_c=27.0)
+    assert crac.commanded_supply_c == pytest.approx(13.0)
+
+
+def test_crac_raises_supply_when_return_cold():
+    crac = CRACUnit(initial_supply_c=14.0, return_setpoint_c=24.0,
+                    deadband_c=1.0, transport_delay_s=0.0)
+    crac.maybe_decide(0.0, return_temp_c=20.0)
+    assert crac.commanded_supply_c == pytest.approx(15.0)
+
+
+def test_crac_deadband_holds_steady():
+    crac = CRACUnit(initial_supply_c=14.0, return_setpoint_c=24.0,
+                    deadband_c=1.0)
+    crac.maybe_decide(0.0, return_temp_c=24.5)
+    assert crac.commanded_supply_c == pytest.approx(14.0)
+
+
+def test_crac_supply_clamped_to_limits():
+    crac = CRACUnit(initial_supply_c=10.5, supply_min_c=10.0,
+                    supply_max_c=20.0, transport_delay_s=0.0)
+    crac.maybe_decide(0.0, return_temp_c=40.0)
+    crac.advance(0.0)
+    assert crac.supply_temp_c >= 10.0
+
+
+def test_crac_transport_delay():
+    """Commands take effect only after the transport delay (§2.2)."""
+    crac = CRACUnit(initial_supply_c=14.0, transport_delay_s=120.0,
+                    return_setpoint_c=24.0, deadband_c=1.0)
+    crac.maybe_decide(0.0, return_temp_c=30.0)
+    crac.advance(60.0)
+    assert crac.supply_temp_c == pytest.approx(14.0)  # not yet
+    crac.advance(121.0)
+    assert crac.supply_temp_c == pytest.approx(13.0)  # arrived
+
+
+def test_crac_mechanical_power_uses_cop():
+    crac = CRACUnit(initial_supply_c=14.0, fan_power_w=1000.0)
+    cop = default_cop(14.0)
+    power = crac.mechanical_power_w(10_000.0)
+    assert power == pytest.approx(10_000.0 / cop + 1000.0)
+
+
+def test_crac_mechanical_power_floor_is_fan():
+    crac = CRACUnit(fan_power_w=500.0)
+    assert crac.mechanical_power_w(0.0) == pytest.approx(500.0)
+    assert crac.mechanical_power_w(-10.0) == pytest.approx(500.0)
+
+
+def test_cop_improves_with_warmer_supply():
+    """Warmer supply air means cheaper cooling — the economizer lever."""
+    assert default_cop(25.0) > default_cop(15.0) > default_cop(10.0)

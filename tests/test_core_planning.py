@@ -1,0 +1,361 @@
+"""Tests for SLA, forecasting, oversubscription, autoscaling, geo."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EWMAForecaster,
+    GeoScheduler,
+    HoltWintersForecaster,
+    OversubscriptionPlanner,
+    ReactiveAutoscaler,
+    ReactiveForecaster,
+    RegionDemand,
+    SLA,
+    SiteSpec,
+    static_provisioning,
+)
+from repro.sim import Environment, Monitor
+from repro.workload import ResourceProfile, animoto_demand
+
+DAY = 86_400.0
+
+
+# ----------------------------------------------------------------------
+# SLA
+# ----------------------------------------------------------------------
+def test_sla_validation():
+    with pytest.raises(ValueError):
+        SLA("x", response_target_s=0.0)
+    with pytest.raises(ValueError):
+        SLA("x", percentile=100.0)
+    with pytest.raises(ValueError):
+        SLA("x", availability=0.0)
+
+
+def sla_monitors(env, delays, offered, shed):
+    dm, om, sm = Monitor(env), Monitor(env), Monitor(env)
+    for i, d in enumerate(delays):
+        dm.record(d, time=float(i))
+    om.record(offered, time=0.0)
+    sm.record(shed, time=0.0)
+    return dm, om, sm
+
+
+def test_sla_compliant_report():
+    env = Environment()
+    env.run(until=None)
+    env._now = 100.0  # park the clock for integration
+    dm, om, sm = sla_monitors(env, [0.02] * 10, offered=100.0, shed=0.0)
+    report = SLA("svc", response_target_s=0.05).evaluate(dm, om, sm)
+    assert report.compliant
+    assert report.response_ok and report.availability_ok
+
+
+def test_sla_response_violation():
+    env = Environment()
+    env._now = 100.0
+    dm, om, sm = sla_monitors(env, [0.2] * 10, offered=100.0, shed=0.0)
+    report = SLA("svc", response_target_s=0.05).evaluate(dm, om, sm)
+    assert not report.response_ok
+    assert not report.compliant
+
+
+def test_sla_availability_violation():
+    env = Environment()
+    env._now = 100.0
+    dm, om, sm = sla_monitors(env, [0.01] * 10, offered=100.0, shed=5.0)
+    report = SLA("svc", availability=0.999).evaluate(dm, om, sm)
+    assert not report.availability_ok
+
+
+# ----------------------------------------------------------------------
+# Forecasters
+# ----------------------------------------------------------------------
+def test_reactive_forecaster():
+    forecaster = ReactiveForecaster()
+    with pytest.raises(RuntimeError):
+        forecaster.forecast(60.0)
+    forecaster.observe(0.0, 42.0)
+    assert forecaster.forecast(1e6) == 42.0
+
+
+def test_ewma_smooths():
+    forecaster = EWMAForecaster(alpha=0.5)
+    forecaster.observe(0.0, 100.0)
+    forecaster.observe(1.0, 0.0)
+    assert forecaster.forecast(60.0) == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        EWMAForecaster(alpha=0.0)
+
+
+def diurnal_series(days=10, step=1800.0):
+    times = np.arange(0.0, days * DAY, step)
+    values = 600.0 + 300.0 * np.sin(2 * np.pi * (times - 8 * 3600) / DAY)
+    return times, values
+
+
+def test_holt_winters_validation():
+    with pytest.raises(ValueError):
+        HoltWintersForecaster(alpha=0.0)
+    with pytest.raises(ValueError):
+        HoltWintersForecaster(season_buckets=1)
+    forecaster = HoltWintersForecaster()
+    with pytest.raises(RuntimeError):
+        forecaster.forecast(60.0)
+
+
+def test_holt_winters_learns_diurnal_pattern():
+    """After a week of training, HW beats persistence at 2 h horizon."""
+    times, values = diurnal_series(days=10)
+    horizon = 2 * 3600.0
+
+    hw = HoltWintersForecaster(season_buckets=48)
+    hw_mae = hw.mean_absolute_error(times, values, horizon)
+
+    # Persistence baseline MAE at the same horizon.
+    reactive_errors = []
+    last = None
+    pending = []
+    for t, v in zip(times, values):
+        matured = [p for due, p in pending if due <= t]
+        reactive_errors.extend(abs(p - v) for p in matured)
+        pending = [(due, p) for due, p in pending if due > t]
+        pending.append((t + horizon, v))
+    reactive_mae = float(np.mean(reactive_errors))
+
+    assert hw_mae < 0.7 * reactive_mae
+
+
+def test_holt_winters_nonnegative():
+    forecaster = HoltWintersForecaster()
+    forecaster.observe(0.0, 1.0)
+    forecaster.observe(1800.0, 0.0)
+    assert forecaster.forecast(3600.0) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Oversubscription (§3.1)
+# ----------------------------------------------------------------------
+def phased_profiles(n, hours):
+    return [ResourceProfile(cpu=0.8, disk=0.2, network=0.2, memory=0.3,
+                            phase_hour=hours[i % len(hours)])
+            for i in range(n)]
+
+
+def test_planner_validation():
+    with pytest.raises(ValueError):
+        OversubscriptionPlanner(peak_power_w=0.0)
+    planner = OversubscriptionPlanner()
+    with pytest.raises(ValueError):
+        planner.simulate_draw([], budget_w=1000.0)
+    with pytest.raises(ValueError):
+        planner.simulate_draw(phased_profiles(2, [14.0]), budget_w=0.0)
+
+
+def test_worst_case_provisioning_never_overflows():
+    """Budget = nameplate sum: overflow probability is zero."""
+    planner = OversubscriptionPlanner(peak_power_w=300.0)
+    profiles = phased_profiles(20, [14.0])
+    estimate = planner.simulate_draw(profiles, budget_w=20 * 300.0)
+    assert estimate.overflow_probability == 0.0
+    assert estimate.oversubscription_ratio == pytest.approx(1.0)
+
+
+def test_oversubscription_safe_with_statistical_multiplexing():
+    """1.4x oversubscription of a diverse mix stays safe."""
+    planner = OversubscriptionPlanner(peak_power_w=300.0, seed=1)
+    profiles = phased_profiles(40, [2.0, 8.0, 14.0, 20.0])
+    budget = 40 * 300.0 / 1.4
+    estimate = planner.simulate_draw(profiles, budget_w=budget)
+    assert estimate.overflow_probability < 0.001
+
+
+def test_correlated_tenants_multiplex_poorly():
+    """Identical phases: the same ratio that was safe becomes risky."""
+    planner = OversubscriptionPlanner(peak_power_w=300.0, seed=1)
+    aligned = phased_profiles(40, [14.0])
+    diverse = phased_profiles(40, [2.0, 8.0, 14.0, 20.0])
+    budget = 40 * 300.0 / 1.4
+    p_aligned = planner.simulate_draw(aligned, budget).overflow_probability
+    p_diverse = planner.simulate_draw(diverse, budget).overflow_probability
+    assert p_aligned > 10 * max(p_diverse, 1e-6)
+
+
+def test_max_tenants_exceeds_worst_case_count():
+    planner = OversubscriptionPlanner(peak_power_w=300.0, seed=2)
+    pool = phased_profiles(4, [2.0, 8.0, 14.0, 20.0])
+    budget = 6000.0  # worst case fits 20 tenants
+    admitted = planner.max_tenants(pool, budget_w=budget, epsilon=0.001,
+                                   days=10)
+    assert admitted > 20
+
+
+def test_gaussian_ratio_grows_with_tenant_count():
+    """√n multiplexing: more tenants, higher admissible ratio."""
+    ratios = [OversubscriptionPlanner.gaussian_ratio(
+        mean_utilization=0.5, per_tenant_sigma=0.25, tenants=n)
+        for n in (1, 10, 100, 1000)]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] <= 2.0  # bounded by 1/mean utilization
+
+
+def test_gaussian_ratio_validation():
+    with pytest.raises(ValueError):
+        OversubscriptionPlanner.gaussian_ratio(0.0, 0.1, 10)
+    with pytest.raises(ValueError):
+        OversubscriptionPlanner.gaussian_ratio(0.5, -0.1, 10)
+    with pytest.raises(ValueError):
+        OversubscriptionPlanner.gaussian_ratio(0.5, 0.1, 0)
+    with pytest.raises(ValueError):
+        OversubscriptionPlanner.gaussian_ratio(0.5, 0.1, 10, epsilon=0.9)
+
+
+# ----------------------------------------------------------------------
+# Autoscaling (EXP-FLASH machinery)
+# ----------------------------------------------------------------------
+def test_autoscaler_validation():
+    with pytest.raises(ValueError):
+        ReactiveAutoscaler(headroom=-0.1)
+    with pytest.raises(ValueError):
+        ReactiveAutoscaler(max_up_rate=0.0)
+    scaler = ReactiveAutoscaler()
+    with pytest.raises(ValueError):
+        scaler.replay(np.array([0.0]), np.array([1.0]))
+
+
+def test_autoscaler_tracks_animoto_surge():
+    times, demand = animoto_demand(step_s=900.0)
+    scaler = ReactiveAutoscaler(headroom=0.2, provision_delay_s=600.0,
+                                max_up_rate=0.5,
+                                scale_down_delay_s=3600.0)
+    result = scaler.replay(times, demand)
+    assert result.unmet_fraction < 0.02
+    assert result.peak_fleet >= 3500.0
+    # And it reclaims capacity afterwards.
+    assert result.fleet[-1] < 0.3 * result.peak_fleet
+
+
+def test_slow_scaler_misses_the_surge():
+    times, demand = animoto_demand(step_s=900.0)
+    slow = ReactiveAutoscaler(headroom=0.0, provision_delay_s=6 * 3600.0,
+                              max_up_rate=0.05)
+    fast = ReactiveAutoscaler(headroom=0.2, provision_delay_s=600.0,
+                              max_up_rate=0.5)
+    assert slow.replay(times, demand).unmet_fraction \
+        > 5 * fast.replay(times, demand).unmet_fraction
+
+
+def test_static_provisioning_dilemma():
+    """§3.1: static fleets either drop the surge or waste the year."""
+    times, demand = animoto_demand(step_s=900.0)
+    sized_for_mean = static_provisioning(times, demand, fleet_size=100.0)
+    sized_for_peak = static_provisioning(times, demand, fleet_size=3500.0)
+    assert sized_for_mean.unmet_fraction > 0.3      # drops the surge
+    assert sized_for_peak.waste_fraction > 0.5      # wastes off-peak
+    with pytest.raises(ValueError):
+        static_provisioning(times, demand, fleet_size=0.0)
+
+
+def test_autoscaler_capacity_ceiling():
+    times, demand = animoto_demand(step_s=900.0)
+    capped = ReactiveAutoscaler(max_servers=1000.0).replay(times, demand)
+    assert capped.peak_fleet <= 1000.0
+    assert capped.unmet_fraction > 0.1
+
+
+# ----------------------------------------------------------------------
+# Geo federation
+# ----------------------------------------------------------------------
+def three_sites():
+    return [
+        SiteSpec("cheap-cool", capacity=1000.0, pue=1.3,
+                 energy_price_per_kwh=0.04),
+        SiteSpec("mid", capacity=1000.0, pue=1.8,
+                 energy_price_per_kwh=0.08),
+        SiteSpec("pricey-hot", capacity=1000.0, pue=2.2,
+                 energy_price_per_kwh=0.15),
+    ]
+
+
+def test_site_validation():
+    with pytest.raises(ValueError):
+        SiteSpec("x", capacity=0.0, pue=1.5, energy_price_per_kwh=0.1)
+    with pytest.raises(ValueError):
+        SiteSpec("x", capacity=1.0, pue=0.9, energy_price_per_kwh=0.1)
+    with pytest.raises(ValueError):
+        GeoScheduler([])
+
+
+def test_router_prefers_cheap_site_within_latency():
+    sites = three_sites()
+    scheduler = GeoScheduler(sites)
+    demand = RegionDemand(
+        "eu", demand=500.0,
+        latency_ms={"cheap-cool": 80.0, "mid": 40.0, "pricey-hot": 20.0})
+    plan = scheduler.route([demand])
+    assert plan.allocation[("eu", "cheap-cool")] == pytest.approx(500.0)
+    assert plan.total_unplaced == 0.0
+
+
+def test_router_respects_latency_ceiling():
+    sites = three_sites()
+    scheduler = GeoScheduler(sites)
+    demand = RegionDemand(
+        "eu", demand=500.0,
+        latency_ms={"cheap-cool": 300.0, "mid": 40.0, "pricey-hot": 20.0})
+    plan = scheduler.route([demand])
+    assert ("eu", "cheap-cool") not in plan.allocation
+    assert plan.allocation[("eu", "mid")] == pytest.approx(500.0)
+
+
+def test_router_spills_over_capacity():
+    sites = three_sites()
+    scheduler = GeoScheduler(sites)
+    demand = RegionDemand(
+        "us", demand=1500.0,
+        latency_ms={"cheap-cool": 50.0, "mid": 50.0, "pricey-hot": 50.0})
+    plan = scheduler.route([demand])
+    assert plan.allocation[("us", "cheap-cool")] == pytest.approx(1000.0)
+    assert plan.allocation[("us", "mid")] == pytest.approx(500.0)
+
+
+def test_router_reports_unplaced():
+    scheduler = GeoScheduler(three_sites())
+    stranded = RegionDemand("mars", demand=10.0, latency_ms={})
+    plan = scheduler.route([stranded])
+    assert plan.unplaced["mars"] == pytest.approx(10.0)
+
+
+def test_geo_routing_cheaper_than_latency_only():
+    """The §3.2 payoff: energy-aware beats nearest-site routing."""
+    sites = three_sites()
+    scheduler = GeoScheduler(sites)
+    demands = [
+        RegionDemand("a", demand=400.0,
+                     latency_ms={"cheap-cool": 100.0, "mid": 30.0,
+                                 "pricey-hot": 10.0}),
+        RegionDemand("b", demand=400.0,
+                     latency_ms={"cheap-cool": 90.0, "mid": 25.0,
+                                 "pricey-hot": 15.0}),
+    ]
+    smart = scheduler.route(demands).cost_per_hour
+    naive = scheduler.cost_of_naive_plan(demands)
+    assert smart < 0.5 * naive
+
+
+def test_constrained_regions_served_first():
+    sites = [
+        SiteSpec("only", capacity=100.0, pue=1.5,
+                 energy_price_per_kwh=0.05),
+        SiteSpec("other", capacity=100.0, pue=1.5,
+                 energy_price_per_kwh=0.05),
+    ]
+    scheduler = GeoScheduler(sites)
+    picky = RegionDemand("picky", demand=100.0,
+                         latency_ms={"only": 10.0})
+    flexible = RegionDemand("flexible", demand=100.0,
+                            latency_ms={"only": 10.0, "other": 10.0})
+    plan = scheduler.route([flexible, picky])
+    assert plan.total_unplaced == 0.0
+    assert plan.allocation[("picky", "only")] == pytest.approx(100.0)

@@ -1,0 +1,207 @@
+"""Edge-case sweep: failure paths and rarely-hit branches across
+modules."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Rack, Server, ServerState
+from repro.cooling import WeatherModel
+from repro.core import DynamicSite, GeoScheduler, RegionDemand, SiteSpec
+from repro.sim import Container, Environment, Interrupt
+from repro.telemetry import MultiScalePyramid, QueryEngine
+
+
+# ----------------------------------------------------------------------
+# Kernel conditions: failure propagation
+# ----------------------------------------------------------------------
+def test_all_of_fails_on_first_failure():
+    env = Environment()
+    caught = []
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise KeyError("inner")
+
+    def waiter(env):
+        ok = env.timeout(5.0)
+        bad = env.process(failer(env))
+        try:
+            yield env.all_of([ok, bad])
+        except KeyError as exc:
+            caught.append((env.now, str(exc)))
+
+    env.process(waiter(env))
+    env.run()
+    # Fails at t=1, without waiting for the t=5 timeout.
+    assert caught and caught[0][0] == 1.0
+
+
+def test_any_of_fails_if_first_event_fails():
+    env = Environment()
+    caught = []
+
+    def waiter(env, event):
+        try:
+            yield env.any_of([event, env.timeout(10.0)])
+        except ValueError:
+            caught.append(env.now)
+
+    event = env.event()
+    env.process(waiter(env, event))
+    event.fail(ValueError("nope"))
+    env.run()
+    assert caught == [0.0]
+
+
+def test_empty_condition_fires_immediately():
+    env = Environment()
+    results = []
+
+    def waiter(env):
+        value = yield env.all_of([])
+        results.append(value)
+
+    env.process(waiter(env))
+    env.run()
+    assert results == [{}]
+
+
+def test_interrupt_while_waiting_on_child_process():
+    env = Environment()
+    outcome = []
+
+    def child(env):
+        yield env.timeout(100.0)
+        return "done"
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except Interrupt as exc:
+            outcome.append(exc.cause)
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt(cause="abort")
+
+    victim = env.process(parent(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert outcome == ["abort"]
+
+
+def test_container_rejects_negative_amounts():
+    env = Environment()
+    box = Container(env, capacity=10.0)
+    with pytest.raises(ValueError):
+        box.put(-1.0)
+    with pytest.raises(ValueError):
+        box.get(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Server state-machine corners
+# ----------------------------------------------------------------------
+def test_double_wake_returns_same_transition():
+    env = Environment()
+    server = Server(env, "s", wake_s=20.0)
+    env.run(until=server.power_on())
+    server.sleep()
+    first = server.wake()
+    second = server.wake()
+    assert first is second
+
+
+def test_sleep_from_off_rejected():
+    env = Environment()
+    server = Server(env, "s")
+    from repro.cluster import InvalidTransition
+
+    with pytest.raises(InvalidTransition):
+        server.sleep()
+
+
+def test_repair_from_active_rejected():
+    env = Environment()
+    server = Server(env, "s")
+    env.run(until=server.power_on())
+    from repro.cluster import InvalidTransition
+
+    with pytest.raises(InvalidTransition):
+        server.repair()
+
+
+def test_fail_during_boot():
+    """A protective fail() mid-boot must not be resurrected to ACTIVE
+    by the stale boot timer firing later."""
+    env = Environment()
+    server = Server(env, "s", boot_s=100.0)
+    server.power_on()
+    env.run(until=50.0)
+    server.fail()
+    assert server.state is ServerState.FAILED
+    env.run(until=200.0)
+    assert server.state is ServerState.FAILED
+
+
+# ----------------------------------------------------------------------
+# Rack / zone corners
+# ----------------------------------------------------------------------
+def test_zoneless_rack_excluded_from_heat_map():
+    from repro.cluster import Cluster
+
+    env = Environment()
+    servers = [Server(env, f"s{i}") for i in range(2)]
+    for s in servers:
+        s.power_on()
+    env.run(until=125.0)
+    rack = Rack("r", servers)  # no zone
+    cluster = Cluster("c", [rack])
+    assert cluster.heat_by_zone() == {}
+
+
+# ----------------------------------------------------------------------
+# Telemetry corners
+# ----------------------------------------------------------------------
+def test_query_engine_empty_window():
+    engine = QueryEngine(MultiScalePyramid())
+    times, values = engine.daily_trend(0.0, 86_400.0)
+    assert len(values) == 0
+    assert engine.detrended(0.0, 86_400.0).size == 0
+    assert np.isnan(engine.correlation(engine, 0.0, 86_400.0))
+
+
+def test_spikes_on_sparse_data():
+    pyramid = MultiScalePyramid()
+    pyramid.ingest(0.0, 1.0)
+    engine = QueryEngine(pyramid)
+    assert engine.spikes(0.0, 3_600.0) == []
+
+
+# ----------------------------------------------------------------------
+# Geo corners
+# ----------------------------------------------------------------------
+def test_duplicate_site_names_rejected():
+    site = SiteSpec("x", capacity=1.0, pue=1.5,
+                    energy_price_per_kwh=0.1)
+    with pytest.raises(ValueError):
+        GeoScheduler([site, site])
+
+
+def test_region_demand_validation():
+    with pytest.raises(ValueError):
+        RegionDemand("r", demand=-1.0, latency_ms={})
+    with pytest.raises(ValueError):
+        RegionDemand("r", demand=1.0, latency_ms={},
+                     latency_ceiling_ms=0.0)
+
+
+def test_dynamic_site_snapshot_passthrough():
+    site = DynamicSite("s", capacity=123.0, energy_price_per_kwh=0.07,
+                       weather=WeatherModel(mean_temp_c=10.0,
+                                            noise_c=0.0))
+    snap = site.snapshot(0.0)
+    assert snap.name == "s"
+    assert snap.capacity == 123.0
+    assert snap.energy_price_per_kwh == 0.07
+    assert snap.pue >= site.baseline_overhead

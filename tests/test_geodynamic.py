@@ -1,0 +1,97 @@
+"""Tests for follow-the-moon dynamic geo scheduling."""
+
+import pytest
+
+from repro.cooling import WeatherModel
+from repro.core import DynamicSite, FollowTheMoonScheduler, RegionDemand
+
+
+def flat_weather(temp_c, rh=0.5):
+    return WeatherModel(mean_temp_c=temp_c, annual_swing_c=0.0,
+                        diurnal_swing_c=0.0, noise_c=0.0, mean_rh=rh)
+
+
+def diurnal_weather(mean_c, swing_c=16.0, seed=0):
+    return WeatherModel(mean_temp_c=mean_c, annual_swing_c=0.0,
+                        diurnal_swing_c=swing_c, noise_c=0.0,
+                        mean_rh=0.5, seed=seed)
+
+
+def two_antipodal_sites(price=0.08):
+    """Same climate, opposite local time: nights alternate."""
+    east = DynamicSite("east", capacity=1_000.0,
+                       energy_price_per_kwh=price,
+                       weather=diurnal_weather(18.0), utc_offset_h=0.0)
+    west = DynamicSite("west", capacity=1_000.0,
+                       energy_price_per_kwh=price,
+                       weather=diurnal_weather(18.0), utc_offset_h=12.0)
+    return [east, west]
+
+
+def global_region(demand=800.0):
+    return RegionDemand("world", demand=demand,
+                        latency_ms={"east": 80.0, "west": 80.0})
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FollowTheMoonScheduler([])
+    scheduler = FollowTheMoonScheduler(two_antipodal_sites())
+    with pytest.raises(ValueError):
+        FollowTheMoonScheduler(two_antipodal_sites(), period_s=0.0)
+    with pytest.raises(ValueError):
+        scheduler.run([global_region()], duration_s=0.0)
+
+
+def test_effective_pue_tracks_weather():
+    cold = DynamicSite("cold", 100.0, 0.05, flat_weather(5.0))
+    hot = DynamicSite("hot", 100.0, 0.05, flat_weather(35.0))
+    assert cold.effective_pue(0.0) < hot.effective_pue(0.0)
+    # Cold site: free cooling -> overhead is just fans + baseline.
+    assert cold.effective_pue(0.0) < 1.3
+
+
+def test_work_follows_the_cool_site():
+    """With antipodal sites, demand migrates with the (local) night."""
+    scheduler = FollowTheMoonScheduler(two_antipodal_sites())
+    result = scheduler.run([global_region()], duration_s=2 * 86_400.0)
+    # Both sites hosted substantial work — the load moved.
+    assert result.site_hours["east"] > 0.2 * result.site_hours["west"]
+    assert result.site_hours["west"] > 0.2 * result.site_hours["east"]
+    # And the primary site flipped several times over two days.
+    assert result.moves >= 3
+
+
+def test_dynamic_beats_static_assignment():
+    scheduler = FollowTheMoonScheduler(two_antipodal_sites())
+    demands = [global_region()]
+    duration = 2 * 86_400.0
+    dynamic = scheduler.run(demands, duration).total_cost
+    static = scheduler.static_cost(demands, duration)
+    assert dynamic < static
+
+
+def test_flat_world_no_moves():
+    """Identical flat climates: nothing to chase, no churn."""
+    sites = [DynamicSite("a", 1_000.0, 0.08, flat_weather(18.0)),
+             DynamicSite("b", 1_000.0, 0.08, flat_weather(18.0))]
+    scheduler = FollowTheMoonScheduler(sites)
+    result = scheduler.run([RegionDemand(
+        "world", demand=500.0,
+        latency_ms={"a": 50.0, "b": 50.0})], duration_s=86_400.0)
+    assert result.moves == 0
+
+
+def test_latency_ceiling_still_binds():
+    """A site out of latency range never hosts, however cool."""
+    sites = [DynamicSite("near-hot", 1_000.0, 0.08,
+                         flat_weather(35.0)),
+             DynamicSite("far-cold", 1_000.0, 0.02,
+                         flat_weather(2.0))]
+    scheduler = FollowTheMoonScheduler(sites)
+    region = RegionDemand("users", demand=400.0,
+                          latency_ms={"near-hot": 40.0,
+                                      "far-cold": 500.0})
+    result = scheduler.run([region], duration_s=86_400.0)
+    assert result.site_hours["far-cold"] == 0.0
+    assert result.site_hours["near-hot"] > 0.0

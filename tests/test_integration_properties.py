@@ -1,0 +1,154 @@
+"""Cross-module integration tests and system-level property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import EvenSplit, PackFirst, Server, WeightedSplit
+from repro.core import ReactiveAutoscaler
+from repro.datacenter import CoSimulation, DataCenterSpec
+from repro.power import PowerCapper
+from repro.sim import Environment
+from repro.workload import FlashCrowdEvent, demand_trace
+
+
+# ----------------------------------------------------------------------
+# Grid failure end-to-end: UPS ride-through in the co-simulation
+# ----------------------------------------------------------------------
+def test_grid_failure_ride_through_and_recharge():
+    spec = DataCenterSpec(racks=2, servers_per_rack=5, zones=2, cracs=1)
+    sim = CoSimulation(spec, lambda t: 400.0, managed=False)
+    sim.run(600.0)  # settle
+    ups = sim.dc.ups
+
+    # A 60-second utility drop: the battery carries the load.
+    before = ups.battery_j
+    ups.grid_failure()
+    sim.run(60.0)
+    assert not ups.battery_depleted()
+    after_outage = ups.battery_j
+    assert after_outage < before
+
+    # Grid back: the battery recharges over time.
+    ups.grid_restored()
+    sim.run(3600.0)
+    assert ups.battery_j > after_outage
+
+
+def test_grid_failure_longer_than_ride_through_depletes():
+    spec = DataCenterSpec(racks=2, servers_per_rack=5, zones=2, cracs=1)
+    sim = CoSimulation(spec, lambda t: 800.0, managed=False)
+    sim.run(600.0)
+    ups = sim.dc.ups
+    ride = ups.ride_through_s
+    assert 0 < ride < float("inf")
+    ups.grid_failure()
+    sim.run(ride * 1.5)
+    assert ups.battery_depleted()
+
+
+# ----------------------------------------------------------------------
+# Load-balancer properties
+# ----------------------------------------------------------------------
+def make_pool(n, capacity=100.0):
+    env = Environment()
+    servers = [Server(env, f"s{i}", capacity=capacity) for i in range(n)]
+    for server in servers:
+        server.power_on()
+    env.run(until=125.0)
+    return env, servers
+
+
+@given(total=st.floats(min_value=0.0, max_value=500.0),
+       n=st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_policies_conserve_load_property(total, n):
+    """Every policy's shares sum to the dispatched load."""
+    env, servers = make_pool(n)
+    for policy in (EvenSplit(), WeightedSplit(),
+                   PackFirst(target_utilization=0.7)):
+        shares = policy.split(total, servers)
+        assert len(shares) == n
+        assert sum(shares) == pytest.approx(total, abs=1e-6)
+        assert all(share >= -1e-12 for share in shares)
+
+
+@given(total=st.floats(min_value=10.0, max_value=700.0))
+@settings(max_examples=20, deadline=None)
+def test_weighted_split_equalizes_utilization_property(total):
+    env, servers = make_pool(4)
+    servers[0].set_pstate(4)
+    servers[1].set_pstate(2)
+    shares = WeightedSplit().split(total, servers)
+    for server, share in zip(servers, shares):
+        server.set_offered_load(share)
+    utils = [s.utilization for s in servers]
+    assert max(utils) - min(utils) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# Capper property: budget respected whenever floors permit
+# ----------------------------------------------------------------------
+@given(loads=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                      min_size=2, max_size=10),
+       budget_scale=st.floats(min_value=0.5, max_value=1.2))
+@settings(max_examples=25, deadline=None)
+def test_capper_budget_property(loads, budget_scale):
+    env, servers = make_pool(len(loads))
+    for server, load in zip(servers, loads):
+        server.set_offered_load(load)
+    demand = sum(s.demand_w() for s in servers)
+    floor = sum(s.min_power_w() for s in servers)
+    budget = max(demand * budget_scale, floor * 1.02)
+    capper = PowerCapper(env, budget, servers, guard_band=0.0)
+    capper.evaluate()
+    delivered = sum(s.power_w() for s in servers)
+    assert delivered <= budget + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Autoscaler properties
+# ----------------------------------------------------------------------
+@given(seed=st.integers(min_value=0, max_value=100),
+       magnitude=st.floats(min_value=2.0, max_value=50.0))
+@settings(max_examples=25, deadline=None)
+def test_autoscaler_invariants_property(seed, magnitude):
+    """Fleet stays within [min, max]; flat demand is never unmet."""
+    rng = np.random.default_rng(seed)
+    event = FlashCrowdEvent(start_s=3_600.0, rise_s=3_600.0,
+                            plateau_s=3_600.0, decay_s=3_600.0,
+                            magnitude=magnitude,
+                            aftermath=rng.uniform(1.0, 2.0))
+    times, demand = demand_trace(base=10.0, events=[event],
+                                 duration_s=10 * 3_600.0, step_s=300.0)
+    scaler = ReactiveAutoscaler(min_servers=5.0, max_servers=400.0,
+                                provision_delay_s=300.0)
+    result = scaler.replay(times, demand)
+    assert result.fleet.min() >= 5.0 - 1e-9
+    assert result.fleet.max() <= 400.0 * (1 + 1e-9)
+    assert 0.0 <= result.unmet_fraction <= 1.0
+    assert 0.0 <= result.waste_fraction <= 1.0
+
+
+def test_autoscaler_flat_demand_never_unmet():
+    times = np.arange(0.0, 86_400.0, 300.0)
+    demand = np.full_like(times, 40.0)
+    result = ReactiveAutoscaler(headroom=0.1).replay(times, demand)
+    assert result.unmet_fraction == 0.0
+
+
+# ----------------------------------------------------------------------
+# Thermal property: hotter load never cools a zone
+# ----------------------------------------------------------------------
+@given(q1=st.floats(min_value=0.0, max_value=20_000.0),
+       extra=st.floats(min_value=0.0, max_value=20_000.0))
+@settings(max_examples=30, deadline=None)
+def test_zone_equilibrium_monotone_in_load_property(q1, extra):
+    from repro.cooling import ThermalZone
+
+    zone = ThermalZone("z")
+    zone.set_heat_load(q1)
+    t_low = zone.equilibrium_temp_c([15.0], [2_000.0])
+    zone.set_heat_load(q1 + extra)
+    t_high = zone.equilibrium_temp_c([15.0], [2_000.0])
+    assert t_high >= t_low - 1e-9

@@ -1,0 +1,172 @@
+"""Unit tests for the power distribution tree (paper Figure 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power import (
+    EfficiencyCurve,
+    PowerNode,
+    build_tier2_power_tree,
+    summarize,
+)
+from repro.power.distribution import CapacityExceeded
+
+
+# ----------------------------------------------------------------------
+# EfficiencyCurve
+# ----------------------------------------------------------------------
+def test_curve_interpolates_between_knots():
+    curve = EfficiencyCurve([(0.0, 0.8), (1.0, 0.9)])
+    assert curve(0.5) == pytest.approx(0.85)
+
+
+def test_curve_clamps_outside_range():
+    curve = EfficiencyCurve([(0.2, 0.8), (0.8, 0.9)])
+    assert curve(0.0) == 0.8
+    assert curve(1.0) == 0.9
+
+
+def test_curve_rejects_bad_knots():
+    with pytest.raises(ValueError):
+        EfficiencyCurve([])
+    with pytest.raises(ValueError):
+        EfficiencyCurve([(0.0, 0.0)])
+    with pytest.raises(ValueError):
+        EfficiencyCurve([(2.0, 0.9)])
+
+
+@given(load=st.floats(min_value=0, max_value=1.5))
+def test_curve_output_always_valid_efficiency(load):
+    curve = EfficiencyCurve([(0.0, 0.6), (0.3, 0.85), (1.0, 0.94)])
+    assert 0.0 < curve(load) <= 1.0
+
+
+# ----------------------------------------------------------------------
+# PowerNode tree
+# ----------------------------------------------------------------------
+def test_leaf_demand_propagates_to_root():
+    root = PowerNode("root", 1000.0)
+    leaf = root.add_child(PowerNode("leaf", 500.0))
+    leaf.set_demand(100.0)
+    assert root.output_w() == pytest.approx(100.0)
+
+
+def test_lossy_node_draws_more_than_it_delivers():
+    curve = EfficiencyCurve([(0.0, 0.9)])
+    node = PowerNode("ups", 1000.0, curve)
+    leaf = node.add_child(PowerNode("rack", 1000.0))
+    leaf.set_demand(450.0)
+    assert node.input_w() == pytest.approx(500.0)
+    assert node.loss_w() == pytest.approx(50.0)
+
+
+def test_zero_demand_draws_zero():
+    curve = EfficiencyCurve([(0.0, 0.5)])
+    node = PowerNode("ups", 1000.0, curve)
+    node.add_child(PowerNode("rack", 1000.0))
+    assert node.input_w() == 0.0
+
+
+def test_interior_node_rejects_set_demand():
+    root = PowerNode("root", 100.0)
+    root.add_child(PowerNode("leaf", 100.0))
+    with pytest.raises(ValueError):
+        root.set_demand(10.0)
+
+
+def test_reparenting_rejected():
+    a = PowerNode("a", 100.0)
+    b = PowerNode("b", 100.0)
+    child = PowerNode("c", 100.0)
+    a.add_child(child)
+    with pytest.raises(ValueError):
+        b.add_child(child)
+
+
+def test_strict_capacity_enforcement():
+    node = PowerNode("pdu", 100.0, strict=True)
+    leaf = node.add_child(PowerNode("rack", 200.0, strict=True))
+    leaf.set_demand(150.0)
+    with pytest.raises(CapacityExceeded):
+        node.input_w()
+
+
+def test_headroom_and_load_fraction():
+    node = PowerNode("rack", 200.0)
+    node.set_demand(50.0)
+    assert node.headroom_w() == pytest.approx(150.0)
+    assert node.load_fraction() == pytest.approx(0.25)
+
+
+def test_find_locates_descendants():
+    tree = build_tier2_power_tree(n_pdus=2, racks_per_pdu=2)
+    rack = tree.find("rack-1-1")
+    assert rack.name == "rack-1-1"
+    with pytest.raises(KeyError):
+        tree.find("nonexistent")
+
+
+def test_walk_visits_all_nodes():
+    tree = build_tier2_power_tree(n_pdus=2, racks_per_pdu=3)
+    names = [n.name for n in tree.walk()]
+    # transformer + ups + 2 pdus + 6 racks
+    assert len(names) == 10
+    assert len(set(names)) == 10
+
+
+# ----------------------------------------------------------------------
+# Tier-2 tree & summary (FIG-1 behaviour)
+# ----------------------------------------------------------------------
+def load_tree(tree, watts_per_rack):
+    for node in tree.walk():
+        if not node.children:
+            node.set_demand(watts_per_rack)
+
+
+def test_tier2_tree_grid_draw_exceeds_it_power():
+    tree = build_tier2_power_tree()
+    load_tree(tree, 6000.0)
+    report = summarize(tree)
+    assert report.grid_input_w > report.it_output_w
+    assert report.total_loss_w == pytest.approx(
+        report.grid_input_w - report.it_output_w, rel=1e-9)
+
+
+def test_distribution_efficiency_reasonable_at_load():
+    """At healthy load the chain delivers roughly 85-95 % of grid power."""
+    tree = build_tier2_power_tree()
+    load_tree(tree, 9000.0)
+    report = summarize(tree)
+    assert 0.80 < report.distribution_efficiency < 0.97
+
+
+def test_distribution_efficiency_worse_at_low_load():
+    """§2.2: under-utilization hurts — UPS fixed losses dominate."""
+    tree_low = build_tier2_power_tree()
+    load_tree(tree_low, 500.0)
+    tree_high = build_tier2_power_tree()
+    load_tree(tree_high, 9000.0)
+    eff_low = summarize(tree_low).distribution_efficiency
+    eff_high = summarize(tree_high).distribution_efficiency
+    assert eff_low < eff_high
+
+
+def test_ups_is_dominant_loss_stage():
+    """Double conversion is the biggest loser, as the paper's Figure 1
+    stack implies."""
+    tree = build_tier2_power_tree()
+    load_tree(tree, 6000.0)
+    report = summarize(tree)
+    ups_loss = report.per_node_loss_w["ups"]
+    other = {k: v for k, v in report.per_node_loss_w.items() if k != "ups"}
+    assert ups_loss > max(other.values())
+
+
+@given(load=st.floats(min_value=100.0, max_value=12000.0))
+def test_energy_conservation_property(load):
+    """Grid input always equals IT output plus total losses."""
+    tree = build_tier2_power_tree(n_pdus=2, racks_per_pdu=2)
+    load_tree(tree, load)
+    report = summarize(tree)
+    assert report.grid_input_w == pytest.approx(
+        report.it_output_w + report.total_loss_w, rel=1e-9)

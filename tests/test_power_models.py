@@ -1,0 +1,176 @@
+"""Unit + property tests for server power models and P/T-states."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.power import (
+    ENERGY_PROPORTIONAL,
+    PState,
+    PStateTable,
+    ServerPowerModel,
+    TState,
+    TYPICAL_2008_SERVER,
+)
+
+
+# ----------------------------------------------------------------------
+# ServerPowerModel
+# ----------------------------------------------------------------------
+def test_idle_power_is_60_percent_of_peak():
+    """The paper's §4.3 claim is the model's default."""
+    model = TYPICAL_2008_SERVER()
+    assert model.power(0.0) == pytest.approx(0.6 * model.peak_w)
+
+
+def test_peak_power_at_full_utilization():
+    model = TYPICAL_2008_SERVER()
+    assert model.power(1.0) == pytest.approx(model.peak_w)
+
+
+def test_power_monotone_in_utilization():
+    model = TYPICAL_2008_SERVER()
+    powers = [model.power(u / 10) for u in range(11)]
+    assert powers == sorted(powers)
+
+
+def test_energy_proportional_idles_at_zero():
+    model = ENERGY_PROPORTIONAL()
+    assert model.power(0.0) == 0.0
+    assert model.power(1.0) == pytest.approx(model.peak_w)
+
+
+def test_nonlinear_model_concave():
+    """Fan et al. form draws more than linear at mid utilization."""
+    linear = ServerPowerModel(idle_fraction=0.5, nonlinearity=1.0)
+    concave = ServerPowerModel(idle_fraction=0.5, nonlinearity=1.4)
+    assert concave.power(0.5) > linear.power(0.5)
+    assert concave.power(0.0) == linear.power(0.0)
+    assert concave.power(1.0) == pytest.approx(linear.power(1.0))
+
+
+def test_utilization_clamped_to_unit_interval():
+    model = TYPICAL_2008_SERVER()
+    assert model.power(-0.5) == model.power(0.0)
+    assert model.power(1.5) == model.power(1.0)
+
+
+def test_deeper_pstate_draws_less_power():
+    model = TYPICAL_2008_SERVER()
+    p0 = model.power(0.8, pstate=0)
+    p3 = model.power(0.8, pstate=3)
+    assert p3 < p0
+
+
+def test_pstate_never_touches_idle_floor():
+    """DVFS scales only the dynamic term; idle power is unchanged."""
+    model = TYPICAL_2008_SERVER()
+    deepest = len(model.pstates) - 1
+    assert model.power(0.0, pstate=deepest) == pytest.approx(model.idle_w)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ServerPowerModel(peak_w=-1.0)
+    with pytest.raises(ValueError):
+        ServerPowerModel(idle_fraction=1.0)
+    with pytest.raises(ValueError):
+        ServerPowerModel(nonlinearity=0.5)
+    with pytest.raises(ValueError):
+        ServerPowerModel(off_w=1e9)
+    with pytest.raises(ValueError):
+        ServerPowerModel(cpu_share=2.0)
+
+
+def test_energy_per_request_lower_in_deep_pstate():
+    """P-states save energy per request despite longer occupancy.
+
+    V²f scaling means power falls faster than capacity, so joules per
+    request decrease as the CPU slows — the premise of DVFS (§4.2).
+    """
+    model = TYPICAL_2008_SERVER()
+    e_fast = model.energy_per_request_j(0.01, pstate=0)
+    e_slow = model.energy_per_request_j(0.01, pstate=4)
+    assert e_slow < e_fast
+
+
+def test_energy_per_request_rejects_negative_time():
+    with pytest.raises(ValueError):
+        TYPICAL_2008_SERVER().energy_per_request_j(-1.0)
+
+
+@given(u=st.floats(min_value=0, max_value=1),
+       idle=st.floats(min_value=0, max_value=0.9),
+       r=st.floats(min_value=1.0, max_value=2.0))
+def test_power_bounded_between_idle_and_peak_property(u, idle, r):
+    model = ServerPowerModel(peak_w=250.0, idle_fraction=idle,
+                             nonlinearity=r)
+    p = model.power(u)
+    assert model.idle_w - 1e-9 <= p <= model.peak_w + 1e-9
+
+
+# ----------------------------------------------------------------------
+# P-state / T-state tables
+# ----------------------------------------------------------------------
+def test_pstate_validation():
+    with pytest.raises(ValueError):
+        PState("bad", frequency_ghz=-1, voltage_v=1.0)
+    with pytest.raises(ValueError):
+        TState("bad", duty_cycle=0.0)
+
+
+def test_table_requires_descending_frequency():
+    with pytest.raises(ValueError):
+        PStateTable([PState("P0", 1.0, 1.0), PState("P1", 2.0, 1.1)])
+
+
+def test_capacity_fraction_of_p0_is_one():
+    table = PStateTable()
+    assert table.capacity_fraction(0) == pytest.approx(1.0)
+    assert table.dynamic_power_fraction(0) == pytest.approx(1.0)
+
+
+def test_capacity_tracks_frequency_ratio():
+    table = PStateTable()
+    p = table.state(2)
+    expected = p.frequency_ghz / table.state(0).frequency_ghz
+    assert table.capacity_fraction(2) == pytest.approx(expected)
+
+
+def test_power_falls_faster_than_capacity():
+    """V²f: each state's power fraction is below its capacity fraction."""
+    table = PStateTable()
+    for i in range(1, len(table)):
+        assert table.dynamic_power_fraction(i) < table.capacity_fraction(i)
+
+
+def test_tstate_scales_capacity_and_power_equally():
+    """Throttling saves power only linearly (no voltage change)."""
+    table = PStateTable()
+    cap = table.capacity_fraction(0, tstate=2)
+    pwr = table.dynamic_power_fraction(0, tstate=2)
+    assert cap == pytest.approx(pwr)
+    assert cap == pytest.approx(0.75)
+
+
+def test_slowest_state_meeting_demand():
+    table = PStateTable()
+    # Full capacity needed -> P0.
+    assert table.slowest_state_meeting(1.0) == 0
+    # Tiny demand -> deepest state.
+    assert table.slowest_state_meeting(0.01) == len(table) - 1
+    # Over-unity demand -> run flat out.
+    assert table.slowest_state_meeting(1.5) == 0
+
+
+def test_slowest_state_meeting_is_sufficient():
+    table = PStateTable()
+    for demand in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0]:
+        idx = table.slowest_state_meeting(demand)
+        assert table.capacity_fraction(idx) >= demand - 1e-12
+
+
+def test_efficiency_gain_positive_for_deep_states():
+    table = PStateTable()
+    assert table.efficiency_gain(0) == 0.0
+    for i in range(1, len(table)):
+        assert table.efficiency_gain(i) > 1.0  # saves more than it costs

@@ -1,0 +1,246 @@
+"""Unit tests for the UPS unit, power capper, and PUE accountant."""
+
+import pytest
+
+from repro.power import PUEAccountant, PowerCapper, SurgeViolation, UPSUnit
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------------
+# UPS
+# ----------------------------------------------------------------------
+def test_ups_headroom():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0, battery_energy_j=1e6)
+    ups.set_load(400.0)
+    assert ups.headroom_w() == pytest.approx(600.0)
+
+
+def test_ups_instant_surge_violation():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0, surge_rating_w=1200.0)
+    with pytest.raises(SurgeViolation):
+        ups.set_load(1300.0)
+
+
+def test_ups_tolerates_brief_overload():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0, surge_rating_w=1300.0,
+                  surge_budget_ws=100.0 * 60.0)
+
+    def scenario(env, ups):
+        ups.set_load(1100.0)  # 100 W over
+        yield env.timeout(30.0)  # consumes half the budget
+        ups.set_load(900.0)
+
+    env.process(scenario(env, ups))
+    env.run()
+    assert ups.stress_fraction < 1.0
+
+
+def test_ups_sustained_overload_trips():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0, surge_rating_w=1300.0,
+                  surge_budget_ws=100.0 * 60.0)
+
+    def scenario(env, ups):
+        ups.set_load(1100.0)
+        yield env.timeout(120.0)  # budget is 60 s worth
+        ups.set_load(1100.0)  # forces stress integration
+
+    env.process(scenario(env, ups))
+    with pytest.raises(SurgeViolation):
+        env.run()
+
+
+def test_ups_stress_recovers_below_rating():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0, surge_budget_ws=6000.0)
+
+    def scenario(env, ups):
+        ups.set_load(1100.0)
+        yield env.timeout(30.0)  # +3000 Ws stress
+        ups.set_load(900.0)
+        yield env.timeout(60.0)  # -6000 Ws -> floor at 0
+        ups.set_load(900.0)
+
+    env.process(scenario(env, ups))
+    env.run()
+    assert ups.stress_fraction == 0.0
+
+
+def test_ups_battery_ride_through():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0,
+                  battery_energy_j=1000.0 * 120.0)
+    ups.set_load(1000.0)
+    assert ups.ride_through_s == pytest.approx(120.0)
+
+
+def test_ups_battery_drains_off_grid():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0,
+                  battery_energy_j=500.0 * 100.0, charge_rate_w=100.0)
+
+    def scenario(env, ups):
+        ups.set_load(500.0)
+        ups.grid_failure()
+        yield env.timeout(50.0)
+        ups.set_load(500.0)  # force integration
+
+    env.process(scenario(env, ups))
+    env.run()
+    assert ups.battery_j == pytest.approx(500.0 * 100.0 - 500.0 * 50.0)
+    assert not ups.battery_depleted()
+
+
+def test_ups_battery_depletes_and_recharges():
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=1000.0,
+                  battery_energy_j=1000.0, charge_rate_w=100.0)
+
+    def scenario(env, ups):
+        ups.set_load(1000.0)
+        ups.grid_failure()
+        yield env.timeout(10.0)
+        assert ups.battery_depleted()
+        ups.grid_restored()
+        yield env.timeout(5.0)
+        ups.set_load(1000.0)
+
+    env.process(scenario(env, ups))
+    env.run()
+    assert ups.battery_j == pytest.approx(500.0)
+
+
+def test_ups_max_servers_sizing():
+    """§2.1: UPS rating bounds the server count (no oversubscription)."""
+    env = Environment()
+    ups = UPSUnit(env, steady_rating_w=300_000.0)
+    assert ups.max_servers(per_server_peak_w=300.0) == 1000
+    with pytest.raises(ValueError):
+        ups.max_servers(0.0)
+
+
+# ----------------------------------------------------------------------
+# PowerCapper
+# ----------------------------------------------------------------------
+class FakeLoad:
+    """A cappable load with an explicit draw and floor."""
+
+    def __init__(self, draw, floor=60.0):
+        self.draw = draw
+        self.floor = floor
+        self.cap = None
+
+    def demand_w(self):
+        return self.draw
+
+    def power_w(self):
+        if self.cap is None:
+            return self.draw
+        return min(self.draw, self.cap)
+
+    def min_power_w(self):
+        return self.floor
+
+    def apply_cap(self, watts):
+        self.cap = max(watts, self.floor)
+        return self.power_w()
+
+    def remove_cap(self):
+        self.cap = None
+
+
+def test_capper_idle_below_trigger():
+    env = Environment()
+    loads = [FakeLoad(100.0) for _ in range(3)]
+    capper = PowerCapper(env, budget_w=1000.0, loads=loads)
+    decision = capper.evaluate()
+    assert not decision.capped
+    assert all(load.cap is None for load in loads)
+
+
+def test_capper_enforces_budget():
+    env = Environment()
+    loads = [FakeLoad(300.0) for _ in range(4)]  # 1200 W demand
+    capper = PowerCapper(env, budget_w=1000.0, loads=loads, guard_band=0.0)
+    decision = capper.evaluate()
+    assert decision.capped
+    total = sum(load.power_w() for load in loads)
+    assert total <= 1000.0 + 1e-6
+
+
+def test_capper_respects_floors():
+    env = Environment()
+    loads = [FakeLoad(300.0, floor=200.0) for _ in range(4)]
+    capper = PowerCapper(env, budget_w=500.0, loads=loads, guard_band=0.0)
+    capper.evaluate()
+    for load in loads:
+        assert load.power_w() >= 200.0 - 1e-9
+
+
+def test_capper_removes_caps_when_demand_falls():
+    env = Environment()
+    loads = [FakeLoad(300.0) for _ in range(4)]
+    capper = PowerCapper(env, budget_w=1000.0, loads=loads, guard_band=0.0)
+    capper.evaluate()
+    assert any(load.cap is not None for load in loads)
+    for load in loads:
+        load.draw = 100.0
+    capper.evaluate()
+    assert all(load.cap is None for load in loads)
+
+
+def test_capper_periodic_process():
+    env = Environment()
+    loads = [FakeLoad(300.0) for _ in range(4)]
+    capper = PowerCapper(env, budget_w=1000.0, loads=loads)
+    env.process(capper.run(period_s=1.0))
+    env.run(until=10.0)
+    assert len(capper.decisions) == 10
+    assert capper.capped_fraction() == 1.0
+
+
+def test_capper_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        PowerCapper(env, budget_w=0.0, loads=[])
+    with pytest.raises(ValueError):
+        PowerCapper(env, budget_w=10.0, loads=[], guard_band=1.0)
+    capper = PowerCapper(env, budget_w=10.0, loads=[])
+    with pytest.raises(ValueError):
+        next(capper.run(period_s=0.0))
+
+
+# ----------------------------------------------------------------------
+# PUE accountant
+# ----------------------------------------------------------------------
+def test_pue_instantaneous():
+    assert PUEAccountant.instantaneous(100.0, 20.0, 80.0) == pytest.approx(2.0)
+    assert PUEAccountant.instantaneous(0.0, 10.0, 10.0) == float("inf")
+
+
+def test_pue_energy_weighted():
+    env = Environment()
+    acct = PUEAccountant(env)
+
+    def scenario(env, acct):
+        acct.record(it_w=100.0, distribution_loss_w=10.0, mechanical_w=90.0)
+        yield env.timeout(100.0)
+        acct.record(it_w=200.0, distribution_loss_w=20.0, mechanical_w=80.0)
+        yield env.timeout(100.0)
+
+    env.process(scenario(env, acct))
+    env.run()
+    it = 100.0 * 100 + 200.0 * 100
+    total = it + (10.0 + 90.0) * 100 + (20.0 + 80.0) * 100
+    assert acct.energy_weighted_pue() == pytest.approx(total / it)
+    assert acct.total_facility_energy_j() == pytest.approx(total)
+
+
+def test_pue_rejects_negative_power():
+    env = Environment()
+    acct = PUEAccountant(env)
+    with pytest.raises(ValueError):
+        acct.record(-1.0, 0.0, 0.0)

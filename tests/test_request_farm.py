@@ -1,0 +1,111 @@
+"""Tests for the request-granular farm (tail latency under DVFS)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import RequestFarm, Server
+from repro.control import mmc_response_time
+from repro.sim import Environment
+
+
+def build(n=4, policy="jsq", capacity=100.0, seed=0, patience_s=10.0):
+    env = Environment()
+    servers = [Server(env, f"s{i}", capacity=capacity, boot_s=10.0)
+               for i in range(n)]
+    for server in servers:
+        server.power_on()
+    env.run(until=11.0)
+    farm = RequestFarm(env, servers, policy=policy,
+                       rng=np.random.default_rng(seed),
+                       patience_s=patience_s)
+    return env, servers, farm
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        RequestFarm(env, [])
+    server = Server(env, "s")
+    with pytest.raises(ValueError):
+        RequestFarm(env, [server], policy="magic")
+    with pytest.raises(ValueError):
+        RequestFarm(env, [server], patience_s=0.0)
+    farm = RequestFarm(env, [server])
+    with pytest.raises(ValueError):
+        farm.submit(work=-1.0)
+    with pytest.raises(ValueError):
+        next(farm.drive_poisson(0.0, 10.0))
+    with pytest.raises(RuntimeError):
+        farm.stats()
+
+
+def test_latency_bracketed_by_queueing_theory():
+    """JSQ over 4 per-server FIFOs sits strictly between the central
+    M/M/4 queue (which it cannot beat — no late work-stealing) and
+    four independent M/M/1 queues (which it clearly beats)."""
+    from repro.control import mm1_response_time
+
+    env, servers, farm = build(n=4)
+    # Work ~ Exp(1) units at capacity 100/s -> mu=100 per server.
+    rate = 240.0  # rho = 0.6
+    env.process(farm.drive_poisson(rate, horizon_s=500.0))
+    env.run(until=520.0)
+    stats = farm.stats(discard_first=500)
+    lower = mmc_response_time(4, rate, 100.0)       # central queue
+    upper = mm1_response_time(rate / 4, 100.0)      # random split
+    assert lower < stats.mean_s < upper
+    assert stats.goodput_fraction > 0.999
+
+
+def test_jsq_beats_round_robin_tail():
+    results = {}
+    for policy in ("jsq", "round-robin"):
+        env, servers, farm = build(n=4, policy=policy, seed=3)
+        env.process(farm.drive_poisson(320.0, horizon_s=400.0))
+        env.run(until=420.0)
+        results[policy] = farm.stats(discard_first=500)
+    assert results["jsq"].p99_s < results["round-robin"].p99_s
+
+
+def test_dvfs_slowdown_visible_in_tail():
+    """Half-speed P-state at moderate load blows up the p99."""
+    def run(pstate):
+        env, servers, farm = build(n=4, seed=5)
+        for server in servers:
+            server.set_pstate(pstate)
+        env.process(farm.drive_poisson(160.0, horizon_s=400.0))
+        env.run(until=420.0)
+        return farm.stats(discard_first=200)
+
+    fast = run(0)
+    slow = run(5)  # 50 % capacity -> rho doubles to 0.8
+    assert slow.p99_s > 2.5 * fast.p99_s
+
+
+def test_abandonment_under_overload():
+    env, servers, farm = build(n=2, patience_s=0.5, seed=7)
+    env.process(farm.drive_poisson(400.0, horizon_s=120.0))  # rho = 2
+    env.run(until=140.0)
+    stats = farm.stats()
+    assert stats.abandoned > 0
+    assert stats.goodput_fraction < 0.9
+
+
+def test_requests_avoid_inactive_servers():
+    env, servers, farm = build(n=3, seed=9)
+    servers[2].shut_down()
+    for _ in range(200):
+        farm.submit(work=0.5)
+    env.run(until=100.0)
+    stats = farm.stats()
+    assert stats.completed == 200
+    # The dead server's queue never got anything.
+    assert len(farm._queues[2]) == 0
+
+
+def test_percentiles_ordered():
+    env, servers, farm = build()
+    env.process(farm.drive_poisson(100.0, horizon_s=100.0))
+    env.run(until=120.0)
+    stats = farm.stats()
+    assert stats.p50_s <= stats.p95_s <= stats.p99_s

@@ -1,0 +1,149 @@
+"""Tests for sensitivity estimation (§4.5) and the risk model (Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.cooling import (
+    CRACUnit,
+    MachineRoom,
+    SensitivityEstimator,
+    ThermalZone,
+    probe_schedule,
+)
+from repro.core import RiskModel
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------------
+# SensitivityEstimator
+# ----------------------------------------------------------------------
+def test_estimator_validation():
+    with pytest.raises(ValueError):
+        SensitivityEstimator(0, 1)
+    estimator = SensitivityEstimator(2, 1)
+    with pytest.raises(ValueError):
+        estimator.observe([20.0], [14.0], [100.0, 100.0])
+    with pytest.raises(ValueError):
+        estimator.estimate()  # no snapshots yet
+
+
+def synthetic_snapshots(estimator, truth, supplies_list, rng):
+    """Generate steady-state observations from a known matrix."""
+    truth = np.asarray(truth, dtype=float)
+    for supplies in supplies_list:
+        supplies = np.asarray(supplies, dtype=float)
+        heats = rng.uniform(2_000.0, 20_000.0, truth.shape[0])
+        g_total = truth.sum(axis=1)
+        temps = (heats + truth @ supplies) / g_total
+        estimator.observe(temps, supplies, heats)
+
+
+def test_estimator_recovers_known_matrix_exactly():
+    truth = [[3000.0, 500.0], [400.0, 2500.0]]
+    estimator = SensitivityEstimator(2, 2)
+    rng = np.random.default_rng(0)
+    synthetic_snapshots(estimator, truth,
+                        [(12.0, 16.0), (16.0, 12.0), (14.0, 14.0),
+                         (13.0, 18.0)], rng)
+    assert estimator.relative_error(truth) < 1e-6
+
+
+def test_estimator_robust_to_sensor_noise():
+    truth = np.array([[3000.0, 500.0], [400.0, 2500.0]])
+    estimator = SensitivityEstimator(2, 2)
+    rng = np.random.default_rng(1)
+    for _ in range(40):
+        supplies = rng.uniform(10.0, 18.0, 2)
+        heats = rng.uniform(2_000.0, 20_000.0, 2)
+        temps = (heats + truth @ supplies) / truth.sum(axis=1)
+        temps += rng.normal(0.0, 0.1, 2)  # 0.1 C sensor noise
+        estimator.observe(temps, supplies, heats)
+    assert estimator.relative_error(truth) < 0.1
+
+
+def test_estimator_never_returns_negative_conductance():
+    estimator = SensitivityEstimator(1, 2)
+    rng = np.random.default_rng(2)
+    # Ill-posed data: one CRAC is pure noise.
+    for _ in range(10):
+        s0 = rng.uniform(10.0, 18.0)
+        heats = rng.uniform(5_000.0, 15_000.0)
+        temps = heats / 2_000.0 + s0 + rng.normal(0, 0.5)
+        estimator.observe([temps], [s0, rng.uniform(10, 18)], [heats])
+    matrix = estimator.estimate()
+    assert (matrix >= 0.0).all()
+
+
+def test_probe_schedule_learns_live_room():
+    """End-to-end Genome experiment: probe a simulated room and
+    recover the asymmetry that drives the §5.1 hazard."""
+    env = Environment()
+    truth = [[3000.0], [400.0]]
+    zones = [ThermalZone("A"), ThermalZone("B")]
+    crac = CRACUnit("c", transport_delay_s=0.0,
+                    control_period_s=1e12)  # hold supply fixed
+    room = MachineRoom(env, zones, [crac], truth, step_s=30.0)
+    env.process(room.run())
+    estimator = SensitivityEstimator(2, 1)
+    probes = [(20_000.0, 0.0), (0.0, 8_000.0), (10_000.0, 4_000.0)]
+    env.process(probe_schedule(room, probes, settle_s=12 * 3600.0,
+                               env=env, estimator=estimator))
+    env.run(until=40 * 3600.0)
+    assert estimator.snapshots == 3
+    learned = estimator.estimate()
+    # The learned matrix reproduces the sensitivity asymmetry.
+    assert learned[0][0] > 4 * learned[1][0]
+    assert estimator.relative_error(truth) < 0.15
+
+
+# ----------------------------------------------------------------------
+# RiskModel
+# ----------------------------------------------------------------------
+def test_risk_validation():
+    with pytest.raises(ValueError):
+        RiskModel(0.0, 0.1)
+    with pytest.raises(ValueError):
+        RiskModel(10.0, 0.0)
+    with pytest.raises(ValueError):
+        RiskModel(10.0, 0.1, forecast_error=-1.0)
+    model = RiskModel(10.0, 0.1)
+    with pytest.raises(ValueError):
+        model.assess(0, 10.0)
+    with pytest.raises(ValueError):
+        model.servers_for_risk(10.0, max_violation_probability=0.0)
+
+
+def test_more_servers_less_risk():
+    model = RiskModel(service_rate_per_server=10.0,
+                      response_target_s=0.2, forecast_error=0.2)
+    risks = [model.assess(c, forecast_demand=80.0)
+             .sla_violation_probability for c in (9, 12, 16, 24)]
+    assert risks[0] > risks[-1]
+    assert risks == sorted(risks, reverse=True)
+
+
+def test_zero_error_matches_deterministic():
+    model = RiskModel(10.0, 0.2, forecast_error=0.0)
+    generous = model.assess(20, forecast_demand=80.0)
+    assert generous.sla_violation_probability == 0.0
+    tight = model.assess(8, forecast_demand=80.0)  # saturated exactly
+    assert tight.saturation_probability == 1.0
+
+
+def test_servers_for_risk_meets_ceiling():
+    model = RiskModel(10.0, 0.2, forecast_error=0.25, seed=5)
+    servers = model.servers_for_risk(80.0,
+                                     max_violation_probability=0.02)
+    risk = model.assess(servers, 80.0)
+    assert risk.sla_violation_probability <= 0.02
+    # And it is minimal.
+    below = model.assess(servers - 1, 80.0)
+    assert below.sla_violation_probability > 0.02
+
+
+def test_uncertainty_demands_margin():
+    """Bigger forecast error ⇒ bigger fleet for the same risk."""
+    certain = RiskModel(10.0, 0.2, forecast_error=0.05, seed=7)
+    uncertain = RiskModel(10.0, 0.2, forecast_error=0.40, seed=7)
+    assert uncertain.servers_for_risk(80.0) \
+        > certain.servers_for_risk(80.0)

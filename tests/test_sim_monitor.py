@@ -1,0 +1,189 @@
+"""Unit tests for Monitor / CounterMonitor, plus hypothesis properties."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import CounterMonitor, Environment, Monitor
+
+
+def test_empty_monitor_statistics():
+    env = Environment()
+    mon = Monitor(env)
+    assert math.isnan(mon.last)
+    assert mon.integral() == 0.0
+    assert math.isnan(mon.time_weighted_mean())
+    assert math.isnan(mon.maximum())
+
+
+def test_record_and_last():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(5.0, time=0.0)
+    mon.record(7.0, time=2.0)
+    assert mon.last == 7.0
+    assert len(mon) == 2
+
+
+def test_out_of_order_record_rejected():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(1.0, time=10.0)
+    with pytest.raises(ValueError):
+        mon.record(2.0, time=5.0)
+
+
+def test_same_instant_update_overwrites():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(1.0, time=3.0)
+    mon.record(9.0, time=3.0)
+    assert len(mon) == 1
+    assert mon.last == 9.0
+
+
+def test_value_at_step_semantics():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(10.0, time=0.0)
+    mon.record(20.0, time=5.0)
+    assert mon.value_at(0.0) == 10.0
+    assert mon.value_at(4.999) == 10.0
+    assert mon.value_at(5.0) == 20.0
+    assert math.isnan(mon.value_at(-1.0))
+
+
+def test_integral_of_constant_signal():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(100.0, time=0.0)
+    assert mon.integral(0.0, 10.0) == pytest.approx(1000.0)
+
+
+def test_integral_of_step_signal():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(100.0, time=0.0)
+    mon.record(200.0, time=5.0)
+    # 5 s at 100 plus 5 s at 200.
+    assert mon.integral(0.0, 10.0) == pytest.approx(1500.0)
+
+
+def test_integral_sub_interval():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(100.0, time=0.0)
+    mon.record(200.0, time=5.0)
+    assert mon.integral(4.0, 6.0) == pytest.approx(100.0 + 200.0)
+
+
+def test_time_weighted_mean():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(0.0, time=0.0)
+    mon.record(10.0, time=5.0)
+    assert mon.time_weighted_mean(0.0, 10.0) == pytest.approx(5.0)
+
+
+def test_resample_grid_and_values():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(1.0, time=0.0)
+    mon.record(2.0, time=10.0)
+    grid, vals = mon.resample(step=5.0, start=0.0, end=10.0)
+    assert list(grid) == [0.0, 5.0, 10.0]
+    assert list(vals) == [1.0, 1.0, 2.0]
+
+
+def test_resample_requires_positive_step():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(1.0, time=0.0)
+    with pytest.raises(ValueError):
+        mon.resample(step=0.0)
+
+
+def test_counter_monitor_inc_dec():
+    env = Environment()
+    counter = CounterMonitor(env, initial=5)
+    counter.increment()
+    counter.increment(2)
+    counter.decrement(3)
+    assert counter.last == 5
+
+
+def test_monitor_inside_simulation():
+    env = Environment()
+    mon = Monitor(env, "power")
+
+    def proc(env, mon):
+        mon.record(100.0)
+        yield env.timeout(10.0)
+        mon.record(50.0)
+        yield env.timeout(10.0)
+
+    env.process(proc(env, mon))
+    env.run()
+    assert mon.integral() == pytest.approx(100.0 * 10 + 50.0 * 10)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=30),
+)
+def test_integral_additivity_property(values):
+    """∫[a,c] = ∫[a,b] + ∫[b,c] for any split point b."""
+    env = Environment()
+    mon = Monitor(env)
+    for i, v in enumerate(values):
+        mon.record(v, time=float(i))
+    end = float(len(values))
+    mid = end / 2
+    whole = mon.integral(0.0, end)
+    parts = mon.integral(0.0, mid) + mon.integral(mid, end)
+    assert whole == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=30),
+)
+def test_mean_bounded_by_extremes_property(values):
+    """Time-weighted mean always lies within [min, max] of the samples."""
+    env = Environment()
+    mon = Monitor(env)
+    for i, v in enumerate(values):
+        mon.record(v, time=float(i))
+    mean = mon.time_weighted_mean(0.0, float(len(values)))
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+@given(
+    step=st.floats(min_value=0.1, max_value=5.0),
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=20),
+)
+def test_resample_matches_value_at_property(step, values):
+    """Every resampled point equals value_at of the same time."""
+    env = Environment()
+    mon = Monitor(env)
+    for i, v in enumerate(values):
+        mon.record(v, time=float(i))
+    grid, vals = mon.resample(step=step, start=0.0, end=float(len(values) - 1))
+    for t, v in zip(grid, vals):
+        expected = mon.value_at(t)
+        if math.isnan(expected):
+            assert math.isnan(v)
+        else:
+            assert v == pytest.approx(expected)

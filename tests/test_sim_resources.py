@@ -1,0 +1,202 @@
+"""Unit tests for Resource / Container / Store primitives."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, Store
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    holds = []
+
+    def holder(env, res, hold_for):
+        with res.request() as req:
+            yield req
+            holds.append(("acquire", env.now))
+            yield env.timeout(hold_for)
+        holds.append(("release", env.now))
+
+    for _ in range(3):
+        env.process(holder(env, res, 10.0))
+    env.run()
+    acquire_times = [t for kind, t in holds if kind == "acquire"]
+    # Two grants at t=0, the third once a slot frees at t=10.
+    assert acquire_times == [0.0, 0.0, 10.0]
+
+
+def test_resource_queue_is_fifo():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, res, tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1.0)
+
+    for tag in ["first", "second", "third"]:
+        env.process(worker(env, res, tag))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_is_idempotent():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    res.release(req)  # no error
+    assert res.count == 0
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    res.request()
+    assert res.count == 1
+    assert res.queue_length == 1
+
+
+# ----------------------------------------------------------------------
+# Container
+# ----------------------------------------------------------------------
+def test_container_initial_level():
+    env = Environment()
+    box = Container(env, capacity=10.0, init=4.0)
+    assert box.level == 4.0
+
+
+def test_container_rejects_bad_init():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=5.0, init=9.0)
+
+
+def test_container_get_blocks_until_put():
+    env = Environment()
+    box = Container(env, capacity=100.0)
+    times = []
+
+    def consumer(env, box):
+        yield box.get(5.0)
+        times.append(env.now)
+
+    def producer(env, box):
+        yield env.timeout(3.0)
+        yield box.put(5.0)
+
+    env.process(consumer(env, box))
+    env.process(producer(env, box))
+    env.run()
+    assert times == [3.0]
+    assert box.level == 0.0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    box = Container(env, capacity=10.0, init=10.0)
+    times = []
+
+    def producer(env, box):
+        yield box.put(4.0)
+        times.append(env.now)
+
+    def consumer(env, box):
+        yield env.timeout(2.0)
+        yield box.get(6.0)
+
+    env.process(producer(env, box))
+    env.process(consumer(env, box))
+    env.run()
+    assert times == [2.0]
+    assert box.level == pytest.approx(8.0)
+
+
+def test_container_never_goes_negative():
+    env = Environment()
+    box = Container(env, capacity=10.0, init=1.0)
+    box.get(5.0)  # pending, can't be served
+    assert box.level == 1.0
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        for item in ["a", "b", "c"]:
+            yield store.put(item)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_store_get_waits_for_item():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env, store):
+        yield store.get()
+        times.append(env.now)
+
+    def producer(env, store):
+        yield env.timeout(6.0)
+        yield store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [6.0]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env, store):
+        yield store.put(1)
+        yield store.put(2)
+        times.append(env.now)
+
+    def consumer(env, store):
+        yield env.timeout(4.0)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert times == [4.0]
+
+
+def test_store_len_tracks_items():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    env.run()
+    assert len(store) == 1

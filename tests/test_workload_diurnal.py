@@ -1,0 +1,174 @@
+"""Tests for the diurnal profile and Messenger-like trace (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import DiurnalProfile, MessengerTraceGenerator, WorkloadTrace
+
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+
+# ----------------------------------------------------------------------
+# DiurnalProfile
+# ----------------------------------------------------------------------
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        DiurnalProfile(day_night_ratio=1.0)
+    with pytest.raises(ValueError):
+        DiurnalProfile(weekend_factor=0.0)
+
+
+def test_peak_to_trough_ratio_matches_parameter():
+    profile = DiurnalProfile(day_night_ratio=2.0, weekend_factor=1.0)
+    peak = profile(14 * 3600.0)  # Monday 14:00
+    trough = profile(2 * 3600.0 + 24 * 3600.0 * 2)  # Wednesday 02:00
+    assert peak / trough == pytest.approx(2.0, rel=0.05)
+
+
+def test_profile_peak_is_one():
+    profile = DiurnalProfile()
+    values = [profile(t) for t in np.arange(0, WEEK, 600.0)]
+    assert max(values) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_weekend_below_weekday():
+    profile = DiurnalProfile(weekend_factor=0.8)
+    monday_peak = profile(14 * 3600.0)
+    saturday_peak = profile(5 * DAY + 14 * 3600.0)
+    assert saturday_peak == pytest.approx(0.8 * monday_peak)
+
+
+def test_day_of_week_factor():
+    profile = DiurnalProfile(weekend_factor=0.7)
+    assert profile.day_of_week_factor(0.0) == 1.0  # Monday
+    assert profile.day_of_week_factor(5 * DAY) == 0.7  # Saturday
+    assert profile.day_of_week_factor(6 * DAY) == 0.7  # Sunday
+    assert profile.day_of_week_factor(7 * DAY) == 1.0  # Monday again
+
+
+# ----------------------------------------------------------------------
+# WorkloadTrace
+# ----------------------------------------------------------------------
+def test_trace_length_validation():
+    with pytest.raises(ValueError):
+        WorkloadTrace(np.array([0.0, 1.0]), np.array([1.0]),
+                      np.array([1.0, 2.0]))
+
+
+def test_trace_normalization():
+    trace = WorkloadTrace(np.array([0.0, 60.0]),
+                          np.array([10.0, 20.0]),
+                          np.array([100.0, 400.0]))
+    norm = trace.normalized(peak_connections=1e6, peak_login_rate=1400.0)
+    assert norm.connections.max() == pytest.approx(1e6)
+    assert norm.login_rate.max() == pytest.approx(1400.0)
+
+
+def test_trace_window_slicing():
+    times = np.arange(0.0, 600.0, 60.0)
+    trace = WorkloadTrace(times, times.copy(), times.copy())
+    piece = trace.window(120.0, 300.0)
+    assert list(piece.times_s) == [120.0, 180.0, 240.0]
+
+
+def test_mean_over_hours_empty_window_rejected():
+    trace = WorkloadTrace(np.array([0.0]), np.array([1.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        trace.mean_over_hours(5.0, 6.0)
+
+
+# ----------------------------------------------------------------------
+# MessengerTraceGenerator — the Figure 3 shapes
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def week_trace():
+    generator = MessengerTraceGenerator(seed=42)
+    return generator.generate(duration_s=WEEK, step_s=60.0)
+
+
+def test_generator_validation():
+    generator = MessengerTraceGenerator()
+    with pytest.raises(ValueError):
+        generator.generate(duration_s=0.0)
+    with pytest.raises(ValueError):
+        MessengerTraceGenerator(base_login_rate=0.0)
+    with pytest.raises(ValueError):
+        MessengerTraceGenerator(mean_session_s=-1.0)
+    with pytest.raises(ValueError):
+        MessengerTraceGenerator(noise_correlation=1.0)
+
+
+def test_trace_is_reproducible():
+    a = MessengerTraceGenerator(seed=7).generate(DAY, 300.0)
+    b = MessengerTraceGenerator(seed=7).generate(DAY, 300.0)
+    assert np.array_equal(a.connections, b.connections)
+    assert np.array_equal(a.login_rate, b.login_rate)
+
+
+def test_afternoon_users_roughly_double_midnight(week_trace):
+    """Paper: afternoon users ≈ 2× after-midnight users."""
+    afternoon = week_trace.mean_over_hours(13.0, 16.0, "connections",
+                                           weekdays_only=True)
+    after_midnight = week_trace.mean_over_hours(1.0, 4.0, "connections",
+                                                weekdays_only=True)
+    ratio = afternoon / after_midnight
+    assert 1.6 < ratio < 2.6
+
+
+def test_weekday_demand_above_weekend(week_trace):
+    day = (week_trace.times_s // DAY).astype(int) % 7
+    weekday = week_trace.connections[day < 5].mean()
+    weekend = week_trace.connections[day >= 5].mean()
+    assert weekday > weekend
+
+
+def test_flash_crowds_present_in_login_rate():
+    """With a high flash rate, login spikes well above the diurnal peak."""
+    generator = MessengerTraceGenerator(seed=3, flash_crowds_per_week=10.0,
+                                        noise_sigma=0.0)
+    trace = generator.generate(WEEK, 60.0)
+    smooth = MessengerTraceGenerator(seed=3, flash_crowds_per_week=0.0,
+                                     noise_sigma=0.0).generate(WEEK, 60.0)
+    assert trace.login_rate.max() > 2.0 * smooth.login_rate.max()
+
+
+def test_flash_crowds_barely_move_connections():
+    """Spiky logins, smooth connections: sessions integrate the spike.
+
+    This is visible in the paper's Figure 3 — the login-rate trace is
+    far spikier than the connection-count trace.
+    """
+    gen = MessengerTraceGenerator(seed=3, flash_crowds_per_week=10.0,
+                                  noise_sigma=0.0)
+    trace = gen.generate(WEEK, 60.0)
+
+    def peak_to_mean(series):
+        return series.max() / series.mean()
+
+    assert peak_to_mean(trace.login_rate) \
+        > 2.0 * peak_to_mean(trace.connections)
+
+
+def test_connections_track_rate_times_session():
+    """Without noise, N ≈ λ·T in steady state (Little's law)."""
+    gen = MessengerTraceGenerator(seed=0, noise_sigma=0.0,
+                                  flash_crowds_per_week=0.0,
+                                  base_login_rate=100.0,
+                                  mean_session_s=600.0)
+    trace = gen.generate(DAY, 60.0)
+    # Compare at the afternoon peak where the rate varies slowly.
+    idx = np.argmax(trace.login_rate)
+    expected = trace.login_rate[idx] * 600.0
+    assert trace.connections[idx] == pytest.approx(expected, rel=0.1)
+
+
+def test_normalized_trace_matches_paper_axes(week_trace):
+    norm = week_trace.normalized()
+    assert norm.connections.max() == pytest.approx(1_000_000.0)
+    assert norm.login_rate.max() == pytest.approx(1_400.0)
+
+
+def test_connections_always_positive(week_trace):
+    assert (week_trace.connections > 0).all()
+    assert (week_trace.login_rate > 0).all()

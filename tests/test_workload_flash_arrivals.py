@@ -1,0 +1,252 @@
+"""Tests for flash crowds, arrival processes, resource mixes, fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment, RandomStreams, Store
+from repro.workload import (
+    CPU_BOUND,
+    DISK_BOUND,
+    FanoutModel,
+    FlashCrowdEvent,
+    MMPPArrivals,
+    NETWORK_BOUND,
+    NonHomogeneousPoisson,
+    PoissonArrivals,
+    Request,
+    ResourceProfile,
+    animoto_demand,
+    demand_trace,
+    peak_correlation,
+)
+
+DAY = 86_400.0
+
+
+# ----------------------------------------------------------------------
+# Flash crowds / Animoto
+# ----------------------------------------------------------------------
+def test_flash_event_validation():
+    with pytest.raises(ValueError):
+        FlashCrowdEvent(0, -1, 0, 0, 2.0)
+    with pytest.raises(ValueError):
+        FlashCrowdEvent(0, 1, 1, 1, 0.5)
+    with pytest.raises(ValueError):
+        FlashCrowdEvent(0, 1, 1, 1, 2.0, aftermath=-1.0)
+
+
+def test_flash_event_phases():
+    event = FlashCrowdEvent(start_s=100.0, rise_s=100.0, plateau_s=100.0,
+                            decay_s=100.0, magnitude=10.0, aftermath=2.0)
+    assert event.multiplier(0.0) == 1.0  # before
+    assert event.multiplier(150.0) == pytest.approx(10.0 ** 0.5)  # rising
+    assert event.multiplier(250.0) == pytest.approx(10.0)  # plateau
+    assert event.multiplier(1e6) == pytest.approx(2.0, rel=1e-3)  # aftermath
+
+
+def test_animoto_shape():
+    """50 → 3500 servers over 3 days, then well below the peak."""
+    times, demand = animoto_demand(step_s=3600.0)
+    assert demand[0] == pytest.approx(50.0)
+    assert demand.max() == pytest.approx(3500.0, rel=0.01)
+    # Peak reached roughly 3 days after surge onset (day 2 + 3 rise).
+    peak_day = times[np.argmax(demand)] / DAY
+    assert 4.5 < peak_day < 6.5
+    # Afterwards demand falls well below the peak but above baseline.
+    tail = demand[-1]
+    assert tail < 0.2 * demand.max()
+    assert tail > 50.0
+
+
+def test_animoto_validation():
+    with pytest.raises(ValueError):
+        animoto_demand(baseline_servers=100.0, peak_servers=50.0)
+
+
+def test_demand_trace_composition():
+    event = FlashCrowdEvent(0.0, 10.0, 10.0, 10.0, 5.0)
+    times, demand = demand_trace(base=10.0, events=[event],
+                                 duration_s=100.0, step_s=1.0)
+    assert demand.max() == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        demand_trace(base=0.0, events=[], duration_s=10.0)
+
+
+def test_overlapping_events_take_maximum():
+    a = FlashCrowdEvent(0.0, 1.0, 100.0, 1.0, 3.0)
+    b = FlashCrowdEvent(0.0, 1.0, 100.0, 1.0, 5.0)
+    _, demand = demand_trace(base=1.0, events=[a, b],
+                             duration_s=50.0, step_s=1.0)
+    assert demand.max() == pytest.approx(5.0)  # not 15
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+def test_poisson_rate_recovered():
+    rng = RandomStreams(1).get("arrivals")
+    process = PoissonArrivals(rate_per_s=5.0, rng=rng)
+    times = process.times(horizon_s=2_000.0)
+    observed = len(times) / 2_000.0
+    assert observed == pytest.approx(5.0, rel=0.05)
+    assert (np.diff(times) > 0).all()
+
+
+def test_poisson_validation():
+    rng = RandomStreams(1).get("x")
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0, rng)
+    assert len(PoissonArrivals(1.0, rng).times(0.0)) == 0
+
+
+def test_poisson_drive_into_store():
+    env = Environment()
+    store = Store(env)
+    rng = RandomStreams(2).get("drive")
+    process = PoissonArrivals(rate_per_s=1.0, rng=rng)
+    env.process(process.drive(env, store))
+    env.run(until=100.0)
+    assert 70 <= len(store) <= 130
+
+
+def test_nhpp_tracks_rate_function():
+    rng = RandomStreams(3).get("nhpp")
+    rate_fn = lambda t: 10.0 if t < 500.0 else 1.0
+    process = NonHomogeneousPoisson(rate_fn, rate_max=10.0, rng=rng)
+    times = process.times(1_000.0)
+    early = (times < 500.0).sum()
+    late = (times >= 500.0).sum()
+    assert early / max(late, 1) > 5.0
+
+
+def test_nhpp_bound_violation_raises():
+    rng = RandomStreams(3).get("bad")
+    process = NonHomogeneousPoisson(lambda t: 100.0, rate_max=10.0, rng=rng)
+    with pytest.raises(ValueError):
+        process.times(100.0)
+
+
+def test_mmpp_dimension_validation():
+    rng = RandomStreams(4).get("mmpp")
+    with pytest.raises(ValueError):
+        MMPPArrivals([1.0], [1.0, 2.0], [[1.0]], rng)
+    with pytest.raises(ValueError):
+        MMPPArrivals([1.0, 2.0], [1.0, 1.0], [[0.5, 0.4], [0.5, 0.5]], rng)
+    with pytest.raises(ValueError):
+        MMPPArrivals([-1.0, 2.0], [1.0, 1.0], [[0.0, 1.0], [1.0, 0.0]], rng)
+
+
+def test_mmpp_burstier_than_poisson():
+    rng = RandomStreams(5).get("mmpp")
+    mmpp = MMPPArrivals(rates_per_s=[0.5, 10.0], hold_s=[300.0, 60.0],
+                        transition=[[0.0, 1.0], [1.0, 0.0]], rng=rng)
+    index = mmpp.burstiness_index(horizon_s=50_000.0, window_s=60.0)
+    assert index > 2.0  # Poisson would be ~1
+
+
+# ----------------------------------------------------------------------
+# Resource profiles
+# ----------------------------------------------------------------------
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        ResourceProfile(cpu=1.5, disk=0, network=0, memory=0)
+    with pytest.raises(ValueError):
+        ResourceProfile(cpu=0.5, disk=0, network=0, memory=0,
+                        phase_hour=25.0)
+
+
+def test_dominant_resource():
+    assert CPU_BOUND.dominant == "cpu"
+    assert DISK_BOUND.dominant == "disk"
+    assert NETWORK_BOUND.dominant == "network"
+
+
+def test_utilization_peaks_at_phase_hour():
+    profile = ResourceProfile(cpu=0.8, disk=0.1, network=0.1, memory=0.2,
+                              phase_hour=14.0)
+    at_peak = profile.utilization_at(14 * 3600.0)
+    at_trough = profile.utilization_at(2 * 3600.0)
+    assert at_peak > at_trough
+    assert at_peak == pytest.approx(0.8, rel=1e-6)
+
+
+def test_peak_correlation_signs():
+    day = ResourceProfile(cpu=0.8, disk=0.1, network=0.1, memory=0.2,
+                          phase_hour=14.0)
+    night = ResourceProfile(cpu=0.8, disk=0.1, network=0.1, memory=0.2,
+                            phase_hour=2.0)
+    assert peak_correlation(day, day) == pytest.approx(1.0)
+    assert peak_correlation(day, night) == pytest.approx(-1.0, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# Requests / fan-out
+# ----------------------------------------------------------------------
+def test_request_validation_and_latency():
+    with pytest.raises(ValueError):
+        Request(arrival_s=0.0, service_s=-1.0)
+    with pytest.raises(ValueError):
+        Request(arrival_s=0.0, service_s=1.0, fanout=0)
+    req = Request(arrival_s=10.0, service_s=1.0)
+    assert np.isnan(req.latency_s)
+    req.completed_s = 10.5
+    assert req.latency_s == pytest.approx(0.5)
+
+
+def test_fanout_latency_grows_with_fanout():
+    """Max-of-N: bigger scatters have worse tails."""
+    model = FanoutModel(rng=np.random.default_rng(0))
+    median_small = model.latency_percentile(fanout=4, percentile=50,
+                                            trials=500)
+    model2 = FanoutModel(rng=np.random.default_rng(0))
+    median_large = model2.latency_percentile(fanout=256, percentile=50,
+                                             trials=500)
+    assert median_large > 2.0 * median_small
+
+
+def test_quorum_cuts_tail():
+    model = FanoutModel(rng=np.random.default_rng(1))
+    full = model.latency_percentile(fanout=64, percentile=99, trials=400)
+    model2 = FanoutModel(rng=np.random.default_rng(1))
+    quorum = model2.latency_percentile(fanout=64, percentile=99, trials=400,
+                                       quorum=48)
+    assert quorum < full
+
+
+def test_slowdown_scales_latency():
+    model = FanoutModel(sigma=0.0, aggregation_s=0.0,
+                        rng=np.random.default_rng(2))
+    fast = model.request_latency(fanout=8, slowdown=1.0)
+    slow = model.request_latency(fanout=8, slowdown=2.0)
+    assert slow == pytest.approx(2.0 * fast, rel=1e-9)
+
+
+def test_fanout_model_validation():
+    model = FanoutModel()
+    with pytest.raises(ValueError):
+        model.request_latency(fanout=4, quorum=9)
+    with pytest.raises(ValueError):
+        model.subrequest_times(0)
+    with pytest.raises(ValueError):
+        model.latency_percentile(4, percentile=0)
+    with pytest.raises(ValueError):
+        model.power_spike_w(4, -1.0)
+
+
+def test_power_spike_scales_with_fanout():
+    model = FanoutModel()
+    assert model.power_spike_w(fanout=100, per_server_dynamic_w=120.0) \
+        == pytest.approx(12_000.0)
+
+
+def test_dvfs_slowdown_amplified_by_fanout():
+    """§3 + §4.2 interaction: slowing servers 2x more than doubles the
+    p99 of a wide scatter-gather, because the tail is a max of many
+    stretched lognormals — why fleet-wide DVFS must respect fan-out."""
+    fast = FanoutModel(rng=np.random.default_rng(11))
+    slow = FanoutModel(rng=np.random.default_rng(11))
+    p99_fast = fast.latency_percentile(fanout=128, percentile=99,
+                                       trials=400, slowdown=1.0)
+    p99_slow = slow.latency_percentile(fanout=128, percentile=99,
+                                       trials=400, slowdown=2.0)
+    assert p99_slow > 1.9 * p99_fast
