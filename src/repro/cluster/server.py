@@ -20,7 +20,7 @@ import enum
 from repro.power.models import ServerPowerModel, TYPICAL_2008_SERVER
 from repro.sim import Environment, Event, Monitor
 
-__all__ = ["Server", "ServerState", "InvalidTransition"]
+__all__ = ["Server", "ServerState", "InvalidTransition", "POWERED_STATES"]
 
 
 class ServerState(enum.Enum):
@@ -32,6 +32,13 @@ class ServerState(enum.Enum):
     SLEEPING = "sleeping"
     WAKING = "waking"
     FAILED = "failed"
+
+
+#: States in which a server draws meaningful power and is a valid
+#: victim for failure injection / protective shutdown (§2.2): a trip
+#: does not wait for a machine to be serving traffic.
+POWERED_STATES = (ServerState.BOOTING, ServerState.ACTIVE,
+                  ServerState.SLEEPING, ServerState.WAKING)
 
 
 class InvalidTransition(RuntimeError):

@@ -52,10 +52,18 @@ class ServerFarm:
         self.dispatch_period_s = float(dispatch_period_s)
         self.delay_cap_s = float(delay_cap_s)
         self.balancer = LoadBalancer(self.servers, policy=policy or EvenSplit())
+        #: Fraction of offered demand admitted (brownout knob).  The
+        #: macro layer lowers this in degraded operations; refused work
+        #: still counts against the SLA via :attr:`shed_monitor`.
+        self.admission_fraction = 1.0
+        #: Zones the dispatcher must not activate servers in (e.g. a
+        #: zone whose CRAC is down); see ``control.onoff``.
+        self.quarantined_zones: set[str] = set()
         self.power_monitor = Monitor(env, "farm.power_w")
         self.delay_monitor = Monitor(env, "farm.delay_s")
         self.utilization_monitor = Monitor(env, "farm.utilization")
         self.active_monitor = CounterMonitor(env, "farm.active", initial=0)
+        self.offered_monitor = Monitor(env, "farm.offered")
         self.shed_monitor = Monitor(env, "farm.shed")
 
     # ------------------------------------------------------------------
@@ -97,7 +105,11 @@ class ServerFarm:
     def step(self) -> None:
         """One dispatch + measurement tick."""
         demand = self.demand_fn(self.env.now)
-        served = self.balancer.dispatch(demand)
+        admitted = demand * self.admission_fraction
+        served = self.balancer.dispatch(admitted)
+        self.offered_monitor.record(demand)
+        # Shed is measured against *raw* demand: browned-out requests
+        # are refused service and the SLA must account for them.
         self.shed_monitor.record(max(0.0, demand - served))
         self.power_monitor.record(self.total_power_w())
         self.delay_monitor.record(self.mean_response_time_s())

@@ -29,13 +29,21 @@ __all__ = ["DelayBasedOnOff", "ForecastOnOff"]
 
 
 def _activate_one(farm: ServerFarm) -> bool:
-    """Wake (preferred) or boot one machine; True if one was started."""
+    """Wake (preferred) or boot one machine; True if one was started.
+
+    Skips servers in quarantined zones — a zone whose cooling is down
+    must not receive fresh capacity, or the controller re-creates the
+    thermal hazard the macro layer just drained.
+    """
+    quarantined = getattr(farm, "quarantined_zones", frozenset())
     for server in farm.servers:
-        if server.state is ServerState.SLEEPING:
+        if (server.state is ServerState.SLEEPING
+                and server.zone not in quarantined):
             server.wake()
             return True
     for server in farm.servers:
-        if server.state is ServerState.OFF:
+        if (server.state is ServerState.OFF
+                and server.zone not in quarantined):
             server.power_on()
             return True
     return False

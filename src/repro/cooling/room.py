@@ -57,6 +57,9 @@ class MachineRoom:
         self.zones = list(zones)
         self.cracs = list(cracs)
         self.conductance = matrix
+        #: Design-time coupling, kept so failed CRACs can be repaired.
+        self._nominal_conductance = matrix.copy()
+        self.failed_cracs: set[int] = set()
         self.step_s = float(step_s)
         self.alarms: list[ThermalAlarm] = []
         self._alarm_callbacks: list[typing.Callable[[ThermalAlarm], None]] = []
@@ -90,6 +93,8 @@ class MachineRoom:
 
     def heat_removed_w(self, crac_index: int) -> float:
         """Heat the CRAC currently extracts from its coupled zones."""
+        if crac_index in self.failed_cracs:
+            return 0.0
         supply = self.cracs[crac_index].supply_temp_c
         column = self.conductance[:, crac_index]
         temps = np.array([z.temp_c for z in self.zones])
@@ -98,7 +103,49 @@ class MachineRoom:
     def mechanical_power_w(self) -> float:
         """Total electrical power of the cooling plant right now."""
         return sum(crac.mechanical_power_w(self.heat_removed_w(j))
-                   for j, crac in enumerate(self.cracs))
+                   for j, crac in enumerate(self.cracs)
+                   if j not in self.failed_cracs)
+
+    # ------------------------------------------------------------------
+    # CRAC failure domain (§2.2: cooling loss → thermal runaway)
+    # ------------------------------------------------------------------
+    def fail_crac(self, crac_index: int) -> None:
+        """Take a CRAC offline: fans stop, its air paths carry nothing.
+
+        Zeroes the unit's conductance column — zones it served now see
+        only whatever cross-coupling other units provide, which is the
+        thermal-runaway configuration behind protective shutdowns.
+        """
+        if not 0 <= crac_index < len(self.cracs):
+            raise IndexError(f"no CRAC at index {crac_index}")
+        self.failed_cracs.add(crac_index)
+        self.conductance[:, crac_index] = 0.0
+
+    def repair_crac(self, crac_index: int) -> None:
+        """Bring a failed CRAC back, restoring its design coupling."""
+        if crac_index not in self.failed_cracs:
+            raise ValueError(f"CRAC {crac_index} is not failed")
+        self.failed_cracs.discard(crac_index)
+        self.conductance[:, crac_index] = (
+            self._nominal_conductance[:, crac_index])
+
+    def impaired_zones(self, dominance: float = 0.5) -> list[str]:
+        """Zones that lost their dominant cooling path.
+
+        A zone is impaired when failed CRACs carried more than
+        ``dominance`` of its design conductance — left like this it
+        will drift toward thermal alarm under load.
+        """
+        impaired = []
+        for i, zone in enumerate(self.zones):
+            total = self._nominal_conductance[i].sum()
+            if total <= 0:
+                continue
+            lost = sum(self._nominal_conductance[i, j]
+                       for j in self.failed_cracs)
+            if lost / total > dominance:
+                impaired.append(zone.name)
+        return impaired
 
     # ------------------------------------------------------------------
     def step_once(self) -> None:
@@ -110,7 +157,8 @@ class MachineRoom:
             self.zone_monitors[zone.name].record(zone.temp_c)
             self._check_alarm(zone)
         for j, crac in enumerate(self.cracs):
-            crac.maybe_decide(now, self.return_temp_c(j))
+            if j not in self.failed_cracs:
+                crac.maybe_decide(now, self.return_temp_c(j))
         self.mechanical_monitor.record(self.mechanical_power_w())
 
     def _check_alarm(self, zone: ThermalZone) -> None:

@@ -9,6 +9,15 @@ from repro.core.autoscale import (
 from repro.core.chaos import FailureInjector
 from repro.core.consolidation import ConsolidationManager
 from repro.core.cooling_aware import CoolingAwarePlacer, MoveAssessment
+from repro.core.faults import (
+    FacilityStatus,
+    FaultDomainEngine,
+    FaultKind,
+    FaultSchedule,
+    Incident,
+    IncidentRecord,
+    ResilienceReport,
+)
 from repro.core.forecast import (
     EWMAForecaster,
     HoltWintersForecaster,
@@ -20,7 +29,11 @@ from repro.core.geodynamic import (
     FollowTheMoonScheduler,
     MoonScheduleResult,
 )
-from repro.core.manager import MacroDecision, MacroResourceManager
+from repro.core.manager import (
+    DegradedOpsPolicy,
+    MacroDecision,
+    MacroResourceManager,
+)
 from repro.core.oversubscription import (
     OverflowEstimate,
     OversubscriptionPlanner,
@@ -32,9 +45,17 @@ __all__ = [
     "AutoscaleResult",
     "ConsolidationManager",
     "CoolingAwarePlacer",
+    "DegradedOpsPolicy",
     "DynamicSite",
     "EWMAForecaster",
+    "FacilityStatus",
     "FailureInjector",
+    "FaultDomainEngine",
+    "FaultKind",
+    "FaultSchedule",
+    "Incident",
+    "IncidentRecord",
+    "ResilienceReport",
     "FollowTheMoonScheduler",
     "GeoScheduler",
     "MoonScheduleResult",

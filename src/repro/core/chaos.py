@@ -7,33 +7,62 @@ dynamically rightsizes its fleet has less slack when machines die.
 whether a management policy keeps its SLA through attrition — the
 kind of "diagnose possible failures" duty Figure 4 assigns to the
 macro layer.
+
+For *correlated* failures — whole racks, CRAC units, the utility feed
+— see :mod:`repro.core.faults`; this module models independent
+single-server attrition.
 """
 
 from __future__ import annotations
 
+import typing
+
 import numpy as np
 
-from repro.cluster.server import Server, ServerState
-from repro.sim import Environment
+from repro.cluster.server import POWERED_STATES, Server, ServerState
+from repro.sim import Environment, RandomStreams
 
 __all__ = ["FailureInjector"]
 
 
 class FailureInjector:
-    """Kill random ACTIVE servers; optionally repair them later."""
+    """Kill random powered-on servers; optionally repair them later.
+
+    Parameters
+    ----------
+    states:
+        Server states eligible as victims.  Defaults to every
+        powered-on state (ACTIVE / BOOTING / WAKING / SLEEPING) — a
+        hardware fault or protective shutdown (§2.2) does not wait for
+        a machine to be serving traffic.  Pass
+        ``(ServerState.ACTIVE,)`` for the legacy serving-only
+        behaviour.
+    rng / streams:
+        Explicit generator, or a :class:`~repro.sim.RandomStreams`
+        registry to draw the ``"chaos.failures"`` substream from, so
+        chaos runs are reproducible per master seed like every other
+        stochastic component.  ``rng`` wins if both are given.
+    """
 
     def __init__(self, env: Environment, servers: list[Server],
                  mtbf_s: float, repair_s: float | None = 1_800.0,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 streams: RandomStreams | None = None,
+                 states: typing.Sequence[ServerState] = POWERED_STATES):
         if mtbf_s <= 0:
             raise ValueError("MTBF must be positive")
         if repair_s is not None and repair_s <= 0:
             raise ValueError("repair time must be positive")
+        if not states:
+            raise ValueError("need at least one eligible state")
         self.env = env
         self.servers = servers
         self.mtbf_s = float(mtbf_s)
         self.repair_s = repair_s
-        self.rng = rng or np.random.default_rng(0)
+        if rng is None:
+            rng = (streams or RandomStreams(0)).get("chaos.failures")
+        self.rng = rng
+        self.states = tuple(states)
         self.failures: list[tuple[float, str]] = []
 
     def _repair(self, server: Server):
@@ -47,7 +76,7 @@ class FailureInjector:
         while True:
             yield self.env.timeout(self.rng.exponential(self.mtbf_s))
             candidates = [s for s in self.servers
-                          if s.state is ServerState.ACTIVE]
+                          if s.state in self.states]
             if not candidates:
                 continue
             victim = candidates[self.rng.integers(len(candidates))]

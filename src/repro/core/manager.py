@@ -13,6 +13,14 @@ a demand forecaster, a coordinated fleet/P-state controller, the
 facility power capper, and (when a machine room is attached) thermal
 protection + cooling-aware vetting.  Each decision cycle produces an
 auditable :class:`MacroDecision`.
+
+When a :class:`~repro.core.faults.FaultDomainEngine` is attached, the
+manager also runs the paper's "diagnose possible failures" loop: on a
+detected capacity loss it enters **degraded operations** — browning
+out admission, tightening the power cap, forcing deeper P-states under
+power incidents, and gracefully draining zones that are drifting
+toward thermal alarm — then recovers with hysteresis once the facility
+is healthy again.  Every mode transition lands in an incident log.
 """
 
 from __future__ import annotations
@@ -30,7 +38,55 @@ from repro.core.sla import SLA, SLAReport
 from repro.power.capping import PowerCapper
 from repro.sim import Monitor
 
-__all__ = ["MacroResourceManager", "MacroDecision"]
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.faults import FacilityStatus, FaultDomainEngine
+
+__all__ = ["MacroResourceManager", "MacroDecision", "DegradedOpsPolicy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedOpsPolicy:
+    """Knobs for degraded operations (brownout / cap / drain / recover).
+
+    Parameters
+    ----------
+    admission_fraction:
+        Demand fraction admitted while degraded (brownout; refused
+        work counts against the SLA).
+    cap_margin:
+        The capper budget is set to ``available power × cap_margin``
+        while degraded, so the shrunken facility keeps a guard band.
+    battery_cap_fraction:
+        Extra budget tightening while riding the UPS battery, to
+        stretch ride-through until the generator starts.
+    pstate_floor:
+        Minimum P-state depth forced while a *power* incident is
+        active (deeper state = slower + cooler + cheaper).
+    drain_margin_c:
+        Zones within this many degrees of their alarm temperature are
+        gracefully drained before the protective sensors trip.
+    recovery_hold_s:
+        Hysteresis: the facility must look healthy this long before
+        degraded mode is exited.
+    """
+
+    admission_fraction: float = 0.85
+    cap_margin: float = 0.95
+    battery_cap_fraction: float = 0.7
+    pstate_floor: int = 1
+    drain_margin_c: float = 3.0
+    recovery_hold_s: float = 600.0
+
+    def __post_init__(self):
+        if not 0.0 < self.admission_fraction <= 1.0:
+            raise ValueError("admission fraction must be in (0, 1]")
+        for frac in (self.cap_margin, self.battery_cap_fraction):
+            if not 0.0 < frac <= 1.0:
+                raise ValueError("cap fractions must be in (0, 1]")
+        if self.pstate_floor < 0:
+            raise ValueError("P-state floor cannot be negative")
+        if self.drain_margin_c < 0 or self.recovery_hold_s < 0:
+            raise ValueError("margins cannot be negative")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +101,14 @@ class MacroDecision:
     capped: bool
     thermal_safe: bool
     sla_risk: float | None = None
+    #: Operating mode this cycle ran in ("normal" / "degraded").
+    mode: str = "normal"
+    #: Facility incidents open at decision time (0 without an engine).
+    active_incidents: int = 0
+    #: Admission (brownout) fraction in force this cycle.
+    admission_fraction: float = 1.0
+    #: Servers gracefully drained from endangered zones this cycle.
+    drained_servers: int = 0
 
 
 class MacroResourceManager:
@@ -63,6 +127,13 @@ class MacroResourceManager:
     heat_by_zone_fn:
         Callable returning the current {zone: watts} map (supplied by
         the co-simulation harness, which knows the rack layout).
+    fault_engine:
+        Optional :class:`~repro.core.faults.FaultDomainEngine` whose
+        :meth:`status` the manager polls each cycle to diagnose
+        facility-scale failures and drive degraded operations.
+    degraded_policy:
+        Degraded-operations knobs; defaults to
+        :class:`DegradedOpsPolicy`'s defaults.
     """
 
     def __init__(self, farm: ServerFarm,
@@ -75,7 +146,9 @@ class MacroResourceManager:
                  forecaster=None,
                  target_utilization: float = 0.8,
                  headroom: float = 1.1,
-                 risk_model=None):
+                 risk_model=None,
+                 fault_engine: "FaultDomainEngine | None" = None,
+                 degraded_policy: DegradedOpsPolicy | None = None):
         if period_s <= 0:
             raise ValueError("period must be positive")
         if forecast_horizon_s < 0:
@@ -114,6 +187,19 @@ class MacroResourceManager:
         self.forecast_monitor = Monitor(self.env, "macro.forecast")
         self.thermal_shutdowns: list[tuple[float, str, int]] = []
 
+        # Degraded-operations state (the detect → degrade → recover loop).
+        self.fault_engine = fault_engine
+        self.degraded_policy = degraded_policy or DegradedOpsPolicy()
+        self.mode = "normal"
+        self._nominal_budget_w = power_budget_w
+        self._clear_since: float | None = None
+        #: Incident log: (time, from_mode, to_mode, reason).
+        self.mode_transitions: list[tuple[float, str, str, str]] = []
+        #: Drain log: (time, zone, servers drained).
+        self.drains: list[tuple[float, str, int]] = []
+        self.degraded_monitor = Monitor(self.env, "macro.degraded")
+        self.degraded_monitor.record(0.0)
+
     # ------------------------------------------------------------------
     # Signals
     # ------------------------------------------------------------------
@@ -138,6 +224,101 @@ class MacroResourceManager:
             (alarm.time_s, alarm.zone, len(victims)))
 
     # ------------------------------------------------------------------
+    # Degraded operations (detect → degrade → recover, with hysteresis)
+    # ------------------------------------------------------------------
+    def _endangered_zones(self) -> list[str]:
+        """Zones within the drain margin of their alarm temperature."""
+        if self.room is None:
+            return []
+        margin = self.degraded_policy.drain_margin_c
+        return [z.name for z in self.room.zones
+                if z.temp_c >= z.alarm_temp_c - margin]
+
+    def _drain_zone(self, zone: str) -> int:
+        """Gracefully shut down a zone's ACTIVE servers before they trip.
+
+        Unlike the protective :meth:`_handle_thermal_alarm` path this
+        is an orderly shutdown — load is released for re-dispatch and
+        the machines land in OFF, ready to boot after recovery, rather
+        than FAILED.
+        """
+        victims = [s for s in self.farm.servers
+                   if s.zone == zone and s.state is ServerState.ACTIVE]
+        for server in victims:
+            server.set_offered_load(0.0)
+            server.shut_down()
+        if victims:
+            self.drains.append((self.env.now, zone, len(victims)))
+        return len(victims)
+
+    def _transition(self, to_mode: str, reason: str) -> None:
+        self.mode_transitions.append(
+            (self.env.now, self.mode, to_mode, reason))
+        self.mode = to_mode
+        self.degraded_monitor.record(1.0 if to_mode == "degraded" else 0.0)
+
+    def _power_constrained(self, status: "FacilityStatus | None") -> bool:
+        if status is None:
+            return False
+        if status.on_battery:
+            return True
+        return (self._nominal_budget_w is not None
+                and status.power_capacity_w < self._nominal_budget_w)
+
+    def _exit_degraded(self, reason: str) -> None:
+        self.farm.admission_fraction = 1.0
+        self.farm.quarantined_zones = set()
+        if self.capper is not None and self._nominal_budget_w is not None:
+            self.capper.budget_w = self._nominal_budget_w
+        self._clear_since = None
+        self._transition("normal", reason)
+
+    def _apply_degradation(self,
+                           status: "FacilityStatus | None") -> tuple[int, int]:
+        """Run the mode machine; returns (active incidents, drained)."""
+        now = self.env.now
+        endangered = self._endangered_zones()
+        threat = bool(endangered) or (
+            status is not None
+            and (status.active_incidents or status.on_battery))
+        n_incidents = len(status.active_incidents) if status else 0
+
+        if self.mode == "normal":
+            if threat:
+                reasons = [r.kind.value for r in status.active_incidents] \
+                    if status else []
+                reasons += [f"thermal:{z}" for z in endangered]
+                self._transition("degraded", ",".join(reasons) or "detected")
+            else:
+                return n_incidents, 0
+
+        policy = self.degraded_policy
+        self.farm.admission_fraction = policy.admission_fraction
+        impaired = set(status.impaired_zones) if status else set()
+        self.farm.quarantined_zones = impaired | set(endangered)
+        drained = sum(self._drain_zone(z) for z in endangered)
+        if self.capper is not None and self._nominal_budget_w is not None:
+            available = (status.power_capacity_w if status is not None
+                         else self._nominal_budget_w)
+            if status is not None and status.on_battery:
+                available *= policy.battery_cap_fraction
+            self.capper.budget_w = min(self._nominal_budget_w,
+                                       available * policy.cap_margin)
+
+        if threat:
+            self._clear_since = None
+        elif self._clear_since is None:
+            self._clear_since = now
+        elif now - self._clear_since >= policy.recovery_hold_s:
+            self._exit_degraded("facility healthy")
+        return n_incidents, drained
+
+    def degraded_s(self, start: float | None = None,
+                   end: float | None = None) -> float:
+        """Total time spent in degraded mode over an interval."""
+        return self.degraded_monitor.integral(start, end)
+
+    # ------------------------------------------------------------------
     # Decision cycle
     # ------------------------------------------------------------------
     def decide(self) -> MacroDecision:
@@ -149,11 +330,31 @@ class MacroResourceManager:
         forecast = self.forecaster.forecast(self.forecast_horizon_s)
         self.forecast_monitor.record(forecast)
 
+        # Diagnose possible failures before actuating: quarantines and
+        # the brownout must be in force when the coordinator sizes the
+        # fleet and the capper evaluates.
+        status = (self.fault_engine.status()
+                  if self.fault_engine is not None else None)
+        n_incidents, drained = self._apply_degradation(status)
+
         target_fleet, pstate = self.coordinator.decide()
 
         capped = False
         if self.capper is not None:
             capped = self.capper.evaluate().capped
+
+        # Under a power incident, force the fleet at least
+        # ``pstate_floor`` deep: slower and cooler stretches battery
+        # ride-through and keeps the derated UPS inside its rating.
+        if self.mode == "degraded" and self._power_constrained(status):
+            active = self.farm.active_servers()
+            if active:
+                floor = min(self.degraded_policy.pstate_floor,
+                            len(active[0].model.pstates) - 1)
+                if pstate < floor:
+                    pstate = floor
+                    for server in active:
+                        server.set_pstate(floor)
 
         thermal_safe = True
         if self.placer is not None and self.heat_by_zone_fn is not None:
@@ -165,7 +366,12 @@ class MacroResourceManager:
                 target_fleet, forecast).sla_violation_probability
 
         decision = MacroDecision(now, observed, forecast, target_fleet,
-                                 pstate, capped, thermal_safe, sla_risk)
+                                 pstate, capped, thermal_safe, sla_risk,
+                                 mode=self.mode,
+                                 active_incidents=n_incidents,
+                                 admission_fraction=self.farm
+                                 .admission_fraction,
+                                 drained_servers=drained)
         self.decisions.append(decision)
         return decision
 
@@ -182,7 +388,7 @@ class MacroResourceManager:
                    end: float | None = None) -> SLAReport:
         """Evaluate the SLA against the farm's measured signals."""
         return self.sla.evaluate(self.farm.delay_monitor,
-                                 self.farm.balancer.offered_monitor,
+                                 self.farm.offered_monitor,
                                  self.farm.shed_monitor, start, end)
 
     def capping_fraction(self) -> float:

@@ -57,6 +57,31 @@ class SLA:
             served_fraction=served_fraction,
         )
 
+    def evaluate_windows(self, delay_monitor: Monitor,
+                         offered_monitor: Monitor, shed_monitor: Monitor,
+                         windows: list[tuple[float, float]]) -> "SLAReport":
+        """Check the contract over a union of time windows.
+
+        Used for SLA-during-incident reporting: the availability story
+        of a resilient facility is decided inside the incident windows,
+        where a whole-run average would wash the damage out.
+        """
+        delays = [v for t, v in zip(delay_monitor.times,
+                                    delay_monitor.values)
+                  if any(a <= t <= b for a, b in windows)]
+        if delays:
+            measured_response = float(np.percentile(delays, self.percentile))
+        else:
+            measured_response = float("nan")
+        offered = sum(offered_monitor.integral(a, b) for a, b in windows)
+        shed = sum(shed_monitor.integral(a, b) for a, b in windows)
+        served_fraction = 1.0 if offered <= 0 else 1.0 - shed / offered
+        return SLAReport(
+            sla=self,
+            measured_response_s=measured_response,
+            served_fraction=served_fraction,
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class SLAReport:

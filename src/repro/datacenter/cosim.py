@@ -8,19 +8,30 @@ PUE meter watches everything, and — optionally — a
 
 Running the same workload with the manager on and off is the FIG-4
 experiment: macro-coordination versus a statically provisioned,
-locally-controlled facility.
+locally-controlled facility.  Passing a
+:class:`~repro.core.faults.FaultSchedule` turns the same pair into the
+resilience experiment: the coordinated facility detects capacity loss,
+degrades gracefully, and recovers, while the static one rides into
+thermal protective shutdowns — and the :class:`CoSimResult` carries a
+:class:`~repro.core.faults.ResilienceReport` quantifying both.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 
 from repro.control.farm import ServerFarm
+from repro.core.faults import (
+    FaultDomainEngine,
+    FaultSchedule,
+    ResilienceReport,
+)
 from repro.core.manager import MacroResourceManager
 from repro.core.sla import SLA, SLAReport
 from repro.datacenter.spec import DataCenter, DataCenterSpec
-from repro.sim import Environment
+from repro.sim import Environment, RandomStreams
 
 __all__ = ["CoSimulation", "CoSimResult"]
 
@@ -37,10 +48,24 @@ class CoSimResult:
     sla: SLAReport
     thermal_alarms: int
     peak_grid_w: float
+    #: Incident summary; ``None`` when no fault schedule was injected.
+    resilience: ResilienceReport | None = None
 
     @property
     def facility_kwh(self) -> float:
         return self.facility_energy_j / 3.6e6
+
+
+def _merge_windows(
+        windows: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of possibly-overlapping intervals."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
 
 
 class CoSimulation:
@@ -52,7 +77,9 @@ class CoSimulation:
                  initial_active: int | None = None,
                  sla: SLA | None = None,
                  physical_step_s: float = 60.0,
-                 manager_kwargs: dict | None = None):
+                 manager_kwargs: dict | None = None,
+                 fault_schedule: FaultSchedule | None = None,
+                 streams: RandomStreams | None = None):
         if physical_step_s <= 0:
             raise ValueError("physical step must be positive")
         self.env = Environment()
@@ -75,6 +102,16 @@ class CoSimulation:
         self.env.process(self.dc.room.run())
         self.env.process(self._physical_loop())
 
+        self.fault_engine: FaultDomainEngine | None = None
+        if fault_schedule is not None:
+            self.fault_engine = FaultDomainEngine(
+                self.env, self.dc, fault_schedule, streams=streams)
+            self.env.process(self.fault_engine.run())
+            if not managed:
+                # No manager to pre-drain hot zones: servers rely on
+                # their own protective thermal sensors (§2.2).
+                self.fault_engine.install_protective_trips()
+
         self.manager: MacroResourceManager | None = None
         if managed:
             self.manager = MacroResourceManager(
@@ -82,6 +119,7 @@ class CoSimulation:
                 power_budget_w=self.dc.ups.steady_rating_w,
                 room=self.dc.room,
                 heat_by_zone_fn=self.dc.cluster.heat_by_zone,
+                fault_engine=self.fault_engine,
                 **(manager_kwargs or {}))
             self.env.process(self.manager.run())
         self._grid_peak_w = 0.0
@@ -94,6 +132,44 @@ class CoSimulation:
                 self._grid_peak_w = snapshot["grid_w"]
             yield self.env.timeout(self.physical_step_s)
 
+    def _resilience_report(self, start: float,
+                           end: float) -> ResilienceReport | None:
+        engine = self.fault_engine
+        if engine is None:
+            return None
+        records = tuple(r for r in engine.records if r.start_s < end)
+        windows = _merge_windows(
+            [(r.start_s, r.end_s if r.end_s is not None else end)
+             for r in records])
+        sla_during = None
+        incident_energy = 0.0
+        if windows:
+            sla_during = self.sla.evaluate_windows(
+                self.farm.delay_monitor, self.farm.offered_monitor,
+                self.farm.shed_monitor, windows)
+            incident_energy = sum(
+                self.dc.pue.total_facility_energy_j(a, b)
+                for a, b in windows)
+        trips = sum(n for _, _, n in engine.protective_trips)
+        degraded_s = 0.0
+        transitions = 0
+        if self.manager is not None:
+            trips += sum(n for _, _, n in self.manager.thermal_shutdowns)
+            degraded_s = self.manager.degraded_s(start, end)
+            transitions = len(self.manager.mode_transitions)
+        mttr = engine.mttr_s()
+        return ResilienceReport(
+            incident_count=len(records),
+            incidents=records,
+            mttr_s=mttr if not math.isnan(mttr) else 0.0,
+            degraded_mode_s=degraded_s,
+            mode_transitions=transitions,
+            protective_shutdowns=trips,
+            blackouts=len(engine.blackouts),
+            sla_during_incidents=sla_during,
+            incident_energy_j=incident_energy,
+        )
+
     def run(self, duration_s: float) -> CoSimResult:
         """Advance the co-simulation and summarize the interval."""
         if duration_s <= 0:
@@ -102,7 +178,7 @@ class CoSimulation:
         self.env.run(until=start + duration_s)
         end = self.env.now
         report = self.sla.evaluate(self.farm.delay_monitor,
-                                   self.farm.balancer.offered_monitor,
+                                   self.farm.offered_monitor,
                                    self.farm.shed_monitor, start, end)
         return CoSimResult(
             duration_s=duration_s,
@@ -114,4 +190,5 @@ class CoSimulation:
             sla=report,
             thermal_alarms=len(self.dc.room.alarms),
             peak_grid_w=self._grid_peak_w,
+            resilience=self._resilience_report(start, end),
         )

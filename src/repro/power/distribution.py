@@ -111,6 +111,7 @@ class PowerNode:
         self.children: list[PowerNode] = []
         self.parent: PowerNode | None = None
         self._leaf_demand_w = 0.0
+        self.failed = False
 
     def add_child(self, child: "PowerNode") -> "PowerNode":
         """Attach ``child`` below this node and return it (chainable)."""
@@ -128,14 +129,30 @@ class PowerNode:
             raise ValueError(f"negative demand {watts}")
         self._leaf_demand_w = float(watts)
 
+    def trip(self) -> None:
+        """Open this branch's breaker: nothing flows through it.
+
+        Models the §2 PDU/branch failure domain — every load below a
+        tripped node is dark regardless of its own demand.
+        """
+        self.failed = True
+
+    def restore(self) -> None:
+        """Close the breaker after repair."""
+        self.failed = False
+
     def output_w(self) -> float:
         """Power this node must deliver downstream."""
+        if self.failed:
+            return 0.0
         if not self.children:
             return self._leaf_demand_w
         return sum(child.input_w() for child in self.children)
 
     def input_w(self) -> float:
         """Power this node draws from upstream (output / efficiency)."""
+        if self.failed:
+            return 0.0
         out = self.output_w()
         if out == 0.0:
             return 0.0

@@ -60,6 +60,7 @@ class UPSUnit:
         self._load_w = 0.0
         self._stress_ws = 0.0
         self._on_grid = True
+        self._nominal_rating_w: float | None = None
         self._last_update = env.now
         self.load_monitor = Monitor(env, f"{name}.load_w")
         self.battery_monitor = Monitor(env, f"{name}.battery_j")
@@ -125,6 +126,37 @@ class UPSUnit:
         self._load_w = float(watts)
         self.load_monitor.record(watts)
         self.battery_monitor.record(self.battery_j)
+
+    def derate(self, fraction: float) -> None:
+        """Lose ``fraction`` of the steady rating (a module dropped out).
+
+        §2.1: the UPS bank defines the facility's capacity; a branch
+        failure shrinks that capacity mid-run and the load must be
+        squeezed under the new ceiling before the overload budget
+        burns through.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"derate fraction must be in (0, 1), "
+                             f"got {fraction}")
+        self._advance()
+        if self._nominal_rating_w is None:
+            self._nominal_rating_w = self.steady_rating_w
+        self.steady_rating_w = self._nominal_rating_w * (1.0 - fraction)
+
+    def restore_rating(self) -> None:
+        """Undo any derating after the failed module is replaced."""
+        if self._nominal_rating_w is None:
+            return
+        self._advance()
+        self.steady_rating_w = self._nominal_rating_w
+        self._nominal_rating_w = None
+
+    @property
+    def nominal_rating_w(self) -> float:
+        """Design rating (steady rating with any derate removed)."""
+        if self._nominal_rating_w is not None:
+            return self._nominal_rating_w
+        return self.steady_rating_w
 
     def grid_failure(self) -> None:
         """Grid drops; the battery carries the load."""
