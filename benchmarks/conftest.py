@@ -10,16 +10,73 @@ quantitative claim — see DESIGN.md §3).  The convention:
   reproduction report,
 * time a representative kernel via the ``benchmark`` fixture
   (``pedantic`` with one round for simulation-heavy experiments).
+
+In addition, every recorded benchmark appends one machine-readable row
+to ``BENCH_PERF.json`` (in the repository root, or ``$BENCH_PERF_PATH``)
+with the benchmark name, its headline metrics, and the mean wall time —
+CI uploads the file as an artifact so perf history survives the run.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+
+_PERF_PATH = pathlib.Path(
+    os.environ.get("BENCH_PERF_PATH",
+                   pathlib.Path(__file__).resolve().parent.parent
+                   / "BENCH_PERF.json"))
+#: ``(title, metrics, benchmark_fixture)`` triples recorded this
+#: session.  The fixture's stats fill in *after* ``record()`` returns
+#: (when the test body calls ``benchmark()``/``pedantic``), so wall
+#: times are read at session finish, not at record time.
+_SESSION_ROWS: list[tuple[str, dict, object]] = []
+
 
 def record(benchmark, title: str, rows: list[str], **extra) -> None:
-    """Attach a result table to the benchmark and echo it."""
+    """Attach a result table to the benchmark and echo it.
+
+    ``extra`` metrics land both in ``benchmark.extra_info`` and in the
+    benchmark's BENCH_PERF.json row.
+    """
     benchmark.extra_info["experiment"] = title
     for key, value in extra.items():
         benchmark.extra_info[key] = value
+    _SESSION_ROWS.append((title, dict(extra), benchmark))
     print(f"\n=== {title} ===")
     for row in rows:
         print(row)
+
+
+def _mean_seconds(benchmark) -> float | None:
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        pass
+    try:
+        return float(benchmark.stats["mean"])
+    except (AttributeError, KeyError, TypeError):
+        return None
+
+
+def pytest_sessionstart(session):
+    _SESSION_ROWS.clear()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's rows into BENCH_PERF.json by name."""
+    if not _SESSION_ROWS:
+        return
+    existing: dict[str, dict] = {}
+    if _PERF_PATH.exists():
+        try:
+            for row in json.loads(_PERF_PATH.read_text()):
+                existing[row["name"]] = row
+        except (ValueError, KeyError, TypeError):
+            existing = {}
+    for title, metrics, benchmark in _SESSION_ROWS:
+        existing[title] = {"name": title, "metrics": metrics,
+                           "mean_s": _mean_seconds(benchmark)}
+    _PERF_PATH.write_text(
+        json.dumps(list(existing.values()), indent=2) + "\n")

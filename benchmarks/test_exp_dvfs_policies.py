@@ -10,6 +10,11 @@ measured:
   shrinking as load rises;
 * per-task DVFS (Vertigo, [22]) converts deadline slack into energy,
   with the V²f super-linear payoff.
+
+The controlled and baseline farms are independent simulations, so
+they run as two :class:`~repro.perf.SweepRunner` points in parallel;
+each point is deterministic, so the metrics match a serial run
+exactly.
 """
 
 from conftest import record
@@ -21,6 +26,7 @@ from repro.control import (
     ResponseTimeDVFS,
     ServerFarm,
 )
+from repro.perf import SweepPoint, SweepRunner
 from repro.sim import Environment
 
 
@@ -55,14 +61,34 @@ def run_baseline(demand: float, hours: float = 4):
     return farm
 
 
+def run_policy_point(params):
+    """One farm simulation as a parallel sweep point.
+
+    Returns the steady-state means the headline rows need; the farm
+    itself stays in the worker (it is not picklable and need not be).
+    """
+    runner = run_rt_dvfs if params["policy"] == "rt-dvfs" else run_baseline
+    farm = runner(params["demand"], hours=params["hours"])
+    return {
+        "power_w": farm.power_monitor.time_weighted_mean(3600.0, None),
+        "delay_s": farm.delay_monitor.time_weighted_mean(3600.0, None),
+    }
+
+
 def test_exp_dvfs_policies(benchmark):
     # --- control-based DVFS: holds the target, saves power ----------
     demand = 300.0  # 30 % load on 10 servers
-    dvfs = run_rt_dvfs(demand)
-    base = run_baseline(demand)
-    power_dvfs = dvfs.power_monitor.time_weighted_mean(3600.0, None)
-    power_base = base.power_monitor.time_weighted_mean(3600.0, None)
-    delay_dvfs = dvfs.delay_monitor.time_weighted_mean(3600.0, None)
+    points = [
+        SweepPoint("rt-dvfs", {"policy": "rt-dvfs", "demand": demand,
+                               "hours": 4}),
+        SweepPoint("baseline", {"policy": "baseline", "demand": demand,
+                                "hours": 4}),
+    ]
+    report = SweepRunner(run_policy_point, points, workers=2).run()
+    by_name = {r.name: r.metrics for r in report.results}
+    power_dvfs = by_name["rt-dvfs"]["power_w"]
+    power_base = by_name["baseline"]["power_w"]
+    delay_dvfs = by_name["rt-dvfs"]["delay_s"]
     assert power_dvfs < 0.97 * power_base
     assert delay_dvfs <= 0.05 * 1.4  # holds the target within 40 %
 
@@ -101,6 +127,14 @@ def test_exp_dvfs_policies(benchmark):
     ]
     record(benchmark, "EXP-DVFS: DVFS policies and batching", rows,
            dvfs_saving=float(1 - power_dvfs / power_base),
-           batching_saving_low=float(low_save))
-    benchmark.pedantic(run_rt_dvfs, args=(demand,),
-                       kwargs={"hours": 1}, rounds=1, iterations=1)
+           batching_saving_low=float(low_save),
+           sweep_speedup=float(report.speedup))
+
+    short_points = [
+        SweepPoint(p.name, {**p.params, "hours": 1}) for p in points
+    ]
+
+    def parallel_sweep():
+        return SweepRunner(run_policy_point, short_points, workers=2).run()
+
+    benchmark.pedantic(parallel_sweep, rounds=1, iterations=1)

@@ -72,3 +72,31 @@ def test_scale_smoke_500_servers(benchmark):
            [f"facility energy {result.facility_kwh:.0f} kWh, "
             f"PUE {result.energy_weighted_pue:.2f}, "
             f"wall time {benchmark.stats['mean']:.1f} s"])
+
+
+def test_scale_smoke_2000_servers(benchmark):
+    """4x the fleet still beats the seed's 500-server wall time.
+
+    The event-driven fleet aggregates make the farm tick O(active) and
+    ``sync_physical`` O(racks), so quadrupling the fleet must not
+    quadruple the wall time; the floor here is the pre-optimization
+    500-server figure (16.4 s on the reference machine).
+    """
+    from repro.datacenter import CoSimulation, DataCenterSpec
+
+    def run():
+        spec = DataCenterSpec(racks=100, servers_per_rack=20, zones=10,
+                              cracs=4,
+                              zone_conductance_w_per_k=80_000.0)
+        demand = spec.total_servers * spec.server_capacity * 0.5
+        sim = CoSimulation(spec, lambda t: demand, managed=True)
+        return sim.run(86_400.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.thermal_alarms == 0
+    assert result.sla.served_fraction > 0.99
+    assert benchmark.stats["mean"] < 16.4
+    record(benchmark, "PERF: 2000-server day",
+           [f"facility energy {result.facility_kwh:.0f} kWh, "
+            f"PUE {result.energy_weighted_pue:.2f}, "
+            f"wall time {benchmark.stats['mean']:.1f} s"])

@@ -104,6 +104,42 @@ def _tiers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep(args: argparse.Namespace) -> int:
+    """Fan a co-simulation config grid across a process pool.
+
+    The grid crosses demand fraction with managed/static — 8 points by
+    default — and prints per-point metrics and wall time plus the
+    sweep's speedup over a serial execution (the sum of per-point
+    in-worker times divided by elapsed time).
+    """
+    from repro.perf import SweepRunner, cosim_grid, run_cosim_point
+
+    zones = min(4, args.racks)
+    points = cosim_grid(
+        base={"hours": args.hours,
+              "demand": {"kind": "diurnal"},
+              "spec": {"racks": args.racks,
+                       "servers_per_rack": args.servers_per_rack,
+                       "zones": zones, "cracs": min(2, zones)}},
+        seed=args.seed,
+        **{"demand.fraction": [0.3, 0.5, 0.7, 0.9],
+           "managed": [False, True]})
+    report = SweepRunner(run_cosim_point, points,
+                         workers=args.workers).run()
+    print(f"{'point':<28}{'kWh':>8}{'PUE':>7}{'avg srv':>9}"
+          f"{'served':>8}{'wall s':>8}")
+    for r in report.results:
+        m = r.metrics
+        print(f"{r.name:<28}{m['facility_kwh']:>8.1f}{m['pue']:>7.2f}"
+              f"{m['mean_active_servers']:>9.1f}"
+              f"{m['served_fraction']:>8.1%}{r.wall_time_s:>8.2f}")
+    print(f"{len(report.results)} points, {report.workers} workers: "
+          f"{report.elapsed_s:.2f}s elapsed "
+          f"({report.serial_time_s:.2f}s of point time, "
+          f"speedup {report.speedup:.2f}x vs serial)")
+    return 0
+
+
 SCENARIOS = {
     "quickstart": (_quickstart, "co-simulate a facility, static vs "
                    "macro-managed"),
@@ -129,6 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--servers-per-rack", type=int, default=10)
     run.add_argument("--years", type=int, default=2_000,
                      help="Monte-Carlo years for the tiers scenario")
+    sweep = sub.add_parser(
+        "sweep", help="parallel co-simulation parameter sweep")
+    sweep.add_argument("--hours", type=float, default=4.0,
+                       help="simulated hours per point")
+    sweep.add_argument("--racks", type=int, default=4)
+    sweep.add_argument("--servers-per-rack", type=int, default=10)
+    sweep.add_argument("--workers", type=int, default=4,
+                       help="process count (1 = serial)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed; each point forks its own")
     return parser
 
 
@@ -139,6 +185,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, description) in sorted(SCENARIOS.items()):
             print(f"{name:<12} {description}")
         return 0
+    if args.command == "sweep":
+        return _sweep(args)
     handler, _ = SCENARIOS[args.scenario]
     return handler(args)
 

@@ -1,6 +1,7 @@
 """Cluster substrate: servers, racks, VMs, interference, placement,
 migration, and load balancing (paper §3, §4.3, §4.4, §5.2)."""
 
+from repro.cluster.aggregates import FleetAggregate
 from repro.cluster.hetero import (
     BRAWNY_2008,
     FleetPlan,
@@ -43,6 +44,7 @@ __all__ = [
     "CorrelationAwarePlacer",
     "EvenSplit",
     "FirstFitPlacer",
+    "FleetAggregate",
     "InterferenceModel",
     "InvalidTransition",
     "LoadBalancer",

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import typing
 
-from repro.cluster.server import Server
+from repro.cluster.aggregates import FleetAggregate
+from repro.cluster.server import Server, ServerState
 from repro.sim import Monitor
 
 __all__ = ["LoadBalancer", "EvenSplit", "WeightedSplit", "PackFirst"]
@@ -93,13 +94,16 @@ class LoadBalancer:
             raise ValueError("need at least one server")
         self.servers = list(servers)
         self.policy = policy or WeightedSplit()
+        #: Event-driven pool aggregates (shared with the owning farm):
+        #: O(1) power sum and a cached in-order active roster.
+        self.fleet = FleetAggregate(self.servers)
         env = self.servers[0].env
         self.offered_monitor = Monitor(env, "lb.offered")
         self.shed_monitor = Monitor(env, "lb.shed")
 
     def active_servers(self) -> list[Server]:
-        """Servers currently able to take traffic."""
-        return [s for s in self.servers if s.is_serving]
+        """Servers currently able to take traffic (pool order)."""
+        return list(self.fleet.active_servers())
 
     def dispatch(self, total_load: float) -> float:
         """Split ``total_load``; returns the amount actually served.
@@ -111,12 +115,12 @@ class LoadBalancer:
         if total_load < 0:
             raise ValueError(f"negative load {total_load}")
         self.offered_monitor.record(total_load)
-        active = self.active_servers()
+        active = self.fleet.active_servers()
         for server in self.servers:
-            if not server.is_serving:
+            if server._state is not ServerState.ACTIVE:
                 # Skip redundant zeroing of an already-idle server so
                 # monitors do not fill with no-op samples.
-                if server.offered_load:
+                if server._offered_load:
                     server.set_offered_load(0.0)
         if not active:
             self.shed_monitor.record(total_load)
@@ -132,12 +136,12 @@ class LoadBalancer:
         return served
 
     def total_power_w(self) -> float:
-        """Wall power of the whole pool (all states)."""
-        return sum(s.power_w() for s in self.servers)
+        """Wall power of the whole pool (all states); O(1) aggregate."""
+        return self.fleet.power_w
 
     def mean_utilization(self) -> float:
         """Average utilization across *active* servers (0 if none)."""
-        active = self.active_servers()
+        active = self.fleet.active_servers()
         if not active:
             return 0.0
         return sum(s.utilization for s in active) / len(active)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.cluster.aggregates import FleetAggregate
 from repro.cluster.server import Server, ServerState
 
 __all__ = ["Rack", "Cluster"]
@@ -34,10 +35,14 @@ class Rack:
         self.circuit_capacity_w = (
             float(circuit_capacity_w) if circuit_capacity_w is not None
             else sum(s.model.peak_w for s in self.servers))
+        #: Servers push power deltas here; rack draw reads are O(1),
+        #: which makes ``DataCenter.sync_physical`` O(racks) instead
+        #: of O(servers) per physical tick.
+        self.aggregate = FleetAggregate(self.servers)
 
     def power_w(self) -> float:
-        """Aggregate wall draw of the rack."""
-        return sum(s.power_w() for s in self.servers)
+        """Aggregate wall draw of the rack (event-driven running sum)."""
+        return self.aggregate.power_w
 
     def heat_w(self) -> float:
         """Heat dissipated into the rack's zone (≈ all of the power)."""
@@ -70,7 +75,7 @@ class Cluster:
         return [s for rack in self.racks for s in rack.servers]
 
     def power_w(self) -> float:
-        """Aggregate wall draw of the cluster."""
+        """Aggregate wall draw of the cluster (O(racks), not O(servers))."""
         return sum(rack.power_w() for rack in self.racks)
 
     def heat_by_zone(self) -> dict[str, float]:
@@ -84,8 +89,19 @@ class Cluster:
 
     def count_in(self, state: ServerState) -> int:
         """Number of servers in ``state``."""
+        if state is ServerState.ACTIVE:
+            # The common controller query rides the exact integer
+            # bookkeeping of the per-rack aggregates.
+            return sum(rack.aggregate.active_count for rack in self.racks)
         return sum(1 for s in self.servers if s.state is state)
 
     def total_effective_capacity(self) -> float:
-        """Deliverable work rate of all active servers."""
-        return sum(s.effective_capacity for s in self.servers)
+        """Deliverable work rate of all active servers.
+
+        Non-active servers contribute exactly 0.0, so summing only the
+        cached active rosters (in pool order) is bit-identical to the
+        full scan it replaces.
+        """
+        return sum(s.effective_capacity
+                   for rack in self.racks
+                   for s in rack.aggregate.active_servers())

@@ -94,6 +94,12 @@ class Server:
         self.power_monitor = Monitor(env, f"{name}.power_w")
         self.state_log: list[tuple[float, ServerState]] = [
             (env.now, initial_state)]
+        #: Aggregates observing this server (see ``cluster.aggregates``).
+        #: Notified of state transitions from :meth:`_set_state` and of
+        #: wall-power deltas from :meth:`_record_power`.
+        self._watchers: list = []
+        self._power_w = 0.0      # cache; seeded by _record_power below
+        self._eff_cap = 0.0      # cache; refreshed by _record_power
         self._record_power()
 
     # ------------------------------------------------------------------
@@ -109,8 +115,11 @@ class Server:
         return self._state is ServerState.ACTIVE
 
     def _set_state(self, state: ServerState) -> None:
+        old = self._state
         self._state = state
         self.state_log.append((self.env.now, state))
+        for watcher in self._watchers:
+            watcher.state_changed(self, old, state)
         self._record_power()
 
     def _start_transition(self, interim: ServerState, delay: float,
@@ -186,11 +195,13 @@ class Server:
     # ------------------------------------------------------------------
     @property
     def effective_capacity(self) -> float:
-        """Deliverable work rate in the current state and CPU states."""
-        if self._state is not ServerState.ACTIVE:
-            return 0.0
-        return self.capacity * self.model.capacity_fraction(
-            self._pstate, self._tstate)
+        """Deliverable work rate in the current state and CPU states.
+
+        Served from a cache refreshed by :meth:`_record_power`: the
+        inputs (state, P-state, T-state) all funnel through it, and
+        dispatch/utilization loops read this once per server per tick.
+        """
+        return self._eff_cap
 
     @property
     def offered_load(self) -> float:
@@ -218,7 +229,16 @@ class Server:
         """Assign work (done by the load balancer)."""
         if load < 0:
             raise ValueError(f"negative load {load}")
-        self._offered_load = float(load)
+        load = float(load)
+        if load == self._offered_load:
+            # Unchanged load with every other power input already
+            # funneled through _record_power means the cached power is
+            # current: record it without re-evaluating the model.  The
+            # monitor sees the same sample train either way, and under
+            # steady demand this is the dispatch loop's common case.
+            self.power_monitor.record(self._power_w)
+            return
+        self._offered_load = load
         self._record_power()
 
     # ------------------------------------------------------------------
@@ -257,8 +277,15 @@ class Server:
         return self.model.power(util, self._pstate, tstate)
 
     def power_w(self) -> float:
-        """Actual wall draw right now (with any cap applied)."""
-        return self._power_at(self._tstate)
+        """Actual wall draw right now (with any cap applied).
+
+        Served from a cache: every mutation that can change power
+        (state, load, P-/T-state, cap) funnels through
+        :meth:`_record_power`, which refreshes the cache, so the model
+        is never re-evaluated on read.  At fleet scale this is the
+        difference between O(changed) and O(fleet) ticks.
+        """
+        return self._power_w
 
     def demand_w(self) -> float:
         """Draw the server *wants* (cap removed) — capper input."""
@@ -302,7 +329,25 @@ class Server:
         return self._cap_w is not None
 
     def _record_power(self) -> None:
-        self.power_monitor.record(self.power_w())
+        """Re-evaluate wall power; record it and push the delta.
+
+        The single funnel for power changes: refreshes the
+        :meth:`power_w` and :attr:`effective_capacity` caches and
+        notifies watching aggregates so fleet/rack sums stay current
+        without ever scanning.
+        """
+        if self._state is ServerState.ACTIVE:
+            self._eff_cap = self.capacity * self.model.capacity_fraction(
+                self._pstate, self._tstate)
+        else:
+            self._eff_cap = 0.0
+        power = self._power_at(self._tstate)
+        self.power_monitor.record(power)
+        old = self._power_w
+        if power != old:
+            self._power_w = power
+            for watcher in self._watchers:
+                watcher.power_changed(self, power - old)
 
     def energy_j(self, start: float | None = None,
                  end: float | None = None) -> float:

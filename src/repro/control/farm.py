@@ -17,7 +17,7 @@ from __future__ import annotations
 import typing
 
 from repro.cluster.loadbalancer import EvenSplit, LoadBalancer
-from repro.cluster.server import Server, ServerState
+from repro.cluster.server import Server
 from repro.control.queueing import mm1_response_time
 from repro.sim import CounterMonitor, Environment, Monitor
 
@@ -52,6 +52,10 @@ class ServerFarm:
         self.dispatch_period_s = float(dispatch_period_s)
         self.delay_cap_s = float(delay_cap_s)
         self.balancer = LoadBalancer(self.servers, policy=policy or EvenSplit())
+        #: Event-driven pool aggregates (power sum, active count and
+        #: roster), shared with the balancer so every server carries a
+        #: single farm-level watcher.  See ``cluster.aggregates``.
+        self.fleet = self.balancer.fleet
         #: Fraction of offered demand admitted (brownout knob).  The
         #: macro layer lowers this in degraded operations; refused work
         #: still counts against the SLA via :attr:`shed_monitor`.
@@ -70,11 +74,20 @@ class ServerFarm:
     # Signals
     # ------------------------------------------------------------------
     def active_servers(self) -> list[Server]:
-        return [s for s in self.servers if s.state is ServerState.ACTIVE]
+        """ACTIVE servers in pool order (cached between transitions)."""
+        return list(self.fleet.active_servers())
 
     def mean_utilization(self) -> float:
-        """Mean busy fraction of active servers (1.0 if none active)."""
-        active = self.active_servers()
+        """Mean busy fraction of active servers.
+
+        **No-capacity convention:** with zero active servers the farm
+        reports a mean utilization of ``1.0`` — no capacity at all is
+        saturated by definition, so utilization-watching controllers
+        (DVFS) read the outage as maximal pressure rather than an idle
+        fleet.  The counterpart convention in
+        :meth:`mean_response_time_s` reports ``delay_cap_s``.
+        """
+        active = self.fleet.active_servers()
         if not active:
             return 1.0  # no capacity at all: saturated by definition
         return sum(s.utilization for s in active) / len(active)
@@ -85,8 +98,13 @@ class ServerFarm:
         Per-server M/M/1 on *effective* capacity: slowing the CPU via
         a P-state raises this exactly as adding load does — the
         ambiguity that makes oblivious On/Off control dangerous.
+
+        **No-capacity convention:** with zero active servers this
+        reports ``delay_cap_s`` (the finite stand-in for an infinite
+        queue) — the same "saturated by definition" outage reading
+        that :meth:`mean_utilization` expresses as ``1.0``.
         """
-        active = self.active_servers()
+        active = self.fleet.active_servers()
         if not active:
             return self.delay_cap_s
         total = 0.0
@@ -97,13 +115,20 @@ class ServerFarm:
         return total / len(active)
 
     def total_power_w(self) -> float:
-        return sum(s.power_w() for s in self.servers)
+        """Total wall power of the pool (event-driven aggregate; O(1))."""
+        return self.fleet.power_w
 
     # ------------------------------------------------------------------
     # Plant loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """One dispatch + measurement tick."""
+        """One dispatch + measurement tick.
+
+        Costs O(active) — the servers whose load actually changes —
+        rather than O(fleet): power and the active count come from the
+        event-driven aggregates, and the utilization/delay means scan
+        the cached active roster instead of the whole pool.
+        """
         demand = self.demand_fn(self.env.now)
         admitted = demand * self.admission_fraction
         served = self.balancer.dispatch(admitted)
@@ -111,10 +136,10 @@ class ServerFarm:
         # Shed is measured against *raw* demand: browned-out requests
         # are refused service and the SLA must account for them.
         self.shed_monitor.record(max(0.0, demand - served))
-        self.power_monitor.record(self.total_power_w())
+        self.power_monitor.record(self.fleet.power_w)
         self.delay_monitor.record(self.mean_response_time_s())
         self.utilization_monitor.record(self.mean_utilization())
-        self.active_monitor.record(len(self.active_servers()))
+        self.active_monitor.record(self.fleet.active_count)
 
     def run(self):
         """Process generator: dispatch loop forever."""

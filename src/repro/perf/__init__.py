@@ -1,0 +1,28 @@
+"""Performance tooling: parallel parameter sweeps over simulations.
+
+The experiments in this code base are embarrassingly parallel at the
+granularity of a *configuration point* — each point builds its own
+:class:`~repro.sim.Environment` and touches no shared state.
+:class:`SweepRunner` exploits that: it fans a list of points across a
+process pool, times each point, and reports the speedup over a serial
+execution, while keeping results bit-identical to a serial run (each
+point is deterministic given its parameters and seed).
+"""
+
+from repro.perf.sweep import (
+    SweepPoint,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+    cosim_grid,
+    run_cosim_point,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
+    "cosim_grid",
+    "run_cosim_point",
+]

@@ -1,0 +1,255 @@
+"""Parallel parameter sweeps over deterministic simulation points.
+
+A *sweep point* is a named, picklable parameter dict.  A *point
+function* maps that dict to a flat ``{metric: float}`` dict, building
+every bit of simulation state (environment, fleet, RNG streams) from
+the parameters alone.  That makes each point a pure function, so the
+runner can execute points serially or across a process pool and get
+identical numbers either way — the only thing parallelism changes is
+wall time.
+
+Determinism contract
+--------------------
+* Seeds are data.  A point that needs randomness carries its seed in
+  its params (``cosim_grid`` derives one per point with
+  :meth:`repro.sim.RandomStreams.fork`), never from worker identity,
+  scheduling order, or time.
+* Results are returned in point order regardless of completion order.
+* ``workers <= 1`` (or a single point) degrades to a plain in-process
+  loop, which the tests use as the reference for the parallel path.
+
+Wall-time accounting
+--------------------
+Each point is timed inside the worker with ``time.perf_counter``; the
+report's :attr:`SweepReport.serial_time_s` is the sum of those
+per-point times (what a serial run would have cost, modulo pool
+overhead) and :attr:`SweepReport.speedup` divides it by the observed
+elapsed time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+import time
+import typing
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "SweepReport",
+    "SweepRunner",
+    "cosim_grid",
+    "run_cosim_point",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One configuration in a sweep: a name plus picklable params."""
+
+    name: str
+    params: dict
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one point: metrics plus in-worker wall time."""
+
+    name: str
+    params: dict
+    metrics: dict
+    wall_time_s: float
+    worker_pid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepReport:
+    """All results of a sweep plus end-to-end wall-time accounting."""
+
+    results: tuple[SweepResult, ...]
+    elapsed_s: float
+    workers: int
+
+    @property
+    def serial_time_s(self) -> float:
+        """Sum of per-point in-worker wall times (the serial cost)."""
+        return sum(r.wall_time_s for r in self.results)
+
+    @property
+    def speedup(self) -> float:
+        """Serial cost over observed elapsed time (1.0 when serial)."""
+        if self.elapsed_s <= 0.0:
+            return float("inf")
+        return self.serial_time_s / self.elapsed_s
+
+    def rows(self, metrics: typing.Sequence[str] | None = None
+             ) -> list[tuple[str, str]]:
+        """``(label, text)`` pairs for tabular display.
+
+        ``metrics`` selects and orders the metric columns; by default
+        every metric of the first result is shown, in dict order.
+        """
+        out: list[tuple[str, str]] = []
+        for r in self.results:
+            keys = metrics if metrics is not None else list(r.metrics)
+            cells = "  ".join(f"{k}={r.metrics[k]:.4g}" for k in keys
+                              if k in r.metrics)
+            out.append((r.name, f"{cells}  wall={r.wall_time_s:.2f}s"))
+        return out
+
+
+def _timed_call(fn: typing.Callable[[dict], dict],
+                point: SweepPoint) -> SweepResult:
+    """Run one point inside the worker and time it there.
+
+    Module-level so that it pickles for the process pool.
+    """
+    start = time.perf_counter()
+    metrics = fn(point.params)
+    wall = time.perf_counter() - start
+    return SweepResult(name=point.name, params=point.params,
+                       metrics=dict(metrics), wall_time_s=wall,
+                       worker_pid=os.getpid())
+
+
+class SweepRunner:
+    """Fan a point function across a sweep, serially or in a pool.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable ``params -> {metric: float}``.  Must be
+        picklable for ``workers > 1`` (a lambda or closure is not).
+    points:
+        The sweep points, evaluated in order.
+    workers:
+        Process count.  ``<= 1`` runs in-process; larger values use a
+        :class:`~concurrent.futures.ProcessPoolExecutor` capped at the
+        point count.
+    """
+
+    def __init__(self, fn: typing.Callable[[dict], dict],
+                 points: typing.Iterable[SweepPoint],
+                 workers: int = 1):
+        self.fn = fn
+        self.points = list(points)
+        self.workers = int(workers)
+
+    def run(self) -> SweepReport:
+        """Evaluate every point and return the ordered report."""
+        points = self.points
+        workers = min(self.workers, len(points))
+        start = time.perf_counter()
+        if workers <= 1:
+            results = [_timed_call(self.fn, p) for p in points]
+            workers = 1
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_timed_call, self.fn, p)
+                           for p in points]
+                # Collect in submission order: the report is ordered
+                # by point, not by completion.
+                results = [f.result() for f in futures]
+        elapsed = time.perf_counter() - start
+        return SweepReport(results=tuple(results), elapsed_s=elapsed,
+                           workers=workers)
+
+
+# ----------------------------------------------------------------------
+# Co-simulation grid: declarative configs for CoSimulation points
+# ----------------------------------------------------------------------
+def _set_path(params: dict, key: str, value) -> None:
+    """Assign ``value`` at a dotted path (``"spec.racks"``) in-place."""
+    node = params
+    parts = key.split(".")
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+    node[parts[-1]] = value
+
+
+def cosim_grid(base: dict | None = None, seed: int = 0,
+               **axes: typing.Sequence) -> list[SweepPoint]:
+    """Cartesian product of ``axes`` over a base config.
+
+    Axis keys may use dotted paths into the nested params dict
+    (``**{"demand.fraction": [0.3, 0.7], "managed": [False, True]}``).
+    Each point gets a distinct ``seed`` derived from ``seed`` via
+    :meth:`repro.sim.RandomStreams.fork` semantics so that points are
+    independent yet reproducible, and a name listing its coordinates.
+    """
+    from repro.sim.rng import RandomStreams
+
+    root = RandomStreams(seed=seed)
+    keys = list(axes)
+    points: list[SweepPoint] = []
+    for index, combo in enumerate(itertools.product(
+            *(axes[k] for k in keys))):
+        params: dict = {}
+        for key, value in (base or {}).items():
+            params[key] = dict(value) if isinstance(value, dict) else value
+        for key, value in zip(keys, combo):
+            _set_path(params, key, value)
+        params["seed"] = root.fork(index).seed
+        name = ",".join(f"{k.split('.')[-1]}={v}"
+                        for k, v in zip(keys, combo))
+        points.append(SweepPoint(name=name or f"point{index}",
+                                 params=params))
+    return points
+
+
+def run_cosim_point(params: dict) -> dict:
+    """Build and run one :class:`~repro.datacenter.CoSimulation`.
+
+    ``params`` is fully declarative (no callables) so that it crosses
+    the process boundary:
+
+    * ``spec``: kwargs for :class:`~repro.datacenter.DataCenterSpec`.
+    * ``demand``: ``{"kind": "constant"|"diurnal", "fraction": f}``,
+      as a fraction of total fleet capacity.  ``diurnal`` modulates by
+      :class:`~repro.workload.DiurnalProfile` (peak-normalized).
+    * ``managed``: run the elastic manager (default ``True``).
+    * ``hours``: simulated duration (default 24).
+    * ``seed``: for the point's :class:`~repro.sim.RandomStreams`.
+    """
+    from repro.datacenter.cosim import CoSimulation
+    from repro.datacenter.spec import DataCenterSpec
+    from repro.sim.rng import RandomStreams
+    from repro.workload.diurnal import DiurnalProfile
+
+    spec = DataCenterSpec(**params.get("spec", {}))
+    capacity = spec.total_servers * spec.server_capacity
+    demand_cfg = params.get("demand", {"kind": "constant",
+                                       "fraction": 0.5})
+    fraction = float(demand_cfg.get("fraction", 0.5))
+    kind = demand_cfg.get("kind", "constant")
+    if kind == "constant":
+        def demand_fn(t: float, _level=fraction * capacity) -> float:
+            return _level
+    elif kind == "diurnal":
+        # DiurnalProfile is already normalized to a weekly peak of 1,
+        # so ``fraction`` is the peak demand as a capacity fraction.
+        profile = DiurnalProfile()
+
+        def demand_fn(t: float, _scale=fraction * capacity) -> float:
+            return _scale * profile(t)
+    else:
+        raise ValueError(f"unknown demand kind {kind!r}")
+
+    sim = CoSimulation(
+        spec,
+        demand_fn,
+        managed=bool(params.get("managed", True)),
+        streams=RandomStreams(seed=int(params.get("seed", 0))),
+    )
+    result = sim.run(float(params.get("hours", 24.0)) * 3600.0)
+    return {
+        "facility_kwh": result.facility_kwh,
+        "pue": result.energy_weighted_pue,
+        "mean_active_servers": result.mean_active_servers,
+        "served_fraction": result.sla.served_fraction,
+        "thermal_alarms": float(result.thermal_alarms),
+        "peak_grid_kw": result.peak_grid_w / 1e3,
+    }

@@ -66,6 +66,14 @@ class ServerPowerModel:
         self.boot_w = float(peak_w if boot_w is None else boot_w)
         self.cpu_share = float(cpu_share)
         self.pstates = pstate_table or PStateTable()
+        # Hot-path constants for power(): the same products the public
+        # properties derive on demand, computed once.  All constructor
+        # inputs are effectively immutable (nothing in the codebase
+        # mutates a model after construction).
+        self._idle_w = self.idle_fraction * self.peak_w
+        dynamic = self.peak_w - self._idle_w
+        self._cpu_dynamic_w = dynamic * self.cpu_share
+        self._other_dynamic_w = dynamic * (1.0 - self.cpu_share)
 
     @property
     def idle_w(self) -> float:
@@ -102,15 +110,31 @@ class ServerPowerModel:
         this split right is what makes DVFS actually save energy in
         the model, as it does on real hardware.
         """
-        cpu_shape = self._utilization_shape(utilization)
-        throughput = utilization * self.pstates.capacity_fraction(pstate,
-                                                                  tstate)
-        other_shape = self._utilization_shape(throughput)
-        cpu_dynamic = self.dynamic_range_w * self.cpu_share
-        other_dynamic = self.dynamic_range_w * (1.0 - self.cpu_share)
-        scale = self.pstates.dynamic_power_fraction(pstate, tstate)
-        return (self.idle_w + cpu_shape * cpu_dynamic * scale
-                + other_shape * other_dynamic)
+        # Inlined _utilization_shape and memoized state fractions: this
+        # method is called once per server power change, which makes it
+        # the single hottest function in a fleet run.
+        table = self.pstates
+        if table.tstates:
+            cap = table._cap_frac[pstate][tstate]
+            scale = table._dyn_frac[pstate][tstate]
+        else:
+            cap = table._cap_frac[pstate][0]
+            scale = table._dyn_frac[pstate][0]
+        r = self.nonlinearity
+        u = utilization
+        if u < 0.0:
+            u = 0.0
+        elif u > 1.0:
+            u = 1.0
+        cpu_shape = u if r == 1.0 else min(2.0 * u - u ** r, 1.0)
+        t = utilization * cap
+        if t < 0.0:
+            t = 0.0
+        elif t > 1.0:
+            t = 1.0
+        other_shape = t if r == 1.0 else min(2.0 * t - t ** r, 1.0)
+        return (self._idle_w + cpu_shape * self._cpu_dynamic_w * scale
+                + other_shape * self._other_dynamic_w)
 
     def capacity_fraction(self, pstate: int = 0, tstate: int = 0) -> float:
         """Throughput available in this state, relative to P0/T0."""

@@ -88,6 +88,22 @@ class PStateTable:
         self.pstates = pstates
         self.tstates = tuple(tstates)
         self._p0 = pstates[0]
+        # Memoized (pstate, tstate) fraction tables.  Both fractions
+        # are pure functions of the immutable state ladders, and they
+        # sit on the hottest path in the codebase (every power-model
+        # evaluation), so precompute them once.  The expressions match
+        # the documented formulas term for term, keeping the lookups
+        # bit-identical to the arithmetic they replace.
+        f0 = self._p0.frequency_ghz
+        v0 = self._p0.voltage_v
+        duties = [t.duty_cycle for t in self.tstates] or [1.0]
+        self._cap_frac = [
+            [(p.frequency_ghz / f0) * duty for duty in duties]
+            for p in pstates]
+        self._dyn_frac = [
+            [((p.voltage_v / v0) ** 2) * (p.frequency_ghz / f0) * duty
+             for duty in duties]
+            for p in pstates]
 
     def __len__(self) -> int:
         return len(self.pstates)
@@ -100,23 +116,23 @@ class PStateTable:
         """Usable compute capacity relative to P0/T0.
 
         Frequency ratio times duty cycle: a CPU at half clock and 75 %
-        duty cycle delivers 0.375 of its P0 throughput.
+        duty cycle delivers 0.375 of its P0 throughput.  Served from
+        the memoized table built at construction.
         """
-        p = self.pstates[index]
-        duty = self.tstates[tstate].duty_cycle if self.tstates else 1.0
-        return (p.frequency_ghz / self._p0.frequency_ghz) * duty
+        if self.tstates:
+            return self._cap_frac[index][tstate]
+        return self._cap_frac[index][0]
 
     def dynamic_power_fraction(self, index: int, tstate: int = 0) -> float:
         """Dynamic power relative to P0/T0, using P ∝ V²·f.
 
         Throttling only gates the clock, so a T-state scales power by
-        its duty cycle at an unchanged voltage.
+        its duty cycle at an unchanged voltage.  Served from the
+        memoized table built at construction.
         """
-        p = self.pstates[index]
-        duty = self.tstates[tstate].duty_cycle if self.tstates else 1.0
-        v_ratio = p.voltage_v / self._p0.voltage_v
-        f_ratio = p.frequency_ghz / self._p0.frequency_ghz
-        return (v_ratio ** 2) * f_ratio * duty
+        if self.tstates:
+            return self._dyn_frac[index][tstate]
+        return self._dyn_frac[index][0]
 
     def slowest_state_meeting(self, required_capacity: float) -> int:
         """Deepest (most power-saving) P-state still delivering capacity.

@@ -8,6 +8,7 @@ the ``yield``) or an exception (raised inside the waiting process).
 
 from __future__ import annotations
 
+import heapq
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -16,6 +17,14 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["Event", "Timeout", "AnyOf", "AllOf", "Interrupt"]
 
 _PENDING = object()
+
+#: Shared initial ``callbacks`` for :class:`Timeout`.  A pending event's
+#: callbacks may be this immutable empty tuple instead of a list — the
+#: common timeout never gains a callback (its sole waiter rides the
+#: ``_waiter`` slot), so skipping the per-timeout list allocation is a
+#: measurable kernel win.  Subscribers that append must materialize a
+#: real list first (see ``Process._subscribe`` and ``_Condition``).
+_NO_CALLBACKS: tuple = ()
 
 
 class Interrupt(Exception):
@@ -36,7 +45,12 @@ class Event:
     *triggered* (scheduled to fire, value decided) and *processed*
     (callbacks have run).  Triggering twice is an error — events are
     one-shot by design, which keeps causality in the kernel auditable.
+
+    Events are allocated once per kernel wakeup, so the class is slotted
+    — a day-long fleet simulation creates millions of them.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -102,23 +116,71 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    The constructor is the kernel's hottest allocation site (every
+    periodic process yields one per tick), so it assigns the slots
+    directly instead of chaining through :meth:`Event.__init__`.
+
+    ``_waiter`` is a dispatch fast lane: when exactly one process waits
+    on the timeout (the overwhelmingly common case) it is stored here
+    instead of in ``callbacks``, letting the kernel's run loop resume
+    the generator without allocating a bound method or walking a list.
+    Invariant: ``_waiter`` is only ever set while ``callbacks`` is the
+    pristine empty tuple; materializing the callbacks list moves the
+    waiter into it (first position — firing order still matches
+    subscription order).
+    """
+
+    __slots__ = ("delay", "_waiter")
+
+    # Timeouts are pre-triggered successes: ``_ok`` can never change
+    # (succeed/fail reject already-triggered events), so a class
+    # attribute shadows the inherited slot and saves a store per tick.
+    _ok = True
 
     def __init__(self, env: "Environment", delay: float, value=None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
         self._value = value
-        env.schedule(self, delay=delay)
+        self.delay = delay
+        self._waiter = None
+        # Inlined env.schedule(self, delay=delay) — the call overhead
+        # is measurable at millions of timeouts per run.  Priority 1
+        # packs to the bare insertion id (see Environment.schedule).
+        eid = env._eidn = env._eidn + 1
+        heapq.heappush(env._queue, (env._now + delay, eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {hex(id(self))}>"
 
 
+def _subscribe_callback(event: Event, callback) -> None:
+    """Append ``callback`` to a pending event's waiter list.
+
+    Materializes the shared empty-tuple callbacks of a fresh
+    :class:`Timeout`, moving any ``_waiter`` fast-lane process into the
+    list first so the kernel's one-field hot-path check stays sound and
+    firing order matches subscription order.
+    """
+    callbacks = event.callbacks
+    if type(callbacks) is tuple:
+        waiter = event._waiter  # only Timeouts carry tuple callbacks
+        if waiter is not None:
+            event._waiter = None
+            event.callbacks = [waiter._resume_cb, callback]
+        else:
+            event.callbacks = [callback]
+    else:
+        callbacks.append(callback)
+
+
 class _Condition(Event):
     """Common machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, env: "Environment", events: typing.Sequence[Event]):
         super().__init__(env)
@@ -134,7 +196,7 @@ class _Condition(Event):
             if event.processed:
                 self._observe(event)
             else:
-                event.callbacks.append(self._observe)
+                _subscribe_callback(event, self._observe)
 
     def _collect(self) -> dict:
         # `processed` rather than `triggered`: a Timeout decides its value
@@ -152,6 +214,8 @@ class AnyOf(_Condition):
     values.  A failed constituent fails the condition.
     """
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if self.triggered:
             return
@@ -167,6 +231,8 @@ class AllOf(_Condition):
     The value maps each event to its value.  The first failure fails
     the whole condition immediately.
     """
+
+    __slots__ = ()
 
     def _observe(self, event: Event) -> None:
         if self.triggered:

@@ -4,15 +4,29 @@
 deliberately minimal and deterministic: ties in time are broken by
 priority and then by insertion order, so a simulation with a fixed seed
 replays identically — a property the test suite relies on.
+
+Heap entries are 3-tuples ``(time, key, event)`` where ``key`` packs
+``((priority - 1) << 52) + eid`` into one int: comparing a single int
+is measurably cheaper than comparing two, the offset makes the default
+priority 1 pack to the bare insertion id (no arithmetic on the hottest
+push site), and 2**52 insertions outlast any simulation this code base
+will ever run.  Only priorities 0 (interrupt) and 1 (everything else)
+are used today; any non-negative priority packs correctly.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import sys
 import typing
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+    _subscribe_callback,
+)
 from repro.sim.process import Process
 
 __all__ = ["Environment"]
@@ -25,11 +39,19 @@ class Environment:
     (workload generators, coolers, and controllers all agree on it).
     """
 
+    __slots__ = ("_now", "_queue", "_eidn", "_active_process", "_free")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._eid = itertools.count()
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eidn = 0
         self._active_process: Process | None = None
+        #: Recycled Timeout objects (see the run() loops).  A consumed
+        #: timeout that provably has no outside references goes here
+        #: instead of the garbage collector, and :meth:`timeout` reuses
+        #: it — object allocation is a measurable share of a fleet
+        #: run's kernel time.
+        self._free: list[Timeout] = []
 
     # ------------------------------------------------------------------
     # Time & scheduling
@@ -51,8 +73,10 @@ class Environment:
         Lower ``priority`` fires first among simultaneous events
         (interrupts use 0 so they beat ordinary wakeups).
         """
+        eid = self._eidn = self._eidn + 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event))
+            self._queue,
+            (self._now + delay, ((priority - 1) << 52) + eid, event))
 
     # ------------------------------------------------------------------
     # Factories
@@ -62,8 +86,29 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value=None) -> Timeout:
-        """An event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """An event that fires ``delay`` seconds from now.
+
+        Builds the :class:`Timeout` inline (no ``__init__`` frame):
+        this factory runs once per tick of every periodic process, and
+        the saved call frame is worth a few percent of total runtime.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        free = self._free
+        if free:
+            # Reuse a consumed timeout (refcount-proven unreferenced
+            # when it was parked — see run()); every field is reset.
+            event = free.pop()
+        else:
+            event = Timeout.__new__(Timeout)
+            event.env = self
+        event.callbacks = ()
+        event._value = value
+        event.delay = delay
+        event._waiter = None
+        eid = self._eidn = self._eidn + 1
+        heapq.heappush(self._queue, (self._now + delay, eid, event))
+        return event
 
     def process(self, generator: typing.Generator,
                 name: str | None = None) -> Process:
@@ -81,20 +126,38 @@ class Environment:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        """Fire ``event``'s waiters.  Shared by :meth:`step` and the
+        inlined loops in :meth:`run` (which bypass it on the hot path).
+        """
+        callbacks, event.callbacks = event.callbacks, None
+        if type(event) is Timeout:
+            waiter = event._waiter
+            if waiter is not None:
+                # Invariant: a set waiter means callbacks was never
+                # materialized — the waiter is the only subscriber.
+                waiter._resume(event)
+                return
+            for callback in callbacks:
+                callback(event)
+            return
+        for callback in callbacks:
+            callback(event)
+        # Cheapest test first: almost every event has at least one
+        # waiter, so the isinstance check is rarely reached.
+        if not callbacks and not event._ok and isinstance(event, Process):
+            # Nobody was waiting on a crashed process: surface the error
+            # instead of letting it pass silently.
+            raise event._value
+
     def step(self) -> None:
         """Process the single next event.
 
         Raises :class:`IndexError` when the queue is empty.
         """
-        time, _priority, _eid, event = heapq.heappop(self._queue)
+        time, _key, event = heapq.heappop(self._queue)
         self._now = time
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if isinstance(event, Process) and not event._ok and not callbacks:
-            # Nobody was waiting on a crashed process: surface the error
-            # instead of letting it pass silently.
-            raise event._value
+        self._dispatch(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -108,10 +171,75 @@ class Environment:
           exactly that time are *not* processed, matching SimPy).
         * ``until`` is an :class:`Event`: run until it is processed and
           return its value.
+
+        The drain and run-to-horizon loops inline both :meth:`step` and
+        the resumption of a process waiting on a pure :class:`Timeout`
+        (the overwhelmingly common wakeup): one generator ``send`` per
+        event with no intermediate Python frames.  At fleet scale the
+        kernel spends its life here.
         """
+        queue = self._queue
+        heappop = heapq.heappop
+        free = self._free
+        getrefcount = sys.getrefcount
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                time, _key, event = heappop(queue)
+                self._now = time
+                if type(event) is Timeout:
+                    proc = event._waiter
+                    if proc is not None:
+                        # Hot path: one process waiting on a plain
+                        # timeout (a set waiter implies no other
+                        # subscribers).  Resume its generator right
+                        # here — no _dispatch or _resume frame — and
+                        # re-subscribe it if it yields another fresh
+                        # timeout (it almost always does).
+                        event.callbacks = None
+                        self._active_process = proc
+                        try:
+                            result = proc._send(event._value)
+                        except StopIteration as stop:
+                            self._active_process = None
+                            proc._target = None
+                            proc.succeed(stop.value)
+                            continue
+                        except BaseException as exc:
+                            self._active_process = None
+                            proc._target = None
+                            proc.fail(exc)
+                            self._on_process_failure(proc, exc)
+                            continue
+                        self._active_process = None
+                        if type(result) is Timeout:
+                            callbacks = result.callbacks
+                            if callbacks is not None:
+                                proc._target = result
+                                if type(callbacks) is tuple:
+                                    waiter = result._waiter
+                                    if waiter is None:
+                                        result._waiter = proc
+                                    else:
+                                        result._waiter = None
+                                        result.callbacks = [
+                                            waiter._resume_cb,
+                                            proc._resume_cb,
+                                        ]
+                                else:
+                                    callbacks.append(proc._resume_cb)
+                                # Recycle the consumed timeout when
+                                # provably unreferenced (the local +
+                                # the getrefcount argument are the
+                                # only refs left): timeout() reuses
+                                # the object instead of allocating.
+                                if getrefcount(event) == 2:
+                                    free.append(event)
+                                continue
+                        proc._target = None
+                        proc._subscribe(result)
+                        continue
+                self._dispatch(event)
             return None
 
         if isinstance(until, Event):
@@ -121,9 +249,11 @@ class Environment:
                     raise sentinel.value
                 return sentinel.value
             fired: list[Event] = []
-            sentinel.callbacks.append(fired.append)
-            while self._queue and not fired:
-                self.step()
+            _subscribe_callback(sentinel, fired.append)
+            while queue and not fired:
+                time, _key, event = heappop(queue)
+                self._now = time
+                self._dispatch(event)
             if not fired:
                 raise RuntimeError(
                     "simulation ended before the awaited event fired")
@@ -133,9 +263,56 @@ class Environment:
 
         horizon = float(until)
         if horizon < self._now:
-            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
-        while self._queue and self._queue[0][0] < horizon:
-            self.step()
+            raise ValueError(
+                f"until={horizon} lies in the past (now={self._now})")
+        while queue and queue[0][0] < horizon:
+            time, _key, event = heappop(queue)
+            self._now = time
+            if type(event) is Timeout:
+                proc = event._waiter
+                if proc is not None:
+                    # Hot path — see the drain loop above.
+                    event.callbacks = None
+                    self._active_process = proc
+                    try:
+                        result = proc._send(event._value)
+                    except StopIteration as stop:
+                        self._active_process = None
+                        proc._target = None
+                        proc.succeed(stop.value)
+                        continue
+                    except BaseException as exc:
+                        self._active_process = None
+                        proc._target = None
+                        proc.fail(exc)
+                        self._on_process_failure(proc, exc)
+                        continue
+                    self._active_process = None
+                    if type(result) is Timeout:
+                        callbacks = result.callbacks
+                        if callbacks is not None:
+                            proc._target = result
+                            if type(callbacks) is tuple:
+                                waiter = result._waiter
+                                if waiter is None:
+                                    result._waiter = proc
+                                else:
+                                    result._waiter = None
+                                    result.callbacks = [
+                                        waiter._resume_cb,
+                                        proc._resume_cb,
+                                    ]
+                            else:
+                                callbacks.append(proc._resume_cb)
+                            # Recycle when provably unreferenced —
+                            # see the drain loop above.
+                            if getrefcount(event) == 2:
+                                free.append(event)
+                            continue
+                    proc._target = None
+                    proc._subscribe(result)
+                    continue
+            self._dispatch(event)
         self._now = horizon
         return None
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import Event, Interrupt, Timeout, _subscribe_callback
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Environment
@@ -27,6 +27,9 @@ class Process(Event):
     propagates to the environment if nobody is waiting on it).
     """
 
+    __slots__ = ("_generator", "name", "_target", "_resume_cb",
+                 "_send", "_throw")
+
     def __init__(self, env: "Environment", generator: typing.Generator,
                  name: str | None = None):
         if not hasattr(generator, "send"):
@@ -35,11 +38,16 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
+        # One bound method / send / throw for the process's lifetime —
+        # allocating a fresh bound method per wakeup is pure overhead.
+        self._resume_cb = self._resume
+        self._send = generator.send
+        self._throw = generator.throw
         # Bootstrap: resume the generator at time `now`.
         start = Event(env)
         start._ok = True
         start._value = None
-        start.callbacks.append(self._resume)
+        start.callbacks.append(self._resume_cb)
         env.schedule(start)
 
     @property
@@ -60,50 +68,79 @@ class Process(Event):
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.env.schedule(event, priority=0)
 
     def _resume(self, trigger: Event) -> None:
         # Drop the subscription to the event we were genuinely waiting
         # on if we are resumed by an interrupt instead.
-        if self._target is not None and trigger is not self._target:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and trigger is not target:
+            if type(target) is Timeout and target._waiter is self:
+                target._waiter = None
+            elif target.callbacks:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume_cb)
                 except ValueError:
                     pass
         self._target = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if trigger._ok:
-                result = self._generator.send(trigger._value)
+                result = self._send(trigger._value)
             else:
-                result = self._generator.throw(trigger._value)
+                result = self._throw(trigger._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
-            self.env._on_process_failure(self, exc)
+            env._on_process_failure(self, exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
+        # Fast path: the overwhelmingly common yield is a fresh Timeout
+        # (every periodic loop in the codebase) — subscribe without any
+        # further inspection unless it already fired.  Take the waiter
+        # slot only when we would be the first subscriber, so the
+        # kernel fires waiters in subscription order.
+        if type(result) is Timeout:
+            callbacks = result.callbacks
+            if callbacks is not None:
+                self._target = result
+                if type(callbacks) is tuple:
+                    waiter = result._waiter
+                    if waiter is None:
+                        result._waiter = self
+                    else:
+                        result._waiter = None
+                        result.callbacks = [waiter._resume_cb,
+                                            self._resume_cb]
+                else:
+                    callbacks.append(self._resume_cb)
+                return
+        self._subscribe(result)
+
+    def _subscribe(self, result) -> None:
+        """Wait on ``result`` (any non-fresh-Timeout yield)."""
+        env = self.env
         if not isinstance(result, Event):
             self._generator.throw(
                 TypeError(f"process {self.name!r} yielded {result!r}, "
                           f"expected an Event"))
         if result.processed:
             # Already fired: resume next tick at the same time.
-            relay = Event(self.env)
+            relay = Event(env)
             relay._ok = result._ok
             relay._value = result._value
-            relay.callbacks.append(self._resume)
-            self.env.schedule(relay)
+            relay.callbacks.append(self._resume_cb)
+            env.schedule(relay)
         else:
             self._target = result
-            result.callbacks.append(self._resume)
+            _subscribe_callback(result, self._resume_cb)
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} at {hex(id(self))}>"

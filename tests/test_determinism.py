@@ -1,0 +1,98 @@
+"""Determinism regressions for the fleet-aggregate fast paths.
+
+Two guarantees the optimization work must never erode:
+
+* the co-simulation is a pure function of (spec, demand, seed) — the
+  FIG-4 managed/static pair re-run with the same seed reproduces every
+  result field exactly;
+* the incremental fleet power sum tracks an exact re-summation to well
+  inside the drift-guard tolerance, whatever the recompute cadence.
+"""
+
+import math
+
+from repro.cluster import Server
+from repro.control import DelayBasedOnOff, ServerFarm, UtilizationDVFS
+from repro.datacenter import CoSimulation, DataCenterSpec
+from repro.sim import Environment, RandomStreams
+from repro.workload import DiurnalProfile
+
+
+def _run_fig4_pair(seed):
+    """The FIG-4 shape at small scale: static vs managed, same seed."""
+    spec = DataCenterSpec(racks=4, servers_per_rack=10, zones=2, cracs=2)
+    profile = DiurnalProfile()
+    peak = spec.total_servers * spec.server_capacity * 0.6
+    results = []
+    for managed in (False, True):
+        sim = CoSimulation(spec, lambda t: peak * profile(t),
+                           managed=managed,
+                           streams=RandomStreams(seed=seed))
+        results.append(sim.run(6 * 3600.0))
+    return results
+
+
+def test_cosim_pair_reruns_bit_identically():
+    first = _run_fig4_pair(seed=42)
+    second = _run_fig4_pair(seed=42)
+    for a, b in zip(first, second):
+        assert a.duration_s == b.duration_s
+        assert a.it_energy_j == b.it_energy_j
+        assert a.facility_energy_j == b.facility_energy_j
+        assert a.energy_weighted_pue == b.energy_weighted_pue
+        assert a.mean_active_servers == b.mean_active_servers
+        assert a.thermal_alarms == b.thermal_alarms
+        assert a.peak_grid_w == b.peak_grid_w
+        assert a.sla.served_fraction == b.sla.served_fraction
+
+
+def _run_farm(recompute_every=None, hours=8.0):
+    """A farm with DVFS + On/Off churn (plenty of power deltas)."""
+    env = Environment()
+    servers = [Server(env, f"s{i}", capacity=100.0, boot_s=60.0)
+               for i in range(20)]
+    for server in servers[:12]:
+        server.power_on()
+    env.run(until=61.0)
+    farm = ServerFarm(env, servers,
+                      demand_fn=lambda t: 700.0
+                      + 300.0 * math.sin(t / 1800.0))
+    if recompute_every is not None:
+        farm.fleet.recompute_every = recompute_every
+    env.process(farm.run())
+    env.process(UtilizationDVFS(farm, period_s=60.0, low=0.6,
+                                high=0.9).run())
+    env.process(DelayBasedOnOff(farm, period_s=120.0,
+                                high_delay_s=0.05,
+                                low_delay_s=0.012).run())
+    env.run(until=hours * 3600.0)
+    return farm
+
+
+def test_incremental_energy_matches_forced_recompute():
+    """Energy with the default drift-guard cadence agrees with a run
+    that re-sums exactly after every single delta."""
+    default = _run_farm()
+    exact = _run_farm(recompute_every=1)
+    e_default = default.energy_j(100.0, None)
+    e_exact = exact.energy_j(100.0, None)
+    assert e_exact > 0
+    assert abs(e_default - e_exact) <= 1e-6 * e_exact
+
+
+def test_aggregate_drift_stays_negligible():
+    """After hours of churn the incremental sum sits within float noise
+    of an exact re-summation."""
+    farm = _run_farm()
+    incremental = farm.fleet.power_w
+    drift = farm.fleet.recompute_exact()
+    assert drift <= 1e-6 * max(1.0, abs(incremental))
+    # recompute_exact leaves the aggregate on the exact value.
+    assert farm.fleet.power_w == sum(s.power_w() for s in farm.servers)
+
+
+def test_aggregate_counts_match_scan():
+    farm = _run_farm(hours=2.0)
+    active = [s for s in farm.servers if s.is_serving]
+    assert farm.fleet.active_count == len(active)
+    assert farm.fleet.active_servers() == active

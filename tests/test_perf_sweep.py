@@ -1,0 +1,94 @@
+"""Unit tests for the parallel sweep runner (``repro.perf``)."""
+
+import math
+
+import pytest
+
+from repro.perf import SweepPoint, SweepRunner, cosim_grid, run_cosim_point
+
+SMALL_SPEC = {"racks": 2, "servers_per_rack": 4, "zones": 2, "cracs": 1}
+
+
+def _grid(hours=0.25):
+    return cosim_grid(
+        base={"hours": hours, "spec": dict(SMALL_SPEC)},
+        seed=5,
+        **{"demand.fraction": [0.3, 0.8], "managed": [False, True]})
+
+
+def test_cosim_grid_shape_and_seeds():
+    points = _grid()
+    assert len(points) == 4
+    assert [p.name for p in points] == [
+        "fraction=0.3,managed=False", "fraction=0.3,managed=True",
+        "fraction=0.8,managed=False", "fraction=0.8,managed=True"]
+    seeds = [p.params["seed"] for p in points]
+    assert len(set(seeds)) == 4          # every point independent
+    assert all(p.params["spec"] == SMALL_SPEC for p in points)
+    # Dotted axis keys land in the nested dict.
+    assert points[0].params["demand"]["fraction"] == 0.3
+
+
+def test_grid_is_reproducible():
+    assert _grid() == _grid()
+
+
+def test_run_cosim_point_metrics():
+    metrics = run_cosim_point(_grid()[0].params)
+    assert set(metrics) == {"facility_kwh", "pue", "mean_active_servers",
+                            "served_fraction", "thermal_alarms",
+                            "peak_grid_kw"}
+    assert metrics["facility_kwh"] > 0
+    assert metrics["pue"] > 1.0
+    assert 0.0 <= metrics["served_fraction"] <= 1.0
+
+
+def test_run_cosim_point_rejects_unknown_demand():
+    params = _grid()[0].params
+    params["demand"] = {"kind": "sawtooth", "fraction": 0.5}
+    with pytest.raises(ValueError, match="demand kind"):
+        run_cosim_point(params)
+
+
+def test_serial_matches_parallel_exactly():
+    """Every point is a pure function of its params, so a process pool
+    must return the same floats as an in-process loop."""
+    points = _grid()
+    serial = SweepRunner(run_cosim_point, points, workers=1).run()
+    parallel = SweepRunner(run_cosim_point, points, workers=4).run()
+    assert serial.workers == 1
+    assert parallel.workers == 4
+    for a, b in zip(serial.results, parallel.results):
+        assert a.name == b.name
+        assert a.metrics == b.metrics      # exact float equality
+
+
+def _square(params):
+    return {"square": params["x"] ** 2}
+
+
+def test_results_keep_point_order():
+    points = [SweepPoint(f"x={x}", {"x": x}) for x in range(6)]
+    report = SweepRunner(_square, points, workers=3).run()
+    assert [r.metrics["square"] for r in report.results] == [
+        0, 1, 4, 9, 16, 25]
+
+
+def test_report_wall_time_accounting():
+    points = [SweepPoint(f"x={x}", {"x": x}) for x in range(4)]
+    report = SweepRunner(_square, points, workers=1).run()
+    assert report.serial_time_s == pytest.approx(
+        sum(r.wall_time_s for r in report.results))
+    assert report.elapsed_s >= 0.0
+    assert math.isfinite(report.speedup) or report.elapsed_s == 0.0
+    rows = report.rows(["square"])
+    assert len(rows) == 4
+    assert rows[2][0] == "x=2"
+    assert "square=4" in rows[2][1]
+
+
+def test_single_point_degrades_to_serial():
+    report = SweepRunner(_square, [SweepPoint("only", {"x": 3})],
+                         workers=8).run()
+    assert report.workers == 1
+    assert report.results[0].metrics == {"square": 9}

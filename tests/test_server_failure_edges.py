@@ -134,7 +134,7 @@ def test_farm_loop_excludes_failed_servers():
                       dispatch_period_s=30.0)
     env.process(farm.run())
     env.run(until=200.0)
-    assert not farm.shed_monitor.values or farm.shed_monitor.values[-1] == 0.0
+    assert len(farm.shed_monitor) == 0 or farm.shed_monitor.values[-1] == 0.0
     for s in servers[:3]:
         s.fail()
     env.run(until=300.0)

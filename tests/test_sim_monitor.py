@@ -187,3 +187,127 @@ def test_resample_matches_value_at_property(step, values):
             assert math.isnan(v)
         else:
             assert v == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Window edge cases against a brute-force reference
+# ----------------------------------------------------------------------
+def _brute_integral(times, values, a, b):
+    """O(n) reference: sum value * overlap for every step segment."""
+    total = 0.0
+    for i, t in enumerate(times):
+        nxt = times[i + 1] if i + 1 < len(times) else math.inf
+        lo, hi = max(a, t), min(b, nxt)
+        if hi > lo:
+            total += values[i] * (hi - lo)
+    return total
+
+
+def test_window_entirely_before_first_sample():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(5.0, time=10.0)
+    mon.record(7.0, time=20.0)
+    assert mon.integral(0.0, 8.0) == 0.0
+    # The signal is undefined there, so the window holds no value.
+    assert math.isnan(mon.value_at(3.0))
+
+
+def test_window_straddling_first_sample():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(4.0, time=10.0)
+    mon.record(6.0, time=20.0)
+    # Only [10, 15] contributes: 4 * 5.
+    assert mon.integral(5.0, 15.0) == pytest.approx(20.0)
+
+
+def test_window_entirely_after_last_sample():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(5.0, time=0.0)
+    mon.record(3.0, time=10.0)
+    # The last value holds indefinitely under step interpretation.
+    assert mon.integral(20.0, 30.0) == pytest.approx(3.0 * 10.0)
+    assert mon.time_weighted_mean(20.0, 30.0) == pytest.approx(3.0)
+
+
+def test_zero_width_window():
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(5.0, time=0.0)
+    mon.record(9.0, time=10.0)
+    assert mon.integral(4.0, 4.0) == 0.0
+    # Degenerate mean falls back to the point value.
+    assert mon.time_weighted_mean(4.0, 4.0) == 5.0
+    assert mon.time_weighted_mean(10.0, 10.0) == 9.0
+
+
+def test_same_instant_rerecord_after_query():
+    """Overwriting the open segment never corrupts the prefix array,
+    even when a query has already extended it."""
+    env = Environment()
+    mon = Monitor(env)
+    mon.record(2.0, time=0.0)
+    mon.record(4.0, time=10.0)
+    assert mon.integral(0.0, 10.0) == pytest.approx(20.0)  # extends _cum
+    mon.record(8.0, time=10.0)   # same-instant overwrite wins
+    mon.record(1.0, time=20.0)
+    times, values = mon.as_arrays()
+    assert list(values) == [2.0, 8.0, 1.0]
+    expected = _brute_integral(times, values, 0.0, 25.0)
+    assert mon.integral(0.0, 25.0) == pytest.approx(expected)
+
+
+def test_staged_extension_matches_one_shot():
+    """Growing _cum in stages re-associates the prefix sum, so results
+    may differ from a one-shot extension only at machine epsilon —
+    and identical query schedules are exactly reproducible."""
+    rng = np.random.default_rng(11)
+    times = np.cumsum(rng.uniform(0.1, 5.0, size=200))
+    values = rng.uniform(-50.0, 50.0, size=200)
+
+    def build(query_every):
+        env = Environment()
+        mon = Monitor(env)
+        for i, (t, v) in enumerate(zip(times, values)):
+            mon.record(v, time=t)
+            if query_every and i % query_every == 0:
+                mon.integral(times[0], t)  # force partial extension
+        return mon.integral(times[0], times[-1])
+
+    staged, fresh = build(17), build(0)
+    assert staged == pytest.approx(fresh, rel=1e-12)
+    # Same query schedule twice -> exactly the same float.
+    assert build(17) == staged
+    assert build(0) == fresh
+
+
+@given(
+    data=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False),
+                  st.floats(min_value=-1e3, max_value=1e3,
+                            allow_nan=False)),
+        min_size=1, max_size=40),
+    window=st.tuples(st.floats(min_value=-10.0, max_value=120.0,
+                               allow_nan=False),
+                     st.floats(min_value=-10.0, max_value=120.0,
+                               allow_nan=False)),
+)
+def test_integral_matches_brute_force_property(data, window):
+    """Prefix-sum windowed integral == O(n) loop, any window."""
+    env = Environment()
+    mon = Monitor(env)
+    seen = {}
+    for t, v in sorted(data, key=lambda p: p[0]):
+        mon.record(v, time=t)
+        seen[t] = v     # same-instant overwrite wins, like the monitor
+    times = sorted(seen)
+    values = [seen[t] for t in times]
+    a, b = min(window), max(window)
+    expected = _brute_integral(times, values, a, b) if b > a else 0.0
+    assert mon.integral(a, b) == pytest.approx(expected, abs=1e-6)
+    if b > a and expected is not None:
+        assert mon.time_weighted_mean(a, b) == \
+            pytest.approx(expected / (b - a), abs=1e-6)
