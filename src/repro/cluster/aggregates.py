@@ -146,6 +146,35 @@ class FleetAggregate:
         self._updates = 0
         return drift
 
+    def verify(self) -> dict:
+        """Exact-recompute *every* cached aggregate; repair and report.
+
+        Goes beyond the routine :meth:`recompute_exact` drift guard:
+        the active count is recounted, and the cached roster (if one
+        is materialized) is rebuilt and compared.  Any disagreement is
+        repaired in place.  Designed as the control plane's
+        reconciliation-loop self-heal — cheap enough to run every few
+        minutes, strong enough that no caching bug or missed watcher
+        notification can mislead the manager for long.
+
+        Returns ``{"power_drift_w", "active_count_corrected",
+        "roster_repaired"}``.
+        """
+        power_drift = self.recompute_exact()
+        count = sum(1 for s in self.servers
+                    if s._state is ServerState.ACTIVE)
+        count_corrected = abs(count - self._active_count)
+        self._active_count = count
+        roster_repaired = False
+        if self._active_cache is not None:
+            fresh = [s for s in self.servers
+                     if s._state is ServerState.ACTIVE]
+            roster_repaired = fresh != self._active_cache
+            self._active_cache = fresh
+        return {"power_drift_w": power_drift,
+                "active_count_corrected": count_corrected,
+                "roster_repaired": roster_repaired}
+
     def __repr__(self) -> str:
         return (f"<FleetAggregate n={len(self.servers)} "
                 f"active={self._active_count} {self._power_w:.0f}W>")

@@ -69,13 +69,23 @@ class CoordinatedController:
         demand = self.demand_source(farm.env.now) * self.headroom
         per_server_full = farm.servers[0].capacity * self.target_utilization
 
-        # Step 1: machine count at full speed.
+        # Step 1: machine count at full speed.  With an impaired
+        # control plane attached, the committed count and active
+        # roster are *believed* state — the controller cannot see
+        # whether its wake commands actually landed.
+        cp = getattr(farm, "control_plane", None)
+        mediated = cp is not None and not cp.perfect
         target = max(1, math.ceil(demand / per_server_full))
         target = min(target, len(farm.servers))
-        committed = sum(
-            1 for s in farm.servers
-            if s.state in (ServerState.ACTIVE, ServerState.BOOTING,
-                           ServerState.WAKING))
+        if mediated:
+            committed = sum(
+                1 for s in farm.servers
+                if cp.believed_state(s) is ServerState.ACTIVE)
+        else:
+            committed = sum(
+                1 for s in farm.servers
+                if s.state in (ServerState.ACTIVE, ServerState.BOOTING,
+                               ServerState.WAKING))
         if committed < target:
             for _ in range(target - committed):
                 if not _activate_one(farm):
@@ -88,14 +98,18 @@ class CoordinatedController:
         # Step 2: trim speed on the fleet we just sized.  Required
         # per-server speed fraction so that `target` machines at the
         # target utilization still cover demand.
-        active = farm.active_servers()
+        active = (cp.believed_active(farm) if mediated
+                  else farm.active_servers())
         pstate = 0
         if active:
             capacity_needed = demand / (target * per_server_full)
             table = active[0].model.pstates
             pstate = table.slowest_state_meeting(min(capacity_needed, 1.0))
             for server in active:
-                server.set_pstate(pstate)
+                if cp is not None:
+                    cp.set_pstate(server, pstate)
+                else:
+                    server.set_pstate(pstate)
         self.fleet_monitor.record(target)
         self.pstate_monitor.record(pstate)
         return target, pstate

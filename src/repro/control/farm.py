@@ -63,6 +63,11 @@ class ServerFarm:
         #: Zones the dispatcher must not activate servers in (e.g. a
         #: zone whose CRAC is down); see ``control.onoff``.
         self.quarantined_zones: set[str] = set()
+        #: Optional :class:`~repro.controlplane.ControlPlane` mediating
+        #: the manager's sensing and actuation (set by its ``attach``).
+        #: ``None`` — the default — means controllers read and command
+        #: ground truth directly, exactly as before.
+        self.control_plane = None
         self.power_monitor = Monitor(env, "farm.power_w")
         self.delay_monitor = Monitor(env, "farm.delay_s")
         self.utilization_monitor = Monitor(env, "farm.utilization")
@@ -140,6 +145,10 @@ class ServerFarm:
         self.delay_monitor.record(self.mean_response_time_s())
         self.utilization_monitor.record(self.mean_utilization())
         self.active_monitor.record(self.fleet.active_count)
+        if self.control_plane is not None:
+            # Plant-side sensor sweep: demand, per-server states, and
+            # heartbeats cross the (possibly lossy) telemetry network.
+            self.control_plane.publish_tick(self)
 
     def run(self):
         """Process generator: dispatch loop forever."""

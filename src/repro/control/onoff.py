@@ -34,8 +34,17 @@ def _activate_one(farm: ServerFarm) -> bool:
     Skips servers in quarantined zones — a zone whose cooling is down
     must not receive fresh capacity, or the controller re-creates the
     thermal hazard the macro layer just drained.
+
+    When the farm has a :class:`~repro.controlplane.ControlPlane`
+    attached, selection and command both go through it: a perfect
+    plane reproduces this exact scan and calls synchronously, while an
+    impaired one can only select on believed state and the command has
+    to survive the actuation network.
     """
     quarantined = getattr(farm, "quarantined_zones", frozenset())
+    cp = getattr(farm, "control_plane", None)
+    if cp is not None:
+        return cp.activate_one(quarantined)
     for server in farm.servers:
         if (server.state is ServerState.SLEEPING
                 and server.zone not in quarantined):
@@ -51,6 +60,9 @@ def _activate_one(farm: ServerFarm) -> bool:
 
 def _deactivate_one(farm: ServerFarm, to_sleep: bool) -> bool:
     """Drain and sleep/shut one ACTIVE machine; True if done."""
+    cp = getattr(farm, "control_plane", None)
+    if cp is not None:
+        return cp.deactivate_one(to_sleep)
     active = farm.active_servers()
     if len(active) <= 1:
         return False  # never scale to zero

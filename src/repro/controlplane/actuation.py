@@ -1,0 +1,461 @@
+"""Fallible actuation: the command path between manager and plant.
+
+Ground truth so far: every wake/sleep/P-state/drain/cap call landed
+instantly and infallibly.  Real control planes issue commands over a
+network to baseboard controllers that are sometimes busy, sometimes
+unreachable, and sometimes execute but fail to acknowledge.  The
+:class:`ActuationBus` models exactly that — per-command latency, loss,
+and transient execution failures — and layers the standard defences on
+top: idempotency keys, per-command acknowledgement timeouts, and
+retry with exponential backoff.
+
+Command application is *idempotent by construction*: each
+:class:`CommandKind` is an "ensure" operation (ensure active, ensure
+asleep, ensure this P-state, ...), so a duplicate delivery — from a
+retry whose predecessor actually executed but whose ack was lost, or
+from the reconciliation loop re-issuing a divergent command — is a
+harmless no-op.  Every ack carries the server's *resulting* settled
+state, which is how the bus's believed-state ledger converges back to
+truth.
+
+A *perfect* profile (zero loss, zero latency, zero transient failure)
+executes commands synchronously inside :meth:`ActuationBus.submit`,
+draws no RNG, and schedules no events — the byte-identity guarantee
+for all pre-existing experiment tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.cluster.server import Server, ServerState
+from repro.sim import Environment, RandomStreams
+
+__all__ = ["ActuationProfile", "CommandKind", "CommandRecord",
+           "ActuationBus", "settled_state", "apply_command"]
+
+
+class CommandKind(enum.Enum):
+    """The actuation verbs the macro layer issues."""
+
+    #: Ensure the server is (or is becoming) ACTIVE; wakes SLEEPING
+    #: machines and boots OFF ones.
+    WAKE = "wake"
+    #: Alias of WAKE issued against OFF machines (kept distinct for
+    #: the audit trail; semantics are identical "ensure active").
+    POWER_ON = "power-on"
+    #: Drain and suspend-to-RAM an ACTIVE server.
+    SLEEP = "sleep"
+    #: Drain and power off an ACTIVE or SLEEPING server.
+    SHUT_DOWN = "shut-down"
+    #: Command a DVFS P-state (value = index).
+    SET_PSTATE = "set-pstate"
+    #: Throttle until draw fits under value watts.
+    APPLY_CAP = "apply-cap"
+    #: Lift any throttle.
+    REMOVE_CAP = "remove-cap"
+
+
+#: Settled server state each state-changing kind aims for.
+_TARGET_STATE: dict[CommandKind, ServerState] = {
+    CommandKind.WAKE: ServerState.ACTIVE,
+    CommandKind.POWER_ON: ServerState.ACTIVE,
+    CommandKind.SLEEP: ServerState.SLEEPING,
+    CommandKind.SHUT_DOWN: ServerState.OFF,
+}
+
+#: Transitional states mapped onto the state they settle into.
+_SETTLES_TO: dict[ServerState, ServerState] = {
+    ServerState.BOOTING: ServerState.ACTIVE,
+    ServerState.WAKING: ServerState.ACTIVE,
+}
+
+
+def settled_state(state: ServerState) -> ServerState:
+    """Map transitional states to where they end up on their own."""
+    return _SETTLES_TO.get(state, state)
+
+
+def apply_command(server: Server, kind: CommandKind,
+                  value: float | int | None = None
+                  ) -> tuple[str, ServerState]:
+    """Idempotently apply one command; returns (outcome, settled state).
+
+    Outcomes: ``"applied"`` (state changed / knob set), ``"noop"``
+    (already satisfied — the idempotent duplicate-delivery case),
+    ``"busy"`` (mid-transition, retry later), ``"unreachable"``
+    (FAILED hardware cannot execute anything).
+    """
+    state = server.state
+    if kind in (CommandKind.WAKE, CommandKind.POWER_ON):
+        if state is ServerState.FAILED:
+            return "unreachable", settled_state(state)
+        if state is ServerState.SLEEPING:
+            server.wake()
+        elif state is ServerState.OFF:
+            server.power_on()
+        else:  # ACTIVE / BOOTING / WAKING: already on its way
+            return "noop", settled_state(state)
+        return "applied", ServerState.ACTIVE
+    if kind is CommandKind.SLEEP:
+        if state is ServerState.FAILED:
+            return "unreachable", settled_state(state)
+        if state in (ServerState.SLEEPING, ServerState.OFF):
+            return "noop", settled_state(state)
+        if state is not ServerState.ACTIVE:
+            return "busy", settled_state(state)
+        server.set_offered_load(0.0)
+        server.sleep()
+        return "applied", ServerState.SLEEPING
+    if kind is CommandKind.SHUT_DOWN:
+        if state is ServerState.FAILED:
+            return "unreachable", settled_state(state)
+        if state is ServerState.OFF:
+            return "noop", settled_state(state)
+        if state in (ServerState.BOOTING, ServerState.WAKING):
+            return "busy", settled_state(state)
+        if state is ServerState.ACTIVE:
+            server.set_offered_load(0.0)
+        server.shut_down()
+        return "applied", ServerState.OFF
+    if kind is CommandKind.SET_PSTATE:
+        if state is ServerState.FAILED:
+            return "unreachable", settled_state(state)
+        outcome = "noop" if server.pstate == int(value) else "applied"
+        server.set_pstate(int(value))
+        return outcome, settled_state(state)
+    if kind is CommandKind.APPLY_CAP:
+        if state is ServerState.FAILED:
+            return "unreachable", settled_state(state)
+        server.apply_cap(float(value))
+        return "applied", settled_state(state)
+    if kind is CommandKind.REMOVE_CAP:
+        if state is ServerState.FAILED:
+            return "unreachable", settled_state(state)
+        server.remove_cap()
+        return "applied", settled_state(state)
+    raise ValueError(f"unknown command kind {kind!r}")  # pragma: no cover
+
+
+@dataclasses.dataclass(frozen=True)
+class ActuationProfile:
+    """Impairment + hardening knobs for the command path.
+
+    Parameters
+    ----------
+    loss_probability:
+        Chance one delivery attempt is lost round-trip (either the
+        command never reached the server, or it executed and the ack
+        vanished — idempotent application makes the two equivalent
+        from the retry machinery's point of view).
+    transient_failure_probability:
+        Chance a delivered command fails to execute (busy BMC,
+        firmware hiccup); the NACK comes back and triggers a retry.
+    latency_s:
+        One-way transport latency per attempt.
+    ack_timeout_s:
+        How long the bus waits for an ack before declaring the
+        attempt lost.
+    max_retries:
+        Re-deliveries after the first attempt (0 = fire and forget).
+    backoff_base_s:
+        Exponential backoff: retry ``n`` waits ``base * 2**(n-1)``,
+        capped at ``backoff_cap_s``.
+    """
+
+    loss_probability: float = 0.0
+    transient_failure_probability: float = 0.0
+    latency_s: float = 0.0
+    ack_timeout_s: float = 30.0
+    max_retries: int = 3
+    backoff_base_s: float = 5.0
+    backoff_cap_s: float = 120.0
+
+    def __post_init__(self):
+        for p in (self.loss_probability,
+                  self.transient_failure_probability):
+            if not 0.0 <= p < 1.0:
+                raise ValueError("probabilities must be in [0, 1)")
+        if self.latency_s < 0 or self.backoff_base_s < 0:
+            raise ValueError("timings cannot be negative")
+        if self.ack_timeout_s <= 2 * self.latency_s and not self.perfect:
+            raise ValueError("ack timeout must exceed the round trip")
+        if self.max_retries < 0:
+            raise ValueError("max retries cannot be negative")
+
+    @property
+    def perfect(self) -> bool:
+        """True when every command lands instantly and infallibly."""
+        return (self.loss_probability == 0.0
+                and self.transient_failure_probability == 0.0
+                and self.latency_s == 0.0)
+
+
+@dataclasses.dataclass
+class CommandRecord:
+    """Audit entry for one issued command."""
+
+    key: str
+    server_name: str
+    kind: CommandKind
+    value: float | int | None
+    issued_s: float
+    #: Who issued it ("controller" or "reconciler").
+    origin: str = "controller"
+    attempts: int = 0
+    lost_deliveries: int = 0
+    transient_failures: int = 0
+    acked_s: float | None = None
+    result: str | None = None
+    gave_up: bool = False
+
+    @property
+    def acked(self) -> bool:
+        return self.acked_s is not None
+
+    @property
+    def open(self) -> bool:
+        """Still in flight: not acked, not abandoned, not superseded."""
+        return (self.acked_s is None and self.result is None
+                and not self.gave_up)
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+class ActuationBus:
+    """All actuation flows through here.
+
+    Maintains two per-server ledgers:
+
+    * ``intended`` — the settled state the controller last commanded
+      (written at submit time: the controller *knows what it asked
+      for* even before the ack arrives);
+    * ``acked`` — the settled state implied by the newest
+      acknowledgement (or reconciler probe; see
+      :meth:`accept_probe`), timestamped so older probes can never
+      overwrite newer truth.
+
+    ``believed_state`` is what the manager plans against: the intent
+    while a command is in flight (or always, for an ``optimistic``
+    fire-and-forget bus — the naive manager of EXP-CONTROLPLANE),
+    falling back to acked truth once the dust settles.
+    """
+
+    def __init__(self, env: Environment,
+                 servers: typing.Sequence[Server],
+                 profile: ActuationProfile | None = None,
+                 streams: RandomStreams | None = None,
+                 optimistic: bool = False):
+        self.env = env
+        self.profile = profile or ActuationProfile()
+        self.perfect = self.profile.perfect
+        self.optimistic = bool(optimistic)
+        self._rng = None
+        if not self.perfect:
+            streams = streams or RandomStreams(0)
+            self._rng = streams.get("controlplane.actuation")
+        self._servers = {s.name: s for s in servers}
+        self.records: list[CommandRecord] = []
+        #: Open commands by idempotency key (in-flight dedupe).
+        self._open: dict[str, CommandRecord] = {}
+        self.intended: dict[str, ServerState] = {}
+        self._acked: dict[str, tuple[ServerState, float]] = {
+            s.name: (settled_state(s.state), env.now) for s in servers}
+        #: Believed knob positions, for command dedup by callers.
+        self.believed_pstate: dict[str, int] = {}
+        self.believed_cap: dict[str, float | None] = {}
+        self.reissues = 0
+
+    # ------------------------------------------------------------------
+    # Believed state
+    # ------------------------------------------------------------------
+    def believed_state(self, server: Server) -> ServerState:
+        """The settled state the manager believes ``server`` is in."""
+        if self.perfect:
+            return settled_state(server.state)
+        name = server.name
+        intent = self.intended.get(name)
+        if intent is not None:
+            if self.optimistic:
+                return intent
+            record = self._open.get(self._state_key(name))
+            if record is not None:
+                return intent
+        return self._acked[name][0]
+
+    def accept_probe(self, name: str, state: ServerState,
+                     measured_s: float) -> bool:
+        """Fold a (possibly stale) state probe into the acked ledger.
+
+        Rejected when older than the ledger's current entry — a
+        delayed probe must never overwrite fresher ack truth.
+        """
+        current = self._acked.get(name)
+        if current is not None and measured_s <= current[1]:
+            return False
+        self._acked[name] = (settled_state(state), measured_s)
+        return True
+
+    @staticmethod
+    def _state_key(name: str) -> str:
+        return f"{name}:state"
+
+    @staticmethod
+    def _key_for(name: str, kind: CommandKind,
+                 value: float | int | None) -> str:
+        if kind in _TARGET_STATE:
+            # One open state-changing command per server at a time:
+            # the newest intent supersedes, so WAKE then SLEEP on the
+            # same machine do not race as independent keys.
+            return ActuationBus._state_key(name)
+        if kind is CommandKind.SET_PSTATE:
+            return f"{name}:pstate"
+        return f"{name}:cap"
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, server: Server, kind: CommandKind,
+               value: float | int | None = None,
+               origin: str = "controller"):
+        """Issue one command; returns the apply result in perfect mode.
+
+        Perfect mode applies synchronously and returns whatever the
+        underlying server call returned (``apply_cap``'s post-cap
+        draw, for instance) so callers keep exact legacy accounting.
+        Impaired mode returns the :class:`CommandRecord` and lets the
+        delivery process run; duplicate submissions against an open
+        idempotency key return the existing record untouched.
+        """
+        if self.perfect:
+            if kind in (CommandKind.WAKE, CommandKind.POWER_ON):
+                if server.state is ServerState.SLEEPING:
+                    return server.wake()
+                return server.power_on()
+            if kind is CommandKind.SLEEP:
+                server.set_offered_load(0.0)
+                return server.sleep()
+            if kind is CommandKind.SHUT_DOWN:
+                if server.state is ServerState.ACTIVE:
+                    server.set_offered_load(0.0)
+                return server.shut_down()
+            if kind is CommandKind.SET_PSTATE:
+                return server.set_pstate(int(value))
+            if kind is CommandKind.APPLY_CAP:
+                return server.apply_cap(float(value))
+            if kind is CommandKind.REMOVE_CAP:
+                return server.remove_cap()
+            raise ValueError(f"unknown kind {kind!r}")  # pragma: no cover
+
+        name = server.name
+        key = self._key_for(name, kind, value)
+        existing = self._open.get(key)
+        if (existing is not None and existing.kind is kind
+                and existing.value == value):
+            return existing
+        record = CommandRecord(key=key, server_name=name, kind=kind,
+                               value=value, issued_s=self.env.now,
+                               origin=origin)
+        if origin == "reconciler":
+            self.reissues += 1
+        self.records.append(record)
+        self._open[key] = record
+        target = _TARGET_STATE.get(kind)
+        if target is not None:
+            self.intended[name] = target
+        elif kind is CommandKind.SET_PSTATE:
+            self.believed_pstate[name] = int(value)
+        elif kind is CommandKind.APPLY_CAP:
+            self.believed_cap[name] = float(value)
+        elif kind is CommandKind.REMOVE_CAP:
+            self.believed_cap[name] = None
+        self.env.process(self._deliver(record),
+                         name=f"cmd:{name}:{kind.value}")
+        return record
+
+    # ------------------------------------------------------------------
+    # Delivery (impaired mode only)
+    # ------------------------------------------------------------------
+    def _deliver(self, record: CommandRecord):
+        profile = self.profile
+        server = self._servers[record.server_name]
+        max_attempts = 1 + profile.max_retries
+        while record.attempts < max_attempts:
+            record.attempts += 1
+            yield self.env.timeout(profile.latency_s)
+            if self._superseded(record):
+                return
+            if self._rng.random() < profile.loss_probability:
+                # Lost round trip: without retries the command is
+                # simply gone; with them, wait out the ack timeout.
+                record.lost_deliveries += 1
+                if record.attempts >= max_attempts:
+                    break
+                yield self.env.timeout(
+                    profile.ack_timeout_s - profile.latency_s
+                    + self._backoff(record.attempts))
+                if self._superseded(record):
+                    return
+                continue
+            # Transient execution failure: the BMC rejects the command
+            # *before* executing it and the NACK returns promptly.
+            transient = (profile.transient_failure_probability > 0.0
+                         and self._rng.random()
+                         < profile.transient_failure_probability)
+            if not transient:
+                outcome, state = apply_command(server, record.kind,
+                                               record.value)
+                if outcome == "unreachable":
+                    record.result = outcome
+                    break
+                if outcome != "busy":
+                    # Executed; the ack (with resulting state) rides
+                    # home on the return leg.
+                    yield self.env.timeout(profile.latency_s)
+                    record.acked_s = self.env.now
+                    record.result = outcome
+                    self._acked[record.server_name] = (state, self.env.now)
+                    if self._open.get(record.key) is record:
+                        del self._open[record.key]
+                    return
+            record.transient_failures += 1
+            if record.attempts >= max_attempts:
+                break
+            yield self.env.timeout(
+                profile.latency_s + self._backoff(record.attempts))
+            if self._superseded(record):
+                return
+        record.gave_up = True
+        if record.result is None:
+            record.result = "lost"
+        if self._open.get(record.key) is record:
+            del self._open[record.key]
+
+    def _superseded(self, record: CommandRecord) -> bool:
+        """A newer command took this record's idempotency key."""
+        if self._open.get(record.key) is not record:
+            record.result = "superseded"
+            return True
+        return False
+
+    def _backoff(self, attempt: int) -> float:
+        profile = self.profile
+        return min(profile.backoff_cap_s,
+                   profile.backoff_base_s * 2.0 ** (attempt - 1))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def open_commands(self) -> list[CommandRecord]:
+        return [r for r in self.records if r.open]
+
+    def gave_up_commands(self) -> list[CommandRecord]:
+        return [r for r in self.records if r.gave_up]
+
+    def max_attempts(self) -> int:
+        """Most delivery attempts any command needed (0 if none)."""
+        return max((r.attempts for r in self.records), default=0)

@@ -1,0 +1,249 @@
+"""Lossy telemetry: the sensor network between plant and manager.
+
+The paper's macro layer "learns about its operating environment
+through a combination of networked sensors" (§4.5, Project Genome) —
+and real sensor networks drop packets, smear readings with noise, lag
+behind the plant, and partition along the very racks they instrument.
+Until now the :class:`~repro.core.manager.MacroResourceManager` read
+ground truth directly; this module inserts the network.
+
+Two pieces:
+
+* :class:`TelemetryBus` mediates every *published* sensor sample with
+  configurable dropout, multiplicative Gaussian noise, staleness
+  (readings reflect the plant as of ``staleness_s`` ago), and
+  partition-by-rack (all channels tagged with a partitioned rack go
+  dark until the partition heals).
+* :class:`StateEstimator` is the manager-side store: it carries the
+  last-known-good value per channel with its measurement timestamp,
+  so consumers always get *a* value — just possibly an old one — plus
+  the age needed to decide whether to trust it.
+
+A *perfect* profile (all knobs zero) short-circuits both: samples
+pass through untouched, no RNG is drawn, and reads return the live
+value with age zero — which is what keeps the headline experiment
+tables byte-identical when the bus is wired in but not stressed.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+import typing
+
+from repro.sim import Environment, RandomStreams
+
+__all__ = ["TelemetryProfile", "Reading", "StateEstimator",
+           "TelemetryBus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryProfile:
+    """Impairment knobs for one telemetry network.
+
+    Parameters
+    ----------
+    dropout_probability:
+        Chance an individual published sample never arrives.
+    noise_fraction:
+        Relative sigma of multiplicative Gaussian noise applied to
+        numeric samples that do arrive (states and other non-float
+        payloads pass through unperturbed).
+    staleness_s:
+        Transport delay: a read returns the newest sample at least
+        this old, modelling store-and-forward aggregation tiers.
+    """
+
+    dropout_probability: float = 0.0
+    noise_fraction: float = 0.0
+    staleness_s: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        if self.noise_fraction < 0.0:
+            raise ValueError("noise fraction cannot be negative")
+        if self.staleness_s < 0.0:
+            raise ValueError("staleness cannot be negative")
+
+    @property
+    def perfect(self) -> bool:
+        """True when the network neither loses, distorts, nor delays."""
+        return (self.dropout_probability == 0.0
+                and self.noise_fraction == 0.0
+                and self.staleness_s == 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class Reading:
+    """One believed value: what arrived, when it was measured."""
+
+    channel: str
+    value: typing.Any
+    time_s: float
+    age_s: float
+
+    @property
+    def missing(self) -> bool:
+        """True when no sample for the channel ever arrived."""
+        return isinstance(self.value, float) and math.isnan(self.value)
+
+    def stale(self, max_age_s: float) -> bool:
+        """Is the reading older than the caller's trust horizon?"""
+        return self.age_s > max_age_s
+
+
+class StateEstimator:
+    """Last-known-good store with bounded per-channel history.
+
+    Keeps enough history per channel to answer delayed reads (the
+    staleness model) and ages everything against the simulation
+    clock.  History older than ``history_s`` before the newest sample
+    is pruned, so memory stays O(channels × window), not O(run).
+    """
+
+    def __init__(self, env: Environment, history_s: float = 600.0):
+        if history_s < 0:
+            raise ValueError("history window cannot be negative")
+        self.env = env
+        self.history_s = float(history_s)
+        self._hist: dict[str, collections.deque] = {}
+
+    def channels(self) -> list[str]:
+        """Every channel that has ever received a sample."""
+        return list(self._hist)
+
+    def observe(self, channel: str, value: typing.Any,
+                time_s: float | None = None) -> None:
+        """Store one delivered sample for ``channel``."""
+        t = self.env.now if time_s is None else float(time_s)
+        hist = self._hist.get(channel)
+        if hist is None:
+            hist = self._hist[channel] = collections.deque()
+        if hist and t < hist[-1][0]:
+            raise ValueError(f"sample at t={t} precedes newest for "
+                             f"{channel!r}")
+        hist.append((t, value))
+        cutoff = t - self.history_s
+        while len(hist) > 1 and hist[1][0] <= cutoff:
+            hist.popleft()
+
+    def read(self, channel: str, delay_s: float = 0.0) -> Reading:
+        """Believed value: newest sample at least ``delay_s`` old.
+
+        Falls back to the oldest retained sample when everything is
+        newer than the delay horizon (the store-and-forward tier has
+        not flushed yet), and to a missing (NaN) reading when the
+        channel has never been heard from.
+        """
+        now = self.env.now
+        hist = self._hist.get(channel)
+        if not hist:
+            return Reading(channel, math.nan, -math.inf, math.inf)
+        cutoff = now - delay_s
+        for t, value in reversed(hist):
+            if t <= cutoff:
+                return Reading(channel, value, t, now - t)
+        t, value = hist[0]
+        return Reading(channel, value, t, now - t)
+
+    def age_s(self, channel: str) -> float:
+        """Age of the newest sample (inf when never heard from)."""
+        hist = self._hist.get(channel)
+        if not hist:
+            return math.inf
+        return self.env.now - hist[-1][0]
+
+
+class TelemetryBus:
+    """The lossy pipe every sensor sample crosses.
+
+    Producers call :meth:`sense` with ground truth; consumers call
+    :meth:`read` and get the believed value.  The bus owns a
+    :class:`StateEstimator` so last-known-good semantics come for
+    free, and draws all randomness from the ``controlplane.telemetry``
+    substream of the run's :class:`~repro.sim.RandomStreams` so chaos
+    campaigns are exactly reproducible per seed.
+    """
+
+    def __init__(self, env: Environment,
+                 profile: TelemetryProfile | None = None,
+                 streams: RandomStreams | None = None):
+        self.env = env
+        self.profile = profile or TelemetryProfile()
+        self.perfect = self.profile.perfect
+        self._rng = None
+        if not self.perfect:
+            streams = streams or RandomStreams(0)
+            self._rng = streams.get("controlplane.telemetry")
+        self.estimator = StateEstimator(
+            env, history_s=self.profile.staleness_s + 600.0)
+        #: Racks whose sensor uplink is currently partitioned.
+        self.partitioned_racks: set[str] = set()
+        self.samples_published = 0
+        self.samples_dropped = 0
+        self.partition_drops = 0
+
+    # ------------------------------------------------------------------
+    # Partition-by-rack mode
+    # ------------------------------------------------------------------
+    def partition(self, racks: typing.Iterable[str]) -> None:
+        """Cut the sensor uplink of the given racks."""
+        self.partitioned_racks.update(racks)
+
+    def heal(self, racks: typing.Iterable[str] | None = None) -> None:
+        """Restore partitioned racks (all of them by default)."""
+        if racks is None:
+            self.partitioned_racks.clear()
+        else:
+            self.partitioned_racks.difference_update(racks)
+
+    # ------------------------------------------------------------------
+    # Publish / read
+    # ------------------------------------------------------------------
+    def sense(self, channel: str, value: typing.Any,
+              rack: str | None = None) -> bool:
+        """Publish one ground-truth sample; returns True if delivered."""
+        self.samples_published += 1
+        if self.perfect:
+            self.estimator.observe(channel, value)
+            return True
+        if rack is not None and rack in self.partitioned_racks:
+            self.partition_drops += 1
+            self.samples_dropped += 1
+            return False
+        profile = self.profile
+        if (profile.dropout_probability > 0.0
+                and self._rng.random() < profile.dropout_probability):
+            self.samples_dropped += 1
+            return False
+        if profile.noise_fraction > 0.0 and isinstance(value, float):
+            value *= 1.0 + profile.noise_fraction \
+                * self._rng.standard_normal()
+        self.estimator.observe(channel, value)
+        return True
+
+    def read(self, channel: str) -> Reading:
+        """Believed value of ``channel`` (delayed by the staleness)."""
+        if self.perfect:
+            return self.estimator.read(channel)
+        return self.estimator.read(channel, self.profile.staleness_s)
+
+    def observe(self, channel: str, value: typing.Any,
+                rack: str | None = None) -> typing.Any:
+        """Publish + read in one step; returns the believed value.
+
+        Perfect mode passes ``value`` through bit-for-bit; impaired
+        modes return whatever the estimator believes after this
+        sample crossed (or failed to cross) the network, falling back
+        to ``value`` itself only when nothing has ever arrived.
+        """
+        if self.perfect:
+            self.estimator.observe(channel, value)
+            return value
+        self.sense(channel, value, rack=rack)
+        reading = self.read(channel)
+        if reading.missing:
+            return value
+        return reading.value

@@ -1,0 +1,146 @@
+"""Watchdog health-checker: missed-heartbeat server liveness.
+
+Every farm tick, live servers emit heartbeats that cross the (lossy)
+:class:`~repro.controlplane.telemetry.TelemetryBus`.  The watchdog
+checks each server's newest heartbeat age on a fixed cadence and
+counts consecutive misses; at ``miss_threshold`` misses the server is
+*suspected* and the suspicion feeds the degraded-ops machinery of the
+:class:`~repro.core.manager.MacroResourceManager` as one more threat
+signal.
+
+The interesting failure mode is the *false positive*: a healthy
+server whose heartbeats all dropped, or a checker that glitched.  The
+``false_miss_probability`` knob models the latter directly, and the
+``miss_threshold`` is the defence — a naive threshold of one flaps
+into degraded mode on every glitch, while a debounced threshold of
+three only fires on sustained silence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim import Environment, RandomStreams
+
+from .telemetry import TelemetryBus
+
+__all__ = ["WatchdogProfile", "Watchdog"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WatchdogProfile:
+    """Liveness-checking knobs.
+
+    Parameters
+    ----------
+    check_period_s:
+        Cadence of the liveness sweep.
+    miss_threshold:
+        Consecutive missed checks before a server is suspected.
+    false_miss_probability:
+        Chance a check against a *live* heartbeat is nevertheless
+        scored as a miss (checker glitch / probe drop).
+    heartbeat_timeout_s:
+        A heartbeat older than this counts as a genuine miss.
+    """
+
+    check_period_s: float = 60.0
+    miss_threshold: int = 3
+    false_miss_probability: float = 0.0
+    heartbeat_timeout_s: float = 90.0
+
+    def __post_init__(self):
+        if self.check_period_s <= 0:
+            raise ValueError("check period must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss threshold must be at least 1")
+        if not 0.0 <= self.false_miss_probability < 1.0:
+            raise ValueError("false-miss probability must be in [0, 1)")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat timeout must be positive")
+
+
+class Watchdog:
+    """Counts missed heartbeats; suspects servers; tracks its errors.
+
+    Heartbeats arrive through the telemetry bus on channels named
+    ``hb.<server>``; :meth:`check` sweeps every monitored server and
+    updates the suspect set.  ``false_positives`` counts suspicion
+    events raised while the newest heartbeat was actually fresh — the
+    metric EXP-CONTROLPLANE reports.
+    """
+
+    def __init__(self, env: Environment, telemetry: TelemetryBus,
+                 profile: WatchdogProfile | None = None,
+                 streams: RandomStreams | None = None):
+        self.env = env
+        self.telemetry = telemetry
+        self.profile = profile or WatchdogProfile()
+        self._rng = None
+        if self.profile.false_miss_probability > 0.0:
+            streams = streams or RandomStreams(0)
+            self._rng = streams.get("controlplane.watchdog")
+        self._names: list[str] = []
+        self._misses: dict[str, int] = {}
+        self.suspected: set[str] = set()
+        self.checks = 0
+        self.suspicions = 0
+        self.false_positives = 0
+        self.clears = 0
+
+    def monitor(self, names) -> None:
+        """Add servers to the liveness sweep."""
+        for name in names:
+            if name not in self._misses:
+                self._names.append(name)
+                self._misses[name] = 0
+
+    @staticmethod
+    def channel(name: str) -> str:
+        return f"hb.{name}"
+
+    def beat(self, name: str, rack: str | None = None) -> None:
+        """Publish one heartbeat for ``name`` through the telemetry."""
+        self.telemetry.sense(self.channel(name), self.env.now, rack=rack)
+
+    def expected_down(self, name: str) -> bool:  # pragma: no cover
+        """Hook: overridden by the plane to exempt asleep servers."""
+        return False
+
+    def check(self) -> set[str]:
+        """One liveness sweep; returns the current suspect set."""
+        self.checks += 1
+        profile = self.profile
+        for name in self._names:
+            if self.expected_down(name):
+                # Commanded asleep/off: silence is expected, not a miss.
+                self._misses[name] = 0
+                if name in self.suspected:
+                    self.suspected.discard(name)
+                    self.clears += 1
+                continue
+            age = self.telemetry.estimator.age_s(self.channel(name))
+            fresh = age <= profile.heartbeat_timeout_s
+            glitched = (fresh and self._rng is not None
+                        and self._rng.random()
+                        < profile.false_miss_probability)
+            if fresh and not glitched:
+                self._misses[name] = 0
+                if name in self.suspected:
+                    self.suspected.discard(name)
+                    self.clears += 1
+                continue
+            self._misses[name] += 1
+            if (self._misses[name] >= profile.miss_threshold
+                    and name not in self.suspected):
+                self.suspected.add(name)
+                self.suspicions += 1
+                if fresh:
+                    self.false_positives += 1
+        return self.suspected
+
+    def run(self):
+        """Simulation process: sweep forever on the check cadence."""
+        while True:
+            yield self.env.timeout(self.profile.check_period_s)
+            self.check()

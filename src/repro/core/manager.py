@@ -68,6 +68,10 @@ class DegradedOpsPolicy:
     recovery_hold_s:
         Hysteresis: the facility must look healthy this long before
         degraded mode is exited.
+    watchdog_quorum:
+        Number of simultaneously watchdog-suspected servers that
+        counts as a facility threat (only meaningful when a control
+        plane with a watchdog is attached).
     """
 
     admission_fraction: float = 0.85
@@ -76,6 +80,7 @@ class DegradedOpsPolicy:
     pstate_floor: int = 1
     drain_margin_c: float = 3.0
     recovery_hold_s: float = 600.0
+    watchdog_quorum: int = 1
 
     def __post_init__(self):
         if not 0.0 < self.admission_fraction <= 1.0:
@@ -87,6 +92,8 @@ class DegradedOpsPolicy:
             raise ValueError("P-state floor cannot be negative")
         if self.drain_margin_c < 0 or self.recovery_hold_s < 0:
             raise ValueError("margins cannot be negative")
+        if self.watchdog_quorum < 1:
+            raise ValueError("watchdog quorum must be at least 1")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,6 +141,13 @@ class MacroResourceManager:
     degraded_policy:
         Degraded-operations knobs; defaults to
         :class:`DegradedOpsPolicy`'s defaults.
+    control_plane:
+        Optional :class:`~repro.controlplane.ControlPlane` mediating
+        every sensor reading and actuation command.  ``None`` (the
+        default) reads and commands ground truth directly; a perfect
+        plane is a bit-identical synchronous passthrough; an impaired
+        one puts the manager on believed state and feeds watchdog
+        suspicions into the degraded-ops threat calculus.
     """
 
     def __init__(self, farm: ServerFarm,
@@ -148,13 +162,15 @@ class MacroResourceManager:
                  headroom: float = 1.1,
                  risk_model=None,
                  fault_engine: "FaultDomainEngine | None" = None,
-                 degraded_policy: DegradedOpsPolicy | None = None):
+                 degraded_policy: DegradedOpsPolicy | None = None,
+                 control_plane=None):
         if period_s <= 0:
             raise ValueError("period must be positive")
         if forecast_horizon_s < 0:
             raise ValueError("forecast horizon cannot be negative")
         self.farm = farm
         self.env = farm.env
+        self.control_plane = control_plane
         self.sla = sla or SLA("default")
         self.period_s = float(period_s)
         self.forecast_horizon_s = float(forecast_horizon_s)
@@ -169,8 +185,10 @@ class MacroResourceManager:
 
         self.capper: PowerCapper | None = None
         if power_budget_w is not None:
+            actuator = (control_plane.cap_actuator
+                        if control_plane is not None else None)
             self.capper = PowerCapper(self.env, power_budget_w,
-                                      farm.servers)
+                                      farm.servers, actuator=actuator)
 
         self.room = room
         self.heat_by_zone_fn = heat_by_zone_fn
@@ -227,10 +245,20 @@ class MacroResourceManager:
     # Degraded operations (detect → degrade → recover, with hysteresis)
     # ------------------------------------------------------------------
     def _endangered_zones(self) -> list[str]:
-        """Zones within the drain margin of their alarm temperature."""
+        """Zones within the drain margin of their alarm temperature.
+
+        Temperatures come through the control plane when one is
+        attached — the manager drains on *believed* temperatures, so a
+        stale sensor tier delays the pre-emptive drain exactly as it
+        would in a real facility.
+        """
         if self.room is None:
             return []
+        cp = self.control_plane
         margin = self.degraded_policy.drain_margin_c
+        if cp is not None:
+            return [z.name for z in self.room.zones
+                    if cp.zone_temp(z) >= z.alarm_temp_c - margin]
         return [z.name for z in self.room.zones
                 if z.temp_c >= z.alarm_temp_c - margin]
 
@@ -242,11 +270,21 @@ class MacroResourceManager:
         the machines land in OFF, ready to boot after recovery, rather
         than FAILED.
         """
-        victims = [s for s in self.farm.servers
-                   if s.zone == zone and s.state is ServerState.ACTIVE]
+        cp = self.control_plane
+        if cp is None or cp.perfect:
+            victims = [s for s in self.farm.servers
+                       if s.zone == zone
+                       and s.state is ServerState.ACTIVE]
+        else:
+            victims = [s for s in self.farm.servers
+                       if s.zone == zone
+                       and cp.believed_state(s) is ServerState.ACTIVE]
         for server in victims:
-            server.set_offered_load(0.0)
-            server.shut_down()
+            if cp is not None:
+                cp.shut_down(server)
+            else:
+                server.set_offered_load(0.0)
+                server.shut_down()
         if victims:
             self.drains.append((self.env.now, zone, len(victims)))
         return len(victims)
@@ -278,7 +316,13 @@ class MacroResourceManager:
         """Run the mode machine; returns (active incidents, drained)."""
         now = self.env.now
         endangered = self._endangered_zones()
-        threat = bool(endangered) or (
+        # Watchdog suspicions (servers believed up but silent) are a
+        # facility threat once they reach the configured quorum — the
+        # "diagnose possible failures" input from the control plane.
+        suspects = (self.control_plane.suspect_count()
+                    if self.control_plane is not None else 0)
+        suspected = suspects >= self.degraded_policy.watchdog_quorum
+        threat = bool(endangered) or suspected or (
             status is not None
             and (status.active_incidents or status.on_battery))
         n_incidents = len(status.active_incidents) if status else 0
@@ -288,6 +332,8 @@ class MacroResourceManager:
                 reasons = [r.kind.value for r in status.active_incidents] \
                     if status else []
                 reasons += [f"thermal:{z}" for z in endangered]
+                if suspected:
+                    reasons.append(f"watchdog:{suspects}")
                 self._transition("degraded", ",".join(reasons) or "detected")
             else:
                 return n_incidents, 0
@@ -324,7 +370,12 @@ class MacroResourceManager:
     def decide(self) -> MacroDecision:
         """One full macro cycle: observe → forecast → actuate → audit."""
         now = self.env.now
-        observed = self.farm.demand_fn(now)
+        cp = self.control_plane
+        # The demand signal crosses the telemetry network when a
+        # control plane is attached: dropout, noise, and staleness
+        # shape what the forecaster learns from.
+        observed = (cp.observe_demand(now) if cp is not None
+                    else self.farm.demand_fn(now))
         self.forecaster.observe(now, observed)
         self._forecast_ready = True
         forecast = self.forecaster.forecast(self.forecast_horizon_s)
@@ -335,6 +386,8 @@ class MacroResourceManager:
         # fleet and the capper evaluates.
         status = (self.fault_engine.status()
                   if self.fault_engine is not None else None)
+        if cp is not None:
+            status = cp.observe_status(status)
         n_incidents, drained = self._apply_degradation(status)
 
         target_fleet, pstate = self.coordinator.decide()
@@ -347,14 +400,20 @@ class MacroResourceManager:
         # ``pstate_floor`` deep: slower and cooler stretches battery
         # ride-through and keeps the derated UPS inside its rating.
         if self.mode == "degraded" and self._power_constrained(status):
-            active = self.farm.active_servers()
+            if cp is None or cp.perfect:
+                active = self.farm.active_servers()
+            else:
+                active = cp.believed_active(self.farm)
             if active:
                 floor = min(self.degraded_policy.pstate_floor,
                             len(active[0].model.pstates) - 1)
                 if pstate < floor:
                     pstate = floor
                     for server in active:
-                        server.set_pstate(floor)
+                        if cp is not None:
+                            cp.set_pstate(server, floor)
+                        else:
+                            server.set_pstate(floor)
 
         thermal_safe = True
         if self.placer is not None and self.heat_by_zone_fn is not None:

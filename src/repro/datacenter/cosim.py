@@ -23,6 +23,11 @@ import math
 import typing
 
 from repro.control.farm import ServerFarm
+from repro.controlplane import (
+    ControlPlane,
+    ControlPlaneProfile,
+    ControlPlaneReport,
+)
 from repro.core.faults import (
     FaultDomainEngine,
     FaultSchedule,
@@ -50,6 +55,8 @@ class CoSimResult:
     peak_grid_w: float
     #: Incident summary; ``None`` when no fault schedule was injected.
     resilience: ResilienceReport | None = None
+    #: Bus/watchdog accounting; ``None`` without a control plane.
+    controlplane: ControlPlaneReport | None = None
 
     @property
     def facility_kwh(self) -> float:
@@ -79,7 +86,9 @@ class CoSimulation:
                  physical_step_s: float = 60.0,
                  manager_kwargs: dict | None = None,
                  fault_schedule: FaultSchedule | None = None,
-                 streams: RandomStreams | None = None):
+                 streams: RandomStreams | None = None,
+                 control_plane: ControlPlaneProfile | None = None,
+                 power_budget_w: float | None = None):
         if physical_step_s <= 0:
             raise ValueError("physical step must be positive")
         self.env = Environment()
@@ -98,6 +107,21 @@ class CoSimulation:
         self.farm = ServerFarm(self.env, self.dc.servers,
                                demand_fn=demand_fn,
                                dispatch_period_s=30.0)
+
+        # Control plane between the plant and the managers.  ``None``
+        # keeps the legacy direct wiring; a perfect profile routes the
+        # same calls through synchronous passthrough buses; an
+        # impaired profile makes the managers operate on believed
+        # state over lossy telemetry and fallible actuation.
+        self.control_plane: ControlPlane | None = None
+        if control_plane is not None:
+            self.control_plane = ControlPlane(
+                self.env, self.dc.servers, profile=control_plane,
+                streams=streams)
+            self.control_plane.attach(farm=self.farm, room=self.dc.room)
+            for proc in self.control_plane.processes():
+                self.env.process(proc)
+
         self.env.process(self.farm.run())
         self.env.process(self.dc.room.run())
         self.env.process(self._physical_loop())
@@ -116,20 +140,30 @@ class CoSimulation:
         if managed:
             self.manager = MacroResourceManager(
                 self.farm, sla=self.sla,
-                power_budget_w=self.dc.ups.steady_rating_w,
+                power_budget_w=(power_budget_w if power_budget_w
+                                is not None
+                                else self.dc.ups.steady_rating_w),
                 room=self.dc.room,
                 heat_by_zone_fn=self.dc.cluster.heat_by_zone,
                 fault_engine=self.fault_engine,
+                control_plane=self.control_plane,
                 **(manager_kwargs or {}))
             self.env.process(self.manager.run())
         self._grid_peak_w = 0.0
 
     def _physical_loop(self):
         """Sync compute → power/heat → PUE on a fixed cadence."""
+        cp = self.control_plane
         while True:
             snapshot = self.dc.sync_physical()
             if snapshot["grid_w"] > self._grid_peak_w:
                 self._grid_peak_w = snapshot["grid_w"]
+            if cp is not None:
+                # Zone temps + facility gauges cross the telemetry
+                # network on the physical cadence (no-op if perfect).
+                status = (self.fault_engine.status()
+                          if self.fault_engine is not None else None)
+                cp.publish_physical(status)
             yield self.env.timeout(self.physical_step_s)
 
     def _resilience_report(self, start: float,
@@ -191,4 +225,6 @@ class CoSimulation:
             thermal_alarms=len(self.dc.room.alarms),
             peak_grid_w=self._grid_peak_w,
             resilience=self._resilience_report(start, end),
+            controlplane=(self.control_plane.report()
+                          if self.control_plane is not None else None),
         )

@@ -56,13 +56,24 @@ class SweepPoint:
 
 @dataclasses.dataclass(frozen=True)
 class SweepResult:
-    """Outcome of one point: metrics plus in-worker wall time."""
+    """Outcome of one point: metrics plus in-worker wall time.
+
+    A point that raised on every attempt carries the exception text in
+    ``error`` and an empty ``metrics`` dict instead of aborting the
+    whole sweep.
+    """
 
     name: str
     params: dict
     metrics: dict
     wall_time_s: float
     worker_pid: int
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,16 +96,34 @@ class SweepReport:
             return float("inf")
         return self.serial_time_s / self.elapsed_s
 
+    @property
+    def failed(self) -> tuple[SweepResult, ...]:
+        """Points that raised on every attempt (empty when clean)."""
+        return tuple(r for r in self.results if r.failed)
+
     def rows(self, metrics: typing.Sequence[str] | None = None
              ) -> list[tuple[str, str]]:
         """``(label, text)`` pairs for tabular display.
 
         ``metrics`` selects and orders the metric columns; by default
-        every metric of the first result is shown, in dict order.
+        every metric of the first *successful* result is shown, in
+        dict order.  Failed points render their error instead of
+        metric cells, so a partially-failed sweep stays legible.
         """
+        default_keys: list[str] | None = None
+        if metrics is None:
+            for r in self.results:
+                if not r.failed:
+                    default_keys = list(r.metrics)
+                    break
         out: list[tuple[str, str]] = []
         for r in self.results:
-            keys = metrics if metrics is not None else list(r.metrics)
+            if r.failed:
+                out.append((r.name, f"FAILED after {r.attempts} "
+                                    f"attempts: {r.error}"))
+                continue
+            keys = (metrics if metrics is not None
+                    else (default_keys or list(r.metrics)))
             cells = "  ".join(f"{k}={r.metrics[k]:.4g}" for k in keys
                               if k in r.metrics)
             out.append((r.name, f"{cells}  wall={r.wall_time_s:.2f}s"))
@@ -102,17 +131,32 @@ class SweepReport:
 
 
 def _timed_call(fn: typing.Callable[[dict], dict],
-                point: SweepPoint) -> SweepResult:
-    """Run one point inside the worker and time it there.
+                point: SweepPoint, max_attempts: int = 2) -> SweepResult:
+    """Run one point inside the worker, retrying a failure once.
 
-    Module-level so that it pickles for the process pool.
+    Module-level so that it pickles for the process pool.  A point
+    function that raises is retried (points are pure functions of
+    their params, so a retry is safe); if every attempt raises, the
+    failure is *reported* in the result rather than propagated — one
+    bad point must not abort a long sweep.
     """
     start = time.perf_counter()
-    metrics = fn(point.params)
+    error = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            metrics = fn(point.params)
+        except Exception as exc:  # noqa: BLE001 - reported, not hidden
+            error = f"{type(exc).__name__}: {exc}"
+            continue
+        wall = time.perf_counter() - start
+        return SweepResult(name=point.name, params=point.params,
+                           metrics=dict(metrics), wall_time_s=wall,
+                           worker_pid=os.getpid(), attempts=attempt)
     wall = time.perf_counter() - start
     return SweepResult(name=point.name, params=point.params,
-                       metrics=dict(metrics), wall_time_s=wall,
-                       worker_pid=os.getpid())
+                       metrics={}, wall_time_s=wall,
+                       worker_pid=os.getpid(), error=error,
+                       attempts=max_attempts)
 
 
 class SweepRunner:
@@ -139,7 +183,14 @@ class SweepRunner:
         self.workers = int(workers)
 
     def run(self) -> SweepReport:
-        """Evaluate every point and return the ordered report."""
+        """Evaluate every point and return the ordered report.
+
+        Per-point exceptions are retried once inside the worker and
+        reported in the result on repeated failure.  A worker-process
+        *crash* (e.g. OOM kill breaking the pool) is caught per
+        future; the affected points are re-run in the parent process
+        so the sweep still returns a complete, ordered report.
+        """
         points = self.points
         workers = min(self.workers, len(points))
         start = time.perf_counter()
@@ -152,7 +203,15 @@ class SweepRunner:
                            for p in points]
                 # Collect in submission order: the report is ordered
                 # by point, not by completion.
-                results = [f.result() for f in futures]
+                results = []
+                for point, future in zip(points, futures):
+                    try:
+                        results.append(future.result())
+                    except Exception:  # noqa: BLE001 - pool breakage
+                        # The worker died before returning (the
+                        # in-worker guard never got to report).  Fall
+                        # back to an in-parent run of this point.
+                        results.append(_timed_call(self.fn, point))
         elapsed = time.perf_counter() - start
         return SweepReport(results=tuple(results), elapsed_s=elapsed,
                            workers=workers)

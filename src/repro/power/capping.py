@@ -61,7 +61,8 @@ class PowerCapper:
 
     def __init__(self, env: Environment, budget_w: float,
                  loads: typing.Sequence[CappableLoad],
-                 guard_band: float = 0.03):
+                 guard_band: float = 0.03,
+                 actuator: typing.Callable | None = None):
         if budget_w <= 0:
             raise ValueError(f"budget must be positive, got {budget_w}")
         if not 0.0 <= guard_band < 1.0:
@@ -70,6 +71,11 @@ class PowerCapper:
         self.budget_w = float(budget_w)
         self.loads = list(loads)
         self.guard_band = float(guard_band)
+        #: Optional command channel ``actuator(load, watts | None)``
+        #: (``None`` lifts the cap) returning the delivered draw.  The
+        #: control plane installs one so cap commands cross its
+        #: actuation bus; without it the capper calls loads directly.
+        self.actuator = actuator
         self.decisions: list[CapDecision] = []
         self.demand_monitor = Monitor(env, "capper.demand_w")
         self.delivered_monitor = Monitor(env, "capper.delivered_w")
@@ -86,7 +92,10 @@ class PowerCapper:
 
         if demand <= self.trigger_w:
             for load in self.loads:
-                load.remove_cap()
+                if self.actuator is not None:
+                    self.actuator(load, None)
+                else:
+                    load.remove_cap()
             decision = CapDecision(self.env.now, demand, self.budget_w,
                                    capped=False, throttled_loads=0,
                                    shed_w=0.0)
@@ -117,10 +126,16 @@ class PowerCapper:
         delivered = 0.0
         for load, share, draw in zip(self.loads, shares, draws):
             if draw > share:
-                delivered += load.apply_cap(share)
+                if self.actuator is not None:
+                    delivered += self.actuator(load, share)
+                else:
+                    delivered += load.apply_cap(share)
                 throttled += 1
             else:
-                load.remove_cap()
+                if self.actuator is not None:
+                    self.actuator(load, None)
+                else:
+                    load.remove_cap()
                 delivered += draw
         decision = CapDecision(self.env.now, demand, self.budget_w,
                                capped=True, throttled_loads=throttled,

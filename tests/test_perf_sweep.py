@@ -1,6 +1,7 @@
 """Unit tests for the parallel sweep runner (``repro.perf``)."""
 
 import math
+import os
 
 import pytest
 
@@ -92,3 +93,88 @@ def test_single_point_degrades_to_serial():
                          workers=8).run()
     assert report.workers == 1
     assert report.results[0].metrics == {"square": 9}
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: failed points are reported, not raised
+# ----------------------------------------------------------------------
+def _fail_on_negative(params):
+    x = params["x"]
+    if x < 0:
+        raise ValueError(f"negative point {x}")
+    return {"square": x ** 2}
+
+
+_FLAKY_SEEN = set()
+
+
+def _flaky_once(params):
+    """Fails the first attempt per point, succeeds on the retry.
+
+    The marker set is per-process, which is exactly the scope the
+    in-worker retry runs in — serial and parallel paths both retry
+    inside the same process.
+    """
+    x = params["x"]
+    if x not in _FLAKY_SEEN:
+        _FLAKY_SEEN.add(x)
+        raise RuntimeError("transient hiccup")
+    return {"square": x ** 2}
+
+
+def _die_unless_parent(params):
+    """Hard-kills worker processes; behaves in the parent."""
+    if os.getpid() != params["parent_pid"]:
+        os._exit(17)
+    return {"square": params["x"] ** 2}
+
+
+def test_failed_point_is_reported_not_raised():
+    points = [SweepPoint(f"x={x}", {"x": x}) for x in (1, -1, 2)]
+    report = SweepRunner(_fail_on_negative, points, workers=1).run()
+    assert len(report.results) == 3           # nothing dropped
+    assert [r.name for r in report.failed] == ["x=-1"]
+    bad = report.results[1]
+    assert bad.failed and bad.metrics == {}
+    assert bad.attempts == 2                   # deterministic: retried
+    assert "ValueError" in bad.error and "negative point" in bad.error
+    assert report.results[0].metrics == {"square": 1}
+    assert report.results[2].metrics == {"square": 4}
+
+
+def test_flaky_point_succeeds_on_in_worker_retry():
+    points = [SweepPoint(f"x={x}", {"x": x}) for x in (3, 4)]
+    report = SweepRunner(_flaky_once, points, workers=1).run()
+    assert not report.failed
+    assert [r.attempts for r in report.results] == [2, 2]
+    assert [r.metrics["square"] for r in report.results] == [9, 16]
+
+
+def test_parallel_sweep_survives_failed_points():
+    points = [SweepPoint(f"x={x}", {"x": x}) for x in (1, -1, 2, -2)]
+    report = SweepRunner(_fail_on_negative, points, workers=3).run()
+    assert [r.name for r in report.results] == [p.name for p in points]
+    assert {r.name for r in report.failed} == {"x=-1", "x=-2"}
+    assert report.results[2].metrics == {"square": 4}
+
+
+def test_rows_render_failures_and_pick_keys_from_a_survivor():
+    # The *first* point fails: default metric keys must come from the
+    # first successful result, not crash on the empty dict.
+    points = [SweepPoint(f"x={x}", {"x": x}) for x in (-5, 6)]
+    report = SweepRunner(_fail_on_negative, points, workers=1).run()
+    rows = report.rows()
+    assert rows[0][0] == "x=-5"
+    assert "FAILED after 2 attempts" in rows[0][1]
+    assert "square=36" in rows[1][1]
+
+
+def test_worker_crash_falls_back_to_in_parent_run():
+    parent = os.getpid()
+    points = [SweepPoint(f"x={x}", {"x": x, "parent_pid": parent})
+              for x in (1, 2, 3)]
+    report = SweepRunner(_die_unless_parent, points, workers=2).run()
+    # The pool broke (workers hard-exited), but every point still
+    # produced a result via the in-parent fallback, in order.
+    assert [r.metrics["square"] for r in report.results] == [1, 4, 9]
+    assert not report.failed
