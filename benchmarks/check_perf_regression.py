@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI gate: fail on wall-time regressions against BENCH_PERF.json.
+
+Usage::
+
+    BENCH_PERF_PATH=/tmp/fresh.json PYTHONPATH=src \
+        python -m pytest benchmarks/test_perf_substrate.py -q
+    python benchmarks/check_perf_regression.py --current /tmp/fresh.json
+
+Compares every ``PERF:``-prefixed row in the freshly generated results
+against the committed baseline and exits non-zero when any row's mean
+wall time regressed by more than ``--threshold`` (default 25 %).
+Non-PERF rows (experiment artifacts) are ignored: their wall times are
+incidental, and their *metrics* are guarded by the benchmarks' own
+assertions.  Rows present in only one file are reported but do not
+fail the gate — adding a benchmark must not require a baseline edit in
+the same commit to keep CI green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_rows(path: pathlib.Path) -> dict[str, float]:
+    """``{name: mean_s}`` for every PERF row with a recorded time."""
+    rows = {}
+    for row in json.loads(path.read_text()):
+        if row.get("name", "").startswith("PERF") \
+                and row.get("mean_s") is not None:
+            rows[row["name"]] = float(row["mean_s"])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=ROOT / "BENCH_PERF.json",
+                        help="committed reference results")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly generated results to check")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown per row")
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("threshold cannot be negative")
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    failures = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"SKIP  {name}: not in current results")
+            continue
+        ref, now = baseline[name], current[name]
+        ratio = now / ref if ref > 0 else float("inf")
+        status = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+        print(f"{status:<5} {name}: {ref:.3f}s -> {now:.3f}s "
+              f"({ratio:+.0%} of baseline)")
+        if status == "FAIL":
+            failures.append(name)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NEW   {name}: {current[name]:.3f}s (no baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} PERF row(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    if not baseline:
+        print("no PERF rows in baseline — nothing gated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

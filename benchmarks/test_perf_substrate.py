@@ -75,19 +75,21 @@ def test_scale_smoke_500_servers(benchmark):
 
 
 def test_scale_smoke_2000_servers(benchmark):
-    """4x the fleet still beats the seed's 500-server wall time.
+    """The vector plant co-simulates a 2000-server day in seconds.
 
-    The event-driven fleet aggregates make the farm tick O(active) and
-    ``sync_physical`` O(racks), so quadrupling the fleet must not
-    quadruple the wall time; the floor here is the pre-optimization
-    500-server figure (16.4 s on the reference machine).
+    Same facility as the object-backend run (and bit-identical
+    results — see tests/test_backend_equivalence.py); the
+    structure-of-arrays fleet turns the farm tick and ``sync_physical``
+    into a handful of numpy passes.  Budget: 4 s, a third of the
+    object backend's 12 s.
     """
     from repro.datacenter import CoSimulation, DataCenterSpec
 
     def run():
         spec = DataCenterSpec(racks=100, servers_per_rack=20, zones=10,
                               cracs=4,
-                              zone_conductance_w_per_k=80_000.0)
+                              zone_conductance_w_per_k=80_000.0,
+                              backend="vector")
         demand = spec.total_servers * spec.server_capacity * 0.5
         sim = CoSimulation(spec, lambda t: demand, managed=True)
         return sim.run(86_400.0)
@@ -95,8 +97,34 @@ def test_scale_smoke_2000_servers(benchmark):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.thermal_alarms == 0
     assert result.sla.served_fraction > 0.99
-    assert benchmark.stats["mean"] < 16.4
+    assert benchmark.stats["mean"] < 4.0
     record(benchmark, "PERF: 2000-server day",
+           [f"facility energy {result.facility_kwh:.0f} kWh, "
+            f"PUE {result.energy_weighted_pue:.2f}, "
+            f"wall time {benchmark.stats['mean']:.1f} s"])
+
+
+def test_scale_smoke_20000_servers(benchmark):
+    """A 20,000-server managed day stays under a minute (vector only).
+
+    Ten times the previous scale ceiling: 1000 racks, 20 zones, 8
+    CRACs.  Only feasible on the structure-of-arrays backend — the
+    object plant takes minutes at this size.
+    """
+    from repro.datacenter import CoSimulation
+    from repro.perf.bench import bench_spec
+
+    def run():
+        spec = bench_spec(20_000, backend="vector")
+        demand = spec.total_servers * spec.server_capacity * 0.5
+        sim = CoSimulation(spec, lambda t: demand, managed=True)
+        return sim.run(86_400.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.thermal_alarms == 0
+    assert result.sla.served_fraction > 0.99
+    assert benchmark.stats["mean"] < 60.0
+    record(benchmark, "PERF: 20000-server day",
            [f"facility energy {result.facility_kwh:.0f} kWh, "
             f"PUE {result.energy_weighted_pue:.2f}, "
             f"wall time {benchmark.stats['mean']:.1f} s"])

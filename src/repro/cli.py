@@ -140,6 +140,16 @@ def _sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench(args: argparse.Namespace) -> int:
+    """Time an N-server managed day on the chosen plant backend."""
+    from repro.perf.bench import format_report, run_scale_bench
+
+    metrics = run_scale_bench(args.servers, backend=args.backend,
+                              hours=args.hours)
+    print(format_report(metrics))
+    return 0
+
+
 SCENARIOS = {
     "quickstart": (_quickstart, "co-simulate a facility, static vs "
                    "macro-managed"),
@@ -175,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process count (1 = serial)")
     sweep.add_argument("--seed", type=int, default=0,
                        help="base seed; each point forks its own")
+    bench = sub.add_parser(
+        "bench", help="time an N-server managed day (scale benchmark)")
+    bench.add_argument("--servers", type=int, default=2_000,
+                       help="fleet size (multiple of 20)")
+    bench.add_argument("--backend", choices=("object", "vector"),
+                       default="vector",
+                       help="plant storage layout (default: vector)")
+    bench.add_argument("--hours", type=float, default=24.0,
+                       help="simulated hours")
     return parser
 
 
@@ -187,6 +206,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "bench":
+        return _bench(args)
     handler, _ = SCENARIOS[args.scenario]
     return handler(args)
 

@@ -44,7 +44,7 @@ import typing
 
 from repro.cluster.server import Server, ServerState
 
-__all__ = ["FleetAggregate"]
+__all__ = ["FleetAggregate", "make_pool_aggregate"]
 
 #: Pushed-delta count between exact re-sums.  Small enough that drift
 #: stays far below reporting precision, large enough that the O(fleet)
@@ -175,6 +175,32 @@ class FleetAggregate:
                 "active_count_corrected": count_corrected,
                 "roster_repaired": roster_repaired}
 
+    def batcher(self):
+        """Bulk-mutation interface, or ``None`` (the object path has
+        none; the vector backend overrides this when its wiring makes
+        batch updates exact)."""
+        return None
+
     def __repr__(self) -> str:
         return (f"<FleetAggregate n={len(self.servers)} "
                 f"active={self._active_count} {self._power_w:.0f}W>")
+
+
+def make_pool_aggregate(servers: typing.Sequence[Server],
+                        recompute_every: int = RECOMPUTE_EVERY,
+                        kind: str = "pool") -> FleetAggregate:
+    """Build the best aggregate for ``servers``.
+
+    Servers backed by a :class:`~repro.fleet.plant.VectorFleet` get
+    the vectorized aggregate matching ``kind`` (``"rack"`` claims a
+    contiguous rack slot, ``"pool"`` the whole fleet) when the pool
+    qualifies; everything else — plain servers, sub-pools, mixed
+    fleets — gets the classic :class:`FleetAggregate`, which behaves
+    identically.
+    """
+    fleet = getattr(servers[0], "_fleet", None) if servers else None
+    if fleet is not None:
+        aggregate = fleet.make_aggregate(servers, recompute_every, kind)
+        if aggregate is not None:
+            return aggregate
+    return FleetAggregate(servers, recompute_every)

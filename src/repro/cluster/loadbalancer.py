@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import typing
 
-from repro.cluster.aggregates import FleetAggregate
+import numpy as np
+
+from repro.cluster.aggregates import make_pool_aggregate
 from repro.cluster.server import Server, ServerState
 from repro.sim import Monitor
 
@@ -42,6 +44,12 @@ class EvenSplit:
         share = total_load / len(servers)
         return [share] * len(servers)
 
+    def split_array(self, total_load: float,
+                    capacities: np.ndarray) -> np.ndarray:
+        """Vector form over the active set's effective capacities."""
+        share = total_load / capacities.size
+        return np.full(capacities.size, share)
+
 
 class WeightedSplit:
     """Shares proportional to each server's effective capacity."""
@@ -53,6 +61,21 @@ class WeightedSplit:
         if total_capacity <= 0:
             return EvenSplit().split(total_load, servers)
         return [total_load * c / total_capacity for c in capacities]
+
+    def split_array(self, total_load: float,
+                    capacities: np.ndarray) -> np.ndarray:
+        """Vector form: the same fold and per-share arithmetic.
+
+        ``cumsum`` reproduces ``sum()``'s sequential fold and the
+        share expression keeps the scalar's evaluation order
+        ``(total * c) / total_capacity``, so every share is the
+        bit-exact scalar result.
+        """
+        total_capacity = float(np.cumsum(capacities)[-1]
+                               ) if capacities.size else 0.0
+        if total_capacity <= 0:
+            return EvenSplit().split_array(total_load, capacities)
+        return (total_load * capacities) / total_capacity
 
 
 class PackFirst:
@@ -95,8 +118,9 @@ class LoadBalancer:
         self.servers = list(servers)
         self.policy = policy or WeightedSplit()
         #: Event-driven pool aggregates (shared with the owning farm):
-        #: O(1) power sum and a cached in-order active roster.
-        self.fleet = FleetAggregate(self.servers)
+        #: O(1) power sum and a cached in-order active roster.  A
+        #: vector-fleet pool gets the batch-capable aggregate.
+        self.fleet = make_pool_aggregate(self.servers)
         env = self.servers[0].env
         self.offered_monitor = Monitor(env, "lb.offered")
         self.shed_monitor = Monitor(env, "lb.shed")
@@ -116,22 +140,30 @@ class LoadBalancer:
             raise ValueError(f"negative load {total_load}")
         self.offered_monitor.record(total_load)
         active = self.fleet.active_servers()
-        for server in self.servers:
-            if server._state is not ServerState.ACTIVE:
-                # Skip redundant zeroing of an already-idle server so
-                # monitors do not fill with no-op samples.
-                if server._offered_load:
-                    server.set_offered_load(0.0)
+        batch = self.fleet.batcher()
+        if batch is not None:
+            batch.zero_inactive()
+        else:
+            for server in self.servers:
+                if server._state is not ServerState.ACTIVE:
+                    # Skip redundant zeroing of an already-idle server
+                    # so monitors do not fill with no-op samples.
+                    if server._offered_load:
+                        server.set_offered_load(0.0)
         if not active:
             self.shed_monitor.record(total_load)
             return 0.0
-        shares = self.policy.split(total_load, active)
-        if len(shares) != len(active):
-            raise RuntimeError("policy returned wrong number of shares")
-        served = 0.0
-        for server, share in zip(active, shares):
-            server.set_offered_load(share)
-            served += server.delivered_load
+        if batch is not None:
+            served = batch.dispatch_loads(self.policy, total_load, active)
+        else:
+            shares = self.policy.split(total_load, active)
+            if len(shares) != len(active):
+                raise RuntimeError(
+                    "policy returned wrong number of shares")
+            served = 0.0
+            for server, share in zip(active, shares):
+                server.set_offered_load(share)
+                served += server.delivered_load
         self.shed_monitor.record(max(0.0, total_load - served))
         return served
 

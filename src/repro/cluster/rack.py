@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.cluster.aggregates import FleetAggregate
+from repro.cluster.aggregates import make_pool_aggregate
 from repro.cluster.server import Server, ServerState
 
 __all__ = ["Rack", "Cluster"]
@@ -37,8 +37,9 @@ class Rack:
             else sum(s.model.peak_w for s in self.servers))
         #: Servers push power deltas here; rack draw reads are O(1),
         #: which makes ``DataCenter.sync_physical`` O(racks) instead
-        #: of O(servers) per physical tick.
-        self.aggregate = FleetAggregate(self.servers)
+        #: of O(servers) per physical tick.  Vector-fleet servers get
+        #: a rack slot in the fleet's columns instead of object state.
+        self.aggregate = make_pool_aggregate(self.servers, kind="rack")
 
     def power_w(self) -> float:
         """Aggregate wall draw of the rack (event-driven running sum)."""

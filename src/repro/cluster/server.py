@@ -91,7 +91,7 @@ class Server:
         self._tstate = 0          # commanded by power capping
         self._cap_w: float | None = None
         self._transition: Event | None = None
-        self.power_monitor = Monitor(env, f"{name}.power_w")
+        self.power_monitor = self._make_power_monitor()
         self.state_log: list[tuple[float, ServerState]] = [
             (env.now, initial_state)]
         #: Aggregates observing this server (see ``cluster.aggregates``).
@@ -101,6 +101,10 @@ class Server:
         self._power_w = 0.0      # cache; seeded by _record_power below
         self._eff_cap = 0.0      # cache; refreshed by _record_power
         self._record_power()
+
+    def _make_power_monitor(self) -> Monitor:
+        """Build the power sample sink (subclasses may swap it out)."""
+        return Monitor(self.env, f"{self.name}.power_w")
 
     # ------------------------------------------------------------------
     # State machine

@@ -31,7 +31,11 @@ import math
 
 from repro.cluster.server import ServerState
 from repro.control.farm import ServerFarm
-from repro.control.onoff import _activate_one, _deactivate_one
+from repro.control.onoff import (
+    _activate_many,
+    _committed_count,
+    _deactivate_many,
+)
 from repro.sim import Monitor
 
 __all__ = ["CoordinatedController"]
@@ -82,18 +86,11 @@ class CoordinatedController:
                 1 for s in farm.servers
                 if cp.believed_state(s) is ServerState.ACTIVE)
         else:
-            committed = sum(
-                1 for s in farm.servers
-                if s.state in (ServerState.ACTIVE, ServerState.BOOTING,
-                               ServerState.WAKING))
+            committed = _committed_count(farm)
         if committed < target:
-            for _ in range(target - committed):
-                if not _activate_one(farm):
-                    break
+            _activate_many(farm, target - committed)
         elif committed > target:
-            for _ in range(committed - target):
-                if not _deactivate_one(farm, self.to_sleep):
-                    break
+            _deactivate_many(farm, self.to_sleep, committed - target)
 
         # Step 2: trim speed on the fleet we just sized.  Required
         # per-server speed fraction so that `target` machines at the
@@ -105,11 +102,15 @@ class CoordinatedController:
             capacity_needed = demand / (target * per_server_full)
             table = active[0].model.pstates
             pstate = table.slowest_state_meeting(min(capacity_needed, 1.0))
-            for server in active:
-                if cp is not None:
-                    cp.set_pstate(server, pstate)
-                else:
-                    server.set_pstate(pstate)
+            batch = farm.fleet.batcher() if cp is None else None
+            if batch is not None:
+                batch.batch_set_pstate(pstate)
+            else:
+                for server in active:
+                    if cp is not None:
+                        cp.set_pstate(server, pstate)
+                    else:
+                        server.set_pstate(pstate)
         self.fleet_monitor.record(target)
         self.pstate_monitor.record(pstate)
         return target, pstate

@@ -95,6 +95,9 @@ class ServerFarm:
         active = self.fleet.active_servers()
         if not active:
             return 1.0  # no capacity at all: saturated by definition
+        fast = getattr(self.fleet, "mean_utilization_active", None)
+        if fast is not None:
+            return fast()
         return sum(s.utilization for s in active) / len(active)
 
     def mean_response_time_s(self) -> float:
@@ -112,6 +115,9 @@ class ServerFarm:
         active = self.fleet.active_servers()
         if not active:
             return self.delay_cap_s
+        fast = getattr(self.fleet, "mean_response_time_active", None)
+        if fast is not None:
+            return fast(self.delay_cap_s)
         total = 0.0
         for server in active:
             total += mm1_response_time(server.offered_load,

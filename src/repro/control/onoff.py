@@ -45,6 +45,18 @@ def _activate_one(farm: ServerFarm) -> bool:
     cp = getattr(farm, "control_plane", None)
     if cp is not None:
         return cp.activate_one(quarantined)
+    picker = getattr(farm.fleet, "pick_startable", None)
+    if picker is not None:
+        # Vector backend: the same first-SLEEPING-else-first-OFF pool
+        # scan, done on the state-code column.
+        server = picker(quarantined)
+        if server is None:
+            return False
+        if server.state is ServerState.SLEEPING:
+            server.wake()
+        else:
+            server.power_on()
+        return True
     for server in farm.servers:
         if (server.state is ServerState.SLEEPING
                 and server.zone not in quarantined):
@@ -56,6 +68,35 @@ def _activate_one(farm: ServerFarm) -> bool:
             server.power_on()
             return True
     return False
+
+
+def _activate_many(farm: ServerFarm, count: int) -> int:
+    """Start up to ``count`` machines; returns how many were started.
+
+    Waking a machine never changes any *other* machine's eligibility,
+    so taking the first ``count`` startable servers in one scan is
+    exactly the ``count``-times-repeated single scan — which is what
+    the fallback loop literally does.
+    """
+    if count <= 0:
+        return 0
+    started = 0
+    if getattr(farm, "control_plane", None) is None:
+        many = getattr(farm.fleet, "pick_startable_many", None)
+        if many is not None:
+            quarantined = getattr(farm, "quarantined_zones", frozenset())
+            for server in many(quarantined, count):
+                if server.state is ServerState.SLEEPING:
+                    server.wake()
+                else:
+                    server.power_on()
+                started += 1
+            return started
+    for _ in range(count):
+        if not _activate_one(farm):
+            break
+        started += 1
+    return started
 
 
 def _deactivate_one(farm: ServerFarm, to_sleep: bool) -> bool:
@@ -73,6 +114,49 @@ def _deactivate_one(farm: ServerFarm, to_sleep: bool) -> bool:
     else:
         victim.shut_down()
     return True
+
+
+def _deactivate_many(farm: ServerFarm, to_sleep: bool, count: int) -> int:
+    """Drain and sleep/shut up to ``count`` machines from the tail.
+
+    The repeated single-victim loop always takes the *last* active
+    server, so the victims are the roster's tail processed back to
+    front; doing that against one roster snapshot issues the identical
+    mutation sequence without rebuilding the roster per victim (the
+    O(victims × fleet) cost that dominated large scale-downs).  Never
+    scales below one active server.
+    """
+    if count <= 0:
+        return 0
+    cp = getattr(farm, "control_plane", None)
+    if cp is not None:
+        done = 0
+        for _ in range(count):
+            if not cp.deactivate_one(to_sleep):
+                break
+            done += 1
+        return done
+    active = farm.active_servers()
+    victims = min(count, len(active) - 1)
+    if victims <= 0:
+        return 0
+    for victim in reversed(active[len(active) - victims:]):
+        victim.set_offered_load(0.0)
+        if to_sleep:
+            victim.sleep()
+        else:
+            victim.shut_down()
+    return victims
+
+
+def _committed_count(farm: ServerFarm) -> int:
+    """Servers committed to serving (ACTIVE, BOOTING or WAKING)."""
+    fast = getattr(farm.fleet, "committed_count", None)
+    if fast is not None:
+        return fast()
+    return sum(1 for s in farm.servers
+               if s.state in (ServerState.ACTIVE, ServerState.BOOTING,
+                              ServerState.WAKING))
 
 
 class DelayBasedOnOff:
@@ -165,22 +249,16 @@ class ForecastOnOff:
         target = min(self.needed_servers(demand), len(self.farm.servers))
         self.target_monitor.record(target)
         # Machines already on their way up count toward the target.
-        committed = sum(
-            1 for s in self.farm.servers
-            if s.state in (ServerState.ACTIVE, ServerState.BOOTING,
-                           ServerState.WAKING))
+        committed = _committed_count(self.farm)
         if committed < target:
             self._surplus_since = None
-            for _ in range(target - committed):
-                if not _activate_one(self.farm):
-                    break
+            _activate_many(self.farm, target - committed)
         elif committed > target:
             if self._surplus_since is None:
                 self._surplus_since = now
             if now - self._surplus_since >= self.scale_down_after_s:
-                for _ in range(committed - target):
-                    if not _deactivate_one(self.farm, self.to_sleep):
-                        break
+                _deactivate_many(self.farm, self.to_sleep,
+                                 committed - target)
         else:
             self._surplus_since = None
         return target

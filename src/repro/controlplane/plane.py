@@ -234,12 +234,20 @@ class ControlPlane:
         sense = self.telemetry.sense
         sense("farm.demand", farm.demand_fn(now))
         sense("farm.power_w", farm.fleet.power_w)
-        beat = self.watchdog.beat if self.watchdog is not None else None
+        # One bulk publish for the whole sweep: heartbeats are plain
+        # ``sense`` calls on ``hb.<name>`` channels (Watchdog.beat), so
+        # interleaving them in the item list reproduces the per-server
+        # loop exactly while letting the bus vectorize the coin flips.
+        watchdog = self.watchdog
+        rack_of = self._rack
+        items = []
         for server in farm.servers:
-            rack = self._rack[server.name]
-            sense(f"state.{server.name}", server.state, rack=rack)
-            if beat is not None and server.state is ServerState.ACTIVE:
-                beat(server.name, rack=rack)
+            rack = rack_of[server.name]
+            items.append((f"state.{server.name}", server.state, rack))
+            if (watchdog is not None
+                    and server.state is ServerState.ACTIVE):
+                items.append((watchdog.channel(server.name), now, rack))
+        self.telemetry.sense_block(items)
 
     def publish_physical(self, status: "FacilityStatus | None" = None
                          ) -> None:

@@ -224,6 +224,53 @@ class TelemetryBus:
         self.estimator.observe(channel, value)
         return True
 
+    def sense_block(self, items: typing.Sequence[tuple]) -> int:
+        """Publish many ``(channel, value, rack)`` samples in one sweep.
+
+        Semantically identical to calling :meth:`sense` per item, in
+        order — including the RNG stream: a length-k ``random()``
+        block produces the same draws as k singles, so dropout-only
+        profiles vectorize the per-sample coin flips.  Noisy profiles
+        interleave value-dependent ``standard_normal`` draws and fall
+        back to the exact scalar loop.  Returns the delivered count.
+        """
+        if self.perfect:
+            self.samples_published += len(items)
+            observe = self.estimator.observe
+            for channel, value, _rack in items:
+                observe(channel, value)
+            return len(items)
+        if self.profile.noise_fraction > 0.0:
+            return sum(self.sense(channel, value, rack=rack)
+                       for channel, value, rack in items)
+        self.samples_published += len(items)
+        partitioned = self.partitioned_racks
+        if partitioned:
+            live = []
+            for channel, value, rack in items:
+                if rack is not None and rack in partitioned:
+                    self.partition_drops += 1
+                    self.samples_dropped += 1
+                else:
+                    live.append((channel, value))
+        else:
+            live = [(channel, value) for channel, value, _rack in items]
+        observe = self.estimator.observe
+        p = self.profile.dropout_probability
+        if p > 0.0 and live:
+            delivered = 0
+            draws = self._rng.random(len(live)).tolist()
+            for (channel, value), u in zip(live, draws):
+                if u < p:
+                    self.samples_dropped += 1
+                else:
+                    observe(channel, value)
+                    delivered += 1
+            return delivered
+        for channel, value in live:
+            observe(channel, value)
+        return len(live)
+
     def read(self, channel: str) -> Reading:
         """Believed value of ``channel`` (delayed by the staleness)."""
         if self.perfect:

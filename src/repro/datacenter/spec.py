@@ -55,8 +55,16 @@ class DataCenterSpec:
     #: pure chilled-water plant; needs a weather model.
     economizer: bool = False
     weather: WeatherModel | None = None
+    #: Plant storage layout.  ``"object"`` (default) keeps one Python
+    #: ``Server`` per machine; ``"vector"`` backs the fleet with the
+    #: structure-of-arrays :mod:`repro.fleet` plant — bit-identical
+    #: results, built for 10⁴–10⁵-server co-simulations.
+    backend: str = "object"
 
     def __post_init__(self):
+        if self.backend not in ("object", "vector"):
+            raise ValueError(
+                f"backend must be 'object' or 'vector', got {self.backend!r}")
         if self.racks < 1 or self.servers_per_rack < 1:
             raise ValueError("need at least one rack and one server")
         if self.zones < 1 or self.cracs < 1:
@@ -77,22 +85,38 @@ class DataCenterSpec:
                                  idle_fraction=self.server_idle_fraction)
 
         # --- compute: servers -> zoned racks -> cluster --------------
+        fleet = None
+        if self.backend == "vector":
+            from repro.fleet import VectorCluster, VectorFleet, VectorServer
+            fleet = VectorFleet(env, self.total_servers)
         racks = []
         servers: list[Server] = []
         for r in range(self.racks):
             zone_name = f"zone-{r % self.zones}"
-            rack_servers = [
-                Server(env, f"{self.name}-r{r}-s{s}",
-                       power_model=ServerPowerModel(
-                           peak_w=self.server_peak_w,
-                           idle_fraction=self.server_idle_fraction),
-                       capacity=self.server_capacity,
-                       boot_s=self.boot_s, wake_s=self.wake_s)
-                for s in range(self.servers_per_rack)]
+            if fleet is not None:
+                # One shared model: every server is identical anyway,
+                # and a shared P/T-state table is what keeps the fleet
+                # uniform (the batch-kernel precondition).
+                rack_servers = [
+                    VectorServer(fleet, env, f"{self.name}-r{r}-s{s}",
+                                 power_model=model,
+                                 capacity=self.server_capacity,
+                                 boot_s=self.boot_s, wake_s=self.wake_s)
+                    for s in range(self.servers_per_rack)]
+            else:
+                rack_servers = [
+                    Server(env, f"{self.name}-r{r}-s{s}",
+                           power_model=ServerPowerModel(
+                               peak_w=self.server_peak_w,
+                               idle_fraction=self.server_idle_fraction),
+                           capacity=self.server_capacity,
+                           boot_s=self.boot_s, wake_s=self.wake_s)
+                    for s in range(self.servers_per_rack)]
             servers.extend(rack_servers)
             racks.append(Rack(f"{self.name}-rack{r}", rack_servers,
                               zone=zone_name))
-        cluster = Cluster(self.name, racks)
+        cluster = (VectorCluster(self.name, racks) if fleet is not None
+                   else Cluster(self.name, racks))
 
         # --- power: tree + UPS sized by tier --------------------------
         rack_peak_w = self.servers_per_rack * self.server_peak_w

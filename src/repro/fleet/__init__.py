@@ -1,0 +1,20 @@
+"""Structure-of-arrays vector plant for fleet-scale co-simulation.
+
+Select it with ``DataCenterSpec(backend="vector")``: servers become
+thin views over preallocated numpy columns, aggregates fold deltas in
+bulk, and the cluster heat map is one ``bincount`` — with object-path
+bit-equivalence guaranteed (see ``plant`` module docstring).
+"""
+
+from repro.fleet.aggregates import VectorAggregate, VectorRackAggregate
+from repro.fleet.cluster import VectorCluster
+from repro.fleet.plant import EnergyMeter, VectorFleet, VectorServer
+
+__all__ = [
+    "EnergyMeter",
+    "VectorAggregate",
+    "VectorCluster",
+    "VectorFleet",
+    "VectorRackAggregate",
+    "VectorServer",
+]

@@ -1,0 +1,116 @@
+"""Cluster physics over fleet columns: heat maps as one ``bincount``.
+
+The object :class:`~repro.cluster.rack.Cluster` walks racks in Python
+for every physical tick — fine at hundreds of racks, measurable at a
+thousand.  :class:`VectorCluster` answers the same queries from the
+fleet's rack columns:
+
+* ``heat_by_zone`` becomes one ``np.bincount`` over rack→zone ids
+  weighted by the rack power column.  ``bincount`` accumulates
+  sequentially in input order per bin, so each zone's sum is the
+  bit-exact left fold the dict accumulation produced, and the dict is
+  rebuilt in first-appearance order — byte-identical output.
+* ``power_w`` / ``count_in`` / ``total_effective_capacity`` become
+  array folds over the same columns in pool order.
+
+Any rack without a vector slot (or without a zone) drops the whole
+cluster back to the inherited object-path implementations, which work
+on views too.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cluster.rack import Cluster, Rack
+from repro.cluster.server import ServerState
+from repro.fleet.plant import _STATE_TO_CODE, C_ACTIVE
+
+__all__ = ["VectorCluster"]
+
+
+class VectorCluster(Cluster):
+    """A :class:`Cluster` whose aggregate queries run on fleet columns."""
+
+    def __init__(self, name: str, racks: typing.Sequence[Rack]):
+        super().__init__(name, racks)
+        self._prep_cache = None
+
+    def _prep(self):
+        """(slots, rack→zone ids, zone names, rows, fleet) or ``None``.
+
+        Built once: rack membership and zones are fixed after
+        construction.  ``None`` (cached as ``()``) means at least one
+        rack lacks a vector slot or a zone — fall back to the object
+        paths.
+        """
+        prep = self._prep_cache
+        if prep is not None:
+            return prep or None
+        fleet = None
+        slots: list[int] = []
+        zone_ids: list[int] = []
+        zone_names: list[str] = []
+        zone_index: dict[str, int] = {}
+        ranges: list[np.ndarray] = []
+        for rack in self.racks:
+            aggregate = rack.aggregate
+            slot = getattr(aggregate, "_slot", None)
+            if slot is None or rack.zone is None:
+                self._prep_cache = ()
+                return None
+            if fleet is None:
+                fleet = aggregate._fleet
+            elif aggregate._fleet is not fleet:
+                self._prep_cache = ()
+                return None
+            zid = zone_index.get(rack.zone)
+            if zid is None:
+                zid = zone_index[rack.zone] = len(zone_names)
+                zone_names.append(rack.zone)
+            slots.append(slot)
+            zone_ids.append(zid)
+            ranges.append(np.arange(aggregate._lo, aggregate._hi))
+        prep = (np.asarray(slots), np.asarray(zone_ids), zone_names,
+                np.concatenate(ranges), fleet)
+        self._prep_cache = prep
+        return prep
+
+    def power_w(self) -> float:
+        prep = self._prep()
+        if prep is None:
+            return super().power_w()
+        slots, _, _, _, fleet = prep
+        return float(np.cumsum(fleet.rack_power[slots])[-1])
+
+    def heat_by_zone(self) -> dict[str, float]:
+        prep = self._prep()
+        if prep is None:
+            return super().heat_by_zone()
+        slots, zone_ids, zone_names, _, fleet = prep
+        sums = np.bincount(zone_ids, weights=fleet.rack_power[slots],
+                           minlength=len(zone_names))
+        return {name: float(sums[i])
+                for i, name in enumerate(zone_names)}
+
+    def count_in(self, state: ServerState) -> int:
+        prep = self._prep()
+        if prep is None:
+            return super().count_in(state)
+        slots, _, _, rows, fleet = prep
+        if state is ServerState.ACTIVE:
+            return int(fleet.rack_active[slots].sum())
+        code = _STATE_TO_CODE[state]
+        return int(np.count_nonzero(fleet.state_code[rows] == code))
+
+    def total_effective_capacity(self) -> float:
+        prep = self._prep()
+        if prep is None:
+            return super().total_effective_capacity()
+        _, _, _, rows, fleet = prep
+        active = rows[fleet.state_code[rows] == C_ACTIVE]
+        if active.size == 0:
+            return 0.0
+        return float(np.cumsum(fleet.eff_cap[active])[-1])

@@ -1,0 +1,575 @@
+"""Structure-of-arrays vector plant: the fleet as numpy columns.
+
+The object backend keeps one Python :class:`~repro.cluster.server
+.Server` per machine, which caps co-simulations around a few thousand
+servers — every dispatch tick walks Python objects.  The vector plant
+inverts the layout: all per-server *hot* state (lifecycle code,
+P-/T-state, offered load, capacity, wall power, cap, zone id, rack
+slot, energy) lives in preallocated numpy arrays owned by a
+:class:`VectorFleet`, and :class:`VectorServer` is a thin **view**
+whose hot attributes are class-level properties redirecting into those
+columns.
+
+Because the views redirect *storage only*, every inherited scalar code
+path (state machine, capping search, power funnel) runs unchanged and
+bit-identically; the batch entry points in
+:mod:`repro.fleet.aggregates` replace whole loops with array passes
+that replay the exact same IEEE operation sequence (left folds via
+``np.cumsum``, elementwise min/clip, sequential ``np.bincount``).  The
+equivalence guarantee — identical energies, rosters and RNG streams
+between backends — is enforced by the backend-equivalence test suite.
+
+Batch mutation is additionally gated on a *uniform linear* fleet
+(every server shares one P/T-state table and ``nonlinearity == 1.0``,
+the defaults): Python's ``u ** r`` and ``np.power`` differ by 1 ulp on
+some inputs, so non-linear power models always take the scalar path.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.cluster.server import Server, ServerState
+from repro.power.models import ServerPowerModel
+from repro.sim import Environment
+
+__all__ = ["VectorFleet", "VectorServer", "EnergyMeter"]
+
+#: Lifecycle codes, in enum declaration order (OFF=0 .. FAILED=5).
+_STATES: tuple[ServerState, ...] = tuple(ServerState)
+_STATE_TO_CODE: dict[ServerState, int] = {s: i for i, s in enumerate(_STATES)}
+C_OFF = _STATE_TO_CODE[ServerState.OFF]
+C_BOOTING = _STATE_TO_CODE[ServerState.BOOTING]
+C_ACTIVE = _STATE_TO_CODE[ServerState.ACTIVE]
+C_SLEEPING = _STATE_TO_CODE[ServerState.SLEEPING]
+C_WAKING = _STATE_TO_CODE[ServerState.WAKING]
+
+
+class _WatcherList(list):
+    """A server's watcher list that notifies the fleet on rewiring.
+
+    Batch mutation is only exact when every server's watchers are the
+    canonical ``[rack aggregate, farm aggregate, *batch-safe extras]``
+    wiring.  Any structural change bumps the fleet's wiring epoch so
+    cached validation is redone before the next batch.
+    """
+
+    __slots__ = ("_fleet",)
+
+    def __init__(self, items: typing.Iterable, fleet: "VectorFleet"):
+        super().__init__(items)
+        self._fleet = fleet
+        fleet._wiring_epoch += 1
+
+    def _bump(self) -> None:
+        self._fleet._wiring_epoch += 1
+
+    def append(self, item):  # noqa: D102 - list API
+        super().append(item)
+        self._bump()
+
+    def extend(self, items):  # noqa: D102 - list API
+        super().extend(items)
+        self._bump()
+
+    def insert(self, index, item):  # noqa: D102 - list API
+        super().insert(index, item)
+        self._bump()
+
+    def remove(self, item):  # noqa: D102 - list API
+        super().remove(item)
+        self._bump()
+
+    def clear(self):  # noqa: D102 - list API
+        super().clear()
+        self._bump()
+
+
+class EnergyMeter:
+    """Constant-memory stand-in for a server's power :class:`Monitor`.
+
+    The object backend keeps a full ``(time, value)`` history per
+    server; at 20k+ servers that is hundreds of MB nobody reads — the
+    headline results only ever need ∫P dt.  The meter folds each held
+    power segment into a running joule total at the moment the segment
+    closes (exactly the step interpretation the Monitor integrates
+    under) and holds no history.
+
+    The *held* value is the fleet's cached power column: the power
+    funnel records the new sample **before** updating the cache, so at
+    ``record()`` time the column still holds the value that was in
+    force since ``t_last`` — the same invariant batch mutators
+    maintain when they flush energy before overwriting power.
+    """
+
+    __slots__ = ("_fleet", "_idx", "name", "_t0")
+
+    def __init__(self, fleet: "VectorFleet", idx: int, name: str = ""):
+        self._fleet = fleet
+        self._idx = idx
+        self.name = name
+        self._t0 = float(fleet.env.now)
+        fleet.t_last[idx] = self._t0
+
+    def record(self, value: float, time: float | None = None) -> None:
+        """Close the held segment at ``time`` (defaults to now)."""
+        fleet = self._fleet
+        i = self._idx
+        t = fleet.env.now if time is None else float(time)
+        last = fleet.t_last[i]
+        if t < last:
+            raise ValueError(
+                f"sample at t={t} precedes last sample t={last}")
+        fleet.energy_j[i] += fleet.power[i] * (t - last)
+        fleet.t_last[i] = t
+
+    @property
+    def last(self) -> float:
+        """Currently held power (the fleet's cached column)."""
+        return float(self._fleet.power[self._idx])
+
+    def integral(self, start: float | None = None,
+                 end: float | None = None) -> float:
+        """∫P dt from the meter's birth to ``end`` (joules).
+
+        Only full-range queries are answered — the meter keeps no
+        history, which is the point.  Windowed per-server energy needs
+        the object backend.
+        """
+        if start is not None and start > self._t0:
+            raise ValueError(
+                "EnergyMeter keeps no history; windowed integrals need "
+                "the object backend (a per-server Monitor)")
+        fleet = self._fleet
+        i = self._idx
+        t = fleet.env.now if end is None else float(end)
+        if t < fleet.t_last[i]:
+            raise ValueError(
+                f"end={t} precedes last sample t={fleet.t_last[i]}")
+        return float(fleet.energy_j[i]
+                     + fleet.power[i] * (t - fleet.t_last[i]))
+
+
+class VectorFleet:
+    """Preallocated per-server state columns plus batch kernels.
+
+    Construct with the exact fleet size, then create ``n``
+    :class:`VectorServer` views against it.  Aggregation objects are
+    obtained through :meth:`make_aggregate` (racks claim contiguous
+    slots; the farm-wide pool gets the vectorized
+    :class:`~repro.fleet.aggregates.VectorAggregate`).
+    """
+
+    def __init__(self, env: Environment, n: int):
+        if n < 1:
+            raise ValueError(f"fleet size must be >= 1, got {n}")
+        self.env = env
+        self.n = int(n)
+        self.n_claimed = 0
+        f8 = np.float64
+        self.state_code = np.zeros(n, dtype=np.int8)
+        self.offered = np.zeros(n, dtype=f8)
+        self.power = np.zeros(n, dtype=f8)
+        self.eff_cap = np.zeros(n, dtype=f8)
+        self.capacity = np.zeros(n, dtype=f8)
+        self.cap_w = np.full(n, np.nan, dtype=f8)   # NaN == uncapped
+        self.energy_j = np.zeros(n, dtype=f8)
+        self.t_last = np.zeros(n, dtype=f8)
+        self.sleep_w = np.zeros(n, dtype=f8)
+        self.idle_w = np.zeros(n, dtype=f8)
+        self.cpu_dyn_w = np.zeros(n, dtype=f8)
+        self.other_dyn_w = np.zeros(n, dtype=f8)
+        self.off_w = np.zeros(n, dtype=f8)
+        self.boot_w = np.zeros(n, dtype=f8)
+        self.pstate = np.zeros(n, dtype=np.int16)
+        self.tstate = np.zeros(n, dtype=np.int16)
+        self.zone_id = np.full(n, -1, dtype=np.int32)
+        self.rack_slot = np.full(n, -1, dtype=np.int32)
+        self.objs = np.empty(n, dtype=object)
+        self.zone_names: list[str] = []
+        self._zone_ids: dict[str, int] = {}
+        #: Bumped whenever any server's watcher list changes shape;
+        #: aggregates re-validate batch wiring when it moves.
+        self._wiring_epoch = 0
+        # Shared P/T-state fraction tables (set by the first model).
+        self._table = None
+        self.cap_frac: np.ndarray | None = None
+        self.dyn_frac: np.ndarray | None = None
+        self.n_pstates = 0
+        self.n_tstates = 0
+        #: True while every installed model shares one fraction table
+        #: and is linear (r == 1.0) — the precondition for batch power
+        #: evaluation to be bit-identical to the scalar model.
+        self.uniform_linear = False
+        # Rack slots (amortized-doubling columns, like server rows).
+        self.n_racks = 0
+        cap = 8
+        self.rack_power = np.zeros(cap, dtype=f8)
+        self.rack_updates = np.zeros(cap, dtype=np.int64)
+        self.rack_active = np.zeros(cap, dtype=np.int64)
+        self.rack_recompute = np.zeros(cap, dtype=np.int64)
+        self.rack_lo = np.zeros(cap, dtype=np.int64)
+        self.rack_hi = np.zeros(cap, dtype=np.int64)
+        self.rack_aggs: list = []
+        self.farm_aggs: list = []
+
+    # ------------------------------------------------------------------
+    # Row lifecycle
+    # ------------------------------------------------------------------
+    def _claim(self, server: "VectorServer") -> int:
+        i = self.n_claimed
+        if i >= self.n:
+            raise ValueError(
+                f"fleet is full ({self.n} rows); size it to the exact "
+                f"server count at construction")
+        self.n_claimed = i + 1
+        self.objs[i] = server
+        return i
+
+    def _install_model(self, idx: int, model: ServerPowerModel) -> None:
+        self.idle_w[idx] = model._idle_w
+        self.cpu_dyn_w[idx] = model._cpu_dynamic_w
+        self.other_dyn_w[idx] = model._other_dynamic_w
+        self.off_w[idx] = model.off_w
+        self.boot_w[idx] = model.boot_w
+        table = model.pstates
+        if self._table is None:
+            self._table = table
+            self.cap_frac = np.array(table._cap_frac, dtype=np.float64)
+            self.dyn_frac = np.array(table._dyn_frac, dtype=np.float64)
+            self.n_pstates = len(table.pstates)
+            self.n_tstates = len(table.tstates)
+            self.uniform_linear = (bool(table.tstates)
+                                   and model.nonlinearity == 1.0)
+        elif self.uniform_linear:
+            if model.nonlinearity != 1.0:
+                self.uniform_linear = False
+            elif table is not self._table and (
+                    len(table.tstates) != len(self._table.tstates)
+                    or table._cap_frac != self._table._cap_frac
+                    or table._dyn_frac != self._table._dyn_frac):
+                self.uniform_linear = False
+
+    def _zone_code(self, name: str | None) -> int:
+        if name is None:
+            return -1
+        zid = self._zone_ids.get(name)
+        if zid is None:
+            zid = self._zone_ids[name] = len(self.zone_names)
+            self.zone_names.append(name)
+        return zid
+
+    # ------------------------------------------------------------------
+    # Aggregate construction
+    # ------------------------------------------------------------------
+    def make_aggregate(self, servers: typing.Sequence, recompute_every: int,
+                       kind: str = "pool"):
+        """Vectorized aggregate over ``servers``, or ``None``.
+
+        ``kind="rack"`` claims a contiguous unclaimed row range as a
+        rack slot; ``kind="pool"`` requires the whole (fully claimed)
+        fleet.  Anything else — sub-pools, overlapping racks, foreign
+        servers — returns ``None`` and the caller falls back to the
+        plain object-path :class:`FleetAggregate`, which works on
+        views too.
+        """
+        from repro.fleet.aggregates import (
+            VectorAggregate,
+            VectorRackAggregate,
+        )
+        try:
+            idxs = [s._idx for s in servers]
+        except AttributeError:
+            return None
+        if not idxs:
+            return None
+        lo, hi = idxs[0], idxs[-1] + 1
+        if idxs != list(range(lo, hi)):
+            return None
+        objs = self.objs
+        if any(objs[i] is not s for i, s in zip(idxs, servers)):
+            return None
+        if kind == "rack":
+            if bool((self.rack_slot[lo:hi] >= 0).any()):
+                return None
+            return VectorRackAggregate(self, lo, hi, servers,
+                                       recompute_every)
+        if lo == 0 and hi == self.n and self.n_claimed == self.n:
+            return VectorAggregate(self, servers, recompute_every)
+        return None
+
+    def _register_rack(self, agg, lo: int, hi: int,
+                       recompute_every: int) -> int:
+        slot = self.n_racks
+        if slot == len(self.rack_power):
+            cap = 2 * slot
+            for attr in ("rack_power", "rack_updates", "rack_active",
+                         "rack_recompute", "rack_lo", "rack_hi"):
+                old = getattr(self, attr)
+                new = np.zeros(cap, dtype=old.dtype)
+                new[:slot] = old
+                setattr(self, attr, new)
+        self.rack_recompute[slot] = int(recompute_every)
+        self.rack_lo[slot] = lo
+        self.rack_hi[slot] = hi
+        self.rack_slot[lo:hi] = slot
+        self.rack_aggs.append(agg)
+        self.n_racks = slot + 1
+        self._wiring_epoch += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    # Batch power kernel (bit-identical to the scalar model, r == 1)
+    # ------------------------------------------------------------------
+    def _active_power(self, idx: np.ndarray, offered: np.ndarray,
+                      eff: np.ndarray, p, t) -> np.ndarray:
+        """Wall power of ACTIVE rows — the scalar model, vectorized.
+
+        Replays ``ServerPowerModel.power`` term for term for the
+        linear (r == 1) case: same divisions, same clamps, same
+        left-to-right products, so each element is the bit-exact
+        scalar result.  ``eff`` must be the effective capacity at the
+        queried (p, t) — strictly positive for ACTIVE rows.
+        """
+        u = np.minimum(offered / eff, 1.0)
+        cap = self.cap_frac[p, t]
+        scale = self.dyn_frac[p, t]
+        tt = np.clip(u * cap, 0.0, 1.0)
+        return (self.idle_w[idx] + u * self.cpu_dyn_w[idx] * scale
+                + tt * self.other_dyn_w[idx])
+
+    def _fold_rack_deltas(self, fidx: np.ndarray, old: np.ndarray,
+                          deltas: np.ndarray) -> None:
+        """Fold per-server power deltas into the rack running sums.
+
+        ``fidx`` is ascending (pool order is rack-major), so each
+        rack's deltas form one contiguous run.  Racks whose update
+        counter stays below the recompute threshold are folded with a
+        zero-padded row-cumsum (trailing ``+ 0.0`` adds are exact);
+        racks that cross it replay the scalar trigger sequence against
+        a snapshot of their row range, reproducing the drift guard's
+        exact re-sum at the exact same update count.
+        """
+        slots = self.rack_slot[fidx]
+        m = slots.size
+        starts = np.flatnonzero(np.r_[True, slots[1:] != slots[:-1]])
+        counts = np.diff(np.r_[starts, m])
+        gslots = slots[starts]
+        newu = self.rack_updates[gslots] + counts
+        trig = newu >= self.rack_recompute[gslots]
+        quiet = ~trig
+        if quiet.any():
+            rows = np.flatnonzero(quiet)
+            width = int(counts[rows].max())
+            mat = np.zeros((rows.size, width + 1))
+            mat[:, 0] = self.rack_power[gslots[rows]]
+            grp = np.repeat(np.arange(gslots.size), counts)
+            col = np.arange(m) - np.repeat(starts, counts) + 1
+            keep = quiet[grp]
+            rowmap = np.cumsum(quiet) - 1
+            mat[rowmap[grp[keep]], col[keep]] = deltas[keep]
+            self.rack_power[gslots[rows]] = np.cumsum(mat, axis=1)[:, -1]
+            self.rack_updates[gslots[rows]] = newu[rows]
+        if trig.any():
+            for g in np.flatnonzero(trig).tolist():
+                slot = int(gslots[g])
+                s, c = int(starts[g]), int(counts[g])
+                self._replay_rack_trigger(slot, fidx[s:s + c],
+                                          old[s:s + c], deltas[s:s + c])
+
+    def _replay_rack_trigger(self, slot: int, gidx: np.ndarray,
+                             gold: np.ndarray, gd: np.ndarray) -> None:
+        total = float(self.rack_power[slot])
+        updates = int(self.rack_updates[slot])
+        every = int(self.rack_recompute[slot])
+        lo, hi = int(self.rack_lo[slot]), int(self.rack_hi[slot])
+        c = gd.size
+        j = 0
+        while j < c:
+            k = every - updates
+            if c - j < k:
+                for d in gd[j:c].tolist():
+                    total += d
+                updates += c - j
+                break
+            for d in gd[j:j + k - 1].tolist():
+                total += d
+            pos = j + k - 1
+            snap = self.power[lo:hi].copy()
+            snap[gidx[pos + 1:] - lo] = gold[pos + 1:]
+            total = float(np.cumsum(snap)[-1])
+            updates = 0
+            j = pos + 1
+        self.rack_power[slot] = total
+        self.rack_updates[slot] = updates
+
+    # ------------------------------------------------------------------
+    # Read-only fleet scans (exact regardless of wiring)
+    # ------------------------------------------------------------------
+    def committed_count(self) -> int:
+        """Servers committed to serving: ACTIVE | BOOTING | WAKING."""
+        code = self.state_code
+        return int(np.count_nonzero((code == C_ACTIVE)
+                                    | (code == C_BOOTING)
+                                    | (code == C_WAKING)))
+
+    def pick_startable(self, quarantined=None):
+        """First SLEEPING (else first OFF) server, in pool order,
+        skipping quarantined zones — the On/Off scan, vectorized."""
+        code = self.state_code
+        eligible = None
+        if quarantined:
+            qids = [self._zone_ids[z] for z in quarantined
+                    if z in self._zone_ids]
+            if qids:
+                eligible = ~np.isin(self.zone_id, qids)
+        for target in (C_SLEEPING, C_OFF):
+            mask = code == target
+            if eligible is not None:
+                mask &= eligible
+            hits = np.flatnonzero(mask)
+            if hits.size:
+                return self.objs[hits[0]]
+        return None
+
+    def pick_startable_many(self, quarantined, count: int) -> list:
+        """The first ``count`` startable servers, SLEEPING before OFF.
+
+        One scan equals ``count`` repeated :meth:`pick_startable`
+        calls because starting a server only removes *it* from the
+        candidate pool.
+        """
+        if count <= 0:
+            return []
+        code = self.state_code
+        eligible = None
+        if quarantined:
+            qids = [self._zone_ids[z] for z in quarantined
+                    if z in self._zone_ids]
+            if qids:
+                eligible = ~np.isin(self.zone_id, qids)
+        picked: list = []
+        for target in (C_SLEEPING, C_OFF):
+            mask = code == target
+            if eligible is not None:
+                mask &= eligible
+            hits = np.flatnonzero(mask)[:count - len(picked)]
+            picked.extend(self.objs[hits].tolist())
+            if len(picked) >= count:
+                break
+        return picked
+
+    def total_demand_w(self) -> float | None:
+        """Uncapped fleet demand (the capper input), or ``None`` when
+        the fleet is not uniform-linear (callers fall back to the
+        scalar fold)."""
+        if not self.uniform_linear or self.n_claimed != self.n:
+            return None
+        code = self.state_code
+        demand = self.off_w.copy()          # OFF and FAILED rows
+        mask = (code == C_BOOTING) | (code == C_WAKING)
+        demand[mask] = self.boot_w[mask]
+        mask = code == C_SLEEPING
+        demand[mask] = self.sleep_w[mask]
+        active = np.flatnonzero(code == C_ACTIVE)
+        if active.size:
+            p = self.pstate[active]
+            cap0 = self.capacity[active] * self.cap_frac[p, 0]
+            demand[active] = self._active_power(
+                active, self.offered[active], cap0, p, 0)
+        return float(np.cumsum(demand)[-1])
+
+    def uncap_candidates(self) -> np.ndarray:
+        """Rows where ``remove_cap()`` is not a no-op, in pool order."""
+        return np.flatnonzero(~np.isnan(self.cap_w) | (self.tstate != 0))
+
+    def __repr__(self) -> str:
+        return (f"<VectorFleet n={self.n} claimed={self.n_claimed} "
+                f"racks={self.n_racks} uniform_linear={self.uniform_linear}>")
+
+
+def _column_property(column: str, doc: str):
+    """Float column accessor: plain-float reads, direct writes."""
+
+    def fget(self):
+        return float(getattr(self._fleet, column)[self._idx])
+
+    def fset(self, value):
+        getattr(self._fleet, column)[self._idx] = value
+
+    return property(fget, fset, doc=doc)
+
+
+def _int_column_property(column: str, doc: str):
+    def fget(self):
+        return int(getattr(self._fleet, column)[self._idx])
+
+    def fset(self, value):
+        getattr(self._fleet, column)[self._idx] = value
+
+    return property(fget, fset, doc=doc)
+
+
+class VectorServer(Server):
+    """A :class:`Server` whose hot state lives in fleet columns.
+
+    Everything behavioural is inherited; the class-level properties
+    below redirect reads and writes of the hot attributes into the
+    owning :class:`VectorFleet`'s arrays, so scalar code paths stay
+    bit-identical while batch kernels see every server's state
+    contiguously.
+    """
+
+    def __init__(self, fleet: VectorFleet, env: Environment, name: str,
+                 **kwargs):
+        self._fleet = fleet
+        self._idx = fleet._claim(self)
+        super().__init__(env, name, **kwargs)
+        fleet._install_model(self._idx, self.model)
+        # Wrap the watcher list so rewiring invalidates batch caches.
+        self._watchers = _WatcherList(self._watchers, fleet)
+
+    def _make_power_monitor(self):
+        return EnergyMeter(self._fleet, self._idx,
+                           name=f"{self.name}.power_w")
+
+    # -- lifecycle state (code column <-> enum singletons) -------------
+    @property
+    def _state(self) -> ServerState:
+        return _STATES[self._fleet.state_code[self._idx]]
+
+    @_state.setter
+    def _state(self, value: ServerState) -> None:
+        self._fleet.state_code[self._idx] = _STATE_TO_CODE[value]
+
+    # -- cap (NaN column <-> None) --------------------------------------
+    @property
+    def _cap_w(self) -> float | None:
+        value = self._fleet.cap_w[self._idx]
+        return None if np.isnan(value) else float(value)
+
+    @_cap_w.setter
+    def _cap_w(self, value: float | None) -> None:
+        self._fleet.cap_w[self._idx] = (np.nan if value is None
+                                        else value)
+
+    # -- thermal zone (interned name <-> id column) ---------------------
+    @property
+    def zone(self) -> str | None:
+        zid = self._fleet.zone_id[self._idx]
+        return None if zid < 0 else self._fleet.zone_names[zid]
+
+    @zone.setter
+    def zone(self, name: str | None) -> None:
+        self._fleet.zone_id[self._idx] = self._fleet._zone_code(name)
+
+    # -- plain float / int columns --------------------------------------
+    _offered_load = _column_property("offered", "Offered load column.")
+    _power_w = _column_property("power", "Cached wall-power column.")
+    _eff_cap = _column_property("eff_cap", "Effective-capacity column.")
+    capacity = _column_property("capacity", "P0 capacity column.")
+    sleep_w = _column_property("sleep_w", "Sleep-draw column.")
+    _pstate = _int_column_property("pstate", "P-state column.")
+    _tstate = _int_column_property("tstate", "T-state column.")

@@ -9,6 +9,7 @@ execution, while keeping results bit-identical to a serial run (each
 point is deterministic given its parameters and seed).
 """
 
+from repro.perf.bench import bench_spec, run_scale_bench
 from repro.perf.sweep import (
     SweepPoint,
     SweepReport,
@@ -23,6 +24,8 @@ __all__ = [
     "SweepReport",
     "SweepResult",
     "SweepRunner",
+    "bench_spec",
     "cosim_grid",
     "run_cosim_point",
+    "run_scale_bench",
 ]

@@ -1,0 +1,80 @@
+"""Scale benchmark: wall-time of an N-server managed day.
+
+``python -m repro bench --servers 20000 --backend vector`` is the
+operational answer to "how big a facility can this library
+co-simulate?"  The runner derives a balanced facility shape from the
+requested server count (20 servers per rack, one zone per ~50 racks,
+one CRAC per ~2.5 zones), runs a full managed day against a flat 50 %
+demand, and reports wall time plus the headline physics so a perf
+regression and a correctness regression are equally visible.
+
+The same entry point backs the committed ``BENCH_PERF.json`` rows and
+the CI regression gate (``benchmarks/check_perf_regression.py``).
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+__all__ = ["bench_spec", "run_scale_bench"]
+
+
+def bench_spec(servers: int, backend: str = "object"):
+    """A balanced :class:`DataCenterSpec` for ``servers`` machines."""
+    from repro.datacenter import DataCenterSpec
+
+    if servers < 20:
+        raise ValueError(f"need at least 20 servers, got {servers}")
+    racks, rem = divmod(servers, 20)
+    if rem:
+        raise ValueError(f"server count must be a multiple of 20, "
+                         f"got {servers}")
+    zones = max(1, min(racks, round(racks / 50)))
+    cracs = max(1, min(zones, round(zones / 2.5)))
+    # Keep watts-per-kelvin proportional to the heat each zone
+    # receives so the thermal story is scale-invariant: the reference
+    # point is the 2000-server benchmark (10 zones at 80 kW/K).
+    conductance = 80_000.0 * (servers / zones) / 200.0
+    return DataCenterSpec(racks=racks, servers_per_rack=20,
+                          zones=zones, cracs=cracs,
+                          zone_conductance_w_per_k=conductance,
+                          backend=backend)
+
+
+def run_scale_bench(servers: int, backend: str = "object",
+                    hours: float = 24.0,
+                    demand_fraction: float = 0.5) -> dict:
+    """Co-simulate a managed day at scale; returns a metrics dict."""
+    from repro.datacenter import CoSimulation
+
+    spec = bench_spec(servers, backend)
+    demand = spec.total_servers * spec.server_capacity * demand_fraction
+    start = time.perf_counter()
+    sim = CoSimulation(spec, lambda t: demand, managed=True)
+    result = sim.run(hours * 3600.0)
+    wall_s = time.perf_counter() - start
+    return {
+        "servers": spec.total_servers,
+        "backend": backend,
+        "hours": hours,
+        "wall_s": wall_s,
+        "sim_seconds_per_wall_second": hours * 3600.0 / wall_s,
+        "facility_kwh": result.facility_kwh,
+        "pue": result.energy_weighted_pue,
+        "served_fraction": result.sla.served_fraction,
+        "thermal_alarms": result.thermal_alarms,
+        "mean_active_servers": result.mean_active_servers,
+    }
+
+
+def format_report(metrics: typing.Mapping) -> str:
+    """Human-readable one-run summary."""
+    return (f"{metrics['servers']:,} servers ({metrics['backend']}): "
+            f"{metrics['hours']:.0f} h simulated in "
+            f"{metrics['wall_s']:.2f} s wall "
+            f"({metrics['sim_seconds_per_wall_second']:,.0f}x realtime) "
+            f"| {metrics['facility_kwh']:,.0f} kWh, "
+            f"PUE {metrics['pue']:.2f}, "
+            f"served {metrics['served_fraction']:.2%}, "
+            f"{metrics['thermal_alarms']} alarms")

@@ -79,6 +79,28 @@ class PowerCapper:
         self.decisions: list[CapDecision] = []
         self.demand_monitor = Monitor(env, "capper.demand_w")
         self.delivered_monitor = Monitor(env, "capper.delivered_w")
+        self._fleet = None
+        self._fleet_checked = False
+
+    def _vector_fleet(self):
+        """The loads' VectorFleet when they are exactly its pool.
+
+        The common-case wiring (capper over ``farm.servers`` with no
+        actuator) lets the per-tick demand fold and the no-op uncap
+        sweep run on fleet columns.  Checked once — pool membership
+        cannot change after construction.
+        """
+        if not self._fleet_checked:
+            self._fleet_checked = True
+            if self.actuator is None and self.loads:
+                fleet = getattr(self.loads[0], "_fleet", None)
+                if (fleet is not None and len(self.loads) == fleet.n
+                        and fleet.n_claimed == fleet.n):
+                    objs = fleet.objs
+                    if all(load is objs[i]
+                           for i, load in enumerate(self.loads)):
+                        self._fleet = fleet
+        return self._fleet
 
     @property
     def trigger_w(self) -> float:
@@ -87,15 +109,24 @@ class PowerCapper:
 
     def evaluate(self) -> CapDecision:
         """Measure, decide, and apply caps.  Returns the decision."""
-        demand = sum(load.demand_w() for load in self.loads)
+        fleet = self._vector_fleet()
+        demand = fleet.total_demand_w() if fleet is not None else None
+        if demand is None:
+            demand = sum(load.demand_w() for load in self.loads)
         self.demand_monitor.record(demand)
 
         if demand <= self.trigger_w:
-            for load in self.loads:
-                if self.actuator is not None:
-                    self.actuator(load, None)
-                else:
-                    load.remove_cap()
+            if fleet is not None:
+                # ``remove_cap`` is a no-op unless a cap or T-state is
+                # set; sweep only the rows where it would act.
+                for i in fleet.uncap_candidates().tolist():
+                    fleet.objs[i].remove_cap()
+            else:
+                for load in self.loads:
+                    if self.actuator is not None:
+                        self.actuator(load, None)
+                    else:
+                        load.remove_cap()
             decision = CapDecision(self.env.now, demand, self.budget_w,
                                    capped=False, throttled_loads=0,
                                    shed_w=0.0)

@@ -1,0 +1,190 @@
+"""Fluid fast path and incremental serving roster of RequestFarm.
+
+Two performance features share this module because they share a
+correctness bar.  The ``_ServingRoster`` watcher replaces the
+O(fleet)-per-request serving scan with an index maintained at state
+transitions — it must track ``is_serving`` exactly through sleep /
+wake / fail / shutdown.  The fluid path (``exact_fraction < 1``)
+replaces discrete requests with per-interval M/M/1 analytics — its
+latency mixture must agree with queueing theory and conserve offered
+load, and ``exact_fraction=1.0`` (the default) must leave it
+completely inert so existing results stay byte-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.request_farm import RequestFarm
+from repro.cluster.server import Server, ServerState
+from repro.sim import Environment
+
+
+def build_farm(n=4, capacity=100.0, **kwargs):
+    env = Environment()
+    servers = [Server(env, f"s{i}", capacity=capacity,
+                      initial_state=ServerState.ACTIVE)
+               for i in range(n)]
+    farm = RequestFarm(env, servers, **kwargs)
+    return env, servers, farm
+
+
+# ----------------------------------------------------------------------
+# Construction and defaults
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [-0.1, 1.5, 2.0])
+def test_exact_fraction_validated(bad):
+    env = Environment()
+    servers = [Server(env, "s0")]
+    with pytest.raises(ValueError, match="exact fraction"):
+        RequestFarm(env, servers, exact_fraction=bad)
+
+
+@pytest.mark.parametrize("kwargs", [{"mean_work": 0.0},
+                                    {"mean_work": -1.0},
+                                    {"fluid_interval_s": 0.0}])
+def test_fluid_parameters_validated(kwargs):
+    env = Environment()
+    servers = [Server(env, "s0")]
+    with pytest.raises(ValueError):
+        RequestFarm(env, servers, **kwargs)
+
+
+def test_default_exact_path_leaves_fluid_inert():
+    """exact_fraction=1.0 never touches the fluid accumulators."""
+    env, _, farm = build_farm()
+    env.process(farm.drive_poisson(50.0, 60.0))
+    env.run(until=120.0)
+    assert farm._fluid_mixture == []
+    assert farm._fluid_points == []
+    assert farm._fluid_abandoned == 0.0
+    stats = farm.stats()
+    assert stats.completed == len(farm._latencies)
+
+
+# ----------------------------------------------------------------------
+# Serving roster
+# ----------------------------------------------------------------------
+def roster_matches_scan(farm):
+    scan = sorted(i for i, s in enumerate(farm.servers) if s.is_serving)
+    return farm._serving == scan
+
+
+def test_roster_tracks_lifecycle_transitions():
+    env, servers, farm = build_farm(n=6)
+    assert roster_matches_scan(farm)
+    servers[1].sleep()
+    servers[3].fail()
+    env.run(until=1.0)
+    assert roster_matches_scan(farm)
+    servers[1].wake()
+    env.run(until=100.0)  # past wake_s — back in the pool
+    assert roster_matches_scan(farm)
+    servers[3].repair()   # FAILED → OFF: still out of the pool
+    servers[3].power_on()
+    servers[5].shut_down()
+    env.run(until=300.0)  # past boot_s — 3 is back in the pool
+    assert roster_matches_scan(farm)
+    assert 5 not in farm._serving
+    assert 3 in farm._serving
+
+
+def test_jsq_skips_non_serving_servers():
+    env, servers, farm = build_farm(n=3)
+    servers[0].sleep()
+    env.run(until=1.0)
+    for _ in range(9):
+        farm.submit(work=1.0)
+    # One request per live server is already in service (the waiting
+    # getter consumes it at put time), so 9 = 7 queued + 2 in service.
+    assert len(farm._queues[0]) == 0
+    assert len(farm._queues[1]) + len(farm._queues[2]) == 7
+
+
+def test_round_robin_cycles_over_serving_pool():
+    env, servers, farm = build_farm(n=4, policy="round-robin")
+    servers[2].fail()
+    env.run(until=1.0)
+    for _ in range(9):
+        farm.submit(work=1.0)
+    # 9 = 6 queued + 3 in service, split evenly over the live trio.
+    assert len(farm._queues[2]) == 0
+    assert [len(q) for q in farm._queues] == [2, 2, 0, 2]
+
+
+# ----------------------------------------------------------------------
+# Fluid path analytics
+# ----------------------------------------------------------------------
+def test_pure_fluid_matches_mm1_mean():
+    """Stable M/M/1: mean response time is 1/(μ − λ)."""
+    env, _, farm = build_farm(n=4, capacity=100.0,
+                              exact_fraction=0.0, mean_work=1.0)
+    rate = 160.0  # λ = 40/server, μ = 100 → ν = 60
+    env.process(farm.drive_poisson(rate, 600.0))
+    env.run(until=600.0)
+    stats = farm.stats()
+    assert stats.mean_s == pytest.approx(1.0 / 60.0, rel=1e-6)
+    # Exp(ν) quantiles: -ln(1-q)/ν.
+    assert stats.p50_s == pytest.approx(np.log(2.0) / 60.0, rel=1e-4)
+    assert stats.p99_s == pytest.approx(np.log(100.0) / 60.0, rel=1e-4)
+    assert stats.goodput_fraction > 0.99
+
+
+def test_fluid_overload_abandons_and_serves_at_patience():
+    """Saturated queues serve μ/λ of the flow at ≈ patience latency."""
+    env, _, farm = build_farm(n=2, capacity=50.0,
+                              exact_fraction=0.0, mean_work=1.0,
+                              patience_s=5.0)
+    rate = 200.0  # λ = 100/server vs μ = 50: 2x overload
+    env.process(farm.drive_poisson(rate, 300.0))
+    env.run(until=300.0)
+    stats = farm.stats()
+    offered = rate * 300.0
+    assert stats.completed + stats.abandoned == pytest.approx(
+        offered, abs=2.0)
+    assert stats.goodput_fraction == pytest.approx(0.5, abs=0.01)
+    assert stats.p50_s == pytest.approx(5.0, abs=0.01)
+
+
+def test_fluid_with_empty_pool_abandons_everything():
+    env, servers, farm = build_farm(n=2, exact_fraction=0.0)
+    for s in servers:
+        s.shut_down()
+    env.run(until=1.0)
+    env.process(farm.drive_poisson(10.0, 61.0))
+    env.run(until=120.0)
+    # All offered flow abandoned; nothing completed, so stats()
+    # raises exactly like the exact path does with zero completions.
+    assert farm._fluid_abandoned == pytest.approx(10.0 * 60.0, abs=1.0)
+    with pytest.raises(RuntimeError, match="no completed requests"):
+        farm.stats()
+
+
+def test_hybrid_conserves_request_count():
+    """exact + fluid counts add up to the offered load."""
+    env, _, farm = build_farm(n=4, capacity=100.0,
+                              exact_fraction=0.25, mean_work=1.0,
+                              rng=np.random.default_rng(7))
+    rate, horizon = 120.0, 400.0
+    env.process(farm.drive_poisson(rate, horizon))
+    env.run(until=horizon + 100.0)
+    stats = farm.stats()
+    offered = rate * horizon
+    # Poisson thinning: the exact quarter fluctuates ~sqrt(N).
+    assert stats.completed + stats.abandoned == pytest.approx(
+        offered, rel=0.05)
+    # Both paths produced mass.
+    assert len(farm._latencies) > 0
+    assert sum(w for w, _ in farm._fluid_mixture) > 0
+
+
+def test_hybrid_percentiles_between_components():
+    """Merged quantiles are bracketed by the component quantiles."""
+    env, _, farm = build_farm(n=4, capacity=100.0,
+                              exact_fraction=0.5, mean_work=1.0,
+                              rng=np.random.default_rng(3))
+    env.process(farm.drive_poisson(160.0, 600.0))
+    env.run(until=700.0)
+    stats = farm.stats()
+    assert 0.0 < stats.p50_s < stats.p95_s < stats.p99_s
+    # Stable system far from saturation: tail well under patience.
+    assert stats.p99_s < farm.patience_s

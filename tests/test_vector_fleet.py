@@ -1,0 +1,395 @@
+"""Unit tests for the structure-of-arrays vector plant.
+
+The backend-equivalence suite (test_backend_equivalence.py) proves the
+two backends agree end to end; these tests pin the fleet package's own
+contracts — view semantics, the energy meter, aggregate construction
+rules, batch gating, and the vectorized scans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.aggregates import FleetAggregate, make_pool_aggregate
+from repro.cluster.rack import Cluster, Rack
+from repro.cluster.server import Server, ServerState
+from repro.fleet import (
+    EnergyMeter,
+    VectorAggregate,
+    VectorCluster,
+    VectorFleet,
+    VectorRackAggregate,
+    VectorServer,
+)
+from repro.power.models import ServerPowerModel
+from repro.power.pstates import PStateTable
+from repro.sim import Environment
+
+
+def make_fleet(n=8, **server_kwargs):
+    env = Environment()
+    fleet = VectorFleet(env, n)
+    servers = [VectorServer(fleet, env, f"v{i}", **server_kwargs)
+               for i in range(n)]
+    return env, fleet, servers
+
+
+# ----------------------------------------------------------------------
+# View semantics: a VectorServer behaves exactly like a Server
+# ----------------------------------------------------------------------
+def test_vector_server_mirrors_object_server():
+    env = Environment()
+    fleet = VectorFleet(env, 1)
+    vec = VectorServer(fleet, env, "v0", capacity=100.0)
+    obj = Server(env, "o0", capacity=100.0)
+    assert vec.state is obj.state is ServerState.OFF
+    vec.power_on(), obj.power_on()
+    env.run(until=121.0)
+    for load in (0.0, 35.0, 100.0, 250.0):
+        vec.set_offered_load(load)
+        obj.set_offered_load(load)
+        assert vec.power_w() == obj.power_w()
+        assert vec.effective_capacity == obj.effective_capacity
+        assert vec.utilization == obj.utilization
+    vec.set_pstate(1), obj.set_pstate(1)
+    assert vec.power_w() == obj.power_w()
+    assert vec.apply_cap(150.0) == obj.apply_cap(150.0)
+    assert vec.capped and obj.capped
+    vec.remove_cap(), obj.remove_cap()
+    assert vec.power_w() == obj.power_w()
+    assert not vec.capped
+
+
+def test_vector_server_state_lives_in_columns():
+    env, fleet, servers = make_fleet(3)
+    servers[1].power_on()
+    assert fleet.state_code[1] == 1  # BOOTING
+    env.run(until=121.0)
+    assert fleet.state_code[1] == 2  # ACTIVE
+    servers[1].set_offered_load(42.0)
+    assert fleet.offered[1] == 42.0
+    assert fleet.power[1] == servers[1].power_w()
+    assert np.isnan(fleet.cap_w[1])
+    servers[1].apply_cap(100.0)
+    assert fleet.cap_w[1] == 100.0
+    servers[1].remove_cap()
+    assert np.isnan(fleet.cap_w[1])
+
+
+def test_zone_names_are_interned():
+    env, fleet, servers = make_fleet(4)
+    servers[0].zone = "zone-a"
+    servers[1].zone = "zone-b"
+    servers[2].zone = "zone-a"
+    assert fleet.zone_id[0] == fleet.zone_id[2] != fleet.zone_id[1]
+    assert servers[2].zone == "zone-a"
+    assert servers[3].zone is None
+
+
+def test_fleet_is_exactly_sized():
+    env = Environment()
+    fleet = VectorFleet(env, 1)
+    VectorServer(fleet, env, "v0")
+    with pytest.raises(ValueError, match="full"):
+        VectorServer(fleet, env, "v1")
+    with pytest.raises(ValueError):
+        VectorFleet(env, 0)
+
+
+# ----------------------------------------------------------------------
+# EnergyMeter
+# ----------------------------------------------------------------------
+def test_energy_meter_matches_monitor_integral():
+    env = Environment()
+    fleet = VectorFleet(env, 1)
+    vec = VectorServer(fleet, env, "v0", capacity=100.0)
+    obj = Server(env, "o0", capacity=100.0)
+    assert isinstance(vec.power_monitor, EnergyMeter)
+    vec.power_on(), obj.power_on()
+    env.run(until=121.0)
+    for until, load in ((200.0, 30.0), (500.0, 90.0), (900.0, 0.0)):
+        env.run(until=until)
+        vec.set_offered_load(load)
+        obj.set_offered_load(load)
+    env.run(until=1200.0)
+    assert vec.energy_j() == pytest.approx(obj.energy_j(), rel=1e-12)
+
+
+def test_energy_meter_rejects_windowed_queries_and_time_travel():
+    env, fleet, servers = make_fleet(1)
+    env.run(until=10.0)
+    meter = servers[0].power_monitor
+    with pytest.raises(ValueError, match="no history"):
+        meter.integral(5.0, None)
+    meter.record(servers[0].power_w())  # closes the segment at t=10
+    with pytest.raises(ValueError, match="precedes"):
+        meter.record(1.0, time=3.0)
+    assert meter.last == servers[0].power_w()
+
+
+# ----------------------------------------------------------------------
+# Aggregate construction rules
+# ----------------------------------------------------------------------
+def test_make_aggregate_kinds():
+    env, fleet, servers = make_fleet(8)
+    rack_a = fleet.make_aggregate(servers[:4], 4096, kind="rack")
+    assert isinstance(rack_a, VectorRackAggregate)
+    # Overlapping rack claim is refused.
+    assert fleet.make_aggregate(servers[2:6], 4096, kind="rack") is None
+    rack_b = fleet.make_aggregate(servers[4:], 4096, kind="rack")
+    assert isinstance(rack_b, VectorRackAggregate)
+    pool = fleet.make_aggregate(servers, 4096, kind="pool")
+    assert isinstance(pool, VectorAggregate)
+    # Sub-pools and non-contiguous picks fall back.
+    assert fleet.make_aggregate(servers[:4], 4096, kind="pool") is None
+    assert fleet.make_aggregate(servers[::2], 4096, kind="rack") is None
+
+
+def test_make_pool_aggregate_falls_back_for_plain_servers():
+    env = Environment()
+    servers = [Server(env, f"s{i}") for i in range(3)]
+    agg = make_pool_aggregate(servers)
+    assert type(agg) is FleetAggregate
+    assert agg.batcher() is None
+
+
+def test_vector_aggregate_tracks_scalar_invariants():
+    env, fleet, servers = make_fleet(6)
+    for s in servers[:4]:
+        s._fleet  # views
+    racks = [fleet.make_aggregate(servers[:3], 4096, kind="rack"),
+             fleet.make_aggregate(servers[3:], 4096, kind="rack")]
+    pool = fleet.make_aggregate(servers, 4096, kind="pool")
+    for s in servers[:4]:
+        s.power_on()
+    env.run(until=121.0)
+    for i, s in enumerate(servers[:4]):
+        s.set_offered_load(10.0 * i)
+    assert pool.active_count == 4
+    assert pool.power_w == pytest.approx(
+        sum(s.power_w() for s in servers), rel=1e-12)
+    assert racks[0].power_w == pytest.approx(
+        sum(s.power_w() for s in servers[:3]), rel=1e-12)
+    assert pool.active_servers() == servers[:4]
+    report = pool.verify()
+    assert report["active_count_corrected"] == 0
+    assert not report["roster_repaired"]
+    assert report["power_drift_w"] < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Batch gating
+# ----------------------------------------------------------------------
+def build_wired_pool(n=6):
+    env, fleet, servers = make_fleet(n)
+    half = n // 2
+    fleet.make_aggregate(servers[:half], 4096, kind="rack")
+    fleet.make_aggregate(servers[half:], 4096, kind="rack")
+    pool = fleet.make_aggregate(servers, 4096, kind="pool")
+    return env, fleet, servers, pool
+
+
+def test_batcher_requires_canonical_wiring():
+    env, fleet, servers, pool = build_wired_pool()
+    assert pool.batcher() is pool
+
+    class Foreign:
+        def state_changed(self, *a):
+            pass
+
+        def power_changed(self, *a):
+            pass
+
+    servers[2]._watchers.append(Foreign())
+    assert pool.batcher() is None  # unsafe extra watcher
+
+    servers[2]._watchers.pop()
+    # Plain-list mutation (pop) does not bump the epoch, but any
+    # epoch-bumping mutation rechecks; emulate a rewire.
+    servers[2]._watchers.append(Foreign())
+    servers[2]._watchers.remove(servers[2]._watchers[-1])
+    assert pool.batcher() is pool
+
+
+def test_batch_safe_extra_watcher_keeps_batching():
+    env, fleet, servers, pool = build_wired_pool()
+
+    class SafeExtra:
+        vector_batch_safe = True
+
+        def state_changed(self, *a):
+            pass
+
+        def power_changed(self, *a):
+            pass
+
+    for s in servers:
+        s._watchers.append(SafeExtra())
+    assert pool.batcher() is pool
+
+
+def test_nonlinear_model_disables_batching_not_correctness():
+    env = Environment()
+    fleet = VectorFleet(env, 2)
+    model = ServerPowerModel(nonlinearity=1.4)
+    servers = [VectorServer(fleet, env, f"v{i}", power_model=model)
+               for i in range(2)]
+    assert not fleet.uniform_linear
+    fleet.make_aggregate(servers[:1], 4096, kind="rack")
+    fleet.make_aggregate(servers[1:], 4096, kind="rack")
+    pool = fleet.make_aggregate(servers, 4096, kind="pool")
+    assert pool.batcher() is None
+    assert fleet.total_demand_w() is None
+    servers[0].power_on()
+    env.run(until=121.0)
+    servers[0].set_offered_load(50.0)
+    twin = Server(env, "twin", power_model=ServerPowerModel(
+        nonlinearity=1.4))
+    twin._set_state(ServerState.ACTIVE)
+    twin.set_offered_load(50.0)
+    assert servers[0].power_w() == twin.power_w()
+
+
+def test_mixed_tables_disable_uniform_linear():
+    from repro.power.pstates import DEFAULT_PSTATES, TState
+
+    env = Environment()
+    fleet = VectorFleet(env, 2)
+    VectorServer(fleet, env, "v0")
+    other = ServerPowerModel(pstate_table=PStateTable(
+        pstates=DEFAULT_PSTATES,
+        tstates=(TState("T0", 1.0), TState("T1", 0.25))))
+    VectorServer(fleet, env, "v1", power_model=other)
+    assert not fleet.uniform_linear
+
+
+# ----------------------------------------------------------------------
+# Batch mutators vs scalar twins
+# ----------------------------------------------------------------------
+def test_batch_set_pstate_matches_scalar():
+    env, fleet, servers, pool = build_wired_pool()
+    env2 = Environment()
+    twins = [Server(env2, f"t{i}") for i in range(len(servers))]
+    for s, t in zip(servers[:4], twins[:4]):
+        s.power_on(), t.power_on()
+    env.run(until=121.0), env2.run(until=121.0)
+    for i, (s, t) in enumerate(zip(servers[:4], twins[:4])):
+        s.set_offered_load(12.5 * i), t.set_offered_load(12.5 * i)
+    batch = pool.batcher()
+    assert batch is pool
+    batch.batch_set_pstate(2)
+    for t in twins[:4]:
+        if t.state is ServerState.ACTIVE:
+            t.set_pstate(2)
+    for s, t in zip(servers, twins):
+        assert s.power_w() == t.power_w()
+        assert s.pstate == t.pstate
+        assert s.effective_capacity == t.effective_capacity
+    with pytest.raises(ValueError, match="out of range"):
+        batch.batch_set_pstate(99)
+
+
+def test_dispatch_loads_matches_scalar_split():
+    from repro.cluster.loadbalancer import WeightedSplit
+
+    env, fleet, servers, pool = build_wired_pool()
+    env2 = Environment()
+    twins = [Server(env2, f"t{i}") for i in range(len(servers))]
+    for s, t in zip(servers[:4], twins[:4]):
+        s.power_on(), t.power_on()
+    env.run(until=121.0), env2.run(until=121.0)
+    policy = WeightedSplit()
+    active = pool.active_servers()
+    served = pool.batcher().dispatch_loads(policy, 260.0, active)
+    shares = policy.split(260.0, [t for t in twins
+                                  if t.state is ServerState.ACTIVE])
+    expected = 0.0
+    for t, share in zip(twins[:4], shares):
+        t.set_offered_load(share)
+        expected += t.delivered_load
+    assert served == expected
+    for s, t in zip(servers, twins):
+        assert s.offered_load == t.offered_load
+        assert s.power_w() == t.power_w()
+
+
+# ----------------------------------------------------------------------
+# Vectorized scans
+# ----------------------------------------------------------------------
+def test_pick_startable_prefers_sleeping_and_respects_quarantine():
+    env, fleet, servers = make_fleet(5)
+    for s in servers:
+        s.zone = "hot" if s._idx < 2 else "cold"
+    for s in servers[:3]:
+        s.power_on()
+    env.run(until=121.0)
+    servers[0].sleep()
+    servers[2].sleep()
+    assert fleet.pick_startable() is servers[0]
+    assert fleet.pick_startable(quarantined={"hot"}) is servers[2]
+    picks = fleet.pick_startable_many({"hot"}, 3)
+    assert picks == [servers[2], servers[3], servers[4]]
+    # No candidates at all.
+    assert fleet.pick_startable(quarantined={"hot", "cold"}) is None
+
+
+def test_total_demand_and_uncap_candidates():
+    env, fleet, servers = make_fleet(6)
+    for s in servers[:4]:
+        s.power_on()
+    env.run(until=121.0)
+    servers[3].sleep()
+    for i, s in enumerate(servers[:3]):
+        s.set_offered_load(20.0 * (i + 1))
+    servers[1].apply_cap(120.0)
+    assert fleet.total_demand_w() == pytest.approx(
+        sum(s.demand_w() for s in servers), rel=1e-12)
+    assert fleet.uncap_candidates().tolist() == [1]
+    servers[1].remove_cap()
+    assert fleet.uncap_candidates().size == 0
+
+
+def test_committed_count_counts_transitions():
+    env, fleet, servers = make_fleet(5)
+    servers[0].power_on()
+    servers[1].power_on()
+    env.run(until=1.0)  # both still BOOTING
+    assert fleet.committed_count() == 2
+    env.run(until=121.0)
+    servers[0].sleep()
+    assert fleet.committed_count() == 1
+    servers[0].wake()
+    assert fleet.committed_count() == 2
+
+
+# ----------------------------------------------------------------------
+# VectorCluster vs object Cluster
+# ----------------------------------------------------------------------
+def test_vector_cluster_matches_object_cluster():
+    def build(vector):
+        env = Environment()
+        if vector:
+            fleet = VectorFleet(env, 6)
+            mk = lambda name: VectorServer(fleet, env, name)  # noqa: E731
+        else:
+            mk = lambda name: Server(env, name)  # noqa: E731
+        racks = []
+        servers = []
+        for r in range(3):
+            rs = [mk(f"r{r}s{i}") for i in range(2)]
+            servers.extend(rs)
+            racks.append(Rack(f"rack{r}", rs, zone=f"z{r % 2}"))
+        cluster = (VectorCluster if vector else Cluster)("c", racks)
+        for s in servers[:4]:
+            s.power_on()
+        env.run(until=121.0)
+        for i, s in enumerate(servers[:4]):
+            s.set_offered_load(15.0 * i)
+        return cluster
+
+    vec, obj = build(True), build(False)
+    assert vec.power_w() == obj.power_w()
+    assert vec.heat_by_zone() == obj.heat_by_zone()
+    assert list(vec.heat_by_zone()) == list(obj.heat_by_zone())
+    for state in ServerState:
+        assert vec.count_in(state) == obj.count_in(state)
+    assert vec.total_effective_capacity() == obj.total_effective_capacity()
