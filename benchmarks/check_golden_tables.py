@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI gate: byte-diff regenerated result tables against the committed
+golden file.
+
+Usage::
+
+    GOLDEN_TABLES_PATH=/tmp/golden.txt BENCH_PERF_PATH=/tmp/perf.json \
+        PYTHONPATH=src python -m pytest benchmarks/ -q --benchmark-only
+    python benchmarks/check_golden_tables.py --current /tmp/golden.txt
+
+Every benchmark's headline table (the FIG/CLM/EXP/ABL blocks printed
+by ``record()``) is a deterministic function of the committed code and
+seeds, so the regenerated file must match
+``benchmarks/GOLDEN_TABLES.txt`` *byte for byte*.  Any difference —
+a number drifting, a table vanishing, a new experiment landing without
+its golden block — fails with a unified diff.  This is the guarantee
+that instrumentation, refactors, and optimizations leave all paper
+reproductions bit-identical.
+
+Exit codes: ``0`` identical, ``1`` content differs, ``2`` a file is
+missing or the block count fell below ``--min-blocks`` (the gate
+itself is broken, not the tables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+EXIT_DIFFERS = 1
+EXIT_GATE_BROKEN = 2
+
+
+def count_blocks(text: str) -> int:
+    return sum(1 for line in text.splitlines()
+               if line.startswith("=== ") and line.endswith(" ==="))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--golden", type=pathlib.Path,
+                        default=ROOT / "benchmarks" / "GOLDEN_TABLES.txt",
+                        help="committed reference tables")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly regenerated tables")
+    parser.add_argument("--min-blocks", type=int, default=25,
+                        help="fail the gate when fewer result blocks "
+                             "were regenerated (benchmarks silently "
+                             "skipped)")
+    args = parser.parse_args(argv)
+
+    for label, path in (("golden", args.golden),
+                        ("current", args.current)):
+        if not path.exists():
+            print(f"ERROR: {label} file missing: {path}")
+            return EXIT_GATE_BROKEN
+
+    golden = args.golden.read_text()
+    current = args.current.read_text()
+    n_blocks = count_blocks(current)
+    if n_blocks < args.min_blocks:
+        print(f"ERROR: only {n_blocks} result blocks regenerated "
+              f"(expected >= {args.min_blocks}) — benchmarks were "
+              f"skipped, the gate cannot vouch for the tables")
+        return EXIT_GATE_BROKEN
+
+    if golden == current:
+        print(f"ok: {n_blocks} result tables byte-identical to "
+              f"{args.golden}")
+        return 0
+
+    diff = difflib.unified_diff(
+        golden.splitlines(keepends=True),
+        current.splitlines(keepends=True),
+        fromfile=str(args.golden), tofile=str(args.current))
+    sys.stdout.writelines(diff)
+    print("\ngolden tables drifted — if the change is intentional, "
+          "regenerate benchmarks/GOLDEN_TABLES.txt and commit it "
+          "with the code that moved the numbers")
+    return EXIT_DIFFERS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

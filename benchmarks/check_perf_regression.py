@@ -12,9 +12,16 @@ against the committed baseline and exits non-zero when any row's mean
 wall time regressed by more than ``--threshold`` (default 25 %).
 Non-PERF rows (experiment artifacts) are ignored: their wall times are
 incidental, and their *metrics* are guarded by the benchmarks' own
-assertions.  Rows present in only one file are reported but do not
-fail the gate — adding a benchmark must not require a baseline edit in
-the same commit to keep CI green.
+assertions.
+
+Exit codes: ``0`` all gated rows within threshold, ``1`` at least one
+row regressed, ``2`` a baseline row is missing from the current
+results (the run silently dropped a benchmark — a distinct failure
+from a slowdown; pass ``--allow-missing`` to downgrade it to a
+warning).  Rows present only in *current* are reported but never fail
+the gate — adding a benchmark must not require a baseline edit in the
+same commit to keep CI green.  ``--rows`` restricts the comparison to
+the named rows (the nightly job gates only the 20k-server day).
 """
 
 from __future__ import annotations
@@ -25,6 +32,9 @@ import pathlib
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+EXIT_REGRESSED = 1
+EXIT_MISSING_ROW = 2
 
 
 def load_rows(path: pathlib.Path) -> dict[str, float]:
@@ -46,16 +56,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="freshly generated results to check")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional slowdown per row")
+    parser.add_argument("--rows", action="append", default=None,
+                        metavar="NAME",
+                        help="gate only these row names (repeatable); "
+                             "default: every baseline PERF row")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="warn instead of failing when a baseline "
+                             "row is absent from the current results")
     args = parser.parse_args(argv)
     if args.threshold < 0:
         parser.error("threshold cannot be negative")
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)
+    if args.rows is not None:
+        unknown = sorted(set(args.rows) - set(baseline))
+        if unknown:
+            parser.error(f"--rows not in baseline: {', '.join(unknown)}")
+        baseline = {n: baseline[n] for n in args.rows}
+
     failures = []
+    missing = []
     for name in sorted(baseline):
         if name not in current:
-            print(f"SKIP  {name}: not in current results")
+            missing.append(name)
+            tag = "WARN" if args.allow_missing else "MISS"
+            print(f"{tag}  {name}: baseline row absent from current "
+                  f"results")
             continue
         ref, now = baseline[name], current[name]
         ratio = now / ref if ref > 0 else float("inf")
@@ -70,7 +97,12 @@ def main(argv: list[str] | None = None) -> int:
     if failures:
         print(f"\n{len(failures)} PERF row(s) regressed beyond "
               f"{args.threshold:.0%}: {', '.join(failures)}")
-        return 1
+        return EXIT_REGRESSED
+    if missing and not args.allow_missing:
+        print(f"\n{len(missing)} baseline PERF row(s) missing from "
+              f"current results: {', '.join(missing)} — the run "
+              f"dropped a gated benchmark")
+        return EXIT_MISSING_ROW
     if not baseline:
         print("no PERF rows in baseline — nothing gated")
     return 0

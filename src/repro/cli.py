@@ -142,11 +142,90 @@ def _sweep(args: argparse.Namespace) -> int:
 
 def _bench(args: argparse.Namespace) -> int:
     """Time an N-server managed day on the chosen plant backend."""
+    import json
+
     from repro.perf.bench import format_report, run_scale_bench
 
     metrics = run_scale_bench(args.servers, backend=args.backend,
                               hours=args.hours)
     print(format_report(metrics))
+    if args.json:
+        # One row in the BENCH_PERF.json shape, so the nightly CI job
+        # can feed it straight to check_perf_regression.py.
+        row = {"name": f"PERF: {metrics['servers']}-server day",
+               "metrics": {k: v for k, v in metrics.items()
+                           if isinstance(v, (int, float))},
+               "mean_s": metrics["wall_s"]}
+        with open(args.json, "w") as fh:
+            json.dump([row], fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _flight_sim(args: argparse.Namespace, tracer):
+    """Managed flash-crowd day for the flight-recorder verbs.
+
+    Diurnal base load with a mid-day flash crowd, a hardened (lossy)
+    control plane, and a facility budget tight enough that the surge
+    trips power capping — so one run exercises the whole causal
+    chain: demand ramp → forecast → wake-ups → cap tighten → drains.
+    """
+    from repro.controlplane import ControlPlaneProfile
+    from repro.core import SLA
+    from repro.datacenter import CoSimulation, DataCenterSpec
+    from repro.workload import DiurnalProfile
+
+    zones = min(4, args.racks)
+    spec = DataCenterSpec(racks=args.racks,
+                          servers_per_rack=args.servers_per_rack,
+                          zones=zones, cracs=min(2, zones))
+    profile = DiurnalProfile()
+    fleet_capacity = spec.total_servers * spec.server_capacity
+
+    def demand(t):
+        base = 0.45 * fleet_capacity * profile(t)
+        if 10 * 3600.0 <= t < 12 * 3600.0:
+            base += 0.55 * fleet_capacity
+        return min(base, 0.98 * fleet_capacity)
+
+    budget_w = (args.budget_fraction * spec.total_servers
+                * spec.server_peak_w)
+    return CoSimulation(spec, demand, managed=True,
+                        sla=SLA("flight", response_target_s=0.15),
+                        control_plane=ControlPlaneProfile.hardened(),
+                        power_budget_w=budget_w, tracer=tracer)
+
+
+def _trace(args: argparse.Namespace) -> int:
+    """Run the flight scenario and print its causal chain as text."""
+    from repro.obs import Tracer, format_causal_chain
+
+    tracer = Tracer()
+    sim = _flight_sim(args, tracer)
+    sim.run(args.hours * 3600.0)
+    print(format_causal_chain(tracer, sim.manager.audit,
+                              max_decisions=args.max_decisions))
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    """Run the flight scenario and emit the RunReport JSON artifact."""
+    from repro.obs import Tracer, build_run_report
+
+    tracer = Tracer()
+    sim = _flight_sim(args, tracer)
+    result = sim.run(args.hours * 3600.0)
+    report = build_run_report(
+        sim, result,
+        meta={"scenario": "flight", "hours": args.hours,
+              "servers": args.racks * args.servers_per_rack,
+              "budget_fraction": args.budget_fraction})
+    if args.out:
+        report.write(args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(report.to_json())
     return 0
 
 
@@ -194,6 +273,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="plant storage layout (default: vector)")
     bench.add_argument("--hours", type=float, default=24.0,
                        help="simulated hours")
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the result as a one-row "
+                            "BENCH_PERF-style JSON file")
+    for verb, help_text in (
+            ("trace", "print a managed day's causal decision chain"),
+            ("report", "emit a flight-recorder RunReport JSON")):
+        obs = sub.add_parser(verb, help=help_text)
+        obs.add_argument("--hours", type=float, default=24.0,
+                         help="simulated hours")
+        obs.add_argument("--racks", type=int, default=4)
+        obs.add_argument("--servers-per-rack", type=int, default=10)
+        obs.add_argument("--budget-fraction", type=float, default=0.62,
+                         help="facility budget as a fraction of fleet "
+                              "peak draw (low enough to trip capping)")
+        if verb == "trace":
+            obs.add_argument("--max-decisions", type=int, default=12,
+                             help="decision cycles to render")
+        else:
+            obs.add_argument("--out", metavar="PATH", default=None,
+                             help="write JSON here instead of stdout")
     return parser
 
 
@@ -208,6 +307,10 @@ def main(argv: list[str] | None = None) -> int:
         return _sweep(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "trace":
+        return _trace(args)
+    if args.command == "report":
+        return _report(args)
     handler, _ = SCENARIOS[args.scenario]
     return handler(args)
 

@@ -66,9 +66,27 @@ class CoordinatedController:
         self.to_sleep = to_sleep
         self.fleet_monitor = Monitor(farm.env, "coord.fleet")
         self.pstate_monitor = Monitor(farm.env, "coord.pstate")
+        #: Last commanded P-state, so the flight recorder logs DVFS
+        #: *changes* rather than one event per hold cycle.
+        self._last_pstate: int | None = None
 
     def decide(self) -> tuple[int, int]:
-        """One joint decision; returns (target fleet, P-state)."""
+        """One joint decision; returns (target fleet, P-state).
+
+        Traced runs wrap the cycle in a ``coordinator.decide`` span
+        whose attrs carry the outputs; fleet moves and DVFS changes
+        land as ``actuation`` events for the audit trail.
+        """
+        tracer = self.farm.env.tracer
+        if tracer is None:
+            return self._decide()
+        with tracer.timer("coordinator"), \
+                tracer.span("coordinator.decide", "control") as span:
+            target, pstate = self._decide()
+            span.attrs = {"target_fleet": target, "pstate": pstate}
+        return target, pstate
+
+    def _decide(self) -> tuple[int, int]:
         farm = self.farm
         demand = self.demand_source(farm.env.now) * self.headroom
         per_server_full = farm.servers[0].capacity * self.target_utilization
@@ -111,6 +129,11 @@ class CoordinatedController:
                         cp.set_pstate(server, pstate)
                     else:
                         server.set_pstate(pstate)
+            tracer = farm.env.tracer
+            if tracer is not None and pstate != self._last_pstate:
+                tracer.event("dvfs.set", "actuation", index=pstate,
+                             servers=len(active))
+        self._last_pstate = pstate
         self.fleet_monitor.record(target)
         self.pstate_monitor.record(pstate)
         return target, pstate

@@ -21,11 +21,28 @@ from __future__ import annotations
 
 import math
 
-from repro.cluster.server import Server, ServerState
+from repro.cluster.server import ServerState
 from repro.control.farm import ServerFarm
 from repro.sim import Monitor
 
 __all__ = ["DelayBasedOnOff", "ForecastOnOff"]
+
+
+def _trace_activate(farm: ServerFarm, name: str | None,
+                    via: str) -> None:
+    """Flight-recorder hook: one wake/boot landed (no-op untraced)."""
+    tracer = farm.env.tracer
+    if tracer is not None:
+        tracer.event("onoff.activate", "actuation", server=name, via=via)
+
+
+def _trace_deactivate(farm: ServerFarm, name: str | None,
+                      to_sleep: bool, via: str) -> None:
+    """Flight-recorder hook: one sleep/shutdown landed."""
+    tracer = farm.env.tracer
+    if tracer is not None:
+        tracer.event("onoff.deactivate", "actuation", server=name,
+                     to_sleep=to_sleep, via=via)
 
 
 def _activate_one(farm: ServerFarm) -> bool:
@@ -44,7 +61,10 @@ def _activate_one(farm: ServerFarm) -> bool:
     quarantined = getattr(farm, "quarantined_zones", frozenset())
     cp = getattr(farm, "control_plane", None)
     if cp is not None:
-        return cp.activate_one(quarantined)
+        started = cp.activate_one(quarantined)
+        if started:
+            _trace_activate(farm, cp.last_actuated, "controlplane")
+        return started
     picker = getattr(farm.fleet, "pick_startable", None)
     if picker is not None:
         # Vector backend: the same first-SLEEPING-else-first-OFF pool
@@ -56,16 +76,19 @@ def _activate_one(farm: ServerFarm) -> bool:
             server.wake()
         else:
             server.power_on()
+        _trace_activate(farm, server.name, "vector")
         return True
     for server in farm.servers:
         if (server.state is ServerState.SLEEPING
                 and server.zone not in quarantined):
             server.wake()
+            _trace_activate(farm, server.name, "direct")
             return True
     for server in farm.servers:
         if (server.state is ServerState.OFF
                 and server.zone not in quarantined):
             server.power_on()
+            _trace_activate(farm, server.name, "direct")
             return True
     return False
 
@@ -90,6 +113,7 @@ def _activate_many(farm: ServerFarm, count: int) -> int:
                     server.wake()
                 else:
                     server.power_on()
+                _trace_activate(farm, server.name, "vector")
                 started += 1
             return started
     for _ in range(count):
@@ -103,7 +127,11 @@ def _deactivate_one(farm: ServerFarm, to_sleep: bool) -> bool:
     """Drain and sleep/shut one ACTIVE machine; True if done."""
     cp = getattr(farm, "control_plane", None)
     if cp is not None:
-        return cp.deactivate_one(to_sleep)
+        done = cp.deactivate_one(to_sleep)
+        if done:
+            _trace_deactivate(farm, cp.last_actuated, to_sleep,
+                              "controlplane")
+        return done
     active = farm.active_servers()
     if len(active) <= 1:
         return False  # never scale to zero
@@ -113,6 +141,7 @@ def _deactivate_one(farm: ServerFarm, to_sleep: bool) -> bool:
         victim.sleep()
     else:
         victim.shut_down()
+    _trace_deactivate(farm, victim.name, to_sleep, "direct")
     return True
 
 
@@ -134,6 +163,8 @@ def _deactivate_many(farm: ServerFarm, to_sleep: bool, count: int) -> int:
         for _ in range(count):
             if not cp.deactivate_one(to_sleep):
                 break
+            _trace_deactivate(farm, cp.last_actuated, to_sleep,
+                              "controlplane")
             done += 1
         return done
     active = farm.active_servers()
@@ -146,6 +177,7 @@ def _deactivate_many(farm: ServerFarm, to_sleep: bool, count: int) -> int:
             victim.sleep()
         else:
             victim.shut_down()
+        _trace_deactivate(farm, victim.name, to_sleep, "direct")
     return victims
 
 

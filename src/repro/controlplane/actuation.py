@@ -210,6 +210,11 @@ class CommandRecord:
     acked_s: float | None = None
     result: str | None = None
     gave_up: bool = False
+    #: Flight-recorder correlation: the macro decision this command
+    #: traces back to.  Reconciler reissues inherit the id of the
+    #: originating controller command for the same idempotency key,
+    #: so a retry chain stays linked to the decision that started it.
+    decision_id: int | None = None
 
     @property
     def acked(self) -> bool:
@@ -269,6 +274,10 @@ class ActuationBus:
         self.believed_pstate: dict[str, int] = {}
         self.believed_cap: dict[str, float | None] = {}
         self.reissues = 0
+        #: Last macro decision id seen per idempotency key, so a
+        #: reconciler reissue (made outside any decision) can be
+        #: attributed to the decision whose command it repairs.
+        self._last_decision: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Believed state
@@ -362,6 +371,17 @@ class ActuationBus:
                                origin=origin)
         if origin == "reconciler":
             self.reissues += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            if origin == "reconciler":
+                record.decision_id = self._last_decision.get(key)
+            else:
+                record.decision_id = tracer.decision_id
+            if record.decision_id is not None:
+                self._last_decision[key] = record.decision_id
+            tracer.event("bus.submit", "control", key=key,
+                         kind=kind.value, origin=origin,
+                         decision_id=record.decision_id)
         self.records.append(record)
         self._open[key] = record
         target = _TARGET_STATE.get(kind)
@@ -434,6 +454,12 @@ class ActuationBus:
             record.result = "lost"
         if self._open.get(record.key) is record:
             del self._open[record.key]
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.event("bus.gave_up", "control", key=record.key,
+                         kind=record.kind.value,
+                         attempts=record.attempts,
+                         decision_id=record.decision_id)
 
     def _superseded(self, record: CommandRecord) -> bool:
         """A newer command took this record's idempotency key."""

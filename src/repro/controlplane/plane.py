@@ -191,6 +191,10 @@ class ControlPlane:
             self.watchdog.monitor(s.name for s in self.servers)
             self.watchdog.expected_down = self._expected_down
         self._by_name = {s.name: s for s in self.servers}
+        #: Name of the server the last activate/deactivate picked —
+        #: read by the flight-recorder hooks, which otherwise only see
+        #: the boolean "one was started" result.
+        self.last_actuated: str | None = None
         self._rack = {s.name: _rack_of(s) for s in self.servers}
         self.farm: "ServerFarm | None" = None
         self.room: "MachineRoom | None" = None
@@ -321,12 +325,14 @@ class ControlPlane:
                     and server.zone not in quarantined):
                 self.actuation.submit(server, CommandKind.WAKE,
                                       origin=origin)
+                self.last_actuated = server.name
                 return True
         for server in farm.servers:
             if (state_of(server) is ServerState.OFF
                     and server.zone not in quarantined):
                 self.actuation.submit(server, CommandKind.POWER_ON,
                                       origin=origin)
+                self.last_actuated = server.name
                 return True
         return False
 
@@ -342,6 +348,7 @@ class ControlPlane:
         victim = active[-1]
         kind = CommandKind.SLEEP if to_sleep else CommandKind.SHUT_DOWN
         self.actuation.submit(victim, kind)
+        self.last_actuated = victim.name
         return True
 
     def set_pstate(self, server: Server, index: int) -> None:
@@ -397,8 +404,21 @@ class ControlPlane:
 
         Returns the number of divergent commands re-issued.  Also asks
         the farm aggregate to verify its cached sums — the cheap
-        self-heal the satellite task calls for.
+        self-heal that bounds aggregate drift.  Traced runs log one
+        ``controlplane.reconcile`` event per pass under a
+        ``reconcile`` wall timer.
         """
+        tracer = self.env.tracer
+        if tracer is None:
+            return self._reconcile()
+        with tracer.timer("reconcile"):
+            reissued = self._reconcile()
+        tracer.event("controlplane.reconcile", "control",
+                     reissued=reissued, runs=self.reconcile_runs,
+                     drift_w=self.aggregate_power_drift_w)
+        return reissued
+
+    def _reconcile(self) -> int:
         self.reconcile_runs += 1
         bus = self.actuation
         reissued = 0

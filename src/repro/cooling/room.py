@@ -156,9 +156,17 @@ class MachineRoom:
             zone.step(self.step_s, supplies, list(self.conductance[i]))
             self.zone_monitors[zone.name].record(zone.temp_c)
             self._check_alarm(zone)
+        tracer = self.env.tracer
         for j, crac in enumerate(self.cracs):
             if j not in self.failed_cracs:
+                before = crac.commanded_supply_c
                 crac.maybe_decide(now, self.return_temp_c(j))
+                if (tracer is not None
+                        and crac.commanded_supply_c != before):
+                    tracer.event("crac.setpoint", "control",
+                                 crac=crac.name,
+                                 supply_c=crac.commanded_supply_c,
+                                 return_c=self.return_temp_c(j))
         self.mechanical_monitor.record(self.mechanical_power_w())
 
     def _check_alarm(self, zone: ThermalZone) -> None:

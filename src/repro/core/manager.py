@@ -35,6 +35,7 @@ from repro.cooling.room import MachineRoom, ThermalAlarm
 from repro.core.cooling_aware import CoolingAwarePlacer
 from repro.core.forecast import HoltWintersForecaster
 from repro.core.sla import SLA, SLAReport
+from repro.obs import AuditTrail
 from repro.power.capping import PowerCapper
 from repro.sim import Monitor
 
@@ -218,6 +219,15 @@ class MacroResourceManager:
         self.degraded_monitor = Monitor(self.env, "macro.degraded")
         self.degraded_monitor.record(0.0)
 
+        #: Flight recorder wiring: when a tracer is bound to the
+        #: environment before this manager is built, every decision
+        #: cycle lands in a :class:`~repro.obs.AuditTrail` linking its
+        #: actuations back to the observations that triggered them.
+        #: ``None`` — the default — costs one attribute test per cycle.
+        self.tracer = getattr(self.env, "tracer", None)
+        self.audit: AuditTrail | None = (
+            AuditTrail(self.tracer) if self.tracer is not None else None)
+
     # ------------------------------------------------------------------
     # Signals
     # ------------------------------------------------------------------
@@ -287,11 +297,18 @@ class MacroResourceManager:
                 server.shut_down()
         if victims:
             self.drains.append((self.env.now, zone, len(victims)))
+            if self.tracer is not None:
+                self.tracer.event("macro.drain_zone", "actuation",
+                                  zone=zone, servers=len(victims))
         return len(victims)
 
     def _transition(self, to_mode: str, reason: str) -> None:
         self.mode_transitions.append(
             (self.env.now, self.mode, to_mode, reason))
+        if self.tracer is not None:
+            self.tracer.event("macro.mode_transition", "control",
+                              from_mode=self.mode, to_mode=to_mode,
+                              reason=reason)
         self.mode = to_mode
         self.degraded_monitor.record(1.0 if to_mode == "degraded" else 0.0)
 
@@ -368,14 +385,73 @@ class MacroResourceManager:
     # Decision cycle
     # ------------------------------------------------------------------
     def decide(self) -> MacroDecision:
-        """One full macro cycle: observe → forecast → actuate → audit."""
+        """One full macro cycle: observe → forecast → actuate → audit.
+
+        With a tracer attached the cycle runs inside a ``macro.decide``
+        span under a ``macro`` wall timer, and the audit trail records
+        the cycle's observations and every actuation event emitted
+        anywhere in the stack before it commits.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self._decide()
+        with tracer.timer("macro"), \
+                tracer.span("macro.decide", "control"):
+            return self._decide()
+
+    def _observe_demand(self, now: float) -> float:
+        """Demand as believed, logged into the open audit record."""
+        cp = self.control_plane
+        observed = (cp.observe_demand(now) if cp is not None
+                    else self.farm.demand_fn(now))
+        audit = self.audit
+        if audit is not None:
+            if cp is not None and not cp.perfect:
+                # Re-read the estimator (pure) to capture the sample's
+                # measurement time and staleness for the audit trail.
+                reading = cp.telemetry.read("farm.demand")
+                if not reading.missing:
+                    audit.observe("farm.demand", observed,
+                                  reading.time_s, reading.age_s,
+                                  "telemetry")
+                    return observed
+            audit.observe("farm.demand", observed, now, 0.0, "direct")
+        return observed
+
+    def _audit_status(self, now: float,
+                      status: "FacilityStatus | None") -> None:
+        """Log facility gauges + threat context for this cycle."""
+        audit = self.audit
+        if audit is None:
+            return
+        cp = self.control_plane
+        source = ("telemetry" if cp is not None and not cp.perfect
+                  else "direct")
+        domains: list[str] = []
+        if status is not None:
+            audit.observe("facility.capacity_w",
+                          float(status.power_capacity_w), now, 0.0,
+                          source)
+            if status.on_battery:
+                audit.observe("facility.on_battery", True, now, 0.0,
+                              source)
+            domains = [r.kind.value for r in status.active_incidents]
+        suspects = (cp.suspect_count() if cp is not None else 0)
+        audit.context(mode=self.mode,
+                      active_incidents=len(domains),
+                      fault_domains=domains,
+                      watchdog_suspects=suspects)
+
+    def _decide(self) -> MacroDecision:
         now = self.env.now
         cp = self.control_plane
+        audit = self.audit
+        if audit is not None:
+            audit.begin(now)
         # The demand signal crosses the telemetry network when a
         # control plane is attached: dropout, noise, and staleness
         # shape what the forecaster learns from.
-        observed = (cp.observe_demand(now) if cp is not None
-                    else self.farm.demand_fn(now))
+        observed = self._observe_demand(now)
         self.forecaster.observe(now, observed)
         self._forecast_ready = True
         forecast = self.forecaster.forecast(self.forecast_horizon_s)
@@ -388,6 +464,7 @@ class MacroResourceManager:
                   if self.fault_engine is not None else None)
         if cp is not None:
             status = cp.observe_status(status)
+        self._audit_status(now, status)
         n_incidents, drained = self._apply_degradation(status)
 
         target_fleet, pstate = self.coordinator.decide()
@@ -414,6 +491,10 @@ class MacroResourceManager:
                             cp.set_pstate(server, floor)
                         else:
                             server.set_pstate(floor)
+                    if self.tracer is not None:
+                        self.tracer.event("dvfs.floor", "actuation",
+                                          index=floor,
+                                          servers=len(active))
 
         thermal_safe = True
         if self.placer is not None and self.heat_by_zone_fn is not None:
@@ -432,6 +513,11 @@ class MacroResourceManager:
                                  .admission_fraction,
                                  drained_servers=drained)
         self.decisions.append(decision)
+        if audit is not None:
+            audit.commit(forecast=forecast, target_fleet=target_fleet,
+                         pstate=pstate, capped=capped, mode=self.mode,
+                         admission_fraction=self.farm.admission_fraction,
+                         drained_servers=drained)
         return decision
 
     def run(self):

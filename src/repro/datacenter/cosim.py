@@ -88,10 +88,16 @@ class CoSimulation:
                  fault_schedule: FaultSchedule | None = None,
                  streams: RandomStreams | None = None,
                  control_plane: ControlPlaneProfile | None = None,
-                 power_budget_w: float | None = None):
+                 power_budget_w: float | None = None,
+                 tracer=None):
         if physical_step_s <= 0:
             raise ValueError("physical step must be positive")
         self.env = Environment()
+        #: Optional flight recorder (:class:`repro.obs.Tracer`).  Bound
+        #: before any plant is built so every subsystem sees it; a
+        #: ``None`` tracer leaves all hot paths on their untraced
+        #: branches and the run bit-identical to an uninstrumented one.
+        self.tracer = tracer.bind(self.env) if tracer is not None else None
         self.dc: DataCenter = spec.build(self.env)
         self.demand_fn = demand_fn
         self.physical_step_s = float(physical_step_s)

@@ -128,8 +128,16 @@ class VectorAggregate(FleetAggregate):
         return ok
 
     def batcher(self) -> "VectorAggregate | None":
-        """This aggregate when batch mutation is exact, else ``None``."""
-        return self if self._wiring_valid() else None
+        """This aggregate when batch mutation is exact, else ``None``.
+
+        Traced runs count the vector-vs-scalar split so a RunReport
+        can show how often the batch gate actually opened.
+        """
+        ok = self._wiring_valid()
+        tracer = self._fleet.env.tracer
+        if tracer is not None:
+            tracer.count("fleet.batch" if ok else "fleet.scalar_fallback")
+        return self if ok else None
 
     # ------------------------------------------------------------------
     # Batch mutators (callers hold a validated batcher)

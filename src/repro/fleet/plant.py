@@ -465,8 +465,13 @@ class VectorFleet:
         """Uncapped fleet demand (the capper input), or ``None`` when
         the fleet is not uniform-linear (callers fall back to the
         scalar fold)."""
+        tracer = self.env.tracer
         if not self.uniform_linear or self.n_claimed != self.n:
+            if tracer is not None:
+                tracer.count("fleet.demand_scalar_fallback")
             return None
+        if tracer is not None:
+            tracer.count("fleet.demand_vector")
         code = self.state_code
         demand = self.off_w.copy()          # OFF and FAILED rows
         mask = (code == C_BOOTING) | (code == C_WAKING)

@@ -1,0 +1,36 @@
+"""Structured observability: causal tracing, decision audit, reports.
+
+The flight recorder for the macro layer.  Three pieces:
+
+* :class:`Tracer` — ring-buffered spans/events on simulated time,
+  plus profiling counters and wall timers.  Off by default; sites
+  guard on ``env.tracer is not None`` and the disabled path is
+  byte-identical to an uninstrumented run.
+* :class:`AuditTrail` — per-decision records linking the macro
+  layer's actuations (wake-ups, cap moves, drains) back to the
+  telemetry observations, fault domains, and degraded-ops state that
+  triggered them.
+* :class:`RunReport` — the JSON export (``python -m repro report``)
+  bundling metrics, counters, the audit trail, and the actuation-bus
+  command ledger with decision links.
+"""
+
+from repro.obs.audit import AuditTrail, DecisionRecord, Observation
+from repro.obs.report import (
+    RunReport,
+    build_run_report,
+    format_causal_chain,
+)
+from repro.obs.tracer import EventRecord, SpanRecord, Tracer
+
+__all__ = [
+    "AuditTrail",
+    "DecisionRecord",
+    "EventRecord",
+    "Observation",
+    "RunReport",
+    "SpanRecord",
+    "Tracer",
+    "build_run_report",
+    "format_causal_chain",
+]

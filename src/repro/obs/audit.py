@@ -1,0 +1,211 @@
+"""Decision audit trail: *why* the macro layer actuated.
+
+Each :meth:`~repro.core.manager.MacroResourceManager.decide` cycle
+becomes one :class:`DecisionRecord` carrying
+
+* the **observations** the cycle acted on — the telemetry samples
+  (channel, value, measurement time, staleness) behind the demand
+  signal and facility gauges, the active fault domains, the watchdog
+  suspect count, and the degraded-ops mode in force;
+* every **actuation** the cycle caused — wake/sleep/boot commands
+  from the coordinator, P-state moves, cap tighten/lift decisions,
+  and zone drains — captured by listening to the tracer's
+  ``actuation``-category events while the cycle's span is open;
+* the cycle's **outputs** (target fleet, P-state, capped flag, mode).
+
+The trail also closes the loop with the actuation bus: every
+:class:`~repro.controlplane.actuation.CommandRecord` issued while a
+cycle is open is stamped with that cycle's ``decision_id``, and a
+reconciler re-issue inherits the id of the command it replaces — so a
+retry storm three minutes after a decision still traces back to the
+observation that triggered it.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import typing
+
+from repro.obs.tracer import EventRecord, Tracer
+
+__all__ = ["AuditTrail", "DecisionRecord", "Observation"]
+
+
+class Observation(typing.NamedTuple):
+    """One input the decision cycle acted on."""
+
+    #: Telemetry channel (or synthetic channel for direct reads).
+    channel: str
+    value: typing.Any
+    #: When the sample was measured (sim seconds; the decision time
+    #: itself for direct ground-truth reads).
+    measured_s: float
+    #: Decision-time minus measurement-time: the estimator staleness.
+    age_s: float
+    #: ``"telemetry"`` (crossed a bus) or ``"direct"`` (ground truth).
+    source: str = "direct"
+
+    def to_dict(self) -> dict:
+        value = self.value
+        if not isinstance(value, (int, float, str, bool, type(None))):
+            value = str(value)
+        return {"channel": self.channel, "value": value,
+                "measured_s": self.measured_s, "age_s": self.age_s,
+                "source": self.source}
+
+
+class DecisionRecord:
+    """One decision cycle: observations in, actuations out."""
+
+    __slots__ = ("decision_id", "time_s", "mode", "active_incidents",
+                 "fault_domains", "watchdog_suspects", "observations",
+                 "actuations", "outputs")
+
+    def __init__(self, decision_id: int, time_s: float):
+        self.decision_id = decision_id
+        self.time_s = time_s
+        self.mode = "normal"
+        self.active_incidents = 0
+        #: Kinds of the fault domains open at decision time.
+        self.fault_domains: list[str] = []
+        self.watchdog_suspects = 0
+        self.observations: list[Observation] = []
+        #: ``{"name", "time_s", "attrs"}`` dicts from actuation events.
+        self.actuations: list[dict] = []
+        #: Filled at commit from the cycle's :class:`MacroDecision`.
+        self.outputs: dict = {}
+
+    def actuation_kinds(self) -> set[str]:
+        return {a["name"] for a in self.actuations}
+
+    def to_dict(self) -> dict:
+        return {
+            "decision_id": self.decision_id,
+            "time_s": self.time_s,
+            "mode": self.mode,
+            "active_incidents": self.active_incidents,
+            "fault_domains": list(self.fault_domains),
+            "watchdog_suspects": self.watchdog_suspects,
+            "observations": [o.to_dict() for o in self.observations],
+            "actuations": self.actuations,
+            "outputs": self.outputs,
+        }
+
+
+class AuditTrail:
+    """Collects decision records by listening to a :class:`Tracer`.
+
+    The manager drives the lifecycle (``begin`` → observations →
+    ``commit``); actuation events recorded anywhere in the stack while
+    a cycle is open — the coordinator's fleet moves, the capper's
+    tighten/lift, the plane's drains — attach themselves to the open
+    record via the tracer sink, which is what makes the trail span
+    layers without threading a handle through every call site.
+    """
+
+    def __init__(self, tracer: Tracer, capacity: int = 16_384):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.tracer = tracer
+        self.records: collections.deque[DecisionRecord] = \
+            collections.deque(maxlen=int(capacity))
+        self.records_dropped = 0
+        self._ids = itertools.count(1)
+        self._open: DecisionRecord | None = None
+        tracer.sinks.append(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by the manager)
+    # ------------------------------------------------------------------
+    def begin(self, time_s: float) -> DecisionRecord:
+        """Open a decision record; subsequent actuations attach to it."""
+        if self._open is not None:
+            # A crashed cycle never committed; keep its partial record.
+            self._commit_record(self._open)  # pragma: no cover
+        record = DecisionRecord(next(self._ids), time_s)
+        self._open = record
+        self.tracer.decision_id = record.decision_id
+        return record
+
+    def observe(self, channel: str, value, measured_s: float,
+                age_s: float, source: str = "direct") -> None:
+        """Attach one observation to the open cycle."""
+        if self._open is not None:
+            self._open.observations.append(
+                Observation(channel, value, measured_s, age_s, source))
+
+    def context(self, mode: str, active_incidents: int,
+                fault_domains: typing.Iterable[str],
+                watchdog_suspects: int) -> None:
+        """Record the facility context the open cycle saw."""
+        record = self._open
+        if record is None:
+            return
+        record.mode = mode
+        record.active_incidents = active_incidents
+        record.fault_domains = list(fault_domains)
+        record.watchdog_suspects = watchdog_suspects
+
+    def commit(self, **outputs) -> DecisionRecord | None:
+        """Close the open cycle, stamping its outputs."""
+        record = self._open
+        if record is None:
+            return None
+        record.outputs = outputs
+        self._commit_record(record)
+        return record
+
+    def _commit_record(self, record: DecisionRecord) -> None:
+        if len(self.records) == self.records.maxlen:
+            self.records_dropped += 1
+        self.records.append(record)
+        self._open = None
+        self.tracer.decision_id = None
+
+    # ------------------------------------------------------------------
+    # Tracer sink
+    # ------------------------------------------------------------------
+    def _on_event(self, event: EventRecord) -> None:
+        record = self._open
+        if record is None:
+            return
+        if event.category == "actuation":
+            record.actuations.append({
+                "name": event.name,
+                "time_s": event.time_s,
+                "attrs": dict(event.attrs) if event.attrs else {},
+            })
+        elif event.category == "observation":
+            attrs = event.attrs or {}
+            record.observations.append(Observation(
+                attrs.get("channel", event.name),
+                attrs.get("value"),
+                attrs.get("measured_s", event.time_s),
+                attrs.get("age_s", 0.0),
+                attrs.get("source", "direct")))
+
+    # ------------------------------------------------------------------
+    # Queries / reporting
+    # ------------------------------------------------------------------
+    def decisions_with(self, actuation: str) -> list[DecisionRecord]:
+        """Committed decisions that caused the named actuation."""
+        return [r for r in self.records
+                if any(a["name"] == actuation for a in r.actuations)]
+
+    def actuation_totals(self) -> dict[str, int]:
+        """``{actuation name: count}`` across the whole trail."""
+        totals: dict[str, int] = {}
+        for record in self.records:
+            for act in record.actuations:
+                name = act["name"]
+                totals[name] = totals.get(name, 0) + 1
+        return totals
+
+    def to_dict(self) -> dict:
+        return {
+            "decisions": [r.to_dict() for r in self.records],
+            "decisions_dropped": self.records_dropped,
+            "actuation_totals": dict(
+                sorted(self.actuation_totals().items())),
+        }

@@ -81,6 +81,10 @@ class PowerCapper:
         self.delivered_monitor = Monitor(env, "capper.delivered_w")
         self._fleet = None
         self._fleet_checked = False
+        #: Engagement edge tracker for the flight recorder: tighten
+        #: events fire per capped evaluation, release fires once on
+        #: the capped → uncapped edge.
+        self._was_capped = False
 
     def _vector_fleet(self):
         """The loads' VectorFleet when they are exactly its pool.
@@ -132,6 +136,11 @@ class PowerCapper:
                                    shed_w=0.0)
             self.decisions.append(decision)
             self.delivered_monitor.record(demand)
+            tracer = self.env.tracer
+            if tracer is not None and self._was_capped:
+                tracer.event("cap.release", "actuation",
+                             demand_w=demand, budget_w=self.budget_w)
+            self._was_capped = False
             return decision
 
         # Proportional shares of the *trigger* level, floored at each
@@ -173,6 +182,12 @@ class PowerCapper:
                                shed_w=max(0.0, demand - delivered))
         self.decisions.append(decision)
         self.delivered_monitor.record(delivered)
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.event("cap.tighten", "actuation", demand_w=demand,
+                         budget_w=self.budget_w, throttled=throttled,
+                         shed_w=decision.shed_w)
+        self._was_capped = True
         return decision
 
     def run(self, period_s: float = 1.0):

@@ -39,13 +39,20 @@ class Environment:
     (workload generators, coolers, and controllers all agree on it).
     """
 
-    __slots__ = ("_now", "_queue", "_eidn", "_active_process", "_free")
+    __slots__ = ("_now", "_queue", "_eidn", "_active_process", "_free",
+                 "tracer")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._eidn = 0
         self._active_process: Process | None = None
+        #: Optional :class:`~repro.obs.Tracer` (the flight recorder).
+        #: ``None`` — the default — keeps :meth:`run` on the exact
+        #: uninstrumented hot loops; an attached tracer redirects to
+        #: :meth:`_run_traced`, which keeps the same fast path but
+        #: counts the kernel's event mix as it goes.
+        self.tracer = None
         #: Recycled Timeout objects (see the run() loops).  A consumed
         #: timeout that provably has no outside references goes here
         #: instead of the garbage collector, and :meth:`timeout` reuses
@@ -178,6 +185,8 @@ class Environment:
         event with no intermediate Python frames.  At fleet scale the
         kernel spends its life here.
         """
+        if self.tracer is not None:
+            return self._run_traced(until)
         queue = self._queue
         heappop = heapq.heappop
         free = self._free
@@ -315,6 +324,121 @@ class Environment:
             self._dispatch(event)
         self._now = horizon
         return None
+
+    def _run_traced(self, until: float | Event | None):
+        """The :meth:`run` loops with flight-recorder accounting.
+
+        Same fast path (inlined timeout resume, free-list recycling),
+        plus local counters for the kernel's event mix folded into the
+        tracer at exit.  The extra cost is a handful of integer adds
+        per event — the traced-on overhead budget the observability
+        tests pin below 10 %.
+        """
+        tracer = self.tracer
+        queue = self._queue
+        heappop = heapq.heappop
+        free = self._free
+        getrefcount = sys.getrefcount
+        n_fast = n_dispatch = n_completed = n_failed = 0
+
+        if isinstance(until, Event):
+            # Rare sentinel form: generic dispatch, still counted.
+            sentinel = until
+            handle = tracer.span("kernel.run", "kernel")
+            timer = tracer.timer("kernel")
+            timer.__enter__()
+            try:
+                with handle:
+                    if sentinel.processed:
+                        if not sentinel.ok:
+                            raise sentinel.value
+                        return sentinel.value
+                    fired: list[Event] = []
+                    _subscribe_callback(sentinel, fired.append)
+                    while queue and not fired:
+                        time, _key, event = heappop(queue)
+                        self._now = time
+                        self._dispatch(event)
+                        n_dispatch += 1
+                    if not fired:
+                        raise RuntimeError("simulation ended before the "
+                                           "awaited event fired")
+                    if not sentinel.ok:
+                        raise sentinel.value
+                    return sentinel.value
+            finally:
+                timer.__exit__(None, None, None)
+                tracer.count("kernel.dispatched", n_dispatch)
+
+        horizon = None if until is None else float(until)
+        if horizon is not None and horizon < self._now:
+            raise ValueError(
+                f"until={horizon} lies in the past (now={self._now})")
+        handle = tracer.span("kernel.run", "kernel")
+        timer = tracer.timer("kernel")
+        timer.__enter__()
+        try:
+            with handle:
+                while queue and (horizon is None
+                                 or queue[0][0] < horizon):
+                    time, _key, event = heappop(queue)
+                    self._now = time
+                    if type(event) is Timeout:
+                        proc = event._waiter
+                        if proc is not None:
+                            # Hot path — see the untraced loops.
+                            n_fast += 1
+                            event.callbacks = None
+                            self._active_process = proc
+                            try:
+                                result = proc._send(event._value)
+                            except StopIteration as stop:
+                                self._active_process = None
+                                proc._target = None
+                                proc.succeed(stop.value)
+                                n_completed += 1
+                                continue
+                            except BaseException as exc:
+                                self._active_process = None
+                                proc._target = None
+                                proc.fail(exc)
+                                self._on_process_failure(proc, exc)
+                                n_failed += 1
+                                continue
+                            self._active_process = None
+                            if type(result) is Timeout:
+                                callbacks = result.callbacks
+                                if callbacks is not None:
+                                    proc._target = result
+                                    if type(callbacks) is tuple:
+                                        waiter = result._waiter
+                                        if waiter is None:
+                                            result._waiter = proc
+                                        else:
+                                            result._waiter = None
+                                            result.callbacks = [
+                                                waiter._resume_cb,
+                                                proc._resume_cb,
+                                            ]
+                                    else:
+                                        callbacks.append(proc._resume_cb)
+                                    if getrefcount(event) == 2:
+                                        free.append(event)
+                                    continue
+                            proc._target = None
+                            proc._subscribe(result)
+                            continue
+                    self._dispatch(event)
+                    n_dispatch += 1
+                if horizon is not None:
+                    self._now = horizon
+                return None
+        finally:
+            timer.__exit__(None, None, None)
+            tracer.count("kernel.timeout_fast", n_fast)
+            tracer.count("kernel.dispatched", n_dispatch)
+            tracer.count("kernel.processes_completed", n_completed)
+            tracer.count("kernel.processes_failed", n_failed)
 
     def _on_process_failure(self, process: Process,
                             exc: BaseException) -> None:
