@@ -141,18 +141,33 @@ def _sweep(args: argparse.Namespace) -> int:
 
 
 def _bench(args: argparse.Namespace) -> int:
-    """Time an N-server managed day on the chosen plant backend."""
+    """Time an N-server managed day or a consolidation pass."""
     import json
 
-    from repro.perf.bench import format_report, run_scale_bench
+    from repro.perf.bench import (
+        format_placement_report,
+        format_report,
+        run_placement_bench,
+        run_scale_bench,
+    )
 
-    metrics = run_scale_bench(args.servers, backend=args.backend,
-                              hours=args.hours)
-    print(format_report(metrics))
+    if args.bench_scenario == "placement":
+        metrics = run_placement_bench(args.servers, gamma=args.gamma)
+        print(format_placement_report(metrics))
+        # Match the committed BENCH_PERF.json row name ("20k-server")
+        # so the regression gate can consume the CLI output directly.
+        n = metrics["servers"]
+        label = f"{n // 1000}k" if n % 1000 == 0 else str(n)
+        name = f"PERF: {label}-server consolidation pass"
+    else:
+        metrics = run_scale_bench(args.servers, backend=args.backend,
+                                  hours=args.hours)
+        print(format_report(metrics))
+        name = f"PERF: {metrics['servers']}-server day"
     if args.json:
         # One row in the BENCH_PERF.json shape, so the nightly CI job
         # can feed it straight to check_perf_regression.py.
-        row = {"name": f"PERF: {metrics['servers']}-server day",
+        row = {"name": name,
                "metrics": {k: v for k, v in metrics.items()
                            if isinstance(v, (int, float))},
                "mean_s": metrics["wall_s"]}
@@ -266,13 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base seed; each point forks its own")
     bench = sub.add_parser(
         "bench", help="time an N-server managed day (scale benchmark)")
+    bench.add_argument("--scenario", dest="bench_scenario",
+                       choices=("day", "placement"), default="day",
+                       help="'day': co-simulate a managed day; "
+                            "'placement': one fleet-scale gamma-robust "
+                            "consolidation pass (default: day)")
     bench.add_argument("--servers", type=int, default=2_000,
-                       help="fleet size (multiple of 20)")
+                       help="fleet size (multiple of 20 for 'day')")
     bench.add_argument("--backend", choices=("object", "vector"),
                        default="vector",
                        help="plant storage layout (default: vector)")
     bench.add_argument("--hours", type=float, default=24.0,
-                       help="simulated hours")
+                       help="simulated hours ('day' scenario)")
+    bench.add_argument("--gamma", type=int, default=2,
+                       help="robustness budget ('placement' scenario)")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="also write the result as a one-row "
                             "BENCH_PERF-style JSON file")

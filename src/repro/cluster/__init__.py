@@ -17,6 +17,7 @@ from repro.cluster.loadbalancer import (
     WeightedSplit,
 )
 from repro.cluster.migration import (
+    MigrationAbort,
     MigrationCostModel,
     MigrationManager,
     MigrationRecord,
@@ -48,6 +49,7 @@ __all__ = [
     "InterferenceModel",
     "InvalidTransition",
     "LoadBalancer",
+    "MigrationAbort",
     "MigrationCostModel",
     "MigrationManager",
     "MigrationRecord",

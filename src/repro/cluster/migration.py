@@ -91,8 +91,34 @@ class MigrationRecord(typing.NamedTuple):
     energy_j: float
 
 
+class MigrationAbort(typing.NamedTuple):
+    """Audit record of one migration that did *not* land.
+
+    ``reason`` is one of ``"source-failed"`` (the guest went down with
+    its host mid-copy), ``"destination-failed"`` (the target died
+    before cut-over — the VM keeps running at the source),
+    ``"destination-unavailable"`` (the target was already dead at
+    submit time), or ``"superseded"`` (the VM was moved or evicted by
+    someone else while this copy was in flight).
+    """
+
+    vm: str
+    source: str
+    destination: str
+    started_s: float
+    aborted_s: float
+    reason: str
+
+
 class MigrationManager:
-    """Execute live migrations on the simulation clock."""
+    """Execute live migrations on the simulation clock.
+
+    Migration is *not* infallible: a host failure while a copy is in
+    flight aborts the move instead of landing the VM on a failed
+    machine.  The cut-over at the end of pre-copy re-validates both
+    endpoints — the hypervisor-side guard that makes higher-level
+    consolidation transactions sound.
+    """
 
     def __init__(self, env: Environment,
                  cost_model: MigrationCostModel | None = None,
@@ -104,6 +130,29 @@ class MigrationManager:
         self.max_concurrent = max_concurrent
         self.in_flight = 0
         self.records: list[MigrationRecord] = []
+        self.aborts: list[MigrationAbort] = []
+
+    def _abort(self, vm: VirtualMachine, source: VMHost,
+               destination: VMHost, started: float, reason: str) -> None:
+        self.aborts.append(MigrationAbort(
+            vm.name, source.name, destination.name, started,
+            self.env.now, reason))
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.event("migration.abort", "actuation", vm=vm.name,
+                         source=source.name,
+                         destination=destination.name, reason=reason)
+
+    def _endpoint_fault(self, vm: VirtualMachine, source: VMHost,
+                        destination: VMHost) -> str | None:
+        """Cut-over guard: why this move must abort, or ``None``."""
+        if vm.host is not source:
+            return "superseded"
+        if source.failed:
+            return "source-failed"
+        if destination.failed:
+            return "destination-failed"
+        return None
 
     def migrate(self, vm: VirtualMachine, destination: VMHost):
         """Process generator: move ``vm`` to ``destination``.
@@ -111,7 +160,9 @@ class MigrationManager:
         Yields through the copy time; the VM switches hosts at the end
         (the guest runs at the source during pre-copy, which is the
         point of *live* migration).  Raises if the VM is unplaced or
-        all migration slots are busy.
+        all migration slots are busy.  An endpoint failing mid-copy —
+        or the VM being moved by someone else — aborts the move with a
+        :class:`MigrationAbort` record instead of corrupting placement.
         """
         source = vm.host
         if source is None:
@@ -120,12 +171,26 @@ class MigrationManager:
             raise ValueError(f"{vm.name} is already on {destination.name}")
         if self.in_flight >= self.max_concurrent:
             raise RuntimeError("all migration slots busy")
-        self.in_flight += 1
         started = self.env.now
+        if destination.failed:
+            self._abort(vm, source, destination, started,
+                        "destination-unavailable")
+            return
+        self.in_flight += 1
         try:
             yield self.env.timeout(self.cost.duration_s(vm.memory_gb))
+            reason = self._endpoint_fault(vm, source, destination)
+            if reason is not None:
+                self._abort(vm, source, destination, started, reason)
+                return
             downtime = self.cost.downtime_s(vm.memory_gb)
             yield self.env.timeout(downtime)
+            # Re-validate after the stop-and-copy pause too: the guest
+            # is only committed once both endpoints survived it.
+            reason = self._endpoint_fault(vm, source, destination)
+            if reason is not None:
+                self._abort(vm, source, destination, started, reason)
+                return
             source.evict(vm)
             destination.place(vm)
             self.records.append(MigrationRecord(

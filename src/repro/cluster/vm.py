@@ -20,6 +20,7 @@ import typing
 
 import numpy as np
 
+from repro.cluster.server import ServerState
 from repro.workload.mix import ResourceProfile
 
 __all__ = ["VirtualMachine", "VMHost", "SoftPowerState"]
@@ -74,7 +75,15 @@ class VirtualMachine:
 
 
 class VMHost:
-    """A physical machine hosting VMs, with capacity 1.0 per resource."""
+    """A physical machine hosting VMs, with capacity 1.0 per resource.
+
+    A host can *fail* — the whole machine, not one VM — which makes it
+    ineligible for placement and aborts migrations touching it.  The
+    ``state``/``fail``/``repair`` trio mirrors the
+    :class:`~repro.cluster.server.Server` vocabulary just enough that
+    :class:`~repro.core.chaos.FailureInjector` can target host pools
+    the same way it targets server fleets.
+    """
 
     def __init__(self, name: str,
                  capacity: typing.Sequence[float] = (1.0, 1.0, 1.0, 1.0)):
@@ -84,14 +93,34 @@ class VMHost:
         self.name = name
         self.capacity = cap
         self.vms: list[VirtualMachine] = []
+        self.failed = False
+
+    # -- failure lifecycle (FailureInjector-compatible) -----------------
+    @property
+    def state(self) -> ServerState:
+        """ACTIVE or FAILED — the two states a bare host pool has."""
+        return ServerState.FAILED if self.failed else ServerState.ACTIVE
+
+    def fail(self) -> None:
+        """Hardware fault: residents are down with the host until a
+        manager evacuates them; new placements are refused."""
+        self.failed = True
+
+    def repair(self) -> None:
+        self.failed = False
 
     def can_fit(self, vm: VirtualMachine) -> bool:
         """Naive bin-packing feasibility (additive demand)."""
+        if self.failed:
+            return False
         return bool((self.naive_demand() + vm.demand_vector()
                      <= self.capacity + 1e-12).all())
 
     def place(self, vm: VirtualMachine) -> None:
         """Admit ``vm`` (caller is responsible for feasibility policy)."""
+        if self.failed:
+            raise ValueError(f"cannot place {vm.name} on failed host "
+                             f"{self.name}")
         if vm.host is not None:
             raise ValueError(f"{vm.name} is already placed on {vm.host.name}")
         vm.host = self

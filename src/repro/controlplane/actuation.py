@@ -163,6 +163,14 @@ class ActuationProfile:
     backoff_base_s:
         Exponential backoff: retry ``n`` waits ``base * 2**(n-1)``,
         capped at ``backoff_cap_s``.
+    backoff_jitter:
+        Decorrelated jitter (opt-in): each retry instead sleeps
+        ``min(cap, uniform(base, 3 * previous_sleep))``, drawn from a
+        dedicated RNG substream.  Deterministic exponential backoff
+        marches every failed command on the same clock — after a bus
+        brown-out, all of them retry in the same instant and re-create
+        the very congestion that lost them.  Jitter spreads the
+        retries out while keeping the same cap.
     """
 
     loss_probability: float = 0.0
@@ -172,6 +180,7 @@ class ActuationProfile:
     max_retries: int = 3
     backoff_base_s: float = 5.0
     backoff_cap_s: float = 120.0
+    backoff_jitter: bool = False
 
     def __post_init__(self):
         for p in (self.loss_probability,
@@ -207,6 +216,8 @@ class CommandRecord:
     attempts: int = 0
     lost_deliveries: int = 0
     transient_failures: int = 0
+    #: Last backoff sleep taken (decorrelated jitter feeds on it).
+    backoff_s: float = 0.0
     acked_s: float | None = None
     result: str | None = None
     gave_up: bool = False
@@ -260,9 +271,16 @@ class ActuationBus:
         self.perfect = self.profile.perfect
         self.optimistic = bool(optimistic)
         self._rng = None
+        self._jitter_rng = None
         if not self.perfect:
             streams = streams or RandomStreams(0)
             self._rng = streams.get("controlplane.actuation")
+            if self.profile.backoff_jitter:
+                # A separate named substream: enabling jitter must not
+                # shift the draws of the loss/failure stream (golden
+                # tables depend on them byte for byte).
+                self._jitter_rng = streams.get(
+                    "controlplane.actuation.jitter")
         self._servers = {s.name: s for s in servers}
         self.records: list[CommandRecord] = []
         #: Open commands by idempotency key (in-flight dedupe).
@@ -417,7 +435,7 @@ class ActuationBus:
                     break
                 yield self.env.timeout(
                     profile.ack_timeout_s - profile.latency_s
-                    + self._backoff(record.attempts))
+                    + self._backoff(record))
                 if self._superseded(record):
                     return
                 continue
@@ -446,7 +464,7 @@ class ActuationBus:
             if record.attempts >= max_attempts:
                 break
             yield self.env.timeout(
-                profile.latency_s + self._backoff(record.attempts))
+                profile.latency_s + self._backoff(record))
             if self._superseded(record):
                 return
         record.gave_up = True
@@ -468,10 +486,21 @@ class ActuationBus:
             return True
         return False
 
-    def _backoff(self, attempt: int) -> float:
+    def _backoff(self, record: CommandRecord) -> float:
         profile = self.profile
-        return min(profile.backoff_cap_s,
-                   profile.backoff_base_s * 2.0 ** (attempt - 1))
+        if self._jitter_rng is None:
+            return min(profile.backoff_cap_s,
+                       profile.backoff_base_s
+                       * 2.0 ** (record.attempts - 1))
+        # Decorrelated jitter: sleep ~ U(base, 3·previous sleep),
+        # capped — growth comparable to exponential in expectation,
+        # but no two commands' retry clocks stay phase-locked.
+        base = profile.backoff_base_s
+        prev = max(record.backoff_s, base)
+        sleep = min(profile.backoff_cap_s,
+                    float(self._jitter_rng.uniform(base, prev * 3.0)))
+        record.backoff_s = sleep
+        return sleep
 
     # ------------------------------------------------------------------
     # Introspection

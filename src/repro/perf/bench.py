@@ -17,7 +17,8 @@ from __future__ import annotations
 import time
 import typing
 
-__all__ = ["bench_spec", "run_scale_bench"]
+__all__ = ["bench_spec", "run_scale_bench", "run_placement_bench",
+           "format_placement_report"]
 
 
 def bench_spec(servers: int, backend: str = "object"):
@@ -66,6 +67,53 @@ def run_scale_bench(servers: int, backend: str = "object",
         "thermal_alarms": result.thermal_alarms,
         "mean_active_servers": result.mean_active_servers,
     }
+
+
+def run_placement_bench(servers: int = 20_000, vm_ratio: float = 1.5,
+                        gamma: int = 2, seed: int = 42) -> dict:
+    """One Γ-robust consolidation pass at fleet scale.
+
+    Packs ``servers * vm_ratio`` uncertain-interval VMs onto
+    ``servers`` unit-capacity hosts with the first-fit-decreasing
+    Γ-robust packer (``python -m repro bench --scenario placement``).
+    This is the planning half of a consolidation cycle — the part
+    whose wall time gates how often the macro layer can re-plan.
+    """
+    import numpy as np
+
+    from repro.placement import GammaRobustPacker, UncertainDemand
+
+    if servers < 1:
+        raise ValueError("need at least one server")
+    n_vms = int(servers * vm_ratio)
+    rng = np.random.default_rng(seed)
+    demand = UncertainDemand(rng.uniform(0.05, 0.45, n_vms),
+                             rng.uniform(0.0, 0.15, n_vms))
+    start = time.perf_counter()
+    packer = GammaRobustPacker(np.ones(servers), gamma=gamma)
+    result = packer.pack(demand)
+    wall_s = time.perf_counter() - start
+    return {
+        "servers": servers,
+        "vms": n_vms,
+        "gamma": gamma,
+        "wall_s": wall_s,
+        "vms_per_second": n_vms / wall_s,
+        "hosts_used": result.hosts_used,
+        "servers_freed": result.servers_freed,
+        "unplaced": len(result.unplaced),
+    }
+
+
+def format_placement_report(metrics: typing.Mapping) -> str:
+    """Human-readable one-run summary of a placement bench."""
+    return (f"{metrics['vms']:,} VMs onto {metrics['servers']:,} "
+            f"hosts (gamma={metrics['gamma']}): "
+            f"{metrics['wall_s']:.2f} s wall "
+            f"({metrics['vms_per_second']:,.0f} VMs/s) | "
+            f"{metrics['hosts_used']:,} hosts used, "
+            f"{metrics['servers_freed']:,} freed, "
+            f"{metrics['unplaced']} unplaced")
 
 
 def format_report(metrics: typing.Mapping) -> str:

@@ -1,0 +1,57 @@
+"""Γ-robust VM consolidation (paper §4.4, §5; Bertsimas–Sim robustness).
+
+The deterministic packers in :mod:`repro.cluster.placement` trust
+point demand estimates — the exact fiction §4.4 warns about: "hardware
+resource utilization across VMs are not additive", and demand moves
+between consolidation cycles.  This package models each VM's CPU
+demand as an uncertain interval ``[uc - ur, uc + ur]`` and packs with
+a Γ-robustness constraint: a host assignment is feasible when the sum
+of demand centers **plus the Γ largest radii** fits capacity, i.e. the
+packing survives any Γ residents spiking to their worst case at once.
+
+* :mod:`repro.placement.uncertain` — interval demand model + builders
+  from live :class:`~repro.cluster.vm.VirtualMachine` populations and
+  plain arrays;
+* :mod:`repro.placement.robust` — the scalable first-fit-decreasing
+  Γ-robust packer with vectorized (block-scanned) feasibility that
+  runs on plain numpy columns, :class:`~repro.cluster.vm.VMHost`
+  pools, or :class:`~repro.fleet.plant.VectorFleet` capacity columns;
+* :mod:`repro.placement.oracle` — an exact branch-and-bound
+  bin-minimization oracle (pure python, MILP-equivalent on small
+  instances) used by tests to certify heuristic quality;
+* :mod:`repro.placement.txn` — transactional migration batches: each
+  move can be lost, time out, or fail mid-copy; partial batches roll
+  back to the pre-batch placement;
+* :mod:`repro.placement.manager` — the consolidation loop that plans
+  Γ-robustly, executes batches transactionally, evacuates failed
+  hosts, and reconciles diverged placements by re-planning (never by
+  double-moving), stamping every cycle into the AuditTrail.
+"""
+
+from repro.placement.manager import RobustConsolidationManager
+from repro.placement.oracle import oracle_pack
+from repro.placement.robust import (
+    GammaRobustPacker,
+    PackResult,
+    overload_probability,
+)
+from repro.placement.txn import (
+    BatchResult,
+    MigrationBatchProfile,
+    Move,
+    TransactionalMigrationExecutor,
+)
+from repro.placement.uncertain import UncertainDemand
+
+__all__ = [
+    "UncertainDemand",
+    "GammaRobustPacker",
+    "PackResult",
+    "overload_probability",
+    "oracle_pack",
+    "Move",
+    "MigrationBatchProfile",
+    "BatchResult",
+    "TransactionalMigrationExecutor",
+    "RobustConsolidationManager",
+]

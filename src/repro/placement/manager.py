@@ -1,0 +1,317 @@
+"""Uncertainty-aware consolidation: plan robustly, execute
+transactionally, reconcile honestly.
+
+:class:`RobustConsolidationManager` closes the loop the paper's §4.4
+leaves open: consolidation decisions act on *forecast* demand through
+*slow, fallible* actuators.  Each cycle:
+
+1. **evacuates** VMs stranded on failed hosts (restart placements —
+   the host is down, there is nothing live to migrate);
+2. **reconciles** intended vs. actual placement: divergence left by a
+   lost command, a failed rollback, or an evacuation is *adopted* as
+   the new baseline and re-planned, never blindly re-issued — the
+   anti-double-move rule;
+3. builds :class:`~repro.placement.uncertain.UncertainDemand` over the
+   next planning window and repacks it from scratch with the Γ-robust
+   first-fit-decreasing heuristic (consolidation *wants* to empty
+   lightly-loaded hosts, so nothing is pinned in place);
+4. diffs plan against reality into a move batch and hands it to the
+   :class:`~repro.placement.txn.TransactionalMigrationExecutor` —
+   commit entirely or roll back to the placement the cycle started
+   from;
+5. stamps the whole story (observations in, migrations/rollbacks out,
+   plan summary) into the :class:`~repro.obs.audit.AuditTrail`.
+
+The invariants the chaos tests lean on: no VM is ever *planned onto*
+or *left resident on* a failed host once a cycle has run, VM count is
+conserved through any storm, and after a final ``reconcile()`` the
+intended ledger matches reality exactly.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.migration import MigrationManager
+from repro.cluster.vm import VMHost, VirtualMachine
+from repro.obs.audit import AuditTrail
+from repro.placement.robust import GammaRobustPacker
+from repro.placement.txn import (
+    BatchResult,
+    MigrationBatchProfile,
+    Move,
+    TransactionalMigrationExecutor,
+)
+from repro.placement.uncertain import UncertainDemand
+from repro.sim import Environment, RandomStreams
+
+__all__ = ["RobustConsolidationManager"]
+
+
+class RobustConsolidationManager:
+    """Periodic Γ-robust consolidation over a live VMHost pool.
+
+    Parameters
+    ----------
+    env, hosts, vms:
+        Simulation clock and the pool under management (``vms`` is the
+        closed population whose count is conserved).
+    gamma:
+        Robustness budget handed to the packer.
+    period_s / horizon_s:
+        Cycle cadence and demand-forecast window (horizon defaults to
+        the period — plan for exactly the interval the plan must
+        survive).
+    fill_limit, noise_fraction:
+        Packer headroom and estimator-noise margin.
+    profile:
+        Command-path impairments for the executor (default: perfect).
+    migrations:
+        Shared :class:`MigrationManager` (default: a private one with
+        one slot — batches are transactions, not floods).
+    audit:
+        Optional :class:`AuditTrail`; every cycle becomes one decision
+        record with the batch's actuation events attached.
+    max_moves_per_cycle:
+        Cap on batch size (long batches hold the transaction open
+        longer, so more exposure to faults; ``None`` = unlimited).
+    """
+
+    def __init__(self, env: Environment,
+                 hosts: typing.Sequence[VMHost],
+                 vms: typing.Sequence[VirtualMachine],
+                 gamma: int = 1,
+                 period_s: float = 3_600.0,
+                 horizon_s: float | None = None,
+                 fill_limit: float = 1.0,
+                 noise_fraction: float = 0.0,
+                 profile: MigrationBatchProfile | None = None,
+                 migrations: MigrationManager | None = None,
+                 streams: RandomStreams | None = None,
+                 audit: AuditTrail | None = None,
+                 max_moves_per_cycle: int | None = None):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if max_moves_per_cycle is not None and max_moves_per_cycle < 1:
+            raise ValueError("move cap must be positive")
+        self.env = env
+        self.hosts = list(hosts)
+        self.vms = list(vms)
+        self.gamma = int(gamma)
+        self.period_s = float(period_s)
+        self.horizon_s = float(horizon_s if horizon_s is not None
+                               else period_s)
+        self.fill_limit = float(fill_limit)
+        self.noise_fraction = float(noise_fraction)
+        self.max_moves_per_cycle = max_moves_per_cycle
+        self.audit = audit
+        self.executor = TransactionalMigrationExecutor(
+            env, migrations=migrations,
+            profile=profile or MigrationBatchProfile(),
+            streams=streams)
+        self.host_index = {h.name: h for h in self.hosts}
+        self.vm_index = {vm.name: vm for vm in self.vms}
+        #: The placement the manager believes it has established:
+        #: ``{vm name: host name}``.  Reconciliation repairs this from
+        #: reality rather than forcing reality back to it.
+        self.intended: dict[str, str] = {
+            vm.name: vm.host.name for vm in self.vms
+            if vm.host is not None}
+        self.cycles = 0
+        self.evacuations = 0
+        #: VMs evacuation could not re-place anywhere (retried next
+        #: cycle; counted, never silently dropped).
+        self.stranded: list[str] = []
+        self.divergences_repaired = 0
+        self.replans = 0
+
+    # ------------------------------------------------------------------
+    # State queries (the invariants chaos tests assert)
+    # ------------------------------------------------------------------
+    def vms_on_failed_hosts(self) -> list[str]:
+        """VMs currently resident on a failed host (down with it)."""
+        return [vm.name for vm in self.vms
+                if vm.host is not None and vm.host.failed]
+
+    def divergence(self) -> list[str]:
+        """VMs whose actual host differs from the intended ledger."""
+        out = []
+        for vm in self.vms:
+            actual = vm.host.name if vm.host is not None else None
+            if self.intended.get(vm.name) != actual:
+                out.append(vm.name)
+        return out
+
+    def reconcile(self) -> int:
+        """Adopt actual placement as the new intent; return the number
+        of divergences repaired.
+
+        This is deliberately *not* "re-issue the moves that didn't
+        land": the world moved on (hosts failed, rollbacks half-ran),
+        so the safe repair is to accept reality and let the next
+        ``cycle`` re-plan from it — a diverged VM is re-*planned*,
+        never double-moved.
+        """
+        diverged = self.divergence()
+        if diverged:
+            self.intended = {vm.name: vm.host.name for vm in self.vms
+                             if vm.host is not None}
+            self.divergences_repaired += len(diverged)
+            self.replans += 1
+        return len(diverged)
+
+    # ------------------------------------------------------------------
+    # Failure evacuation (restart placements, not migrations)
+    # ------------------------------------------------------------------
+    def evacuate_failed(self) -> int:
+        """Re-place VMs that are down with their failed host.
+
+        A failed host has nothing live to pre-copy, so this is a
+        restart placement onto a healthy host with robust headroom;
+        VMs no healthy host can absorb stay on ``stranded`` and are
+        retried next cycle.
+        """
+        victims = [vm for vm in self.vms
+                   if vm.host is not None and vm.host.failed]
+        victims += [self.vm_index[name] for name in self.stranded
+                    if self.vm_index[name].host is None]
+        if not victims:
+            return 0
+        self.stranded = []
+        moved = 0
+        tracer = self.env.tracer
+        for vm in victims:
+            source = vm.host
+            if source is not None:
+                source.evict(vm)
+            target = self._restart_target(vm)
+            if target is None:
+                self.stranded.append(vm.name)
+                self.intended.pop(vm.name, None)
+                continue
+            target.place(vm)
+            self.intended[vm.name] = target.name
+            self.evacuations += 1
+            moved += 1
+            if tracer is not None:
+                tracer.event(
+                    "placement.evacuate", "actuation", vm=vm.name,
+                    source=source.name if source else None,
+                    destination=target.name)
+        return moved
+
+    def _restart_target(self, vm: VirtualMachine) -> VMHost | None:
+        """First healthy host that fits ``vm`` with robust headroom."""
+        demand = UncertainDemand.from_vms(
+            [vm], self.env.now, self.horizon_s,
+            noise_fraction=self.noise_fraction)
+        for host in self.hosts:
+            if host.failed:
+                continue
+            resident = UncertainDemand.from_vms(
+                host.vms, self.env.now, self.horizon_s,
+                noise_fraction=self.noise_fraction)
+            radii = sorted(resident.radius.tolist() +
+                           [float(demand.radius[0])], reverse=True)
+            load = (float(resident.center.sum()) + float(demand.center[0])
+                    + sum(radii[:self.gamma]))
+            budget = float(host.capacity[0]) * self.fill_limit
+            if load <= budget + 1e-12:
+                return host
+        return None
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self) -> tuple[list[Move], "UncertainDemand", int]:
+        """Diff a fresh Γ-robust packing against current placement.
+
+        Returns ``(moves, demand, hosts_used)``.  VMs the packing
+        leaves unplaced stay where they are (never evict into thin
+        air); VMs currently unplaced but packable come back as moves
+        with an empty source (handled as restart placements).
+        """
+        demand = UncertainDemand.from_vms(
+            self.vms, self.env.now, self.horizon_s,
+            noise_fraction=self.noise_fraction)
+        packer = GammaRobustPacker.for_hosts(
+            self.hosts, gamma=self.gamma, fill_limit=self.fill_limit)
+        result = packer.pack(demand)
+        moves: list[Move] = []
+        for i, vm in enumerate(self.vms):
+            j = int(result.assignment[i])
+            if j < 0:
+                continue
+            target = self.hosts[j]
+            if vm.host is target:
+                continue
+            moves.append(Move(vm.name,
+                              vm.host.name if vm.host else "",
+                              target.name))
+        if self.max_moves_per_cycle is not None:
+            moves = moves[:self.max_moves_per_cycle]
+        return moves, demand, result.hosts_used
+
+    # ------------------------------------------------------------------
+    # One decision cycle (process generator)
+    # ------------------------------------------------------------------
+    def cycle(self):
+        """Process generator: reconcile, plan, execute one batch."""
+        self.cycles += 1
+        audit = self.audit
+        if audit is not None:
+            audit.begin(self.env.now)
+        evacuated = self.evacuate_failed()
+        repaired = self.reconcile()
+        moves, demand, hosts_used = self.plan()
+        if audit is not None:
+            audit.observe("placement.demand_center",
+                          float(demand.center.sum()),
+                          self.env.now, 0.0)
+            audit.observe("placement.demand_radius",
+                          float(demand.radius.sum()),
+                          self.env.now, 0.0)
+            audit.observe("placement.divergence_repaired", repaired,
+                          self.env.now, 0.0)
+        migrations = [m for m in moves if m.source]
+        restarts = [m for m in moves if not m.source]
+        for move in restarts:
+            # Stranded VM with a planned slot: direct restart placement.
+            host = self.host_index[move.destination]
+            if not host.failed:
+                host.place(self.vm_index[move.vm])
+                self.intended[move.vm] = move.destination
+                if move.vm in self.stranded:
+                    self.stranded.remove(move.vm)
+        result: BatchResult | None = None
+        if migrations:
+            slot: list[BatchResult] = []
+            yield from self.executor.execute(
+                migrations, self.vm_index, self.host_index,
+                result_slot=slot)
+            result = slot[0]
+            if result.committed:
+                for move in migrations:
+                    self.intended[move.vm] = move.destination
+            # A rolled-back batch leaves intent at the pre-batch
+            # placement; rollback *failures* surface as divergence and
+            # are re-planned next cycle by reconcile().
+        if audit is not None:
+            audit.commit(
+                gamma=self.gamma,
+                hosts_used=hosts_used,
+                moves_planned=len(moves),
+                evacuated=evacuated,
+                batch_committed=result.committed if result else True,
+                rollback_failures=(len(result.rollback_failures)
+                                   if result else 0))
+        return result
+
+    def run(self, cycles: int | None = None):
+        """Process generator: run consolidation cycles forever (or
+        ``cycles`` times), one per period."""
+        done = 0
+        while cycles is None or done < cycles:
+            yield self.env.timeout(self.period_s)
+            yield from self.cycle()
+            done += 1

@@ -1,0 +1,272 @@
+"""Transactional migration batches over a fallible command path.
+
+A consolidation plan is a *batch* of live migrations, and the paper's
+§4.4 warning — "certain resource allocations, such as VM migration ...
+take minutes to make effects" — means the world changes while the
+batch runs: commands get lost on the way to the hypervisor, copies die
+mid-flight, endpoints fail.  A half-executed plan is worse than no
+plan: the fleet ends up in a placement nobody chose, with demand
+spilled across hosts the packer never budgeted.
+
+:class:`TransactionalMigrationExecutor` therefore executes plans with
+all-or-nothing intent: moves run in order through the (fault-aware)
+:class:`~repro.cluster.migration.MigrationManager`; each move retries
+lost deliveries and mid-copy crashes with decorrelated-jittered
+backoff; a move that fails terminally (endpoint dead, retries
+exhausted) aborts the batch and **rolls back** every committed move of
+the batch in reverse order, restoring the placement the fleet started
+from.  Rollbacks travel the same unreliable path — a rollback that
+itself fails is reported, leaving reconciliation (see
+:mod:`repro.placement.manager`) to re-plan from actual state rather
+than blindly re-issuing stale moves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.cluster.migration import MigrationManager
+from repro.cluster.vm import VMHost, VirtualMachine
+from repro.sim import Environment, RandomStreams
+
+__all__ = ["MigrationBatchProfile", "Move", "MoveOutcome",
+           "BatchResult", "TransactionalMigrationExecutor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationBatchProfile:
+    """Impairment + hardening knobs for the migration command path.
+
+    Parameters
+    ----------
+    loss_probability:
+        Chance one ``migrate`` command never reaches the hypervisor
+        (detected by ack timeout, then retried).
+    mid_copy_failure_probability:
+        Chance a delivered migration dies partway through pre-copy
+        (network glitch, hypervisor restart); the partial copy is
+        discarded, placement untouched, and the move retried.
+    latency_s:
+        Transport latency per delivery attempt.
+    max_retries:
+        Re-deliveries after the first attempt.
+    backoff_base_s / backoff_cap_s:
+        Decorrelated-jitter backoff bounds between attempts (see
+        :meth:`TransactionalMigrationExecutor._backoff`); zero base
+        retries immediately.
+    """
+
+    loss_probability: float = 0.0
+    mid_copy_failure_probability: float = 0.0
+    latency_s: float = 0.0
+    max_retries: int = 2
+    backoff_base_s: float = 10.0
+    backoff_cap_s: float = 120.0
+
+    def __post_init__(self):
+        for p in (self.loss_probability,
+                  self.mid_copy_failure_probability):
+            if not 0.0 <= p < 1.0:
+                raise ValueError("probabilities must be in [0, 1)")
+        if self.latency_s < 0 or self.backoff_base_s < 0:
+            raise ValueError("timings cannot be negative")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("backoff cap below base")
+        if self.max_retries < 0:
+            raise ValueError("max retries cannot be negative")
+
+    @property
+    def perfect(self) -> bool:
+        """Every command lands instantly; only host faults can abort."""
+        return (self.loss_probability == 0.0
+                and self.mid_copy_failure_probability == 0.0
+                and self.latency_s == 0.0)
+
+
+class Move(typing.NamedTuple):
+    """One planned migration, by name (names survive replanning)."""
+
+    vm: str
+    source: str
+    destination: str
+
+
+@dataclasses.dataclass
+class MoveOutcome:
+    """What actually happened to one planned move."""
+
+    move: Move
+    committed: bool = False
+    attempts: int = 0
+    lost_deliveries: int = 0
+    mid_copy_failures: int = 0
+    #: Terminal failure reason (``None`` while committed).
+    reason: str | None = None
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Transaction outcome: committed entirely, or rolled back."""
+
+    committed: bool
+    outcomes: list[MoveOutcome]
+    #: Moves undone after the batch aborted (in rollback order).
+    rollbacks: list[Move] = dataclasses.field(default_factory=list)
+    #: Rollbacks that themselves failed — divergence for the
+    #: reconciler to re-plan around.
+    rollback_failures: list[Move] = dataclasses.field(default_factory=list)
+
+    @property
+    def moves_committed(self) -> int:
+        return sum(1 for o in self.outcomes if o.committed)
+
+    @property
+    def clean(self) -> bool:
+        """Either fully applied or fully undone."""
+        return self.committed or (not self.rollback_failures
+                                  and self.moves_committed
+                                  == len(self.rollbacks))
+
+
+class TransactionalMigrationExecutor:
+    """Run migration batches with retry, abort, and rollback."""
+
+    def __init__(self, env: Environment,
+                 migrations: MigrationManager | None = None,
+                 profile: MigrationBatchProfile | None = None,
+                 streams: RandomStreams | None = None):
+        self.env = env
+        self.migrations = migrations or MigrationManager(
+            env, max_concurrent=1)
+        self.profile = profile or MigrationBatchProfile()
+        self._rng = None
+        self._backoff_prev = 0.0
+        if not self.profile.perfect:
+            streams = streams or RandomStreams(0)
+            self._rng = streams.get("placement.migration")
+        self.batches: list[BatchResult] = []
+
+    # ------------------------------------------------------------------
+    # Backoff (decorrelated jitter — retries never march in lockstep)
+    # ------------------------------------------------------------------
+    def _backoff(self) -> float:
+        base = self.profile.backoff_base_s
+        if base == 0.0:
+            return 0.0
+        prev = max(self._backoff_prev, base)
+        sleep = min(self.profile.backoff_cap_s,
+                    float(self._rng.uniform(base, prev * 3.0)))
+        self._backoff_prev = sleep
+        return sleep
+
+    # ------------------------------------------------------------------
+    # Single move (process generator)
+    # ------------------------------------------------------------------
+    def _execute_move(self, vm: VirtualMachine, destination: VMHost,
+                      outcome: MoveOutcome):
+        profile = self.profile
+        rng = self._rng
+        manager = self.migrations
+        max_attempts = 1 + profile.max_retries
+        while outcome.attempts < max_attempts:
+            outcome.attempts += 1
+            if profile.latency_s > 0:
+                yield self.env.timeout(profile.latency_s)
+            if vm.host is destination:
+                outcome.committed = True  # duplicate delivery: no-op
+                return
+            if vm.host is None:
+                outcome.reason = "vm-unplaced"
+                return
+            if rng is not None and rng.random() < profile.loss_probability:
+                outcome.lost_deliveries += 1
+                if outcome.attempts < max_attempts:
+                    yield self.env.timeout(self._backoff())
+                continue
+            if (rng is not None and rng.random()
+                    < profile.mid_copy_failure_probability):
+                # The copy dies partway: time was spent, nothing moved.
+                partial = rng.uniform(
+                    0.0, manager.cost.duration_s(vm.memory_gb))
+                yield self.env.timeout(partial)
+                outcome.mid_copy_failures += 1
+                if outcome.attempts < max_attempts:
+                    yield self.env.timeout(self._backoff())
+                continue
+            before_aborts = len(manager.aborts)
+            yield self.env.process(manager.migrate(vm, destination))
+            if vm.host is destination:
+                outcome.committed = True
+                return
+            # The hypervisor aborted (endpoint fault / superseded):
+            # retrying the same move cannot help.
+            if len(manager.aborts) > before_aborts:
+                outcome.reason = manager.aborts[-1].reason
+            else:  # pragma: no cover - defensive
+                outcome.reason = "unknown-abort"
+            return
+        outcome.reason = "retries-exhausted"
+
+    # ------------------------------------------------------------------
+    # Batch (process generator)
+    # ------------------------------------------------------------------
+    def execute(self, moves: typing.Sequence[Move],
+                vms: typing.Mapping[str, VirtualMachine],
+                hosts: typing.Mapping[str, VMHost],
+                result_slot: list | None = None):
+        """Process generator: run ``moves`` as one transaction.
+
+        Appends the :class:`BatchResult` to ``self.batches`` (and to
+        ``result_slot`` if given, for callers that need the result
+        from inside a yielded sub-process).
+        """
+        tracer = self.env.tracer
+        outcomes = [MoveOutcome(m) for m in moves]
+        result = BatchResult(committed=True, outcomes=outcomes)
+        undo: list[Move] = []
+        for outcome in outcomes:
+            move = outcome.move
+            vm = vms[move.vm]
+            destination = hosts[move.destination]
+            origin = vm.host
+            yield from self._execute_move(vm, destination, outcome)
+            if tracer is not None:
+                tracer.event(
+                    "placement.migrate", "actuation", vm=move.vm,
+                    source=move.source, destination=move.destination,
+                    committed=outcome.committed,
+                    attempts=outcome.attempts, reason=outcome.reason)
+            if outcome.committed and origin is not None:
+                undo.append(Move(move.vm, move.destination, origin.name))
+            elif not outcome.committed:
+                result.committed = False
+                break
+        if not result.committed:
+            # Roll the partial batch back, newest move first, so the
+            # fleet returns to the placement the plan started from.
+            for back in reversed(undo):
+                vm = vms[back.vm]
+                outcome = MoveOutcome(back)
+                yield from self._execute_move(vm, hosts[back.destination],
+                                              outcome)
+                if outcome.committed:
+                    result.rollbacks.append(back)
+                else:
+                    result.rollback_failures.append(back)
+                if tracer is not None:
+                    tracer.event(
+                        "placement.rollback", "actuation", vm=back.vm,
+                        destination=back.destination,
+                        committed=outcome.committed,
+                        reason=outcome.reason)
+        self.batches.append(result)
+        if result_slot is not None:
+            result_slot.append(result)
+        if tracer is not None:
+            tracer.event("placement.batch", "actuation",
+                         moves=len(outcomes),
+                         committed=result.committed,
+                         rollbacks=len(result.rollbacks),
+                         rollback_failures=len(result.rollback_failures))
+        return result

@@ -1,0 +1,106 @@
+"""Interval demand model: each VM's CPU demand as ``[uc - ur, uc + ur]``.
+
+The consolidation layer never knows next hour's demand exactly — it
+knows a *center* estimate and how far reality has strayed from it.
+:class:`UncertainDemand` holds both as numpy columns so feasibility
+checks vectorize, and the builders derive the interval from the same
+diurnal profiles the rest of the repo simulates: the center is the
+mid-range of the VM's demand over the upcoming planning window and the
+radius is the half-range (plus an optional estimator-noise margin), so
+a longer window or a spikier profile honestly widens the uncertainty
+the packer must absorb.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.vm import VirtualMachine
+
+__all__ = ["UncertainDemand"]
+
+
+class UncertainDemand:
+    """Per-VM uncertain CPU demand intervals as numpy columns.
+
+    Parameters
+    ----------
+    center:
+        Nominal (expected) demand per VM, ``uc``.
+    radius:
+        Maximum credible deviation per VM, ``ur >= 0``; realized
+        demand lives in ``[uc - ur, uc + ur]``.
+    names:
+        Optional per-VM identifiers (defaults to ``vm<i>``).
+    """
+
+    def __init__(self, center: typing.Sequence[float],
+                 radius: typing.Sequence[float],
+                 names: typing.Sequence[str] | None = None):
+        self.center = np.asarray(center, dtype=float)
+        self.radius = np.asarray(radius, dtype=float)
+        if self.center.ndim != 1 or self.center.shape != self.radius.shape:
+            raise ValueError("center and radius must be equal-length 1-D")
+        if (self.center < 0).any():
+            raise ValueError("demand centers cannot be negative")
+        if (self.radius < 0).any():
+            raise ValueError("demand radii cannot be negative")
+        if names is None:
+            names = [f"vm{i}" for i in range(len(self.center))]
+        if len(names) != len(self.center):
+            raise ValueError("one name per VM required")
+        self.names = list(names)
+        self.index = {name: i for i, name in enumerate(self.names)}
+
+    def __len__(self) -> int:
+        return len(self.center)
+
+    @property
+    def worst_case(self) -> np.ndarray:
+        """Upper interval edge ``uc + ur`` per VM."""
+        return self.center + self.radius
+
+    def realize(self, deviations: np.ndarray) -> np.ndarray:
+        """Realized demand for deviation draws in ``[-1, 1]``.
+
+        ``deviations`` may be ``(n_vms,)`` or ``(trials, n_vms)``;
+        each entry scales that VM's radius.
+        """
+        deviations = np.asarray(deviations, dtype=float)
+        if deviations.shape[-1] != len(self):
+            raise ValueError("one deviation per VM required")
+        return self.center + self.radius * deviations
+
+    @classmethod
+    def from_vms(cls, vms: "typing.Sequence[VirtualMachine]",
+                 t0_s: float, horizon_s: float = 3_600.0,
+                 samples: int = 8,
+                 noise_fraction: float = 0.0) -> "UncertainDemand":
+        """Interval over the planning window ``[t0, t0 + horizon]``.
+
+        Samples each VM's diurnal demand across the window; the center
+        is the mid-range and the radius the half-range, widened by
+        ``noise_fraction`` of the center for estimator error.  A flat
+        profile with zero noise collapses to a point estimate — the
+        deterministic packers' world view, recovered exactly.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if samples < 2:
+            raise ValueError("need at least two samples")
+        if noise_fraction < 0:
+            raise ValueError("noise fraction cannot be negative")
+        times = np.linspace(t0_s, t0_s + horizon_s, samples)
+        centers, radii, names = [], [], []
+        for vm in vms:
+            demand = np.array([vm.demand_at(t) for t in times])
+            lo, hi = float(demand.min()), float(demand.max())
+            center = 0.5 * (lo + hi)
+            radius = 0.5 * (hi - lo) + noise_fraction * center
+            centers.append(center)
+            radii.append(radius)
+            names.append(vm.name)
+        return cls(centers, radii, names)

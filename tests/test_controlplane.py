@@ -511,3 +511,93 @@ def test_hardened_plane_converges_with_zero_divergence():
     assert report.max_attempts <= 4  # within 3 retries
     assert report.divergent_servers == 0
     assert report.watchdog_suspicions == report.watchdog_false_positives
+
+
+# ----------------------------------------------------------------------
+# Decorrelated retry jitter (opt-in; default backoff is unchanged)
+# ----------------------------------------------------------------------
+def test_default_backoff_is_exponential_and_jitter_free():
+    from repro.controlplane import CommandRecord
+
+    env = Environment()
+    server = Server(env, "s0", initial_state=ServerState.SLEEPING)
+    bus = _bus(env, [server], latency_s=1.0, backoff_base_s=5.0,
+               backoff_cap_s=120.0)
+    assert bus._jitter_rng is None
+    record = CommandRecord("k", "s0", CommandKind.WAKE, None, 0.0)
+    for attempt, expected in ((1, 5.0), (2, 10.0), (3, 20.0),
+                              (6, 120.0)):
+        record.attempts = attempt
+        assert bus._backoff(record) == expected
+    assert record.backoff_s == 0.0  # deterministic path never writes
+
+
+def test_jitter_backoff_bounded_and_decorrelated():
+    from repro.controlplane import CommandRecord
+
+    env = Environment()
+    server = Server(env, "s0", initial_state=ServerState.SLEEPING)
+    bus = ActuationBus(
+        env, [server],
+        ActuationProfile(loss_probability=0.5, latency_s=1.0,
+                         backoff_base_s=5.0, backoff_cap_s=120.0,
+                         backoff_jitter=True),
+        streams=RandomStreams(11))
+    assert bus._jitter_rng is not None
+    record = CommandRecord("k", "s0", CommandKind.WAKE, None, 0.0)
+    record.attempts = 1
+    sleeps = [bus._backoff(record) for _ in range(40)]
+    assert all(5.0 <= s <= 120.0 for s in sleeps)
+    assert len(set(sleeps)) > 10  # actually random, not a ladder
+    # Decorrelated: each sleep feeds the next draw's upper bound.
+    assert record.backoff_s == sleeps[-1]
+    # Two records drift apart even on the same attempt schedule.
+    other = CommandRecord("k2", "s1", CommandKind.WAKE, None, 0.0)
+    other.attempts = 1
+    assert bus._backoff(other) not in sleeps
+
+
+def test_jitter_does_not_perturb_loss_stream():
+    """Jitter draws from its own substream: a single command sees the
+    exact same loss pattern either way — only the retry *timing*
+    moves."""
+    def run(jitter):
+        env = Environment()
+        server = Server(env, "s0", initial_state=ServerState.SLEEPING)
+        profile = ActuationProfile(loss_probability=0.6, latency_s=1.0,
+                                   ack_timeout_s=10.0, max_retries=6,
+                                   backoff_base_s=2.0,
+                                   backoff_jitter=jitter)
+        bus = ActuationBus(env, [server], profile,
+                           streams=RandomStreams(1))
+        record = bus.submit(server, CommandKind.WAKE)
+        env.run(until=1_000.0)
+        return record
+
+    plain = run(False)
+    jittered = run(True)
+    assert plain.attempts == jittered.attempts
+    assert plain.lost_deliveries == jittered.lost_deliveries
+    assert plain.acked and jittered.acked
+    assert plain.acked_s != jittered.acked_s  # timing did move
+    assert jittered.backoff_s > 0.0
+
+
+def test_jitter_is_deterministic_per_seed():
+    def ack_times(seed):
+        env = Environment()
+        servers = [Server(env, f"s{i}",
+                          initial_state=ServerState.SLEEPING)
+                   for i in range(4)]
+        profile = ActuationProfile(loss_probability=0.5, latency_s=1.0,
+                                   ack_timeout_s=10.0, max_retries=8,
+                                   backoff_base_s=4.0,
+                                   backoff_jitter=True)
+        bus = ActuationBus(env, servers, profile,
+                           streams=RandomStreams(seed))
+        records = [bus.submit(s, CommandKind.WAKE) for s in servers]
+        env.run(until=3_000.0)
+        return [r.acked_s for r in records]
+
+    assert ack_times(21) == ack_times(21)
+    assert ack_times(21) != ack_times(22)

@@ -1,0 +1,284 @@
+"""Γ-robust packer, interval demand model, and the exact oracle."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import VMHost, VirtualMachine
+from repro.placement import (
+    GammaRobustPacker,
+    UncertainDemand,
+    oracle_pack,
+    overload_probability,
+)
+from repro.workload import ResourceProfile
+
+
+def diurnal_profile(cpu=0.3, phase_hour=14.0):
+    return ResourceProfile(cpu=cpu, disk=0.1, network=0.1, memory=0.2,
+                           phase_hour=phase_hour)
+
+
+# ----------------------------------------------------------------------
+# UncertainDemand
+# ----------------------------------------------------------------------
+def test_uncertain_demand_validation():
+    with pytest.raises(ValueError):
+        UncertainDemand([0.5], [0.1, 0.2])
+    with pytest.raises(ValueError):
+        UncertainDemand([-0.1], [0.1])
+    with pytest.raises(ValueError):
+        UncertainDemand([0.5], [-0.1])
+    with pytest.raises(ValueError):
+        UncertainDemand([0.5], [0.1], names=["a", "b"])
+
+
+def test_uncertain_demand_worst_case_and_realize():
+    d = UncertainDemand([0.4, 0.2], [0.1, 0.05], names=["a", "b"])
+    assert np.allclose(d.worst_case, [0.5, 0.25])
+    assert np.allclose(d.realize(np.array([1.0, -1.0])), [0.5, 0.15])
+    trials = d.realize(np.zeros((3, 2)))
+    assert trials.shape == (3, 2)
+    assert np.allclose(trials, [[0.4, 0.2]] * 3)
+
+
+def test_from_vms_is_midrange_halfrange():
+    """Center/radius are exactly the window's mid-range/half-range."""
+    vm = VirtualMachine("vm0", diurnal_profile())
+    d = UncertainDemand.from_vms([vm], t0_s=0.0, horizon_s=3_600.0,
+                                 samples=8)
+    samples = [vm.demand_at(t)
+               for t in np.linspace(0.0, 3_600.0, 8)]
+    lo, hi = min(samples), max(samples)
+    assert d.center[0] == pytest.approx(0.5 * (lo + hi))
+    assert d.radius[0] == pytest.approx(0.5 * (hi - lo))
+    assert d.names == ["vm0"]
+
+
+def test_from_vms_diurnal_profile_widens_interval():
+    vm = VirtualMachine("vm0", diurnal_profile(cpu=0.4))
+    narrow = UncertainDemand.from_vms([vm], 0.0, horizon_s=600.0)
+    wide = UncertainDemand.from_vms([vm], 0.0, horizon_s=6 * 3_600.0)
+    assert wide.radius[0] > narrow.radius[0]
+    noisy = UncertainDemand.from_vms([vm], 0.0, horizon_s=600.0,
+                                     noise_fraction=0.2)
+    assert noisy.radius[0] == pytest.approx(
+        narrow.radius[0] + 0.2 * narrow.center[0])
+
+
+# ----------------------------------------------------------------------
+# GammaRobustPacker
+# ----------------------------------------------------------------------
+def test_packer_validation():
+    with pytest.raises(ValueError):
+        GammaRobustPacker([])
+    with pytest.raises(ValueError):
+        GammaRobustPacker([1.0, -1.0])
+    with pytest.raises(ValueError):
+        GammaRobustPacker([1.0], gamma=-1)
+    with pytest.raises(ValueError):
+        GammaRobustPacker([1.0], fill_limit=0.0)
+
+
+def test_gamma_zero_is_naive_packing():
+    """Γ=0 ignores radii entirely: packs on centers alone."""
+    d = UncertainDemand([0.5, 0.5], [0.4, 0.4])
+    naive = GammaRobustPacker([1.0, 1.0], gamma=0).pack(d)
+    assert naive.hosts_used == 1  # centers fit; spikes be damned
+    robust = GammaRobustPacker([1.0, 1.0], gamma=1).pack(d)
+    assert robust.hosts_used == 2  # one spike already overflows
+
+
+def test_gamma_at_population_is_worst_case():
+    d = UncertainDemand([0.3, 0.3, 0.3], [0.2, 0.2, 0.2])
+    full = GammaRobustPacker([1.0] * 3, gamma=3).pack(d)
+    # worst case 0.5 each: two per host robustly infeasible at Γ=3
+    # only if 0.6 + 0.4 > 1 -> 1.0 fits exactly; three never fit.
+    assert full.hosts_used == 2
+    for j in range(3):
+        assert full.robust_load(j) <= 1.0 + 1e-9
+
+
+def test_hosts_used_monotone_in_gamma():
+    rng = np.random.default_rng(3)
+    d = UncertainDemand(rng.uniform(0.05, 0.4, 60),
+                        rng.uniform(0.0, 0.2, 60))
+    used = [GammaRobustPacker([1.0] * 60, gamma=g).pack(d).hosts_used
+            for g in range(0, 6)]
+    assert used == sorted(used)  # more protection never frees hosts
+
+
+def test_pack_respects_robust_constraint_random():
+    rng = np.random.default_rng(11)
+    for trial in range(10):
+        n = int(rng.integers(5, 40))
+        d = UncertainDemand(rng.uniform(0.05, 0.5, n),
+                            rng.uniform(0.0, 0.25, n))
+        gamma = int(rng.integers(0, 4))
+        packer = GammaRobustPacker([1.0] * n, gamma=gamma)
+        result = packer.pack(d)
+        assert not result.unplaced
+        assert packer.fits(result)  # slow validator agrees
+
+
+def test_fill_limit_headroom():
+    d = UncertainDemand([0.5, 0.45], [0.0, 0.0])
+    tight = GammaRobustPacker([1.0, 1.0], gamma=0, fill_limit=0.5)
+    result = tight.pack(d)
+    assert result.hosts_used == 2
+    assert tight.fits(result)
+
+
+def test_unplaceable_vm_reported_not_dropped():
+    d = UncertainDemand([0.9, 0.9, 0.9], [0.2, 0.0, 0.0],
+                        names=["big", "a", "b"])
+    result = GammaRobustPacker([1.0, 1.0], gamma=1).pack(d)
+    assert "big" in result.unplaced  # worst case 1.1 > capacity
+    assert len(result.unplaced) >= 1
+    mapping = result.as_mapping()
+    assert "big" not in mapping
+
+
+def test_pinned_vms_stay_put():
+    d = UncertainDemand([0.3, 0.3, 0.3], [0.0, 0.0, 0.0])
+    result = GammaRobustPacker([1.0] * 3, gamma=0).pack(
+        d, pinned={2: 2})
+    assert result.assignment[2] == 2
+    with pytest.raises(ValueError):
+        GammaRobustPacker([1.0] * 3).pack(d, pinned={0: 7})
+
+
+def test_first_fit_vs_decreasing():
+    """decreasing=False is the naive in-order baseline; FFD never
+    does worse on hosts used here."""
+    rng = np.random.default_rng(5)
+    d = UncertainDemand(rng.uniform(0.1, 0.6, 30),
+                        rng.uniform(0.0, 0.1, 30))
+    ffd = GammaRobustPacker([1.0] * 30, gamma=1).pack(d)
+    ff = GammaRobustPacker([1.0] * 30, gamma=1).pack(
+        d, decreasing=False)
+    assert ffd.hosts_used <= ff.hosts_used
+
+
+def test_small_block_size_same_result():
+    """Block-scanned feasibility is an optimization, not a policy:
+    any block size yields the identical first-fit assignment."""
+    rng = np.random.default_rng(9)
+    d = UncertainDemand(rng.uniform(0.05, 0.5, 50),
+                        rng.uniform(0.0, 0.2, 50))
+    base = GammaRobustPacker([1.0] * 50, gamma=2).pack(d)
+    for block in (1, 3, 7, 64):
+        other = GammaRobustPacker([1.0] * 50, gamma=2,
+                                  block=block).pack(d)
+        assert (other.assignment == base.assignment).all()
+
+
+def test_for_hosts_skips_failed():
+    hosts = [VMHost(f"h{i}") for i in range(3)]
+    hosts[0].fail()
+    d = UncertainDemand([0.5], [0.1])
+    result = GammaRobustPacker.for_hosts(hosts, gamma=1).pack(d)
+    assert result.assignment[0] == 1  # h0 unusable, first fit -> h1
+
+
+def test_for_fleet_matches_for_hosts():
+    """Same instance packed off a VectorFleet capacity column and off
+    an equivalent VMHost pool lands identically row for row."""
+    from repro.fleet import VectorFleet, VectorServer
+    from repro.sim import Environment
+
+    env = Environment()
+    fleet = VectorFleet(env, 8)
+    servers = [VectorServer(fleet, env, f"s{i}", capacity=1.0)
+               for i in range(8)]
+    servers[2].fail()
+    hosts = [VMHost(f"s{i}") for i in range(8)]
+    hosts[2].fail()
+
+    rng = np.random.default_rng(21)
+    d = UncertainDemand(rng.uniform(0.1, 0.4, 12),
+                        rng.uniform(0.0, 0.15, 12))
+    from repro.cluster.server import ServerState
+    usable = np.array([s.state is not ServerState.FAILED
+                       for s in servers])
+    via_fleet = GammaRobustPacker.for_fleet(
+        fleet, gamma=1, usable=usable).pack(d)
+    via_hosts = GammaRobustPacker.for_hosts(hosts, gamma=1).pack(d)
+    assert (via_fleet.assignment == via_hosts.assignment).all()
+    assert via_fleet.assignment[via_fleet.assignment >= 0].min() >= 0
+    assert 2 not in via_fleet.assignment  # failed row never used
+
+
+# ----------------------------------------------------------------------
+# Oracle certification
+# ----------------------------------------------------------------------
+def test_oracle_trivial_instances():
+    assert oracle_pack(UncertainDemand([], []), 1.0).bins == 0
+    one = oracle_pack(UncertainDemand([0.5], [0.2]), 1.0, gamma=1)
+    assert one.bins == 1
+    assert one.assignment == (0,)
+    with pytest.raises(ValueError):
+        oracle_pack(UncertainDemand([0.9], [0.2]), 1.0, gamma=1)
+
+
+def test_oracle_beats_or_ties_heuristic_never_loses():
+    """The oracle is exact: its bin count is a true lower bound, and
+    its own assignment satisfies the robust constraint."""
+    rng = np.random.default_rng(17)
+    for trial in range(12):
+        n = int(rng.integers(4, 11))
+        gamma = int(rng.integers(0, 3))
+        d = UncertainDemand(rng.uniform(0.1, 0.55, n),
+                            rng.uniform(0.0, 0.25, n))
+        opt = oracle_pack(d, 1.0, gamma=gamma)
+        # Oracle's own packing satisfies the constraint.
+        for b in set(opt.assignment):
+            rows = [i for i, a in enumerate(opt.assignment) if a == b]
+            radii = sorted((d.radius[i] for i in rows), reverse=True)
+            load = sum(d.center[i] for i in rows) + sum(radii[:gamma])
+            assert load <= 1.0 + 1e-9
+        heur = GammaRobustPacker([1.0] * n, gamma=gamma).pack(d)
+        assert not heur.unplaced
+        assert opt.bins <= heur.hosts_used  # exact = lower bound
+        # FFD's classic quality bound, robust term included.
+        assert heur.hosts_used <= opt.bins + 1
+
+
+def test_oracle_node_limit_guard():
+    rng = np.random.default_rng(1)
+    d = UncertainDemand(rng.uniform(0.2, 0.4, 14),
+                        rng.uniform(0.0, 0.1, 14))
+    with pytest.raises(RuntimeError):
+        oracle_pack(d, 1.0, gamma=1, node_limit=3)
+
+
+# ----------------------------------------------------------------------
+# Overload probability
+# ----------------------------------------------------------------------
+def test_overload_probability_monotone_in_gamma():
+    """More robustness budget, fewer Monte-Carlo overloads — with
+    common random numbers the sweep is exactly monotone."""
+    rng = np.random.default_rng(7)
+    d = UncertainDemand(rng.uniform(0.1, 0.4, 50),
+                        rng.uniform(0.02, 0.2, 50))
+    probs = []
+    for gamma in range(0, 5):
+        result = GammaRobustPacker([1.0] * 50, gamma=gamma).pack(d)
+        probs.append(overload_probability(
+            result, rng=np.random.default_rng(123)))
+    assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+    assert probs[0] > probs[-1]  # the sweep actually moves
+
+
+def test_overload_probability_zero_radius_is_zero():
+    d = UncertainDemand([0.4, 0.4], [0.0, 0.0])
+    result = GammaRobustPacker([1.0, 1.0], gamma=1).pack(d)
+    assert overload_probability(result) == 0.0
+
+
+def test_overload_probability_validation():
+    d = UncertainDemand([0.4], [0.1])
+    result = GammaRobustPacker([1.0], gamma=0).pack(d)
+    with pytest.raises(ValueError):
+        overload_probability(result, spike_probability=1.5)
+    with pytest.raises(ValueError):
+        overload_probability(result, trials=0)

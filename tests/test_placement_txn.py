@@ -1,0 +1,339 @@
+"""Transactional migration batches and the migration/fault interplay.
+
+Covers the hypervisor-side guard (a host failure mid-copy aborts the
+move instead of landing a VM on a dead machine) and the batch-level
+transaction semantics built on top of it: retry lost commands, abort
+on terminal faults, roll partial batches back in reverse order, and
+surface rollback failures instead of hiding them.
+"""
+
+import pytest
+
+from repro.cluster import (
+    MigrationManager,
+    VMHost,
+    VirtualMachine,
+)
+from repro.core.chaos import FailureInjector
+from repro.placement import (
+    MigrationBatchProfile,
+    Move,
+    TransactionalMigrationExecutor,
+)
+from repro.sim import Environment, RandomStreams
+from repro.workload import ResourceProfile
+
+
+def profile():
+    return ResourceProfile(cpu=0.3, disk=0.1, network=0.1, memory=0.2)
+
+
+def build(n_hosts=4, n_vms=4, memory_gb=4.0):
+    env = Environment()
+    hosts = [VMHost(f"h{i}") for i in range(n_hosts)]
+    vms = []
+    for i in range(n_vms):
+        vm = VirtualMachine(f"vm{i}", profile(), memory_gb=memory_gb)
+        hosts[i % n_hosts].place(vm)
+        vms.append(vm)
+    return env, hosts, vms
+
+
+def run(env, gen):
+    env.process(gen)
+    env.run()
+
+
+# ----------------------------------------------------------------------
+# VMHost failure lifecycle (FailureInjector-compatible)
+# ----------------------------------------------------------------------
+def test_failed_host_refuses_placement():
+    env, hosts, vms = build()
+    hosts[0].fail()
+    spare = VirtualMachine("spare", profile())
+    assert not hosts[0].can_fit(spare)
+    with pytest.raises(ValueError):
+        hosts[0].place(spare)
+    hosts[0].repair()
+    hosts[0].place(spare)
+    assert spare.host is hosts[0]
+
+
+def test_failure_injector_targets_vmhost_pool():
+    """VMHost duck-types the Server failure surface, so the standard
+    chaos injector can storm a host pool directly."""
+    env, hosts, vms = build()
+    injector = FailureInjector(env, hosts, mtbf_s=100.0,
+                               repair_s=500.0,
+                               streams=RandomStreams(3))
+    env.process(injector.run())
+    env.run(until=600.0)
+    assert injector.failures  # somebody died
+    # Failed hosts really flipped their flag at some point.
+    names = {name for _, name in injector.failures}
+    assert names <= {h.name for h in hosts}
+
+
+# ----------------------------------------------------------------------
+# Migration aborts on endpoint faults (the satellite regression)
+# ----------------------------------------------------------------------
+def test_destination_fails_mid_copy_aborts():
+    """REGRESSION: a server failure during an in-flight migration must
+    abort and leave the VM at the source — never land it on the dead
+    destination."""
+    env, hosts, vms = build()
+    manager = MigrationManager(env)
+    vm = vms[0]
+    source = vm.host
+
+    def fault(env):
+        yield env.timeout(1.0)  # copy takes ~10 s for 4 GB
+        hosts[1].fail()
+
+    env.process(fault(env))
+    run(env, manager.migrate(vm, hosts[1]))
+    assert vm.host is source  # still where it was
+    assert vm not in hosts[1].vms
+    assert not manager.records
+    assert [a.reason for a in manager.aborts] == ["destination-failed"]
+
+
+def test_source_fails_mid_copy_aborts():
+    env, hosts, vms = build()
+    manager = MigrationManager(env)
+    vm = vms[0]
+
+    def fault(env):
+        yield env.timeout(1.0)
+        hosts[0].fail()
+
+    env.process(fault(env))
+    run(env, manager.migrate(vm, hosts[1]))
+    assert vm.host is hosts[0]  # down with its host, not duplicated
+    assert [a.reason for a in manager.aborts] == ["source-failed"]
+
+
+def test_dead_destination_rejected_at_submit():
+    env, hosts, vms = build()
+    manager = MigrationManager(env)
+    hosts[1].fail()
+    run(env, manager.migrate(vms[0], hosts[1]))
+    assert vms[0].host is hosts[0]
+    assert [a.reason for a in manager.aborts] == [
+        "destination-unavailable"]
+    assert manager.in_flight == 0  # no slot leaked
+
+
+def test_superseded_migration_aborts():
+    """A VM moved by someone else mid-copy is not moved again."""
+    env, hosts, vms = build()
+    manager = MigrationManager(env)
+    vm = vms[0]
+
+    def meddle(env):
+        yield env.timeout(1.0)
+        hosts[0].evict(vm)
+        hosts[2].place(vm)  # another actor relocated it
+
+    env.process(meddle(env))
+    run(env, manager.migrate(vm, hosts[1]))
+    assert vm.host is hosts[2]
+    assert [a.reason for a in manager.aborts] == ["superseded"]
+
+
+def test_failure_injector_mid_migration_storm():
+    """Chaos + migrations: whatever the interleaving, no VM ever lands
+    on a failed host and every abort is accounted for."""
+    env, hosts, vms = build(n_hosts=6, n_vms=8, memory_gb=8.0)
+    manager = MigrationManager(env, max_concurrent=8)
+    injector = FailureInjector(env, hosts, mtbf_s=15.0, repair_s=60.0,
+                               streams=RandomStreams(5))
+    env.process(injector.run())
+
+    def churn(env):
+        rng = RandomStreams(6).get("test.churn")
+        for step in range(40):
+            vm = vms[rng.integers(len(vms))]
+            target = hosts[rng.integers(len(hosts))]
+            if vm.host is None or vm.host is target:
+                continue
+            if manager.in_flight < manager.max_concurrent:
+                env.process(manager.migrate(vm, target))
+            yield env.timeout(float(rng.uniform(1.0, 20.0)))
+
+    env.process(churn(env))
+    env.run(until=2_000.0)
+    assert injector.failures
+    assert manager.records  # some moves landed
+    assert manager.aborts   # and some hit the guard
+    for vm in vms:
+        assert vm.host is not None
+        assert vm in vm.host.vms
+    # Every VM is on exactly one host.
+    residents = [vm for h in hosts for vm in h.vms]
+    assert len(residents) == len(set(id(v) for v in residents)) == 8
+
+
+# ----------------------------------------------------------------------
+# MigrationBatchProfile
+# ----------------------------------------------------------------------
+def test_batch_profile_validation():
+    with pytest.raises(ValueError):
+        MigrationBatchProfile(loss_probability=1.0)
+    with pytest.raises(ValueError):
+        MigrationBatchProfile(mid_copy_failure_probability=-0.1)
+    with pytest.raises(ValueError):
+        MigrationBatchProfile(latency_s=-1.0)
+    with pytest.raises(ValueError):
+        MigrationBatchProfile(backoff_base_s=10.0, backoff_cap_s=1.0)
+    with pytest.raises(ValueError):
+        MigrationBatchProfile(max_retries=-1)
+    assert MigrationBatchProfile().perfect
+    assert not MigrationBatchProfile(loss_probability=0.1).perfect
+
+
+# ----------------------------------------------------------------------
+# Transactional execution
+# ----------------------------------------------------------------------
+def test_perfect_batch_commits():
+    env, hosts, vms = build()
+    ex = TransactionalMigrationExecutor(env)
+    moves = [Move("vm0", "h0", "h2"), Move("vm1", "h1", "h2")]
+    run(env, ex.execute(moves, {v.name: v for v in vms},
+                        {h.name: h for h in hosts}))
+    [result] = ex.batches
+    assert result.committed and result.clean
+    assert result.moves_committed == 2
+    assert vms[0].host is hosts[2] and vms[1].host is hosts[2]
+
+
+def test_lossy_batch_retries_through():
+    env, hosts, vms = build()
+    ex = TransactionalMigrationExecutor(
+        env, profile=MigrationBatchProfile(
+            loss_probability=0.4, max_retries=6, backoff_base_s=1.0),
+        streams=RandomStreams(1))
+    moves = [Move("vm0", "h0", "h2")]
+    run(env, ex.execute(moves, {v.name: v for v in vms},
+                        {h.name: h for h in hosts}))
+    [result] = ex.batches
+    assert result.committed
+    assert vms[0].host is hosts[2]
+
+
+def test_mid_copy_failures_retry_and_count():
+    env, hosts, vms = build()
+    ex = TransactionalMigrationExecutor(
+        env, profile=MigrationBatchProfile(
+            mid_copy_failure_probability=0.6, max_retries=20,
+            backoff_base_s=1.0),
+        streams=RandomStreams(2))
+    run(env, ex.execute([Move("vm0", "h0", "h2")],
+                        {v.name: v for v in vms},
+                        {h.name: h for h in hosts}))
+    [result] = ex.batches
+    assert result.committed
+    assert sum(o.mid_copy_failures for o in result.outcomes) > 0
+
+
+def test_partial_batch_rolls_back_in_reverse():
+    """Second move hits a dead destination: the already-committed
+    first move is undone and the placement is exactly pre-batch."""
+    env, hosts, vms = build()
+    ex = TransactionalMigrationExecutor(env)
+    before = {vm.name: vm.host.name for vm in vms}
+
+    def scenario(env):
+        slot = []
+        # Fail h3 before the second move executes but after submit.
+        def fault(env):
+            yield env.timeout(1.0)
+            hosts[3].fail()
+        env.process(fault(env))
+        yield from ex.execute(
+            [Move("vm0", "h0", "h2"), Move("vm1", "h1", "h3")],
+            {v.name: v for v in vms}, {h.name: h for h in hosts},
+            result_slot=slot)
+
+    run(env, scenario(env))
+    [result] = ex.batches
+    assert not result.committed
+    assert result.clean
+    assert result.rollbacks == [Move("vm0", "h2", "h0")]
+    assert not result.rollback_failures
+    after = {vm.name: vm.host.name for vm in vms}
+    assert after == before  # transaction left no trace
+
+
+def test_rollback_failure_is_surfaced():
+    """If the origin host dies while the batch runs, the rollback
+    cannot land — the executor reports it rather than pretending."""
+    env, hosts, vms = build()
+    ex = TransactionalMigrationExecutor(env)
+
+    def scenario(env):
+        def fault(env):
+            # After vm0's move commits (~11 s for 4 GB) but while
+            # vm1's copy is still in flight.
+            yield env.timeout(12.0)
+            hosts[0].fail()   # vm0's origin: rollback target
+            hosts[3].fail()   # vm1's destination: forces the abort
+        env.process(fault(env))
+        yield from ex.execute(
+            [Move("vm0", "h0", "h2"), Move("vm1", "h1", "h3")],
+            {v.name: v for v in vms}, {h.name: h for h in hosts})
+
+    run(env, scenario(env))
+    [result] = ex.batches
+    assert not result.committed
+    assert result.rollback_failures == [Move("vm0", "h2", "h0")]
+    assert not result.clean
+    assert vms[0].host is hosts[2]  # stuck forward: divergence
+
+
+def test_retries_exhausted_aborts_batch():
+    env, hosts, vms = build()
+    ex = TransactionalMigrationExecutor(
+        env, profile=MigrationBatchProfile(
+            loss_probability=0.95, max_retries=2, backoff_base_s=1.0),
+        streams=RandomStreams(9))
+    run(env, ex.execute([Move("vm0", "h0", "h2")],
+                        {v.name: v for v in vms},
+                        {h.name: h for h in hosts}))
+    [result] = ex.batches
+    assert not result.committed
+    assert result.outcomes[0].reason == "retries-exhausted"
+    assert vms[0].host is hosts[0]
+
+
+def test_duplicate_delivery_is_noop():
+    """A move whose VM already sits at the destination commits
+    without migrating (idempotent application)."""
+    env, hosts, vms = build()
+    ex = TransactionalMigrationExecutor(env)
+    run(env, ex.execute([Move("vm0", "h2", "h0")],
+                        {v.name: v for v in vms},
+                        {h.name: h for h in hosts}))
+    [result] = ex.batches
+    assert result.committed
+    assert not ex.migrations.records  # nothing actually moved
+
+
+def test_batch_events_reach_audit_trail():
+    """Executor events are 'actuation'-category: an open decision
+    record collects them."""
+    from repro.obs.audit import AuditTrail
+    from repro.obs.tracer import Tracer
+
+    env, hosts, vms = build()
+    env.tracer = Tracer().bind(env)
+    audit = AuditTrail(env.tracer)
+    ex = TransactionalMigrationExecutor(env)
+    audit.begin(env.now)
+    run(env, ex.execute([Move("vm0", "h0", "h2")],
+                        {v.name: v for v in vms},
+                        {h.name: h for h in hosts}))
+    record = audit.commit(done=True)
+    kinds = record.actuation_kinds()
+    assert "placement.migrate" in kinds
+    assert "placement.batch" in kinds
