@@ -130,6 +130,35 @@ def test_scale_smoke_20000_servers(benchmark):
             f"wall time {benchmark.stats['mean']:.1f} s"])
 
 
+def test_scale_smoke_100000_servers(benchmark):
+    """A 100,000-server managed day on the zone-sharded plant.
+
+    Five times the 20k ceiling: 5000 racks, 100 zones, 40 CRACs, cut
+    into 4 zone-shards co-simulated in macro-period lockstep
+    (``datacenter.sharded``).  Worker processes divide the wall time
+    on multi-core runners; the result is bit-identical to the
+    in-process reference either way (tests/test_sharded_plant.py).
+    """
+    from repro.datacenter import ShardedCoSimulation
+    from repro.perf.bench import bench_spec
+
+    def run():
+        spec = bench_spec(100_000, backend="vector")
+        sim = ShardedCoSimulation(
+            spec, {"kind": "constant", "fraction": 0.5},
+            shards=4, workers=4)
+        return sim.run(86_400.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.thermal_alarms == 0
+    assert result.sla.served_fraction > 0.99
+    assert benchmark.stats["mean"] < 300.0
+    record(benchmark, "PERF: 100000-server day",
+           [f"facility energy {result.facility_kwh:.0f} kWh, "
+            f"PUE {result.energy_weighted_pue:.2f}, "
+            f"wall time {benchmark.stats['mean']:.1f} s"])
+
+
 def test_perf_20k_consolidation_pass(benchmark):
     """One Γ-robust consolidation pass over a 20,000-host fleet.
 

@@ -152,7 +152,9 @@ def _bench(args: argparse.Namespace) -> int:
     )
 
     if args.bench_scenario == "placement":
-        metrics = run_placement_bench(args.servers, gamma=args.gamma)
+        metrics = run_placement_bench(args.servers, gamma=args.gamma,
+                                      repeat=args.repeat,
+                                      warmup=args.warmup)
         print(format_placement_report(metrics))
         # Match the committed BENCH_PERF.json row name ("20k-server")
         # so the regression gate can consume the CLI output directly.
@@ -161,7 +163,10 @@ def _bench(args: argparse.Namespace) -> int:
         name = f"PERF: {label}-server consolidation pass"
     else:
         metrics = run_scale_bench(args.servers, backend=args.backend,
-                                  hours=args.hours)
+                                  hours=args.hours, shards=args.shards,
+                                  shard_workers=args.shard_workers,
+                                  repeat=args.repeat,
+                                  warmup=args.warmup)
         print(format_report(metrics))
         name = f"PERF: {metrics['servers']}-server day"
     if args.json:
@@ -295,6 +300,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated hours ('day' scenario)")
     bench.add_argument("--gamma", type=int, default=2,
                        help="robustness budget ('placement' scenario)")
+    bench.add_argument("--shards", type=int, default=0,
+                       help="zone-shard the facility into N sub-plants "
+                            "('day' scenario; 0 = single plant)")
+    bench.add_argument("--shard-workers", type=int, default=1,
+                       help="worker processes for --shards "
+                            "(1 = in-process lockstep)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="timed runs; the row keeps the best "
+                            "wall time (runs are deterministic)")
+    bench.add_argument("--warmup", type=int, default=0,
+                       help="untimed runs discarded before the "
+                            "--repeat timed ones")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="also write the result as a one-row "
                             "BENCH_PERF-style JSON file")

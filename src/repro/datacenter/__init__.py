@@ -8,6 +8,7 @@ from repro.datacenter.availability import (
     TIER_AVAILABILITY_PARAMETERS,
 )
 from repro.datacenter.cosim import CoSimResult, CoSimulation
+from repro.datacenter.sharded import ShardedCoSimulation, partition_spec
 from repro.datacenter.spec import DataCenter, DataCenterSpec
 from repro.datacenter.tiers import Tier, TIER_SPECS, TierSpec
 
@@ -19,6 +20,8 @@ __all__ = [
     "CoSimulation",
     "DataCenter",
     "DataCenterSpec",
+    "ShardedCoSimulation",
+    "partition_spec",
     "TIER_AVAILABILITY_PARAMETERS",
     "TIER_SPECS",
     "Tier",

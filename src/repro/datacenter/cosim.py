@@ -216,12 +216,26 @@ class CoSimulation:
             raise ValueError("duration must be positive")
         start = self.env.now
         self.env.run(until=start + duration_s)
-        end = self.env.now
+        return self.summarize(start, self.env.now, duration_s=duration_s)
+
+    def summarize(self, start: float, end: float,
+                  duration_s: float | None = None) -> CoSimResult:
+        """Summarize an already-simulated ``[start, end]`` interval.
+
+        :meth:`run` advances and summarizes in one call; drivers that
+        step the environment themselves (the zone-sharded plant
+        advances in macro-period lockstep) call this afterwards to get
+        the same :class:`CoSimResult` for the interval they covered.
+        ``duration_s`` overrides the reported duration (``run`` passes
+        the requested value through exactly; ``end - start`` can pick
+        up float rounding).
+        """
         report = self.sla.evaluate(self.farm.delay_monitor,
                                    self.farm.offered_monitor,
                                    self.farm.shed_monitor, start, end)
         return CoSimResult(
-            duration_s=duration_s,
+            duration_s=duration_s if duration_s is not None
+            else end - start,
             it_energy_j=self.dc.pue.it_monitor.integral(start, end),
             facility_energy_j=self.dc.pue.total_facility_energy_j(start, end),
             energy_weighted_pue=self.dc.pue.energy_weighted_pue(start, end),

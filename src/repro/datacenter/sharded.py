@@ -1,0 +1,408 @@
+"""Zone-sharded parallel plants: one facility split across cores.
+
+A 10⁵-server day is embarrassingly parallel *between* thermal zones:
+racks heat only their own zone, zones couple only to their CRACs, and
+the farm's dispatch treats capacity as a fungible pool.  This module
+exploits that structure by partitioning one :class:`DataCenterSpec`
+into ``shards`` self-similar sub-facilities (each takes a contiguous
+block of zones plus every rack and a proportional slice of CRACs and
+UPS capacity) and co-simulating the shards independently, in lockstep
+macro-periods.
+
+At every sync point the driver gathers one aggregate column from each
+shard — its deliverable effective capacity — and redistributes the
+global demand proportionally for the next period, exactly what a
+global load balancer in front of N rooms would do.  Between sync
+points the shards share nothing, so they can run in worker processes
+(persistent :func:`multiprocessing.Pipe` servers, one batch of shards
+per worker) with only ``2 × shards`` floats crossing the boundary per
+period.
+
+Determinism contract
+--------------------
+* The worker-side driver is the *same object* (:class:`_ShardGroup`)
+  the in-process path uses; the parent computes shares from shard
+  aggregates in shard-index order in both modes.  ``workers=1``
+  therefore produces a bit-identical :class:`CoSimResult` to
+  ``workers=N`` — the CI smoke test asserts it — and is the reference
+  for the parallel path, mirroring ``perf.sweep``'s contract.
+* The *single-process unsharded* path is untouched: sharding is a new
+  driver next to :class:`CoSimulation`, not a change to it, so manager
+  decisions and golden tables cannot shift.
+
+Merge semantics (documented approximations)
+-------------------------------------------
+Energies, alarms and mean active servers sum exactly.  The merged PUE
+is the energy-weighted quotient of the summed energies.  The merged
+served fraction is recomputed from summed offered/shed work — exact.
+The response percentile is taken as the *worst shard's* percentile
+(a conservative bound; per-sample merging would need the raw series).
+``peak_grid_w`` sums per-shard peaks, an upper bound on the true
+coincident peak (shards peak at slightly different instants).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import typing
+
+from repro.core.sla import SLAReport
+from repro.datacenter.cosim import CoSimResult, CoSimulation
+from repro.datacenter.spec import DataCenterSpec
+
+__all__ = ["partition_spec", "ShardedCoSimulation"]
+
+
+def partition_spec(spec: DataCenterSpec,
+                   shards: int) -> list[DataCenterSpec]:
+    """Split a facility into ``shards`` self-similar sub-specs.
+
+    Zones are dealt out in contiguous blocks (largest-remainder, so
+    block sizes differ by at most one); each shard receives exactly
+    the racks the builder would have mapped to its zones (rack ``r``
+    lands in zone ``r % zones``) and a proportional CRAC count
+    (rounded, floored at one).  Per-server parameters, tier, and the
+    per-zone conductance carry over unchanged, so each shard is a
+    smaller facility with the same physics per zone; UPS and tree
+    ratings re-derive from the shard's own rack count.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if shards > spec.zones:
+        raise ValueError(
+            f"cannot cut {spec.zones} zones into {shards} shards")
+    base, rem = divmod(spec.zones, shards)
+    specs = []
+    zone_lo = 0
+    for i in range(shards):
+        n_zones = base + (1 if i < rem else 0)
+        zone_hi = zone_lo + n_zones
+        n_racks = sum(
+            spec.racks // spec.zones
+            + (1 if z < spec.racks % spec.zones else 0)
+            for z in range(zone_lo, zone_hi))
+        n_cracs = max(1, min(n_zones,
+                             round(spec.cracs * n_zones / spec.zones)))
+        specs.append(dataclasses.replace(
+            spec, name=f"{spec.name}-shard{i}", racks=n_racks,
+            zones=n_zones, cracs=n_cracs))
+        zone_lo = zone_hi
+    return specs
+
+
+def _demand_fn(cfg: dict, capacity: float):
+    """Build the global demand callable from a picklable config.
+
+    ``cfg`` mirrors :func:`repro.perf.sweep.run_cosim_point`'s demand
+    block — ``{"kind": "constant"|"diurnal", "fraction": f}`` with the
+    fraction relative to ``capacity`` — so the same declaration drives
+    a sharded run, a sweep point, or a plain co-simulation.
+    """
+    fraction = float(cfg.get("fraction", 0.5))
+    kind = cfg.get("kind", "constant")
+    if kind == "constant":
+        level = fraction * capacity
+
+        def fn(t: float) -> float:
+            return level
+    elif kind == "diurnal":
+        from repro.workload.diurnal import DiurnalProfile
+        profile = DiurnalProfile()
+        scale = fraction * capacity
+
+        def fn(t: float) -> float:
+            return scale * profile(t)
+    else:
+        raise ValueError(f"unknown demand kind {kind!r}")
+    return fn
+
+
+class _Shard:
+    """One sub-facility co-simulation plus its mutable demand share."""
+
+    def __init__(self, index: int, spec: DataCenterSpec, demand_cfg: dict,
+                 total_capacity: float, managed: bool):
+        self.index = index
+        self.share = 0.0  # parent sends the real share before each period
+        global_fn = _demand_fn(demand_cfg, total_capacity)
+
+        def shard_demand(t: float) -> float:
+            return global_fn(t) * self.share
+
+        self.sim = CoSimulation(spec, shard_demand, managed=managed)
+        self.start = self.sim.env.now
+
+    def eff_cap(self) -> float:
+        """Deliverable capacity — the aggregate column shards exchange."""
+        return self.sim.dc.cluster.total_effective_capacity()
+
+    def advance(self, until: float) -> None:
+        self.sim.env.run(until=until)
+
+    def finish(self) -> tuple[CoSimResult, float, float]:
+        """Shard summary plus the offered/shed integrals the merge needs."""
+        end = self.sim.env.now
+        result = self.sim.summarize(self.start, end)
+        offered = self.sim.farm.offered_monitor.integral(self.start, end)
+        shed = self.sim.farm.shed_monitor.integral(self.start, end)
+        return result, offered, shed
+
+
+class _ShardGroup:
+    """Drives a batch of shards; used verbatim in-process and in workers."""
+
+    def __init__(self, items: list[tuple[int, DataCenterSpec]],
+                 demand_cfg: dict, total_capacity: float, managed: bool):
+        self.shards = [_Shard(i, s, demand_cfg, total_capacity, managed)
+                       for i, s in items]
+
+    def ready(self) -> list[tuple[int, float, float]]:
+        return [(s.index, s.start, s.eff_cap()) for s in self.shards]
+
+    def advance(self, until: float,
+                shares: dict[int, float]) -> list[tuple[int, float]]:
+        out = []
+        for s in self.shards:
+            s.share = shares[s.index]
+            s.advance(until)
+            out.append((s.index, s.eff_cap()))
+        return out
+
+    def finish(self) -> list[tuple[int, tuple]]:
+        return [(s.index, s.finish()) for s in self.shards]
+
+
+def _shard_worker(conn, items, demand_cfg, total_capacity,
+                  managed) -> None:
+    """Persistent worker: serve one :class:`_ShardGroup` over a pipe."""
+    try:
+        group = _ShardGroup(items, demand_cfg, total_capacity, managed)
+        conn.send(("ready", group.ready()))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "advance":
+                conn.send(("ok", group.advance(msg[1], msg[2])))
+            elif msg[0] == "finish":
+                conn.send(("result", group.finish()))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown message {msg[0]!r}")
+    except BaseException as exc:  # noqa: BLE001 - reported to parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+class _LocalGroup:
+    """In-process stand-in with the worker-pipe call surface."""
+
+    def __init__(self, items, demand_cfg, total_capacity, managed):
+        self.group = _ShardGroup(items, demand_cfg, total_capacity,
+                                 managed)
+
+    def ready(self):
+        return self.group.ready()
+
+    def advance(self, until, shares):
+        return self.group.advance(until, shares)
+
+    def finish(self):
+        return self.group.finish()
+
+    def close(self):
+        pass
+
+
+class _RemoteGroup:
+    """A worker process serving one shard batch over a pipe."""
+
+    def __init__(self, items, demand_cfg, total_capacity, managed):
+        ctx = multiprocessing.get_context()
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_shard_worker,
+            args=(child, items, demand_cfg, total_capacity, managed),
+            daemon=True)
+        self.proc.start()
+        child.close()
+
+    def _recv(self, expect: str):
+        msg = self.conn.recv()
+        if msg[0] == "error":
+            raise RuntimeError(f"shard worker failed: {msg[1]}")
+        if msg[0] != expect:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected {expect!r}, got {msg[0]!r}")
+        return msg[1]
+
+    def ready(self):
+        return self._recv("ready")
+
+    def advance(self, until, shares):
+        self.conn.send(("advance", until, shares))
+        return self._recv("ok")
+
+    def finish(self):
+        self.conn.send(("finish",))
+        out = self._recv("result")
+        self.proc.join(timeout=30.0)
+        return out
+
+    def close(self):
+        self.conn.close()
+        if self.proc.is_alive():  # pragma: no cover - error cleanup
+            self.proc.terminate()
+            self.proc.join(timeout=5.0)
+
+
+class ShardedCoSimulation:
+    """Co-simulate one facility as zone shards in macro-period lockstep.
+
+    Parameters
+    ----------
+    spec:
+        The whole facility; :func:`partition_spec` cuts it up.
+    demand:
+        Declarative global demand (picklable — it must cross the
+        process boundary): ``{"kind": "constant"|"diurnal",
+        "fraction": f}`` with the fraction relative to the *full*
+        facility's capacity.
+    shards:
+        Number of sub-facilities (≤ ``spec.zones``).
+    workers:
+        OS processes.  ``<= 1`` runs every shard in-process — the
+        bit-identical reference; larger values deal shards round-robin
+        over ``min(workers, shards)`` persistent pipe workers.
+    sync_period_s:
+        Lockstep macro-period between demand redistributions (default
+        300 s, the macro-management cadence).
+    """
+
+    def __init__(self, spec: DataCenterSpec, demand: dict,
+                 shards: int = 2, workers: int = 1,
+                 managed: bool = True,
+                 sync_period_s: float = 300.0):
+        if sync_period_s <= 0:
+            raise ValueError("sync period must be positive")
+        if not isinstance(demand, dict):
+            raise TypeError("demand must be a declarative dict "
+                            "(it crosses the process boundary)")
+        _demand_fn(demand, 1.0)  # validate the config eagerly
+        self.spec = spec
+        self.demand = dict(demand)
+        self.shard_specs = partition_spec(spec, shards)
+        self.workers = max(1, min(int(workers), len(self.shard_specs)))
+        self.managed = bool(managed)
+        self.sync_period_s = float(sync_period_s)
+        self.total_capacity = spec.total_servers * spec.server_capacity
+        #: Static fallback shares (proportional to installed capacity),
+        #: used whenever the fleet reports zero deliverable capacity.
+        caps = [s.total_servers * spec.server_capacity
+                for s in self.shard_specs]
+        total = 0.0
+        for cap in caps:
+            total += cap
+        self._static_shares = {i: cap / total
+                               for i, cap in enumerate(caps)}
+        self._ran = False
+
+    def _shares(self, eff_caps: dict[int, float]) -> dict[int, float]:
+        """Demand shares from the exchanged capacity column.
+
+        Summed in shard-index order so the in-process and worker paths
+        fold identically.
+        """
+        total = 0.0
+        for i in sorted(eff_caps):
+            total += eff_caps[i]
+        if total <= 0.0:
+            return dict(self._static_shares)
+        return {i: eff_caps[i] / total for i in sorted(eff_caps)}
+
+    def run(self, duration_s: float) -> CoSimResult:
+        """Advance every shard through ``duration_s`` and merge."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self._ran:
+            raise RuntimeError("a sharded co-simulation runs once")
+        self._ran = True
+        items = list(enumerate(self.shard_specs))
+        if self.workers <= 1:
+            groups = [_LocalGroup(items, self.demand,
+                                  self.total_capacity, self.managed)]
+        else:
+            groups = [_RemoteGroup(items[w::self.workers], self.demand,
+                                   self.total_capacity, self.managed)
+                      for w in range(self.workers)]
+        try:
+            eff_caps: dict[int, float] = {}
+            starts: set[float] = set()
+            for group in groups:
+                for index, start, cap in group.ready():
+                    starts.add(start)
+                    eff_caps[index] = cap
+            if len(starts) != 1:  # pragma: no cover - spec invariant
+                raise RuntimeError(f"shards disagree on start: {starts}")
+            t = start = starts.pop()
+            end = start + duration_s
+            while t < end:
+                t = min(t + self.sync_period_s, end)
+                shares = self._shares(eff_caps)
+                for index, cap in [pair for group in groups
+                                   for pair in group.advance(t, shares)]:
+                    eff_caps[index] = cap
+            finished: dict[int, tuple] = {}
+            for group in groups:
+                finished.update(group.finish())
+            return self._merge([finished[i] for i in sorted(finished)],
+                               duration_s)
+        finally:
+            for group in groups:
+                group.close()
+
+    def _merge(self, finished: list[tuple], duration_s: float
+               ) -> CoSimResult:
+        """Fold per-shard summaries into one facility-level result."""
+        results = [f[0] for f in finished]
+        offered = 0.0
+        shed = 0.0
+        it = 0.0
+        facility = 0.0
+        active = 0.0
+        alarms = 0
+        peak = 0.0
+        worst_response = float("nan")
+        for result, shard_offered, shard_shed in finished:
+            offered += shard_offered
+            shed += shard_shed
+            it += result.it_energy_j
+            facility += result.facility_energy_j
+            active += result.mean_active_servers
+            alarms += result.thermal_alarms
+            peak += result.peak_grid_w
+            response = result.sla.measured_response_s
+            if not math.isnan(response) and not (
+                    worst_response >= response):
+                worst_response = response
+        sla = SLAReport(
+            sla=results[0].sla.sla,
+            measured_response_s=worst_response,
+            served_fraction=(1.0 - shed / offered if offered > 0.0
+                             else 1.0),
+        )
+        return CoSimResult(
+            duration_s=duration_s,
+            it_energy_j=it,
+            facility_energy_j=facility,
+            energy_weighted_pue=(facility / it if it > 0.0
+                                 else float("inf")),
+            mean_active_servers=active,
+            sla=sla,
+            thermal_alarms=alarms,
+            peak_grid_w=peak,
+        )

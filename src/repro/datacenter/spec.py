@@ -20,6 +20,7 @@ from repro.cooling.weather import SEATTLE_LIKE, WeatherModel
 from repro.cooling.zone import ThermalZone
 from repro.datacenter.tiers import Tier, TIER_SPECS, TierSpec
 from repro.power.distribution import (
+    CapacityExceeded,
     PDU_EFFICIENCY,
     PowerNode,
     TRANSFORMER_EFFICIENCY,
@@ -43,6 +44,11 @@ class DataCenterSpec:
     servers_per_rack: int = 20
     server_peak_w: float = 300.0
     server_idle_fraction: float = 0.6
+    #: Exponent ``r`` of the Fan-et-al. calibrated power curve
+    #: (1.0 = linear).  The vector backend evaluates non-linear models
+    #: through its grouped libm-pow kernel — still batched, still
+    #: bit-identical to the scalar model.
+    server_nonlinearity: float = 1.0
     server_capacity: float = 100.0
     boot_s: float = 120.0
     wake_s: float = 15.0
@@ -82,7 +88,8 @@ class DataCenterSpec:
         """Instantiate the full facility on ``env``."""
         tier_spec = TIER_SPECS[self.tier]
         model = ServerPowerModel(peak_w=self.server_peak_w,
-                                 idle_fraction=self.server_idle_fraction)
+                                 idle_fraction=self.server_idle_fraction,
+                                 nonlinearity=self.server_nonlinearity)
 
         # --- compute: servers -> zoned racks -> cluster --------------
         fleet = None
@@ -95,8 +102,8 @@ class DataCenterSpec:
             zone_name = f"zone-{r % self.zones}"
             if fleet is not None:
                 # One shared model: every server is identical anyway,
-                # and a shared P/T-state table is what keeps the fleet
-                # uniform (the batch-kernel precondition).
+                # so they all land in a single model group (the fused
+                # single-pass batch kernel).
                 rack_servers = [
                     VectorServer(fleet, env, f"{self.name}-r{r}-s{s}",
                                  power_model=model,
@@ -108,7 +115,8 @@ class DataCenterSpec:
                     Server(env, f"{self.name}-r{r}-s{s}",
                            power_model=ServerPowerModel(
                                peak_w=self.server_peak_w,
-                               idle_fraction=self.server_idle_fraction),
+                               idle_fraction=self.server_idle_fraction,
+                               nonlinearity=self.server_nonlinearity),
                            capacity=self.server_capacity,
                            boot_s=self.boot_s, wake_s=self.wake_s)
                     for s in range(self.servers_per_rack)]
@@ -184,6 +192,56 @@ class DataCenter:
     pue: PUEAccountant
     economizer: AirSideEconomizer | None = None
     weather: WeatherModel | None = None
+    #: Lazily-built fast-path handle for the canonical power tree
+    #: (see :meth:`_tree_fast_path`).  ``None`` before the first
+    #: physical tick; ``()`` when the shape check failed.
+    _tree_fast: tuple | None = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
+
+    def _tree_fast_path(self) -> tuple | None:
+        """Cache the spec's canonical transformer→UPS→PDU→leaf chain.
+
+        The builder always produces this shape: a three-node spine
+        whose PDU fans out to one identity-efficiency leaf per rack,
+        in rack order.  When it holds, :meth:`sync_physical` can fold
+        the whole tree in one pass — leaf input equals leaf demand
+        exactly (efficiency 1.0), the three spine stages are scalar —
+        instead of recursing node-by-node twice per tick.  Any
+        restructured tree (extra children, strict or lossy leaves)
+        returns ``None`` and keeps the generic recursive walk.
+        """
+        fast = self._tree_fast
+        if fast is not None:
+            return fast or None
+        root = self.power_tree
+        racks = self.cluster.racks
+        spine_ok = (len(root.children) == 1
+                    and len(root.children[0].children) == 1)
+        if spine_ok:
+            ups_node = root.children[0]
+            pdu = ups_node.children[0]
+            leaves = pdu.children
+            leaf_ok = (len(leaves) == len(racks) and all(
+                leaf is self.rack_nodes.get(rack.name)
+                and not leaf.children and not leaf.strict
+                and len(leaf.efficiency.knots) == 1
+                and leaf.efficiency.knots[0][1] == 1.0
+                for leaf, rack in zip(leaves, racks)))
+            if leaf_ok:
+                self._tree_fast = (ups_node, pdu, leaves)
+                return self._tree_fast
+        self._tree_fast = ()
+        return None
+
+    @staticmethod
+    def _stage_in(node: PowerNode, out_w: float) -> float:
+        """``PowerNode.input_w`` arithmetic with the output pre-folded."""
+        if node.failed or out_w == 0.0:
+            return 0.0
+        load_fraction = out_w / node.capacity_w
+        if node.strict and load_fraction > 1.0:
+            raise CapacityExceeded(node, out_w)
+        return out_w / node.efficiency(load_fraction)
 
     def sync_physical(self) -> dict:
         """Push current compute state into the physical models.
@@ -194,12 +252,34 @@ class DataCenter:
         every tick; it is also handy interactively.
         """
         # Power tree leaves <- rack draws.
-        for rack in self.cluster.racks:
-            self.rack_nodes[rack.name].set_demand(rack.power_w())
-        it_w = self.cluster.power_w()
-        grid_w = self.power_tree.input_w()
-        loss_w = grid_w - it_w
-        self.ups.set_load(self.power_tree.find("ups").output_w())
+        fast = self._tree_fast_path()
+        if fast is not None:
+            ups_node, pdu, leaves = fast
+            demands = self.cluster.rack_powers()
+            # One fused pass: leaf input == leaf demand (identity
+            # efficiency, exact), folded left-to-right in child order
+            # — bit-identical to the recursive walk it replaces.
+            pdu_out = 0.0
+            for leaf, watts in zip(leaves, demands):
+                leaf._leaf_demand_w = watts
+                if not leaf.failed:
+                    pdu_out += watts
+            if pdu.failed:
+                pdu_out = 0.0
+            pdu_in = self._stage_in(pdu, pdu_out)
+            ups_out = 0.0 if ups_node.failed else pdu_in
+            ups_in = self._stage_in(ups_node, ups_out)
+            grid_w = self._stage_in(self.power_tree, ups_in)
+            it_w = self.cluster.power_w()
+            loss_w = grid_w - it_w
+            self.ups.set_load(ups_out)
+        else:
+            for rack in self.cluster.racks:
+                self.rack_nodes[rack.name].set_demand(rack.power_w())
+            it_w = self.cluster.power_w()
+            grid_w = self.power_tree.input_w()
+            loss_w = grid_w - it_w
+            self.ups.set_load(self.power_tree.find("ups").output_w())
 
         # Zones <- heat by zone (IT heat + its share of losses lands
         # in the room; distribution losses heat electrical rooms and

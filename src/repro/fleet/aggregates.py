@@ -18,14 +18,21 @@ queries).  Each batch replays the scalar sequence bit-exactly:
 * the drift guard triggers at the exact same update counts, and the
   exact re-sum it performs is reproduced against a snapshot in which
   servers *after* the trigger point still hold their pre-update power;
-* power evaluation uses the fleet's linear batch kernel, which is
-  only enabled for uniform r == 1 fleets (see ``plant``).
+* power evaluation uses the fleet's grouped batch kernel (see
+  ``plant``), which is scalar-exact for every installed model —
+  uniform linear fleets take one fused pass, mixed tables and
+  non-linear models evaluate per model group.
 
 Batches run only when :meth:`VectorAggregate.batcher` validates the
-wiring — every server watched by exactly ``[its rack aggregate, this
-aggregate, *batch-safe extras]``.  Any other wiring (extra watchers,
-sub-pool aggregates, mixed fleets) silently falls back to the scalar
-paths, which remain correct on vector views.
+wiring — every server watched by ``[its rack aggregate, this
+aggregate, *extras]``.  Extras marked ``vector_batch_safe`` are
+skipped entirely; any other extra exposing ``power_changed`` is
+replayed scalar-style, one delta per changed server in pool order,
+*after* the rack and farm folds (the three accumulators are disjoint,
+so each watcher sees exactly its scalar delta subsequence).  Only
+genuinely foreign wiring — sub-pool aggregates in the rack/farm
+slots, or watchers without ``power_changed`` — falls back to the
+scalar paths, which remain correct on vector views.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ class VectorAggregate(FleetAggregate):
     """Whole-fleet pool aggregate with batch kernels."""
 
     __slots__ = ("_fleet", "_active_idx", "_wiring_epoch_seen",
-                 "_wiring_ok")
+                 "_wiring_ok", "_extra_watchers")
 
     def __init__(self, fleet: VectorFleet, servers: typing.Sequence,
                  recompute_every: int):
@@ -52,6 +59,7 @@ class VectorAggregate(FleetAggregate):
         self._active_idx: np.ndarray | None = None
         self._wiring_epoch_seen = -1
         self._wiring_ok = False
+        self._extra_watchers: dict[int, tuple] | None = None
         super().__init__(servers, recompute_every)
         fleet.farm_aggs.append(self)
 
@@ -110,7 +118,8 @@ class VectorAggregate(FleetAggregate):
         if self._wiring_epoch_seen == fleet._wiring_epoch:
             return self._wiring_ok
         self._wiring_epoch_seen = fleet._wiring_epoch
-        ok = fleet.uniform_linear and fleet.n_claimed == fleet.n
+        extras: dict[int, tuple] = {}
+        ok = fleet.n_claimed == fleet.n
         if ok:
             racks = fleet.rack_aggs
             slots = fleet.rack_slot
@@ -119,11 +128,24 @@ class VectorAggregate(FleetAggregate):
                 watchers = server._watchers
                 if (slot < 0 or len(watchers) < 2
                         or watchers[0] is not racks[slot]
-                        or watchers[1] is not self
-                        or any(not getattr(w, "vector_batch_safe", False)
-                               for w in watchers[2:])):
+                        or watchers[1] is not self):
                     ok = False
                     break
+                if len(watchers) > 2:
+                    # Batch-safe extras need no notification; anything
+                    # else with power_changed gets a scalar replay per
+                    # changed row (see _fold_power_deltas).
+                    row = tuple(
+                        w for w in watchers[2:]
+                        if not getattr(w, "vector_batch_safe", False))
+                    if row:
+                        if any(not callable(getattr(w, "power_changed",
+                                                    None))
+                               for w in row):
+                            ok = False
+                            break
+                        extras[i] = row
+        self._extra_watchers = extras if ok and extras else None
         self._wiring_ok = ok
         return ok
 
@@ -191,7 +213,8 @@ class VectorAggregate(FleetAggregate):
         fleet.t_last[idx] = now
         fleet.pstate[idx] = index
         tstates = fleet.tstate[idx]
-        eff = fleet.capacity[idx] * fleet.cap_frac[index, tstates]
+        eff = fleet.capacity[idx] * fleet._cap_fractions(idx, index,
+                                                         tstates)
         fleet.eff_cap[idx] = eff
         newp = fleet._active_power(idx, fleet.offered[idx], eff, index,
                                    tstates)
@@ -244,6 +267,20 @@ class VectorAggregate(FleetAggregate):
         deltas = newp[changed] - old
         self._fleet._fold_rack_deltas(fidx, old, deltas)
         self._fold_farm_deltas(fidx, old, deltas)
+        extras = self._extra_watchers
+        if extras is not None:
+            # Scalar replay for non-batch-safe extras: one delta per
+            # changed server, in pool (= mutation) order.  Runs after
+            # the rack/farm folds; the accumulators are disjoint, so
+            # each watcher still sees exactly its scalar subsequence.
+            objs = self._fleet.objs
+            for j, row in enumerate(fidx.tolist()):
+                row_extras = extras.get(row)
+                if row_extras is not None:
+                    server = objs[row]
+                    delta = float(deltas[j])
+                    for w in row_extras:
+                        w.power_changed(server, delta)
 
     def _fold_farm_deltas(self, fidx: np.ndarray, old: np.ndarray,
                           deltas: np.ndarray) -> None:

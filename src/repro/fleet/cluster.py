@@ -85,6 +85,13 @@ class VectorCluster(Cluster):
         slots, _, _, _, fleet = prep
         return float(np.cumsum(fleet.rack_power[slots])[-1])
 
+    def rack_powers(self) -> list[float]:
+        prep = self._prep()
+        if prep is None:
+            return super().rack_powers()
+        slots, _, _, _, fleet = prep
+        return fleet.rack_power[slots].tolist()
+
     def heat_by_zone(self) -> dict[str, float]:
         prep = self._prep()
         if prep is None:

@@ -19,14 +19,22 @@ that replay the exact same IEEE operation sequence (left folds via
 equivalence guarantee — identical energies, rosters and RNG streams
 between backends — is enforced by the backend-equivalence test suite.
 
-Batch mutation is additionally gated on a *uniform linear* fleet
-(every server shares one P/T-state table and ``nonlinearity == 1.0``,
-the defaults): Python's ``u ** r`` and ``np.power`` differ by 1 ulp on
-some inputs, so non-linear power models always take the scalar path.
+Power models are organised into *model groups*: every distinct
+(P/T-state table contents, nonlinearity) pair installed on the fleet
+gets one group, and each server row carries its group id.  Batch power
+evaluation runs per group — the single-linear-group fleet (the
+overwhelmingly common case) keeps the original fused kernel, while
+mixed tables and non-linear models evaluate group by group with the
+same scalar-exact arithmetic.  Non-linear shapes use element-wise
+``math.pow`` (libm) rather than ``np.power``, because Python's
+``u ** r`` and ``np.power`` differ by 1 ulp on some inputs; the
+element-wise path is bit-identical to the scalar model.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 import typing
 
 import numpy as np
@@ -85,6 +93,37 @@ class _WatcherList(list):
     def clear(self):  # noqa: D102 - list API
         super().clear()
         self._bump()
+
+
+def _pow_elements(x: np.ndarray, r: float) -> np.ndarray:
+    """Element-wise ``x ** r`` via libm — bit-identical to Python pow.
+
+    ``np.power`` differs from CPython's ``float.__pow__`` by 1 ulp on
+    some inputs, so the non-linear utilization shape must go through
+    ``math.pow`` (the same libm call the scalar model makes) to keep
+    batch evaluation bit-exact.
+    """
+    return np.fromiter(map(math.pow, x.tolist(), itertools.repeat(r)),
+                       np.float64, count=x.size)
+
+
+class _ModelGroup:
+    """One distinct (P/T-state table, nonlinearity) combination.
+
+    ``cap`` / ``dyn`` are the table's memoized fraction matrices as
+    float64 arrays; ``has_t`` mirrors the scalar model's *"if
+    table.tstates"* branch (tables without T-states always read
+    column 0 regardless of the commanded T-state).
+    """
+
+    __slots__ = ("cap", "dyn", "r", "has_t", "n_pstates")
+
+    def __init__(self, table, r: float):
+        self.cap = np.array(table._cap_frac, dtype=np.float64)
+        self.dyn = np.array(table._dyn_frac, dtype=np.float64)
+        self.r = float(r)
+        self.has_t = bool(table.tstates)
+        self.n_pstates = len(table.pstates)
 
 
 class EnergyMeter:
@@ -193,15 +232,21 @@ class VectorFleet:
         #: Bumped whenever any server's watcher list changes shape;
         #: aggregates re-validate batch wiring when it moves.
         self._wiring_epoch = 0
-        # Shared P/T-state fraction tables (set by the first model).
-        self._table = None
+        # Model groups: one per distinct (table contents, r) pair.
+        # ``cap_frac`` / ``dyn_frac`` alias group 0's tables so the
+        # single-group fast paths can index them directly.
+        self.groups: list[_ModelGroup] = []
+        self.group_id = np.zeros(n, dtype=np.int32)
+        self._group_by_table: dict[tuple, int] = {}
+        self._group_by_content: dict[tuple, int] = {}
         self.cap_frac: np.ndarray | None = None
         self.dyn_frac: np.ndarray | None = None
         self.n_pstates = 0
         self.n_tstates = 0
         #: True while every installed model shares one fraction table
-        #: and is linear (r == 1.0) — the precondition for batch power
-        #: evaluation to be bit-identical to the scalar model.
+        #: (with T-states) and is linear (r == 1.0) — the single-group
+        #: fast path; grouped evaluation covers everything else with
+        #: the same scalar-exact arithmetic.
         self.uniform_linear = False
         # Rack slots (amortized-doubling columns, like server rows).
         self.n_racks = 0
@@ -234,23 +279,44 @@ class VectorFleet:
         self.other_dyn_w[idx] = model._other_dynamic_w
         self.off_w[idx] = model.off_w
         self.boot_w[idx] = model.boot_w
+        self.group_id[idx] = self._group_for(model)
+
+    def _group_for(self, model: ServerPowerModel) -> int:
+        """Group id for ``model``, deduplicated by table *contents*.
+
+        Same-object tables resolve through an identity cache; distinct
+        table objects with equal fraction matrices share a group (the
+        matrices are what evaluation reads, so equal contents means
+        bit-identical results).
+        """
         table = model.pstates
-        if self._table is None:
-            self._table = table
-            self.cap_frac = np.array(table._cap_frac, dtype=np.float64)
-            self.dyn_frac = np.array(table._dyn_frac, dtype=np.float64)
-            self.n_pstates = len(table.pstates)
-            self.n_tstates = len(table.tstates)
-            self.uniform_linear = (bool(table.tstates)
-                                   and model.nonlinearity == 1.0)
-        elif self.uniform_linear:
-            if model.nonlinearity != 1.0:
-                self.uniform_linear = False
-            elif table is not self._table and (
-                    len(table.tstates) != len(self._table.tstates)
-                    or table._cap_frac != self._table._cap_frac
-                    or table._dyn_frac != self._table._dyn_frac):
-                self.uniform_linear = False
+        key = (id(table), model.nonlinearity)
+        gid = self._group_by_table.get(key)
+        if gid is not None:
+            return gid
+        content = (model.nonlinearity, bool(table.tstates),
+                   tuple(map(tuple, table._cap_frac)),
+                   tuple(map(tuple, table._dyn_frac)))
+        gid = self._group_by_content.get(content)
+        if gid is None:
+            gid = len(self.groups)
+            group = _ModelGroup(table, model.nonlinearity)
+            self.groups.append(group)
+            self._group_by_content[content] = gid
+            if gid == 0:
+                self.cap_frac = group.cap
+                self.dyn_frac = group.dyn
+                self.n_pstates = group.n_pstates
+                self.n_tstates = len(table.tstates)
+            else:
+                # Mixed fleets validate batch P-state commands against
+                # the shortest ladder, so a batch either applies to
+                # every active server or raises before mutating.
+                self.n_pstates = min(self.n_pstates, group.n_pstates)
+            self.uniform_linear = (len(self.groups) == 1
+                                   and group.has_t and group.r == 1.0)
+        self._group_by_table[key] = gid
+        return gid
 
     def _zone_code(self, name: str | None) -> int:
         if name is None:
@@ -321,24 +387,85 @@ class VectorFleet:
         return slot
 
     # ------------------------------------------------------------------
-    # Batch power kernel (bit-identical to the scalar model, r == 1)
+    # Batch power kernel (bit-identical to the scalar model)
     # ------------------------------------------------------------------
     def _active_power(self, idx: np.ndarray, offered: np.ndarray,
                       eff: np.ndarray, p, t) -> np.ndarray:
         """Wall power of ACTIVE rows — the scalar model, vectorized.
 
-        Replays ``ServerPowerModel.power`` term for term for the
-        linear (r == 1) case: same divisions, same clamps, same
-        left-to-right products, so each element is the bit-exact
-        scalar result.  ``eff`` must be the effective capacity at the
-        queried (p, t) — strictly positive for ACTIVE rows.
+        Replays ``ServerPowerModel.power`` term for term: same
+        divisions, same clamps, same left-to-right products, so each
+        element is the bit-exact scalar result.  ``eff`` must be the
+        effective capacity at the queried (p, t) — strictly positive
+        for ACTIVE rows.  The uniform-linear fleet takes one fused
+        pass; everything else evaluates per model group (non-linear
+        shapes through element-wise libm pow).
         """
-        u = np.minimum(offered / eff, 1.0)
-        cap = self.cap_frac[p, t]
-        scale = self.dyn_frac[p, t]
-        tt = np.clip(u * cap, 0.0, 1.0)
-        return (self.idle_w[idx] + u * self.cpu_dyn_w[idx] * scale
-                + tt * self.other_dyn_w[idx])
+        if self.uniform_linear:
+            u = np.minimum(offered / eff, 1.0)
+            cap = self.cap_frac[p, t]
+            scale = self.dyn_frac[p, t]
+            tt = np.clip(u * cap, 0.0, 1.0)
+            return (self.idle_w[idx] + u * self.cpu_dyn_w[idx] * scale
+                    + tt * self.other_dyn_w[idx])
+        out = np.empty(idx.size, dtype=np.float64)
+        for gid, m, rows in self._group_masks(idx):
+            group = self.groups[gid]
+            p_g = p[m] if isinstance(p, np.ndarray) else p
+            if group.has_t:
+                t_g = t[m] if isinstance(t, np.ndarray) else t
+            else:
+                t_g = 0
+            cap = group.cap[p_g, t_g]
+            scale = group.dyn[p_g, t_g]
+            u = np.minimum(offered[m] / eff[m], 1.0)
+            r = group.r
+            if r == 1.0:
+                cpu_shape = u
+                other_shape = np.clip(u * cap, 0.0, 1.0)
+            else:
+                cpu_shape = np.minimum(2.0 * u - _pow_elements(u, r), 1.0)
+                tt = np.clip(u * cap, 0.0, 1.0)
+                other_shape = np.minimum(2.0 * tt - _pow_elements(tt, r),
+                                         1.0)
+            out[m] = (self.idle_w[rows]
+                      + cpu_shape * self.cpu_dyn_w[rows] * scale
+                      + other_shape * self.other_dyn_w[rows])
+        return out
+
+    def _group_masks(self, idx: np.ndarray):
+        """Yield ``(gid, mask, rows)`` per model group present in ``idx``.
+
+        ``mask`` selects the group's positions within ``idx`` and
+        ``rows`` the corresponding fleet rows.  Single-group fleets
+        yield one full-coverage slice without any masking cost.
+        """
+        if len(self.groups) == 1:
+            yield 0, slice(None), idx
+            return
+        gids = self.group_id[idx]
+        for gid in np.unique(gids).tolist():
+            m = gids == gid
+            yield gid, m, idx[m]
+
+    def _cap_fractions(self, idx: np.ndarray, p, t) -> np.ndarray:
+        """Per-row capacity fraction at (p, t), honoring model groups.
+
+        The batch twin of ``PStateTable.capacity_fraction`` — tables
+        without T-states read column 0 just like the scalar lookup.
+        """
+        if self.uniform_linear:
+            return self.cap_frac[p, t]
+        out = np.empty(idx.size, dtype=np.float64)
+        for gid, m, _rows in self._group_masks(idx):
+            group = self.groups[gid]
+            p_g = p[m] if isinstance(p, np.ndarray) else p
+            if group.has_t:
+                t_g = t[m] if isinstance(t, np.ndarray) else t
+            else:
+                t_g = 0
+            out[m] = group.cap[p_g, t_g]
+        return out
 
     def _fold_rack_deltas(self, fidx: np.ndarray, old: np.ndarray,
                           deltas: np.ndarray) -> None:
@@ -463,10 +590,11 @@ class VectorFleet:
 
     def total_demand_w(self) -> float | None:
         """Uncapped fleet demand (the capper input), or ``None`` when
-        the fleet is not uniform-linear (callers fall back to the
-        scalar fold)."""
+        the fleet has unclaimed rows (callers fall back to the scalar
+        fold).  Mixed tables and non-linear models evaluate through
+        the grouped kernel — no scalar fallback."""
         tracer = self.env.tracer
-        if not self.uniform_linear or self.n_claimed != self.n:
+        if self.n_claimed != self.n:
             if tracer is not None:
                 tracer.count("fleet.demand_scalar_fallback")
             return None
@@ -481,7 +609,8 @@ class VectorFleet:
         active = np.flatnonzero(code == C_ACTIVE)
         if active.size:
             p = self.pstate[active]
-            cap0 = self.capacity[active] * self.cap_frac[p, 0]
+            cap0 = self.capacity[active] * self._cap_fractions(
+                active, p, 0)
             demand[active] = self._active_power(
                 active, self.offered[active], cap0, p, 0)
         return float(np.cumsum(demand)[-1])

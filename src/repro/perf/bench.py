@@ -43,19 +43,24 @@ def bench_spec(servers: int, backend: str = "object"):
                           backend=backend)
 
 
-def run_scale_bench(servers: int, backend: str = "object",
-                    hours: float = 24.0,
-                    demand_fraction: float = 0.5) -> dict:
-    """Co-simulate a managed day at scale; returns a metrics dict."""
-    from repro.datacenter import CoSimulation
+def _run_scale_once(servers: int, backend: str, hours: float,
+                    demand_fraction: float, shards: int,
+                    shard_workers: int) -> dict:
+    """One timed managed day (plain or zone-sharded)."""
+    from repro.datacenter import CoSimulation, ShardedCoSimulation
 
     spec = bench_spec(servers, backend)
     demand = spec.total_servers * spec.server_capacity * demand_fraction
     start = time.perf_counter()
-    sim = CoSimulation(spec, lambda t: demand, managed=True)
+    if shards:
+        sim = ShardedCoSimulation(
+            spec, {"kind": "constant", "fraction": demand_fraction},
+            shards=shards, workers=shard_workers)
+    else:
+        sim = CoSimulation(spec, lambda t: demand, managed=True)
     result = sim.run(hours * 3600.0)
     wall_s = time.perf_counter() - start
-    return {
+    metrics = {
         "servers": spec.total_servers,
         "backend": backend,
         "hours": hours,
@@ -67,10 +72,48 @@ def run_scale_bench(servers: int, backend: str = "object",
         "thermal_alarms": result.thermal_alarms,
         "mean_active_servers": result.mean_active_servers,
     }
+    if shards:
+        metrics["shards"] = shards
+        metrics["shard_workers"] = shard_workers
+    return metrics
+
+
+def run_scale_bench(servers: int, backend: str = "object",
+                    hours: float = 24.0,
+                    demand_fraction: float = 0.5,
+                    shards: int = 0, shard_workers: int = 1,
+                    repeat: int = 1, warmup: int = 0) -> dict:
+    """Co-simulate a managed day at scale; returns a metrics dict.
+
+    ``shards > 0`` runs the zone-sharded plant
+    (:class:`~repro.datacenter.ShardedCoSimulation`) over
+    ``shard_workers`` processes instead of the single-process
+    co-simulation.  ``repeat``/``warmup`` make the reported wall time a
+    best-of-N after N discarded warmups — the committed BENCH_PERF
+    rows use this so the regression gate doesn't flap on a cold page
+    cache or a noisy shared runner.  Simulation metrics are identical
+    across repeats (runs are deterministic), so only the timing of the
+    fastest run is kept.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    if warmup < 0:
+        raise ValueError(f"warmup cannot be negative, got {warmup}")
+    best: dict | None = None
+    for i in range(warmup + repeat):
+        metrics = _run_scale_once(servers, backend, hours,
+                                  demand_fraction, shards, shard_workers)
+        if i < warmup:
+            continue
+        if best is None or metrics["wall_s"] < best["wall_s"]:
+            best = metrics
+    best["repeat"] = repeat
+    return best
 
 
 def run_placement_bench(servers: int = 20_000, vm_ratio: float = 1.5,
-                        gamma: int = 2, seed: int = 42) -> dict:
+                        gamma: int = 2, seed: int = 42,
+                        repeat: int = 1, warmup: int = 0) -> dict:
     """One Γ-robust consolidation pass at fleet scale.
 
     Packs ``servers * vm_ratio`` uncertain-interval VMs onto
@@ -78,6 +121,8 @@ def run_placement_bench(servers: int = 20_000, vm_ratio: float = 1.5,
     Γ-robust packer (``python -m repro bench --scenario placement``).
     This is the planning half of a consolidation cycle — the part
     whose wall time gates how often the macro layer can re-plan.
+    ``repeat``/``warmup`` report a best-of-N wall time, as in
+    :func:`run_scale_bench`.
     """
     import numpy as np
 
@@ -85,23 +130,32 @@ def run_placement_bench(servers: int = 20_000, vm_ratio: float = 1.5,
 
     if servers < 1:
         raise ValueError("need at least one server")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    if warmup < 0:
+        raise ValueError(f"warmup cannot be negative, got {warmup}")
     n_vms = int(servers * vm_ratio)
-    rng = np.random.default_rng(seed)
-    demand = UncertainDemand(rng.uniform(0.05, 0.45, n_vms),
-                             rng.uniform(0.0, 0.15, n_vms))
-    start = time.perf_counter()
-    packer = GammaRobustPacker(np.ones(servers), gamma=gamma)
-    result = packer.pack(demand)
-    wall_s = time.perf_counter() - start
+    best_wall = None
+    for i in range(warmup + repeat):
+        rng = np.random.default_rng(seed)
+        demand = UncertainDemand(rng.uniform(0.05, 0.45, n_vms),
+                                 rng.uniform(0.0, 0.15, n_vms))
+        start = time.perf_counter()
+        packer = GammaRobustPacker(np.ones(servers), gamma=gamma)
+        result = packer.pack(demand)
+        wall_s = time.perf_counter() - start
+        if i >= warmup and (best_wall is None or wall_s < best_wall):
+            best_wall = wall_s
     return {
         "servers": servers,
         "vms": n_vms,
         "gamma": gamma,
-        "wall_s": wall_s,
-        "vms_per_second": n_vms / wall_s,
+        "wall_s": best_wall,
+        "vms_per_second": n_vms / best_wall,
         "hosts_used": result.hosts_used,
         "servers_freed": result.servers_freed,
         "unplaced": len(result.unplaced),
+        "repeat": repeat,
     }
 
 
@@ -118,7 +172,11 @@ def format_placement_report(metrics: typing.Mapping) -> str:
 
 def format_report(metrics: typing.Mapping) -> str:
     """Human-readable one-run summary."""
-    return (f"{metrics['servers']:,} servers ({metrics['backend']}): "
+    layout = metrics["backend"]
+    if metrics.get("shards"):
+        layout += (f", {metrics['shards']} shards / "
+                   f"{metrics['shard_workers']} workers")
+    return (f"{metrics['servers']:,} servers ({layout}): "
             f"{metrics['hours']:.0f} h simulated in "
             f"{metrics['wall_s']:.2f} s wall "
             f"({metrics['sim_seconds_per_wall_second']:,.0f}x realtime) "

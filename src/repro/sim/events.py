@@ -147,11 +147,35 @@ class Timeout(Event):
         self._value = value
         self.delay = delay
         self._waiter = None
-        # Inlined env.schedule(self, delay=delay) — the call overhead
-        # is measurable at millions of timeouts per run.  Priority 1
-        # packs to the bare insertion id (see Environment.schedule).
+        # Inlined env.schedule(self, delay=delay) and the calendar
+        # ring insert — the call overhead is measurable at millions of
+        # timeouts per run.  Priority 1 packs to the bare insertion id
+        # (see Environment.schedule).
         eid = env._eidn = env._eidn + 1
-        heapq.heappush(env._queue, (env._now + delay, eid, self))
+        q = env._queue
+        t = env._now + delay
+        tw = t * q.inv_width
+        idx = int(tw)
+        if idx > tw:
+            idx -= 1
+        if idx < q.far_start_idx:
+            cur = q.cur
+            if idx > cur:
+                q.buckets[idx & q.mask].append((t, eid, self))
+                q.size += 1
+            else:
+                # Current-or-behind bucket: clamp + interrupt flag
+                # (see CalendarQueue.push).
+                b = q.buckets[cur & q.mask]
+                b.append((t, eid, self))
+                q.size += 1
+                q.intr = True
+                if t < q.intr_t:
+                    q.intr_t = t
+                if len(b) > 1:
+                    q.dirty = True
+        else:
+            heapq.heappush(q.far, (t, eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {hex(id(self))}>"

@@ -1,17 +1,24 @@
 """The discrete-event simulation environment.
 
-:class:`Environment` owns simulated time and the event heap.  It is
+:class:`Environment` owns simulated time and the event queue.  It is
 deliberately minimal and deterministic: ties in time are broken by
 priority and then by insertion order, so a simulation with a fixed seed
 replays identically — a property the test suite relies on.
 
-Heap entries are 3-tuples ``(time, key, event)`` where ``key`` packs
+Queue entries are 3-tuples ``(time, key, event)`` where ``key`` packs
 ``((priority - 1) << 52) + eid`` into one int: comparing a single int
 is measurably cheaper than comparing two, the offset makes the default
 priority 1 pack to the bare insertion id (no arithmetic on the hottest
 push site), and 2**52 insertions outlast any simulation this code base
 will ever run.  Only priorities 0 (interrupt) and 1 (everything else)
 are used today; any non-negative priority packs correctly.
+
+The queue itself is a :class:`~repro.sim.calendar.CalendarQueue` — a
+bucketed calendar ring whose total order over ``(time, key)`` is
+identical to the ``heapq`` it replaced, but whose pop is an amortised
+``list.pop()`` from a pre-sorted bucket instead of a heap sift.  The
+hot sites (:meth:`timeout` and ``Timeout.__init__``) inline the
+ring-insert to skip even the method-call frame.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import heapq
 import sys
 import typing
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -30,6 +38,8 @@ from repro.sim.events import (
 from repro.sim.process import Process
 
 __all__ = ["Environment"]
+
+_INF = float("inf")
 
 
 class Environment:
@@ -44,7 +54,7 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue = CalendarQueue(self._now)
         self._eidn = 0
         self._active_process: Process | None = None
         #: Optional :class:`~repro.obs.Tracer` (the flight recorder).
@@ -81,9 +91,43 @@ class Environment:
         (interrupts use 0 so they beat ordinary wakeups).
         """
         eid = self._eidn = self._eidn + 1
-        heapq.heappush(
-            self._queue,
+        self._queue.push(
             (self._now + delay, ((priority - 1) << 52) + eid, event))
+
+    def schedule_callback_bulk(self, times, callback,
+                               values=None) -> list[Timeout]:
+        """Schedule ``callback(event)`` at each absolute time in ``times``.
+
+        The bulk companion to ``timeout() + callbacks.append``: builds
+        one :class:`Timeout` per entry up front and inserts them into
+        the calendar ring in a single numpy-binned pass — the backbone
+        of pre-sampled workload arrival trains.  ``times`` must be
+        absolute simulated times ``>= now`` (any order; ties dispatch
+        in array order, matching sequential ``timeout()`` calls).  Each
+        event's value is the entry of ``values`` at the same position,
+        or the scheduled time itself when ``values`` is None.
+        """
+        now = self._now
+        eidn = self._eidn
+        shared = (callback,)
+        entries = []
+        events = []
+        for i, t in enumerate(times):
+            t = float(t)
+            if t < now:
+                raise ValueError(f"time {t} lies in the past (now={now})")
+            event = Timeout.__new__(Timeout)
+            event.env = self
+            event.callbacks = shared
+            event._value = t if values is None else values[i]
+            event.delay = t - now
+            event._waiter = None
+            eidn += 1
+            entries.append((t, eidn, event))
+            events.append(event)
+        self._eidn = eidn
+        self._queue.push_bulk(entries)
+        return events
 
     # ------------------------------------------------------------------
     # Factories
@@ -114,7 +158,31 @@ class Environment:
         event.delay = delay
         event._waiter = None
         eid = self._eidn = self._eidn + 1
-        heapq.heappush(self._queue, (self._now + delay, eid, event))
+        # Inlined CalendarQueue.push — this is the hottest push site.
+        q = self._queue
+        t = self._now + delay
+        tw = t * q.inv_width
+        idx = int(tw)
+        if idx > tw:
+            idx -= 1
+        if idx < q.far_start_idx:
+            cur = q.cur
+            if idx > cur:
+                q.buckets[idx & q.mask].append((t, eid, event))
+                q.size += 1
+            else:
+                # Current-or-behind bucket: clamp + interrupt flag
+                # (see CalendarQueue.push).
+                b = q.buckets[cur & q.mask]
+                b.append((t, eid, event))
+                q.size += 1
+                q.intr = True
+                if t < q.intr_t:
+                    q.intr_t = t
+                if len(b) > 1:
+                    q.dirty = True
+        else:
+            heapq.heappush(q.far, (t, eid, event))
         return event
 
     def process(self, generator: typing.Generator,
@@ -162,13 +230,13 @@ class Environment:
 
         Raises :class:`IndexError` when the queue is empty.
         """
-        time, _key, event = heapq.heappop(self._queue)
+        time, _key, event = self._queue.pop()
         self._now = time
         self._dispatch(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
     def run(self, until: float | Event | None = None):
         """Run the simulation.
@@ -187,69 +255,10 @@ class Environment:
         """
         if self.tracer is not None:
             return self._run_traced(until)
-        queue = self._queue
-        heappop = heapq.heappop
+        q = self._queue
+        pop_before = q.pop_before
         free = self._free
         getrefcount = sys.getrefcount
-
-        if until is None:
-            while queue:
-                time, _key, event = heappop(queue)
-                self._now = time
-                if type(event) is Timeout:
-                    proc = event._waiter
-                    if proc is not None:
-                        # Hot path: one process waiting on a plain
-                        # timeout (a set waiter implies no other
-                        # subscribers).  Resume its generator right
-                        # here — no _dispatch or _resume frame — and
-                        # re-subscribe it if it yields another fresh
-                        # timeout (it almost always does).
-                        event.callbacks = None
-                        self._active_process = proc
-                        try:
-                            result = proc._send(event._value)
-                        except StopIteration as stop:
-                            self._active_process = None
-                            proc._target = None
-                            proc.succeed(stop.value)
-                            continue
-                        except BaseException as exc:
-                            self._active_process = None
-                            proc._target = None
-                            proc.fail(exc)
-                            self._on_process_failure(proc, exc)
-                            continue
-                        self._active_process = None
-                        if type(result) is Timeout:
-                            callbacks = result.callbacks
-                            if callbacks is not None:
-                                proc._target = result
-                                if type(callbacks) is tuple:
-                                    waiter = result._waiter
-                                    if waiter is None:
-                                        result._waiter = proc
-                                    else:
-                                        result._waiter = None
-                                        result.callbacks = [
-                                            waiter._resume_cb,
-                                            proc._resume_cb,
-                                        ]
-                                else:
-                                    callbacks.append(proc._resume_cb)
-                                # Recycle the consumed timeout when
-                                # provably unreferenced (the local +
-                                # the getrefcount argument are the
-                                # only refs left): timeout() reuses
-                                # the object instead of allocating.
-                                if getrefcount(event) == 2:
-                                    free.append(event)
-                                continue
-                        proc._target = None
-                        proc._subscribe(result)
-                        continue
-                self._dispatch(event)
-            return None
 
         if isinstance(until, Event):
             sentinel = until
@@ -259,10 +268,12 @@ class Environment:
                 return sentinel.value
             fired: list[Event] = []
             _subscribe_callback(sentinel, fired.append)
-            while queue and not fired:
-                time, _key, event = heappop(queue)
-                self._now = time
-                self._dispatch(event)
+            while not fired:
+                entry = pop_before(_INF)
+                if entry is None:
+                    break
+                self._now = entry[0]
+                self._dispatch(entry[2])
             if not fired:
                 raise RuntimeError(
                     "simulation ended before the awaited event fired")
@@ -270,124 +281,50 @@ class Environment:
                 raise sentinel.value
             return sentinel.value
 
-        horizon = float(until)
-        if horizon < self._now:
-            raise ValueError(
-                f"until={horizon} lies in the past (now={self._now})")
-        while queue and queue[0][0] < horizon:
-            time, _key, event = heappop(queue)
-            self._now = time
-            if type(event) is Timeout:
-                proc = event._waiter
-                if proc is not None:
-                    # Hot path — see the drain loop above.
-                    event.callbacks = None
-                    self._active_process = proc
-                    try:
-                        result = proc._send(event._value)
-                    except StopIteration as stop:
-                        self._active_process = None
-                        proc._target = None
-                        proc.succeed(stop.value)
-                        continue
-                    except BaseException as exc:
-                        self._active_process = None
-                        proc._target = None
-                        proc.fail(exc)
-                        self._on_process_failure(proc, exc)
-                        continue
-                    self._active_process = None
-                    if type(result) is Timeout:
-                        callbacks = result.callbacks
-                        if callbacks is not None:
-                            proc._target = result
-                            if type(callbacks) is tuple:
-                                waiter = result._waiter
-                                if waiter is None:
-                                    result._waiter = proc
-                                else:
-                                    result._waiter = None
-                                    result.callbacks = [
-                                        waiter._resume_cb,
-                                        proc._resume_cb,
-                                    ]
-                            else:
-                                callbacks.append(proc._resume_cb)
-                            # Recycle when provably unreferenced —
-                            # see the drain loop above.
-                            if getrefcount(event) == 2:
-                                free.append(event)
-                            continue
-                    proc._target = None
-                    proc._subscribe(result)
-                    continue
-            self._dispatch(event)
-        self._now = horizon
-        return None
-
-    def _run_traced(self, until: float | Event | None):
-        """The :meth:`run` loops with flight-recorder accounting.
-
-        Same fast path (inlined timeout resume, free-list recycling),
-        plus local counters for the kernel's event mix folded into the
-        tracer at exit.  The extra cost is a handful of integer adds
-        per event — the traced-on overhead budget the observability
-        tests pin below 10 %.
-        """
-        tracer = self.tracer
-        queue = self._queue
-        heappop = heapq.heappop
-        free = self._free
-        getrefcount = sys.getrefcount
-        n_fast = n_dispatch = n_completed = n_failed = 0
-
-        if isinstance(until, Event):
-            # Rare sentinel form: generic dispatch, still counted.
-            sentinel = until
-            handle = tracer.span("kernel.run", "kernel")
-            timer = tracer.timer("kernel")
-            timer.__enter__()
+        if until is None:
+            horizon = _INF
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} lies in the past (now={self._now})")
+        take_before = q.take_before
+        while True:
+            batch = take_before(horizon)
+            if batch is None:
+                break
+            # The batch is descending; batch.pop() consumes it in
+            # dispatch order.  A push landing inside the batch's time
+            # window sets q.intr; the remainder goes back for a
+            # re-sort only when the push can actually precede a batch
+            # entry (strictly smaller time than the batch maximum —
+            # fresh eids always order after pending ones at equal
+            # times).  See CalendarQueue.take_before.
             try:
-                with handle:
-                    if sentinel.processed:
-                        if not sentinel.ok:
-                            raise sentinel.value
-                        return sentinel.value
-                    fired: list[Event] = []
-                    _subscribe_callback(sentinel, fired.append)
-                    while queue and not fired:
-                        time, _key, event = heappop(queue)
-                        self._now = time
-                        self._dispatch(event)
-                        n_dispatch += 1
-                    if not fired:
-                        raise RuntimeError("simulation ended before the "
-                                           "awaited event fired")
-                    if not sentinel.ok:
-                        raise sentinel.value
-                    return sentinel.value
-            finally:
-                timer.__exit__(None, None, None)
-                tracer.count("kernel.dispatched", n_dispatch)
-
-        horizon = None if until is None else float(until)
-        if horizon is not None and horizon < self._now:
-            raise ValueError(
-                f"until={horizon} lies in the past (now={self._now})")
-        handle = tracer.span("kernel.run", "kernel")
-        timer = tracer.timer("kernel")
-        timer.__enter__()
-        try:
-            with handle:
-                while queue and (horizon is None
-                                 or queue[0][0] < horizon):
-                    time, _key, event = heappop(queue)
+                while batch:
+                    if q.intr:
+                        q.intr = False
+                        if q.intr_t < batch[0][0]:
+                            q.intr_t = _INF
+                            q.requeue(batch)
+                            break
+                        q.intr_t = _INF
+                    entry = batch.pop()
+                    time, _key, event = entry
+                    # Drop the queue tuple so the refcount-based
+                    # recycling check below sees only the `event`
+                    # local + the getrefcount argument.
+                    entry = None
                     self._now = time
                     if type(event) is Timeout:
                         proc = event._waiter
                         if proc is not None:
-                            # Hot path — see the untraced loops.
-                            n_fast += 1
+                            # Hot path: one process waiting on a plain
+                            # timeout (a set waiter implies no other
+                            # subscribers).  Resume its generator right
+                            # here — no _dispatch or _resume frame — and
+                            # re-subscribe it if it yields another fresh
+                            # timeout (it almost always does).
                             event.callbacks = None
                             self._active_process = proc
                             try:
@@ -396,14 +333,12 @@ class Environment:
                                 self._active_process = None
                                 proc._target = None
                                 proc.succeed(stop.value)
-                                n_completed += 1
                                 continue
                             except BaseException as exc:
                                 self._active_process = None
                                 proc._target = None
                                 proc.fail(exc)
                                 self._on_process_failure(proc, exc)
-                                n_failed += 1
                                 continue
                             self._active_process = None
                             if type(result) is Timeout:
@@ -422,6 +357,11 @@ class Environment:
                                             ]
                                     else:
                                         callbacks.append(proc._resume_cb)
+                                    # Recycle the consumed timeout when
+                                    # provably unreferenced (the local +
+                                    # the getrefcount argument are the
+                                    # only refs left): timeout() reuses
+                                    # the object instead of allocating.
                                     if getrefcount(event) == 2:
                                         free.append(event)
                                     continue
@@ -429,8 +369,143 @@ class Environment:
                             proc._subscribe(result)
                             continue
                     self._dispatch(event)
-                    n_dispatch += 1
-                if horizon is not None:
+            except BaseException:
+                if batch:
+                    q.requeue(batch)
+                raise
+        if until is not None:
+            self._now = horizon
+        return None
+
+    def _run_traced(self, until: float | Event | None):
+        """The :meth:`run` loops with flight-recorder accounting.
+
+        Same fast path (inlined timeout resume, free-list recycling),
+        plus local counters for the kernel's event mix folded into the
+        tracer at exit.  The extra cost is a handful of integer adds
+        per event — the traced-on overhead budget the observability
+        tests pin below 10 %.
+        """
+        tracer = self.tracer
+        q = self._queue
+        pop_before = q.pop_before
+        free = self._free
+        getrefcount = sys.getrefcount
+        n_fast = n_dispatch = n_completed = n_failed = 0
+
+        if isinstance(until, Event):
+            # Rare sentinel form: generic dispatch, still counted.
+            sentinel = until
+            handle = tracer.span("kernel.run", "kernel")
+            timer = tracer.timer("kernel")
+            timer.__enter__()
+            try:
+                with handle:
+                    if sentinel.processed:
+                        if not sentinel.ok:
+                            raise sentinel.value
+                        return sentinel.value
+                    fired: list[Event] = []
+                    _subscribe_callback(sentinel, fired.append)
+                    while not fired:
+                        entry = pop_before(_INF)
+                        if entry is None:
+                            break
+                        self._now = entry[0]
+                        self._dispatch(entry[2])
+                        n_dispatch += 1
+                    if not fired:
+                        raise RuntimeError("simulation ended before the "
+                                           "awaited event fired")
+                    if not sentinel.ok:
+                        raise sentinel.value
+                    return sentinel.value
+            finally:
+                timer.__exit__(None, None, None)
+                tracer.count("kernel.dispatched", n_dispatch)
+
+        if until is None:
+            horizon = _INF
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} lies in the past (now={self._now})")
+        handle = tracer.span("kernel.run", "kernel")
+        timer = tracer.timer("kernel")
+        timer.__enter__()
+        try:
+            with handle:
+                take_before = q.take_before
+                while True:
+                    batch = take_before(horizon)
+                    if batch is None:
+                        break
+                    try:
+                        while batch:
+                            if q.intr:
+                                q.intr = False
+                                if q.intr_t < batch[0][0]:
+                                    q.intr_t = _INF
+                                    q.requeue(batch)
+                                    break
+                                q.intr_t = _INF
+                            entry = batch.pop()
+                            time, _key, event = entry
+                            entry = None  # see the untraced loop
+                            self._now = time
+                            if type(event) is Timeout:
+                                proc = event._waiter
+                                if proc is not None:
+                                    # Hot path — see the untraced loop.
+                                    n_fast += 1
+                                    event.callbacks = None
+                                    self._active_process = proc
+                                    try:
+                                        result = proc._send(event._value)
+                                    except StopIteration as stop:
+                                        self._active_process = None
+                                        proc._target = None
+                                        proc.succeed(stop.value)
+                                        n_completed += 1
+                                        continue
+                                    except BaseException as exc:
+                                        self._active_process = None
+                                        proc._target = None
+                                        proc.fail(exc)
+                                        self._on_process_failure(proc, exc)
+                                        n_failed += 1
+                                        continue
+                                    self._active_process = None
+                                    if type(result) is Timeout:
+                                        callbacks = result.callbacks
+                                        if callbacks is not None:
+                                            proc._target = result
+                                            if type(callbacks) is tuple:
+                                                waiter = result._waiter
+                                                if waiter is None:
+                                                    result._waiter = proc
+                                                else:
+                                                    result._waiter = None
+                                                    result.callbacks = [
+                                                        waiter._resume_cb,
+                                                        proc._resume_cb,
+                                                    ]
+                                            else:
+                                                callbacks.append(proc._resume_cb)
+                                            if getrefcount(event) == 2:
+                                                free.append(event)
+                                            continue
+                                    proc._target = None
+                                    proc._subscribe(result)
+                                    continue
+                            self._dispatch(event)
+                            n_dispatch += 1
+                    except BaseException:
+                        if batch:
+                            q.requeue(batch)
+                        raise
+                if until is not None:
                     self._now = horizon
                 return None
         finally:

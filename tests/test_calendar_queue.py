@@ -1,0 +1,345 @@
+"""CalendarQueue vs heapq: identical total order, always.
+
+The calendar queue replaced the kernel's event heap wholesale (PR 7);
+every simulation in the repo now depends on it agreeing with the heap
+on *every* pop, including time ties broken by the packed priority/eid
+key.  These tests drive both implementations with the same operation
+sequences — deterministic and randomized — and require byte-identical
+pop sequences.
+"""
+
+import heapq
+import math
+import random
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.calendar import CalendarQueue
+
+
+def drain(q):
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+class HeapRef:
+    """Reference implementation: plain heapq."""
+
+    def __init__(self):
+        self.h = []
+
+    def push(self, entry):
+        heapq.heappush(self.h, entry)
+
+    def pop_before(self, horizon):
+        if self.h and self.h[0][0] < horizon:
+            return heapq.heappop(self.h)
+        return None
+
+    def __len__(self):
+        return len(self.h)
+
+
+def test_fifo_among_equal_times():
+    q = CalendarQueue()
+    for eid in range(10):
+        q.push((5.0, eid, f"ev{eid}"))
+    assert [e[2] for e in drain(q)] == [f"ev{i}" for i in range(10)]
+
+
+def test_priority_zero_interrupt_beats_later_eid():
+    # Interrupts pack to negative keys ((0 - 1) << 52) + eid; they must
+    # pop before same-time priority-1 entries despite a larger eid.
+    q = CalendarQueue()
+    q.push((5.0, 1, "wakeup"))
+    q.push((5.0, ((0 - 1) << 52) + 2, "interrupt"))
+    assert [e[2] for e in drain(q)] == ["interrupt", "wakeup"]
+
+
+def test_pop_empty_raises():
+    q = CalendarQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+    assert not q
+    assert len(q) == 0
+    assert q.peek_time() == math.inf
+
+
+def test_far_overflow_and_reanchor_jump():
+    # Entries far beyond one ring revolution live in the overflow heap;
+    # an empty ring must jump straight to them without ordering loss.
+    q = CalendarQueue(width=0.25, nb=64)   # revolution = 16 s
+    q.push((1e6, 1, "far"))
+    q.push((2.0, 2, "near"))
+    q.push((1e6, 3, "far-tie"))
+    assert q.pop()[2] == "near"
+    assert q.peek_time() == 1e6
+    assert q.pop()[2] == "far"
+    assert q.pop()[2] == "far-tie"
+    assert not q
+
+
+def test_horizon_pop_respects_boundary_and_later_push():
+    q = CalendarQueue(width=0.25, nb=64)
+    q.push((100.0, 1, "late"))
+    # Frontier beyond the horizon: nothing pops, and the cursor must
+    # not run ahead of the horizon bucket...
+    assert q.pop_before(10.0) is None
+    # ...because a subsequent push inside (horizon, frontier) must
+    # still pop first.
+    q.push((50.0, 2, "mid"))
+    assert q.pop()[2] == "mid"
+    assert q.pop()[2] == "late"
+
+
+def test_push_bulk_matches_sequential_push():
+    rng = random.Random(7)
+    entries = [(rng.uniform(0.0, 400.0), eid, eid) for eid in range(500)]
+    q1 = CalendarQueue()
+    q2 = CalendarQueue()
+    for e in entries:
+        q1.push(e)
+    q2.push_bulk(list(entries))
+    assert drain(q1) == drain(q2)
+    assert sorted(entries) == sorted(entries)
+
+
+def test_take_before_batch_and_requeue_roundtrip():
+    q = CalendarQueue(width=1.0, nb=64)
+    for eid in range(8):
+        q.push((0.1 * eid, eid, eid))
+    batch = q.take_before(math.inf)
+    # Batch is descending; consumption order is ascending.
+    assert [e[1] for e in batch] == list(range(7, -1, -1))
+    # Consume two, push one *inside* the remaining window -> intr.
+    assert batch.pop()[1] == 0
+    assert batch.pop()[1] == 1
+    q.intr = False
+    q.push((0.25, 100, "wedge"))
+    assert q.intr
+    q.requeue(batch)
+    order = [e[1] for e in drain(q)]
+    assert order == [2, 100, 3, 4, 5, 6, 7]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_schedule_matches_heapq(seed):
+    """Property test: random interleaved pushes/pops, identical order.
+
+    Mixes clustered and heavy-tailed delays (to exercise the overflow
+    heap and the retune/rebuild path), duplicate times (eid ties), and
+    horizon-bounded pops.
+    """
+    rng = random.Random(seed)
+    cal = CalendarQueue()
+    ref = HeapRef()
+    now = 0.0
+    eid = 0
+    live = 0
+    for _ in range(20_000):
+        r = rng.random()
+        if r < 0.55 or live == 0:
+            n = rng.randint(1, 4)
+            for _ in range(n):
+                u = rng.random()
+                if u < 0.6:
+                    delay = rng.uniform(0.0, 2.0)
+                elif u < 0.9:
+                    delay = rng.uniform(0.0, 300.0)
+                else:
+                    delay = rng.uniform(0.0, 50_000.0)
+                if rng.random() < 0.1:
+                    delay = round(delay, 1)  # force time ties
+                eid += 1
+                entry = (now + delay, eid, eid)
+                cal.push(entry)
+                ref.push(entry)
+                live += 1
+        elif r < 0.9:
+            a = cal.pop_before(math.inf)
+            b = ref.pop_before(math.inf)
+            assert a == b
+            if a is not None:
+                now = a[0]
+                live -= 1
+        else:
+            horizon = now + rng.uniform(0.0, 500.0)
+            a = cal.pop_before(horizon)
+            b = ref.pop_before(horizon)
+            assert a == b
+            if a is not None:
+                now = a[0]
+                live -= 1
+    # Drain both to the end.
+    while True:
+        a = cal.pop_before(math.inf)
+        b = ref.pop_before(math.inf)
+        assert a == b
+        if a is None:
+            break
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_random_take_before_matches_heapq(seed):
+    """The batch API yields the same global sequence as single pops."""
+    rng = random.Random(seed)
+    cal = CalendarQueue()
+    ref = HeapRef()
+    now = 0.0
+    eid = 0
+    popped = []
+    expected = []
+    for _ in range(3_000):
+        for _ in range(rng.randint(1, 5)):
+            eid += 1
+            entry = (now + rng.uniform(0.0, rng.choice([1.0, 40.0])),
+                     eid, eid)
+            cal.push(entry)
+            ref.push(entry)
+        horizon = now + rng.uniform(0.0, 10.0)
+        batch = cal.take_before(horizon)
+        if batch is not None:
+            consumed = 0
+            while batch:
+                if cal.intr:
+                    cal.intr = False
+                    cal.requeue(batch)
+                    break
+                e = batch.pop()
+                popped.append(e)
+                now = e[0]
+                consumed += 1
+                if rng.random() < 0.3:
+                    # Push during "dispatch" — may hit the window.
+                    eid += 1
+                    entry = (now + rng.uniform(0.0, 5.0), eid, eid)
+                    cal.push(entry)
+                    ref.push(entry)
+        # Replaying the reference the same number of pops must yield
+        # the same sequence: pushes made mid-batch are at t >= now, so
+        # they cannot precede anything the calendar already popped.
+        while len(expected) < len(popped):
+            expected.append(ref.pop_before(math.inf))
+        assert popped == expected
+    # Final drain must agree.
+    rest_cal = []
+    while True:
+        e = cal.pop_before(math.inf)
+        if e is None:
+            break
+        rest_cal.append(e)
+    rest_ref = []
+    while True:
+        e = ref.pop_before(math.inf)
+        if e is None:
+            break
+        rest_ref.append(e)
+    assert rest_cal == rest_ref
+
+
+def test_retune_rebuild_preserves_order():
+    # Gap scale shifts by 1000x mid-run: the deterministic retune must
+    # rebuild without dropping or reordering anything.
+    q = CalendarQueue()
+    ref = []
+    eid = 0
+    t = 0.0
+    for _ in range(12_000):
+        t += 0.001
+        eid += 1
+        q.push((t, eid, eid))
+        heapq.heappush(ref, (t, eid, eid))
+    for _ in range(10_000):
+        assert q.pop() == heapq.heappop(ref)
+    for _ in range(12_000):
+        t += 10.0
+        eid += 1
+        q.push((t, eid, eid))
+        heapq.heappush(ref, (t, eid, eid))
+    while ref:
+        assert q.pop() == heapq.heappop(ref)
+    assert not q
+
+
+def test_environment_interrupt_and_reschedule_order():
+    """Kernel-level: interrupts and re-armed timers replay identically.
+
+    A process cancels its pending wait via Process.interrupt (the
+    kernel's cancel/reschedule idiom) while peers tick at the same
+    instants; the observable schedule is fixed by (time, priority,
+    insertion order) and must survive the queue swap.
+    """
+    from repro.sim import Interrupt
+
+    log = []
+
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+            log.append(("slept", env.now))
+        except Interrupt as i:
+            log.append(("interrupted", env.now, i.cause))
+            yield env.timeout(1.5)
+            log.append(("rescheduled", env.now))
+
+    def ticker(env, name, period):
+        for _ in range(4):
+            yield env.timeout(period)
+            log.append((name, env.now))
+
+    target = env.process(sleeper(env))
+
+    def poker(env):
+        yield env.timeout(2.0)
+        target.interrupt("poke")
+
+    env.process(poker(env))
+    env.process(ticker(env, "a", 1.0))
+    env.process(ticker(env, "b", 2.0))
+    env.run()
+    # Expected sequence captured from the pre-calendar heapq kernel:
+    # ties at t=2.0 and t=4.0 resolve by (priority, insertion id) —
+    # the priority-0 interrupt first, then b's older timeout, then a's.
+    assert log == [
+        ("a", 1.0),
+        ("interrupted", 2.0, "poke"),
+        ("b", 2.0),
+        ("a", 2.0),
+        ("a", 3.0),
+        ("rescheduled", 3.5),
+        ("b", 4.0),
+        ("a", 4.0),
+        ("b", 6.0),
+        ("b", 8.0),
+    ]
+
+
+def test_environment_bulk_schedule_matches_sequential():
+    """schedule_callback_bulk == a loop of timeout()+callback."""
+    times = [0.5, 0.5, 1.25, 3.0, 3.0, 3.0, 7.5] + \
+        [10.0 + 0.1 * i for i in range(100)]
+
+    def run_bulk():
+        env = Environment()
+        seen = []
+        env.schedule_callback_bulk(times, lambda ev: seen.append(
+            (ev.value, env.now)))
+        env.run()
+        return seen
+
+    def run_seq():
+        env = Environment()
+        seen = []
+        for t in times:
+            ev = env.timeout(t)
+            ev.callbacks = [lambda ev, t=t: seen.append((t, env.now))]
+        env.run()
+        return seen
+
+    assert run_bulk() == run_seq()
+    assert run_bulk() == [(t, t) for t in sorted(times)]

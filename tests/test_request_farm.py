@@ -91,6 +91,43 @@ def test_abandonment_under_overload():
     assert stats.goodput_fraction < 0.9
 
 
+def test_drive_poisson_bulk_statistically_equivalent():
+    """The bulk driver realizes the same M/M/c behaviour as the
+    incremental one: same arrival rate, latencies in the same
+    queueing-theory bracket, full goodput at moderate load."""
+    from repro.control import mm1_response_time
+
+    env, servers, farm = build(n=4, seed=11)
+    rate = 240.0  # rho = 0.6
+    n = farm.drive_poisson_bulk(rate, horizon_s=500.0)
+    assert n == pytest.approx(rate * 500.0, rel=0.05)
+    env.run(until=520.0)
+    stats = farm.stats(discard_first=500)
+    assert stats.completed + stats.abandoned == n
+    lower = mmc_response_time(4, rate, 100.0)
+    upper = mm1_response_time(rate / 4, 100.0)
+    assert lower < stats.mean_s < upper
+    assert stats.goodput_fraction > 0.999
+
+
+def test_drive_poisson_bulk_validation_and_fluid_split():
+    env, servers, farm = build(n=2)
+    with pytest.raises(ValueError):
+        farm.drive_poisson_bulk(0.0, 10.0)
+    env2 = Environment()
+    servers2 = [Server(env2, f"f{i}", capacity=100.0, boot_s=10.0)
+                for i in range(2)]
+    for s in servers2:
+        s.power_on()
+    env2.run(until=11.0)
+    hybrid = RequestFarm(env2, servers2, exact_fraction=0.0,
+                         rng=np.random.default_rng(1))
+    assert hybrid.drive_poisson_bulk(50.0, 200.0) == 0
+    env2.run(until=220.0)
+    stats = hybrid.stats()  # everything went down the fluid path
+    assert stats.completed > 0
+
+
 def test_requests_avoid_inactive_servers():
     env, servers, farm = build(n=3, seed=9)
     servers[2].shut_down()

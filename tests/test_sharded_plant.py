@@ -1,0 +1,152 @@
+"""Zone-sharded parallel plant: partitioning, lockstep, bit-identity.
+
+The determinism contract under test is the one ``perf.sweep``
+established for pools: the in-process path (``workers=1``) is the
+reference, and the multi-process path must reproduce it bit for bit —
+parallelism may only change wall time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.datacenter import (
+    CoSimulation,
+    DataCenterSpec,
+    ShardedCoSimulation,
+    partition_spec,
+)
+
+
+def _spec(**overrides):
+    base = dict(racks=8, servers_per_rack=10, zones=4, cracs=2,
+                backend="vector")
+    base.update(overrides)
+    return DataCenterSpec(**base)
+
+
+DEMAND = {"kind": "diurnal", "fraction": 0.6}
+
+
+class TestPartitionSpec:
+    def test_conserves_racks_and_zones(self):
+        spec = _spec(racks=13, zones=5, cracs=3)
+        parts = partition_spec(spec, 3)
+        assert sum(p.racks for p in parts) == spec.racks
+        assert sum(p.zones for p in parts) == spec.zones
+        # Contiguous largest-remainder blocks: sizes differ by <= 1.
+        sizes = [p.zones for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rack_counts_follow_zone_assignment(self):
+        # build() maps rack r -> zone r % zones; each shard must get
+        # exactly the racks of its zone block.
+        spec = _spec(racks=11, zones=4, cracs=2)
+        parts = partition_spec(spec, 2)
+        # zones 0,1 -> racks {0,4,8} u {1,5,9}; zones 2,3 -> the rest.
+        assert [p.racks for p in parts] == [6, 5]
+
+    def test_single_shard_is_whole_facility(self):
+        spec = _spec()
+        (part,) = partition_spec(spec, 1)
+        assert part.racks == spec.racks
+        assert part.zones == spec.zones
+        assert part.cracs == spec.cracs
+        # Only the name changes.
+        assert dataclasses.replace(part, name=spec.name) == spec
+
+    def test_every_shard_is_a_valid_spec(self):
+        spec = _spec(racks=50, zones=7, cracs=3)
+        for part in partition_spec(spec, 7):
+            assert part.racks >= part.zones >= 1
+            assert part.cracs >= 1
+
+    def test_rejects_more_shards_than_zones(self):
+        with pytest.raises(ValueError):
+            partition_spec(_spec(zones=4), 5)
+        with pytest.raises(ValueError):
+            partition_spec(_spec(), 0)
+
+
+class TestShardedCoSimulation:
+    def test_workers_bit_identical_to_in_process(self):
+        spec = _spec()
+        ref = ShardedCoSimulation(spec, DEMAND, shards=2,
+                                  workers=1).run(4 * 3600.0)
+        par = ShardedCoSimulation(spec, DEMAND, shards=2,
+                                  workers=2).run(4 * 3600.0)
+        assert par == ref
+
+    def test_worker_batching_bit_identical(self):
+        # 4 shards over 2 workers (two shards per pipe server) must
+        # match 4 shards in-process: grouping only changes scheduling.
+        spec = _spec()
+        ref = ShardedCoSimulation(spec, DEMAND, shards=4,
+                                  workers=1).run(2 * 3600.0)
+        par = ShardedCoSimulation(spec, DEMAND, shards=4,
+                                  workers=2).run(2 * 3600.0)
+        assert par == ref
+
+    def test_merged_result_is_physical(self):
+        result = ShardedCoSimulation(_spec(), DEMAND, shards=2,
+                                     workers=1).run(4 * 3600.0)
+        assert result.duration_s == 4 * 3600.0
+        assert result.facility_energy_j > result.it_energy_j > 0.0
+        assert result.energy_weighted_pue == pytest.approx(
+            result.facility_energy_j / result.it_energy_j)
+        assert 0.0 < result.sla.served_fraction <= 1.0
+        assert result.mean_active_servers > 0.0
+        assert result.peak_grid_w > 0.0
+        assert result.resilience is None and result.controlplane is None
+
+    def test_demand_follows_capacity_between_shards(self):
+        # Unequal shards must receive unequal demand: the 3-zone shard
+        # serves ~3x the work of the 1-zone shard.
+        spec = _spec(racks=8, zones=4)
+        sharded = ShardedCoSimulation(spec, DEMAND, shards=2, workers=1)
+        assert [s.zones for s in sharded.shard_specs] == [2, 2]
+        lopsided = partition_spec(spec, 4)
+        assert [s.racks for s in lopsided] == [2, 2, 2, 2]
+        result = ShardedCoSimulation(spec, DEMAND, shards=4,
+                                     workers=1).run(2 * 3600.0)
+        assert result.sla.served_fraction > 0.99
+
+    def test_rejects_callable_demand(self):
+        with pytest.raises(TypeError):
+            ShardedCoSimulation(_spec(), lambda t: 100.0, shards=2)
+
+    def test_rejects_unknown_demand_kind(self):
+        with pytest.raises(ValueError):
+            ShardedCoSimulation(_spec(), {"kind": "sawtooth"}, shards=2)
+
+    def test_runs_once(self):
+        sharded = ShardedCoSimulation(_spec(), DEMAND, shards=2)
+        sharded.run(3600.0)
+        with pytest.raises(RuntimeError):
+            sharded.run(3600.0)
+
+    def test_object_backend_shards_too(self):
+        spec = _spec(backend="object")
+        ref = ShardedCoSimulation(spec, DEMAND, shards=2,
+                                  workers=1).run(2 * 3600.0)
+        par = ShardedCoSimulation(spec, DEMAND, shards=2,
+                                  workers=2).run(2 * 3600.0)
+        assert par == ref
+
+    def test_tracks_unsharded_energy(self):
+        # Sharding approximates the monolith: same servers, same
+        # demand, a re-derived power/cooling plant per shard.  The
+        # headline energy should land in the same ballpark (the UPS
+        # and CRAC sizing differ slightly), and all work is served.
+        spec = _spec()
+        capacity = spec.total_servers * spec.server_capacity
+        from repro.workload import DiurnalProfile
+        profile = DiurnalProfile()
+        mono = CoSimulation(
+            spec, lambda t: 0.6 * capacity * profile(t),
+            managed=True).run(4 * 3600.0)
+        shard = ShardedCoSimulation(spec, DEMAND, shards=2,
+                                    workers=1).run(4 * 3600.0)
+        assert shard.it_energy_j == pytest.approx(mono.it_energy_j,
+                                                  rel=0.15)
+        assert shard.sla.served_fraction > 0.997

@@ -192,22 +192,60 @@ def test_batcher_requires_canonical_wiring():
     env, fleet, servers, pool = build_wired_pool()
     assert pool.batcher() is pool
 
-    class Foreign:
+    class Mute:
+        """A watcher with no power_changed — genuinely foreign."""
+
         def state_changed(self, *a):
             pass
 
-        def power_changed(self, *a):
-            pass
-
-    servers[2]._watchers.append(Foreign())
-    assert pool.batcher() is None  # unsafe extra watcher
+    servers[2]._watchers.append(Mute())
+    assert pool.batcher() is None  # cannot be notified: fall back
 
     servers[2]._watchers.pop()
     # Plain-list mutation (pop) does not bump the epoch, but any
     # epoch-bumping mutation rechecks; emulate a rewire.
-    servers[2]._watchers.append(Foreign())
+    servers[2]._watchers.append(Mute())
     servers[2]._watchers.remove(servers[2]._watchers[-1])
     assert pool.batcher() is pool
+    # Swapping the farm slot for anything else is foreign wiring too.
+    servers[3]._watchers.insert(1, object())
+    assert pool.batcher() is None
+
+
+def test_plain_extra_watcher_gets_scalar_replay():
+    """An unknown power_changed watcher no longer poisons batching: it
+    is replayed one delta at a time, in pool order, exactly as the
+    scalar funnel would have called it."""
+    env, fleet, servers, pool = build_wired_pool()
+
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def state_changed(self, *a):
+            pass
+
+        def power_changed(self, server, delta):
+            self.calls.append((server, delta))
+
+    from repro.cluster.loadbalancer import WeightedSplit
+
+    rec = Recorder()
+    servers[1]._watchers.append(rec)
+    servers[3]._watchers.append(rec)
+    for s in servers[:4]:
+        s.power_on()
+    env.run(until=121.0)
+    rec.calls.clear()
+    batch = pool.batcher()
+    assert batch is pool  # extra watcher does not disable batching
+    before = fleet.power.copy()
+    batch.dispatch_loads(WeightedSplit(), 120.0, pool.active_servers())
+    expected = [(servers[i], float(fleet.power[i] - before[i]))
+                for i in (1, 3) if fleet.power[i] != before[i]]
+    assert rec.calls == expected
+    total = pool.power_w
+    assert total == pytest.approx(float(np.sum(fleet.power)), rel=1e-12)
 
 
 def test_batch_safe_extra_watcher_keeps_batching():
@@ -227,39 +265,104 @@ def test_batch_safe_extra_watcher_keeps_batching():
     assert pool.batcher() is pool
 
 
-def test_nonlinear_model_disables_batching_not_correctness():
+def test_nonlinear_model_batches_bit_exactly():
+    """r != 1 models evaluate through the grouped libm-pow kernel —
+    batching stays enabled and every power equals the scalar model."""
     env = Environment()
-    fleet = VectorFleet(env, 2)
+    fleet = VectorFleet(env, 4)
     model = ServerPowerModel(nonlinearity=1.4)
     servers = [VectorServer(fleet, env, f"v{i}", power_model=model)
-               for i in range(2)]
+               for i in range(4)]
+    assert not fleet.uniform_linear  # informational flag only
+    assert len(fleet.groups) == 1 and fleet.groups[0].r == 1.4
+    fleet.make_aggregate(servers[:2], 4096, kind="rack")
+    fleet.make_aggregate(servers[2:], 4096, kind="rack")
+    pool = fleet.make_aggregate(servers, 4096, kind="pool")
+    assert pool.batcher() is pool
+    env2 = Environment()
+    twins = [Server(env2, f"t{i}", power_model=ServerPowerModel(
+        nonlinearity=1.4)) for i in range(4)]
+    for s, t in zip(servers[:3], twins[:3]):
+        s.power_on(), t.power_on()
+    env.run(until=121.0), env2.run(until=121.0)
+    pool.batcher().dispatch_loads(
+        _EqualSplit(), 170.0, pool.active_servers())
+    for t, share in zip(twins[:3], _EqualSplit().split(
+            170.0, twins[:3])):
+        t.set_offered_load(share)
+    pool.batcher().batch_set_pstate(2)
+    for t in twins[:3]:
+        t.set_pstate(2)
+    for s, t in zip(servers, twins):
+        assert s.power_w() == t.power_w()
+        assert s.demand_w() == t.demand_w()
+    assert fleet.total_demand_w() == sum(t.demand_w() for t in twins)
+
+
+class _EqualSplit:
+    """Even split policy without numpy fast path (scalar shares)."""
+
+    def split(self, total, active):
+        return [total / len(active)] * len(active)
+
+
+def test_mixed_tables_batch_per_group():
+    from repro.power.pstates import DEFAULT_PSTATES, TState
+
+    other_table = PStateTable(
+        pstates=DEFAULT_PSTATES,
+        tstates=(TState("T0", 1.0), TState("T1", 0.25)))
+
+    def build(cls, env, fleet=None):
+        mk = ((lambda n, **kw: VectorServer(fleet, env, n, **kw))
+              if fleet is not None else
+              (lambda n, **kw: Server(env, n, **kw)))
+        a = mk("v0")
+        b = mk("v1", power_model=ServerPowerModel(
+            pstate_table=other_table))
+        return [a, b]
+
+    env = Environment()
+    fleet = VectorFleet(env, 2)
+    servers = build(VectorServer, env, fleet)
     assert not fleet.uniform_linear
+    assert len(fleet.groups) == 2
+    assert fleet.group_id.tolist() == [0, 1]
     fleet.make_aggregate(servers[:1], 4096, kind="rack")
     fleet.make_aggregate(servers[1:], 4096, kind="rack")
     pool = fleet.make_aggregate(servers, 4096, kind="pool")
-    assert pool.batcher() is None
-    assert fleet.total_demand_w() is None
-    servers[0].power_on()
-    env.run(until=121.0)
-    servers[0].set_offered_load(50.0)
-    twin = Server(env, "twin", power_model=ServerPowerModel(
-        nonlinearity=1.4))
-    twin._set_state(ServerState.ACTIVE)
-    twin.set_offered_load(50.0)
-    assert servers[0].power_w() == twin.power_w()
+    assert pool.batcher() is pool
+
+    env2 = Environment()
+    twins = build(Server, env2)
+    for s, t in zip(servers, twins):
+        s.power_on(), t.power_on()
+    env.run(until=121.0), env2.run(until=121.0)
+    pool.batcher().dispatch_loads(
+        _EqualSplit(), 130.0, pool.active_servers())
+    for t, share in zip(twins, _EqualSplit().split(130.0, twins)):
+        t.set_offered_load(share)
+    pool.batcher().batch_set_pstate(1)
+    for t in twins:
+        t.set_pstate(1)
+    for s, t in zip(servers, twins):
+        assert s.power_w() == t.power_w()
+        assert s.effective_capacity == t.effective_capacity
+        assert s.demand_w() == t.demand_w()
+    assert fleet.total_demand_w() == sum(t.demand_w() for t in twins)
 
 
-def test_mixed_tables_disable_uniform_linear():
-    from repro.power.pstates import DEFAULT_PSTATES, TState
-
+def test_equal_table_contents_share_a_group():
     env = Environment()
     fleet = VectorFleet(env, 2)
-    VectorServer(fleet, env, "v0")
-    other = ServerPowerModel(pstate_table=PStateTable(
-        pstates=DEFAULT_PSTATES,
-        tstates=(TState("T0", 1.0), TState("T1", 0.25))))
-    VectorServer(fleet, env, "v1", power_model=other)
-    assert not fleet.uniform_linear
+    VectorServer(fleet, env, "v0",
+                 power_model=ServerPowerModel(pstate_table=PStateTable()))
+    VectorServer(fleet, env, "v1",
+                 power_model=ServerPowerModel(pstate_table=PStateTable()))
+    # Distinct table objects, identical contents: one group, and the
+    # fused uniform-linear fast path stays enabled.
+    assert len(fleet.groups) == 1
+    assert fleet.uniform_linear
 
 
 # ----------------------------------------------------------------------

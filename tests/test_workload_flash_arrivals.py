@@ -109,6 +109,52 @@ def test_poisson_drive_into_store():
     assert 70 <= len(store) <= 130
 
 
+def test_poisson_drive_bulk_matches_presampled_times():
+    """drive_bulk delivers exactly the pre-sampled train, in order."""
+    times = PoissonArrivals(
+        rate_per_s=2.0, rng=RandomStreams(7).get("bulk")).times(200.0)
+    env = Environment()
+    store = Store(env)
+    process = PoissonArrivals(rate_per_s=2.0,
+                              rng=RandomStreams(7).get("bulk"))
+    seen = []
+    n = process.drive_bulk(env, store, 200.0,
+                           make_item=lambda t: seen.append((t, env.now))
+                           or t)
+    assert n == len(times)
+    env.run()
+    assert list(store.items) == times.tolist()
+    # Each item was put at its own arrival instant.
+    assert all(t == now for t, now in seen)
+
+
+def test_poisson_drive_bulk_offsets_from_now():
+    env = Environment()
+    store = Store(env)
+    env.run(until=50.0)
+    process = PoissonArrivals(rate_per_s=5.0,
+                              rng=RandomStreams(9).get("bulk"))
+    process.drive_bulk(env, store, 100.0)
+    env.run()
+    items = list(store.items)
+    assert min(items) >= 50.0
+    assert max(items) < 150.0
+
+
+def test_mmpp_drive_bulk_counts_match_times():
+    rng = RandomStreams(4).get("mmpp-bulk")
+    mk = lambda rng: MMPPArrivals(  # noqa: E731
+        rates_per_s=[1.0, 10.0], hold_s=[60.0, 15.0],
+        transition=[[0.0, 1.0], [1.0, 0.0]], rng=rng)
+    expected = mk(RandomStreams(4).get("mmpp-bulk")).times(500.0)
+    env = Environment()
+    store = Store(env)
+    n = mk(rng).drive_bulk(env, store, 500.0)
+    env.run()
+    assert n == len(store) == len(expected)
+    assert list(store.items) == expected.tolist()
+
+
 def test_nhpp_tracks_rate_function():
     rng = RandomStreams(3).get("nhpp")
     rate_fn = lambda t: 10.0 if t < 500.0 else 1.0
