@@ -159,6 +159,30 @@ def test_scale_smoke_100000_servers(benchmark):
             f"wall time {benchmark.stats['mean']:.1f} s"])
 
 
+def test_perf_federated_day(benchmark):
+    """A 5-site federated day (quiet geography) in seconds.
+
+    The canonical EXP-FED scenario without its outage: five vector
+    plants advancing in macro-period lockstep under the global
+    router, in-process.  This is the federation layer's throughput
+    floor — worker processes only change wall time, never results
+    (tests/test_federation.py), so the in-process run is the one
+    worth gating.
+    """
+    from repro.perf.bench import run_federation_bench
+
+    metrics = benchmark.pedantic(
+        lambda: run_federation_bench(days=1.0, outage=False),
+        rounds=1, iterations=1)
+    assert metrics["served_fraction"] > 0.999
+    assert metrics["router_shed_unit_s"] == 0.0
+    assert benchmark.stats["mean"] < 30.0
+    record(benchmark, "PERF: 5-site federated day",
+           [f"served {metrics['served_fraction']:.2%}, "
+            f"{metrics['failovers']} failovers, "
+            f"wall time {benchmark.stats['mean']:.1f} s"])
+
+
 def test_perf_20k_consolidation_pass(benchmark):
     """One Γ-robust consolidation pass over a 20,000-host fleet.
 

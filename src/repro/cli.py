@@ -145,13 +145,26 @@ def _bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.perf.bench import (
+        format_federation_report,
         format_placement_report,
         format_report,
+        run_federation_bench,
         run_placement_bench,
         run_scale_bench,
     )
 
-    if args.bench_scenario == "placement":
+    if args.bench_scenario == "federation":
+        metrics = run_federation_bench(days=args.days,
+                                       policy=args.policy,
+                                       workers=args.fed_workers,
+                                       outage=not args.no_outage,
+                                       repeat=args.repeat,
+                                       warmup=args.warmup)
+        print(format_federation_report(metrics))
+        # Match the committed BENCH_PERF.json row so the regression
+        # gate can consume the CLI output directly.
+        name = f"PERF: {metrics['sites']}-site federated day"
+    elif args.bench_scenario == "placement":
         metrics = run_placement_bench(args.servers, gamma=args.gamma,
                                       repeat=args.repeat,
                                       warmup=args.warmup)
@@ -287,10 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="time an N-server managed day (scale benchmark)")
     bench.add_argument("--scenario", dest="bench_scenario",
-                       choices=("day", "placement"), default="day",
+                       choices=("day", "placement", "federation"),
+                       default="day",
                        help="'day': co-simulate a managed day; "
                             "'placement': one fleet-scale gamma-robust "
-                            "consolidation pass (default: day)")
+                            "consolidation pass; 'federation': the "
+                            "canonical 5-site federated run "
+                            "(default: day)")
     bench.add_argument("--servers", type=int, default=2_000,
                        help="fleet size (multiple of 20 for 'day')")
     bench.add_argument("--backend", choices=("object", "vector"),
@@ -300,6 +316,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated hours ('day' scenario)")
     bench.add_argument("--gamma", type=int, default=2,
                        help="robustness budget ('placement' scenario)")
+    bench.add_argument("--days", type=float, default=1.0,
+                       help="simulated days ('federation' scenario; "
+                            "the dc0 outage fires on day 3)")
+    bench.add_argument("--policy", choices=("optimizing",
+                                            "static-home"),
+                       default="optimizing",
+                       help="routing policy ('federation' scenario)")
+    bench.add_argument("--fed-workers", action="store_true",
+                       help="one supervised worker process per site "
+                            "('federation' scenario)")
+    bench.add_argument("--no-outage", action="store_true",
+                       help="skip the scheduled dc0 utility outage "
+                            "('federation' scenario)")
     bench.add_argument("--shards", type=int, default=0,
                        help="zone-shard the facility into N sub-plants "
                             "('day' scenario; 0 = single plant)")

@@ -23,7 +23,8 @@ from repro.core.forecast import (
     HoltWintersForecaster,
     ReactiveForecaster,
 )
-from repro.core.geo import GeoScheduler, RegionDemand, RoutingPlan, SiteSpec
+from repro.core.geo import (GeoScheduler, RegionDemand, RoutingPlan,
+                            SiteSpec, primary_assignment)
 from repro.core.geodynamic import (
     DynamicSite,
     FollowTheMoonScheduler,
@@ -71,6 +72,7 @@ __all__ = [
     "RiskAssessment",
     "RiskModel",
     "RoutingPlan",
+    "primary_assignment",
     "SLA",
     "SLAReport",
     "SiteSpec",

@@ -16,7 +16,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-__all__ = ["SiteSpec", "RegionDemand", "GeoScheduler", "RoutingPlan"]
+__all__ = ["SiteSpec", "RegionDemand", "GeoScheduler", "RoutingPlan",
+           "primary_assignment"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,8 +31,11 @@ class SiteSpec:
     watts_per_unit: float = 3.0     # IT watts per work unit/s
 
     def __post_init__(self):
-        if self.capacity <= 0:
-            raise ValueError("capacity must be positive")
+        # Zero is legal: a degraded federation site can stay in the
+        # plan (keeping its latency entry visible) while contributing
+        # no capacity until it recovers.
+        if self.capacity < 0:
+            raise ValueError("capacity cannot be negative")
         if self.pue < 1.0:
             raise ValueError("PUE cannot be below 1")
         if self.energy_price_per_kwh < 0:
@@ -84,6 +88,23 @@ class RoutingPlan(typing.NamedTuple):
         return sum(self.unplaced.values())
 
 
+def primary_assignment(allocation: typing.Mapping) -> dict:
+    """Each region's primary site: where most of its demand landed.
+
+    ``allocation`` is a :class:`RoutingPlan` allocation mapping
+    ``(region, site) -> amount``.  Ties break toward the first site in
+    allocation insertion order (i.e. the cheaper one, since the greedy
+    router fills sites cheapest-first) — the exact semantics the
+    follow-the-moon move counter has always used.
+    """
+    primary: dict[str, str] = {}
+    for (region, site), amount in allocation.items():
+        if (region not in primary
+                or amount > allocation[(region, primary[region])]):
+            primary[region] = site
+    return primary
+
+
 class GeoScheduler:
     """Cheapest-feasible-site greedy router."""
 
@@ -122,7 +143,12 @@ class GeoScheduler:
                 remaining[site.name] -= take
                 cost += take * site.cost_per_unit_hour
                 todo -= take
-            if todo > 1e-12:
+            if todo > 0.0:
+                # Exact accounting: when the final take equals the
+                # residual, ``todo -= take`` is exactly 0.0, so demand
+                # at exactly aggregate capacity reports no unplaced
+                # work — and any positive residue, however small, is
+                # surfaced rather than silently dropped.
                 unplaced[demand.region] = todo
         return RoutingPlan(allocation, unplaced, cost)
 

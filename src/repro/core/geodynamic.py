@@ -17,7 +17,12 @@ import typing
 
 from repro.cooling.economizer import AirSideEconomizer
 from repro.cooling.weather import WeatherModel
-from repro.core.geo import GeoScheduler, RegionDemand, SiteSpec
+from repro.core.geo import (
+    GeoScheduler,
+    RegionDemand,
+    SiteSpec,
+    primary_assignment,
+)
 
 __all__ = ["DynamicSite", "FollowTheMoonScheduler", "MoonScheduleResult"]
 
@@ -101,13 +106,9 @@ class FollowTheMoonScheduler:
             scheduler = GeoScheduler([s.snapshot(t) for s in self.sites])
             plan = scheduler.route(demands)
             hourly_costs.append(plan.cost_per_hour * hours_per_period)
-            primary: dict[str, str] = {}
             for (region, site), amount in plan.allocation.items():
                 site_hours[site] += amount * hours_per_period
-                if (region not in primary
-                        or amount > plan.allocation[
-                            (region, primary[region])]):
-                    primary[region] = site
+            primary = primary_assignment(plan.allocation)
             if previous is not None:
                 moves += sum(1 for region, site in primary.items()
                              if previous.get(region) != site)

@@ -8,7 +8,16 @@ from repro.datacenter.availability import (
     TIER_AVAILABILITY_PARAMETERS,
 )
 from repro.datacenter.cosim import CoSimResult, CoSimulation
-from repro.datacenter.sharded import ShardedCoSimulation, partition_spec
+from repro.datacenter.sharded import (
+    ShardedCoSimulation,
+    ShardWorkerDied,
+    ShardWorkerTimeout,
+    merge_resilience,
+    merge_results,
+    partition_faults,
+    partition_spec,
+    poll_recv,
+)
 from repro.datacenter.spec import DataCenter, DataCenterSpec
 from repro.datacenter.tiers import Tier, TIER_SPECS, TierSpec
 
@@ -21,7 +30,13 @@ __all__ = [
     "DataCenter",
     "DataCenterSpec",
     "ShardedCoSimulation",
+    "ShardWorkerDied",
+    "ShardWorkerTimeout",
+    "merge_resilience",
+    "merge_results",
+    "partition_faults",
     "partition_spec",
+    "poll_recv",
     "TIER_AVAILABILITY_PARAMETERS",
     "TIER_SPECS",
     "Tier",

@@ -89,7 +89,8 @@ class CoSimulation:
                  streams: RandomStreams | None = None,
                  control_plane: ControlPlaneProfile | None = None,
                  power_budget_w: float | None = None,
-                 tracer=None):
+                 tracer=None,
+                 fault_engine_kwargs: dict | None = None):
         if physical_step_s <= 0:
             raise ValueError("physical step must be positive")
         self.env = Environment()
@@ -134,8 +135,13 @@ class CoSimulation:
 
         self.fault_engine: FaultDomainEngine | None = None
         if fault_schedule is not None:
+            # ``fault_engine_kwargs`` tunes the engine (e.g. the
+            # federation outage scenario forces
+            # ``generator_start_probability=0.0`` so a utility outage
+            # deterministically rides the battery into blackout).
             self.fault_engine = FaultDomainEngine(
-                self.env, self.dc, fault_schedule, streams=streams)
+                self.env, self.dc, fault_schedule, streams=streams,
+                **(fault_engine_kwargs or {}))
             self.env.process(self.fault_engine.run())
             if not managed:
                 # No manager to pre-drain hot zones: servers rely on

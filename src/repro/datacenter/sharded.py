@@ -10,7 +10,7 @@ UPS capacity) and co-simulating the shards independently, in lockstep
 macro-periods.
 
 At every sync point the driver gathers one aggregate column from each
-shard — its deliverable effective capacity — and redistributes the
+shard — its deliverable (healthy) capacity — and redistributes the
 global demand proportionally for the next period, exactly what a
 global load balancer in front of N rooms would do.  Between sync
 points the shards share nothing, so they can run in worker processes
@@ -30,6 +30,29 @@ Determinism contract
   driver next to :class:`CoSimulation`, not a change to it, so manager
   decisions and golden tables cannot shift.
 
+Worker liveness
+---------------
+The parent never blocks forever on a pipe: every reply crosses
+:func:`poll_recv`, which polls with a deadline and watches the worker
+process, raising :class:`ShardWorkerDied` (process gone) or
+:class:`ShardWorkerTimeout` (hung past ``recv_deadline_s``) with the
+shard ids and the last completed macro period.  The federation
+supervisor (:mod:`repro.federation`) reuses the same helper — and
+layers restart-and-replay on top of it.
+
+Fault domains inside shards
+---------------------------
+A facility-level :class:`~repro.core.faults.FaultSchedule` can ride
+into the shards: :func:`partition_faults` retargets each incident at
+the shard that owns its fault domain (rack branches follow the rack,
+CRAC failures follow the proportional CRAC slice, UPS derates and
+utility outages replicate into every shard, whose UPS banks jointly
+*are* the facility's).  Shard :class:`ResilienceReport`\\ s merge with
+:func:`merge_resilience`.  The exchanged capacity column is the
+*healthy* capacity (installed minus failed servers) rather than the
+awake capacity, so a repaired shard's share snaps back at the next
+sync point instead of starving behind its own sleep state.
+
 Merge semantics (documented approximations)
 -------------------------------------------
 Energies, alarms and mean active servers sum exactly.  The merged PUE
@@ -39,6 +62,8 @@ The response percentile is taken as the *worst shard's* percentile
 (a conservative bound; per-sample merging would need the raw series).
 ``peak_grid_w`` sums per-shard peaks, an upper bound on the true
 coincident peak (shards peak at slightly different instants).
+Resilience reports concatenate incidents and sum counters; the
+during-incident SLA is the worst shard's (same convention).
 """
 
 from __future__ import annotations
@@ -46,13 +71,76 @@ from __future__ import annotations
 import dataclasses
 import math
 import multiprocessing
+import time
 import typing
 
+from repro.cluster.server import ServerState
+from repro.core.faults import FaultKind, FaultSchedule, ResilienceReport
 from repro.core.sla import SLAReport
 from repro.datacenter.cosim import CoSimResult, CoSimulation
 from repro.datacenter.spec import DataCenterSpec
 
-__all__ = ["partition_spec", "ShardedCoSimulation"]
+__all__ = [
+    "partition_spec",
+    "partition_faults",
+    "merge_resilience",
+    "merge_results",
+    "poll_recv",
+    "ShardWorkerDied",
+    "ShardWorkerTimeout",
+    "ShardedCoSimulation",
+]
+
+
+class ShardWorkerDied(RuntimeError):
+    """A pipe worker process exited (or broke its pipe) mid-protocol.
+
+    The message names the shard ids served by the worker and the last
+    macro period it completed, so a crash in a 96-shard campaign is
+    attributable without archaeology.
+    """
+
+
+class ShardWorkerTimeout(ShardWorkerDied):
+    """A pipe worker failed to reply within the receive deadline.
+
+    Subclass of :class:`ShardWorkerDied`: callers that only care about
+    "the worker is gone" catch the base class; callers that restart
+    differently on hang vs. crash can distinguish.
+    """
+
+
+def poll_recv(conn, deadline_s: float, proc=None, context: str = ""):
+    """``conn.recv()`` with a liveness poll instead of a blocking wait.
+
+    Polls ``conn`` in short slices up to ``deadline_s`` wall seconds.
+    Raises :class:`ShardWorkerDied` as soon as the worker process is
+    observed dead with nothing left in the pipe (or the pipe returns
+    EOF), and :class:`ShardWorkerTimeout` when the deadline passes
+    with the worker still alive — a hung worker, not a dead one.
+    ``context`` is appended to the error message (shard ids, last
+    completed period).
+    """
+    if deadline_s <= 0:
+        raise ValueError("receive deadline must be positive")
+    deadline = time.monotonic() + deadline_s
+    while True:
+        remaining = deadline - time.monotonic()
+        if conn.poll(min(0.05, max(0.0, remaining))):
+            try:
+                return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardWorkerDied(
+                    f"worker pipe closed mid-protocol{context}: "
+                    f"{type(exc).__name__}") from exc
+        if proc is not None and not proc.is_alive() and not conn.poll(0):
+            raise ShardWorkerDied(
+                f"worker process exited (code {proc.exitcode})"
+                f"{context}")
+        if remaining <= 0:
+            raise ShardWorkerTimeout(
+                f"no reply within {deadline_s:.0f}s deadline"
+                f"{context}")
 
 
 def partition_spec(spec: DataCenterSpec,
@@ -92,6 +180,185 @@ def partition_spec(spec: DataCenterSpec,
     return specs
 
 
+def _zone_blocks(spec: DataCenterSpec,
+                 shard_specs: list[DataCenterSpec]) -> list[range]:
+    """The contiguous global-zone block each shard covers."""
+    blocks = []
+    lo = 0
+    for part in shard_specs:
+        blocks.append(range(lo, lo + part.zones))
+        lo += part.zones
+    return blocks
+
+
+def _rack_map(spec: DataCenterSpec,
+              shard_specs: list[DataCenterSpec]
+              ) -> dict[str, tuple[int, str]]:
+    """``{facility rack name: (shard index, shard-local rack name)}``.
+
+    The shard builder assigns its local rack ``r'`` to local zone
+    ``r' % zones``; enumerating the global racks of a shard's zone
+    block in the same cycling order reproduces that assignment, so a
+    fault aimed at facility rack ``dc-rack7`` lands on the shard rack
+    holding the same servers in the same (relabelled) zone.
+    """
+    mapping: dict[str, tuple[int, str]] = {}
+    for i, (part, block) in enumerate(
+            zip(shard_specs, _zone_blocks(spec, shard_specs))):
+        local = 0
+        for k in range((spec.racks // spec.zones) + 1):
+            for z in block:
+                r = z + k * spec.zones
+                if r < spec.racks and local < part.racks:
+                    mapping[f"{spec.name}-rack{r}"] = (
+                        i, f"{part.name}-rack{local}")
+                    local += 1
+    return mapping
+
+
+def partition_faults(spec: DataCenterSpec,
+                     shard_specs: list[DataCenterSpec],
+                     schedule: FaultSchedule) -> list[FaultSchedule]:
+    """Split a facility fault schedule into per-shard schedules.
+
+    * ``RACK_BRANCH`` incidents follow their rack into the shard that
+      owns it (retargeted to the shard-local rack name).
+    * ``CRAC_FAILURE`` incidents follow the proportional CRAC slice:
+      global unit ``c`` belongs to the shard whose cumulative CRAC
+      count covers it, clamped into the shard's own range (rounding
+      can shrink a slice).
+    * ``UPS_DERATE`` and ``UTILITY_OUTAGE`` are facility-wide:
+      replicated into every shard, whose UPS banks jointly are the
+      facility's parallel bank.
+    """
+    racks = _rack_map(spec, shard_specs)
+    crac_lo = []
+    lo = 0
+    for part in shard_specs:
+        crac_lo.append(lo)
+        lo += part.cracs
+    total_cracs = lo
+    schedules = [FaultSchedule() for _ in shard_specs]
+    for incident in schedule.ordered():
+        if incident.kind is FaultKind.RACK_BRANCH:
+            if incident.target not in racks:
+                raise KeyError(f"no rack named {incident.target!r} "
+                               f"in {spec.name!r}")
+            shard, local = racks[incident.target]
+            schedules[shard].add(
+                dataclasses.replace(incident, target=local))
+        elif incident.kind is FaultKind.CRAC_FAILURE:
+            # Map the facility CRAC index onto the concatenated shard
+            # slices (scaled when rounding changed the total).
+            c = int(incident.target)
+            if not 0 <= c < spec.cracs:
+                raise IndexError(f"CRAC {c} outside facility range")
+            scaled = min(total_cracs - 1, c * total_cracs // spec.cracs)
+            shard = 0
+            for i, lo in enumerate(crac_lo):
+                if scaled >= lo:
+                    shard = i
+            local = min(scaled - crac_lo[shard],
+                        shard_specs[shard].cracs - 1)
+            schedules[shard].add(
+                dataclasses.replace(incident, target=local))
+        else:  # facility-wide: UPS derate, utility outage
+            for shard_schedule in schedules:
+                shard_schedule.add(incident)
+    return schedules
+
+
+def merge_resilience(reports: typing.Sequence[ResilienceReport | None]
+                     ) -> ResilienceReport | None:
+    """Fold per-shard resilience reports into one facility report.
+
+    Incidents concatenate (sorted by start time, then kind/target for
+    a deterministic order); counters sum; MTTR is recomputed over the
+    merged closed incidents.  The during-incident SLA is the worst
+    shard's report (lowest served fraction) — the same conservative
+    worst-shard convention the response percentile uses.
+    """
+    present = [r for r in reports if r is not None]
+    if not present:
+        return None
+    incidents = tuple(sorted(
+        (rec for r in present for rec in r.incidents),
+        key=lambda rec: (rec.start_s, rec.kind.value, str(rec.target))))
+    closed = [rec.duration_s for rec in incidents
+              if not rec.active and not math.isnan(rec.duration_s)]
+    worst_sla: SLAReport | None = None
+    for r in present:
+        sla = r.sla_during_incidents
+        if sla is None:
+            continue
+        if worst_sla is None or (
+                sla.served_fraction < worst_sla.served_fraction):
+            worst_sla = sla
+    return ResilienceReport(
+        incident_count=sum(r.incident_count for r in present),
+        incidents=incidents,
+        mttr_s=sum(closed) / len(closed) if closed else 0.0,
+        degraded_mode_s=sum(r.degraded_mode_s for r in present),
+        mode_transitions=sum(r.mode_transitions for r in present),
+        protective_shutdowns=sum(r.protective_shutdowns
+                                 for r in present),
+        blackouts=sum(r.blackouts for r in present),
+        sla_during_incidents=worst_sla,
+        incident_energy_j=sum(r.incident_energy_j for r in present),
+    )
+
+
+def merge_results(finished: typing.Sequence[tuple[CoSimResult, float,
+                                                  float]],
+                  duration_s: float) -> CoSimResult:
+    """Fold ``(result, offered, shed)`` triples into one summary.
+
+    The merge semantics documented in the module docstring; shared by
+    :class:`ShardedCoSimulation` and the federation layer (a site's
+    zone shards merge into one site result the same way a facility's
+    shards merge into one facility result).
+    """
+    results = [f[0] for f in finished]
+    offered = 0.0
+    shed = 0.0
+    it = 0.0
+    facility = 0.0
+    active = 0.0
+    alarms = 0
+    peak = 0.0
+    worst_response = float("nan")
+    for result, shard_offered, shard_shed in finished:
+        offered += shard_offered
+        shed += shard_shed
+        it += result.it_energy_j
+        facility += result.facility_energy_j
+        active += result.mean_active_servers
+        alarms += result.thermal_alarms
+        peak += result.peak_grid_w
+        response = result.sla.measured_response_s
+        if not math.isnan(response) and not (
+                worst_response >= response):
+            worst_response = response
+    sla = SLAReport(
+        sla=results[0].sla.sla,
+        measured_response_s=worst_response,
+        served_fraction=(1.0 - shed / offered if offered > 0.0
+                         else 1.0),
+    )
+    return CoSimResult(
+        duration_s=duration_s,
+        it_energy_j=it,
+        facility_energy_j=facility,
+        energy_weighted_pue=(facility / it if it > 0.0
+                             else float("inf")),
+        mean_active_servers=active,
+        sla=sla,
+        thermal_alarms=alarms,
+        peak_grid_w=peak,
+        resilience=merge_resilience([r.resilience for r in results]),
+    )
+
+
 def _demand_fn(cfg: dict, capacity: float):
     """Build the global demand callable from a picklable config.
 
@@ -123,7 +390,8 @@ class _Shard:
     """One sub-facility co-simulation plus its mutable demand share."""
 
     def __init__(self, index: int, spec: DataCenterSpec, demand_cfg: dict,
-                 total_capacity: float, managed: bool):
+                 total_capacity: float, managed: bool,
+                 fault_schedule: FaultSchedule | None = None):
         self.index = index
         self.share = 0.0  # parent sends the real share before each period
         global_fn = _demand_fn(demand_cfg, total_capacity)
@@ -131,12 +399,23 @@ class _Shard:
         def shard_demand(t: float) -> float:
             return global_fn(t) * self.share
 
-        self.sim = CoSimulation(spec, shard_demand, managed=managed)
+        self.sim = CoSimulation(spec, shard_demand, managed=managed,
+                                fault_schedule=fault_schedule)
         self.start = self.sim.env.now
 
-    def eff_cap(self) -> float:
-        """Deliverable capacity — the aggregate column shards exchange."""
-        return self.sim.dc.cluster.total_effective_capacity()
+    def deliverable_cap(self) -> float:
+        """Healthy capacity — the aggregate column shards exchange.
+
+        Installed capacity minus failed servers: what the shard could
+        serve once its manager wakes the fleet, not what happens to be
+        awake right now.  Re-read at every sync point, so a repair
+        restores the shard's demand share at the next period instead
+        of trapping it behind its own post-fault sleep state (low
+        share → few awake → low awake capacity → low share).
+        """
+        dc = self.sim.dc
+        failed = dc.cluster.count_in(ServerState.FAILED)
+        return (dc.spec.total_servers - failed) * dc.spec.server_capacity
 
     def advance(self, until: float) -> None:
         self.sim.env.run(until=until)
@@ -153,13 +432,15 @@ class _Shard:
 class _ShardGroup:
     """Drives a batch of shards; used verbatim in-process and in workers."""
 
-    def __init__(self, items: list[tuple[int, DataCenterSpec]],
-                 demand_cfg: dict, total_capacity: float, managed: bool):
-        self.shards = [_Shard(i, s, demand_cfg, total_capacity, managed)
-                       for i, s in items]
+    def __init__(self, items: list[tuple], demand_cfg: dict,
+                 total_capacity: float, managed: bool):
+        self.shards = [_Shard(i, s, demand_cfg, total_capacity, managed,
+                              fault_schedule=sched)
+                       for i, s, sched in items]
 
     def ready(self) -> list[tuple[int, float, float]]:
-        return [(s.index, s.start, s.eff_cap()) for s in self.shards]
+        return [(s.index, s.start, s.deliverable_cap())
+                for s in self.shards]
 
     def advance(self, until: float,
                 shares: dict[int, float]) -> list[tuple[int, float]]:
@@ -167,7 +448,7 @@ class _ShardGroup:
         for s in self.shards:
             s.share = shares[s.index]
             s.advance(until)
-            out.append((s.index, s.eff_cap()))
+            out.append((s.index, s.deliverable_cap()))
         return out
 
     def finish(self) -> list[tuple[int, tuple]]:
@@ -202,7 +483,8 @@ def _shard_worker(conn, items, demand_cfg, total_capacity,
 class _LocalGroup:
     """In-process stand-in with the worker-pipe call surface."""
 
-    def __init__(self, items, demand_cfg, total_capacity, managed):
+    def __init__(self, items, demand_cfg, total_capacity, managed,
+                 recv_deadline_s=None):
         self.group = _ShardGroup(items, demand_cfg, total_capacity,
                                  managed)
 
@@ -219,12 +501,23 @@ class _LocalGroup:
         pass
 
 
-class _RemoteGroup:
-    """A worker process serving one shard batch over a pipe."""
+class _ShardWorkerHandle:
+    """A worker process serving one shard batch over a pipe.
 
-    def __init__(self, items, demand_cfg, total_capacity, managed):
+    Every reply crosses :func:`poll_recv` with ``recv_deadline_s``, so
+    a SIGKILLed or hung worker surfaces as :class:`ShardWorkerDied` /
+    :class:`ShardWorkerTimeout` naming the shards it served and the
+    last macro period it completed — never as a parent blocked forever
+    in ``Connection.recv``.
+    """
+
+    def __init__(self, items, demand_cfg, total_capacity, managed,
+                 recv_deadline_s: float = 120.0):
         ctx = multiprocessing.get_context()
         self.conn, child = ctx.Pipe()
+        self.shard_ids = [i for i, _, _ in items]
+        self.recv_deadline_s = float(recv_deadline_s)
+        self.completed_periods = 0
         self.proc = ctx.Process(
             target=_shard_worker,
             args=(child, items, demand_cfg, total_capacity, managed),
@@ -232,8 +525,21 @@ class _RemoteGroup:
         self.proc.start()
         child.close()
 
+    def _context(self) -> str:
+        return (f" (shards {self.shard_ids}, last completed period "
+                f"{self.completed_periods})")
+
+    def _send(self, message: tuple) -> None:
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerDied(
+                f"worker pipe broken on send{self._context()}: "
+                f"{type(exc).__name__}") from exc
+
     def _recv(self, expect: str):
-        msg = self.conn.recv()
+        msg = poll_recv(self.conn, self.recv_deadline_s, proc=self.proc,
+                        context=self._context())
         if msg[0] == "error":
             raise RuntimeError(f"shard worker failed: {msg[1]}")
         if msg[0] != expect:  # pragma: no cover - protocol guard
@@ -244,11 +550,13 @@ class _RemoteGroup:
         return self._recv("ready")
 
     def advance(self, until, shares):
-        self.conn.send(("advance", until, shares))
-        return self._recv("ok")
+        self._send(("advance", until, shares))
+        out = self._recv("ok")
+        self.completed_periods += 1
+        return out
 
     def finish(self):
-        self.conn.send(("finish",))
+        self._send(("finish",))
         out = self._recv("result")
         self.proc.join(timeout=30.0)
         return out
@@ -281,14 +589,26 @@ class ShardedCoSimulation:
     sync_period_s:
         Lockstep macro-period between demand redistributions (default
         300 s, the macro-management cadence).
+    fault_schedule:
+        Optional facility-level fault schedule, partitioned into the
+        shards by :func:`partition_faults`; the merged result carries
+        the merged :class:`~repro.core.faults.ResilienceReport`.
+    recv_deadline_s:
+        Wall-clock deadline for any single worker reply (a macro
+        period of the largest shard takes well under a second; the
+        default 120 s only trips on a genuinely dead or hung worker).
     """
 
     def __init__(self, spec: DataCenterSpec, demand: dict,
                  shards: int = 2, workers: int = 1,
                  managed: bool = True,
-                 sync_period_s: float = 300.0):
+                 sync_period_s: float = 300.0,
+                 fault_schedule: FaultSchedule | None = None,
+                 recv_deadline_s: float = 120.0):
         if sync_period_s <= 0:
             raise ValueError("sync period must be positive")
+        if recv_deadline_s <= 0:
+            raise ValueError("receive deadline must be positive")
         if not isinstance(demand, dict):
             raise TypeError("demand must be a declarative dict "
                             "(it crosses the process boundary)")
@@ -296,9 +616,16 @@ class ShardedCoSimulation:
         self.spec = spec
         self.demand = dict(demand)
         self.shard_specs = partition_spec(spec, shards)
+        self.shard_faults: list[FaultSchedule | None]
+        if fault_schedule is None:
+            self.shard_faults = [None] * len(self.shard_specs)
+        else:
+            self.shard_faults = list(partition_faults(
+                spec, self.shard_specs, fault_schedule))
         self.workers = max(1, min(int(workers), len(self.shard_specs)))
         self.managed = bool(managed)
         self.sync_period_s = float(sync_period_s)
+        self.recv_deadline_s = float(recv_deadline_s)
         self.total_capacity = spec.total_servers * spec.server_capacity
         #: Static fallback shares (proportional to installed capacity),
         #: used whenever the fleet reports zero deliverable capacity.
@@ -311,18 +638,18 @@ class ShardedCoSimulation:
                                for i, cap in enumerate(caps)}
         self._ran = False
 
-    def _shares(self, eff_caps: dict[int, float]) -> dict[int, float]:
+    def _shares(self, caps: dict[int, float]) -> dict[int, float]:
         """Demand shares from the exchanged capacity column.
 
         Summed in shard-index order so the in-process and worker paths
         fold identically.
         """
         total = 0.0
-        for i in sorted(eff_caps):
-            total += eff_caps[i]
+        for i in sorted(caps):
+            total += caps[i]
         if total <= 0.0:
             return dict(self._static_shares)
-        return {i: eff_caps[i] / total for i in sorted(eff_caps)}
+        return {i: caps[i] / total for i in sorted(caps)}
 
     def run(self, duration_s: float) -> CoSimResult:
         """Advance every shard through ``duration_s`` and merge."""
@@ -331,78 +658,39 @@ class ShardedCoSimulation:
         if self._ran:
             raise RuntimeError("a sharded co-simulation runs once")
         self._ran = True
-        items = list(enumerate(self.shard_specs))
+        items = [(i, spec, sched) for i, (spec, sched) in enumerate(
+            zip(self.shard_specs, self.shard_faults))]
         if self.workers <= 1:
             groups = [_LocalGroup(items, self.demand,
                                   self.total_capacity, self.managed)]
         else:
-            groups = [_RemoteGroup(items[w::self.workers], self.demand,
-                                   self.total_capacity, self.managed)
-                      for w in range(self.workers)]
+            groups = [_ShardWorkerHandle(
+                items[w::self.workers], self.demand,
+                self.total_capacity, self.managed,
+                recv_deadline_s=self.recv_deadline_s)
+                for w in range(self.workers)]
         try:
-            eff_caps: dict[int, float] = {}
+            caps: dict[int, float] = {}
             starts: set[float] = set()
             for group in groups:
                 for index, start, cap in group.ready():
                     starts.add(start)
-                    eff_caps[index] = cap
+                    caps[index] = cap
             if len(starts) != 1:  # pragma: no cover - spec invariant
                 raise RuntimeError(f"shards disagree on start: {starts}")
             t = start = starts.pop()
             end = start + duration_s
             while t < end:
                 t = min(t + self.sync_period_s, end)
-                shares = self._shares(eff_caps)
+                shares = self._shares(caps)
                 for index, cap in [pair for group in groups
                                    for pair in group.advance(t, shares)]:
-                    eff_caps[index] = cap
+                    caps[index] = cap
             finished: dict[int, tuple] = {}
             for group in groups:
                 finished.update(group.finish())
-            return self._merge([finished[i] for i in sorted(finished)],
-                               duration_s)
+            return merge_results([finished[i] for i in sorted(finished)],
+                                 duration_s)
         finally:
             for group in groups:
                 group.close()
-
-    def _merge(self, finished: list[tuple], duration_s: float
-               ) -> CoSimResult:
-        """Fold per-shard summaries into one facility-level result."""
-        results = [f[0] for f in finished]
-        offered = 0.0
-        shed = 0.0
-        it = 0.0
-        facility = 0.0
-        active = 0.0
-        alarms = 0
-        peak = 0.0
-        worst_response = float("nan")
-        for result, shard_offered, shard_shed in finished:
-            offered += shard_offered
-            shed += shard_shed
-            it += result.it_energy_j
-            facility += result.facility_energy_j
-            active += result.mean_active_servers
-            alarms += result.thermal_alarms
-            peak += result.peak_grid_w
-            response = result.sla.measured_response_s
-            if not math.isnan(response) and not (
-                    worst_response >= response):
-                worst_response = response
-        sla = SLAReport(
-            sla=results[0].sla.sla,
-            measured_response_s=worst_response,
-            served_fraction=(1.0 - shed / offered if offered > 0.0
-                             else 1.0),
-        )
-        return CoSimResult(
-            duration_s=duration_s,
-            it_energy_j=it,
-            facility_energy_j=facility,
-            energy_weighted_pue=(facility / it if it > 0.0
-                                 else float("inf")),
-            mean_active_servers=active,
-            sla=sla,
-            thermal_alarms=alarms,
-            peak_grid_w=peak,
-        )

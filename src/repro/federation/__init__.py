@@ -1,0 +1,41 @@
+"""Geo-federation: multi-DC co-simulation with outage failover.
+
+The paper's macro layer one level up (§3.2): N full data-center
+plants advance in macro-period lockstep under a global router that
+prices sites by live PUE and electricity price, fails demand over
+when a region goes dark, degrades gracefully when telemetry goes
+stale, and — with worker processes — survives worker crashes by
+deterministic restart-and-replay.  See DESIGN.md §13.
+"""
+
+from repro.federation.federation import (
+    FederatedCoSimulation,
+    FederationResult,
+    FederationSite,
+)
+from repro.federation.router import (
+    GlobalRouter,
+    Region,
+    RouteDecision,
+    RouterConfig,
+    RoutingMode,
+    SiteHealth,
+    SiteMeta,
+)
+from repro.federation.sites import SiteConfig, SiteRuntime, SiteSummary
+
+__all__ = [
+    "FederatedCoSimulation",
+    "FederationResult",
+    "FederationSite",
+    "GlobalRouter",
+    "Region",
+    "RouteDecision",
+    "RouterConfig",
+    "RoutingMode",
+    "SiteConfig",
+    "SiteHealth",
+    "SiteMeta",
+    "SiteRuntime",
+    "SiteSummary",
+]

@@ -1,0 +1,496 @@
+"""The federation's global router: one decision per macro period.
+
+The router is the paper's macro layer lifted one level up: instead of
+waking servers inside one room, it places regional demand across whole
+facilities, pricing each site by its *live* window PUE and electricity
+price (the :mod:`repro.core.geo` greedy optimizer underneath — EXP-GEO
+and EXP-MOON promoted onto real plants).
+
+Robustness is the point, and it has two independent axes:
+
+**Telemetry trust** (per site, a degraded-routing ladder reusing the
+:class:`~repro.controlplane.telemetry.StateEstimator`):
+
+* ``OPTIMIZING`` — the summary is fresh; route on believed capacity
+  and live PUE.
+* ``LAST_KNOWN_GOOD`` — the site has been silent past
+  ``stale_after_s``; keep routing on the estimator's last-known-good
+  values.
+* ``STATIC_HOME`` — silent past ``partition_after_s``: the router is
+  partitioned from the site and falls back to blind home routing for
+  that site's own regions (we can't see it, so we stop making claims
+  about it).
+
+**Site health** (from believed capacity, with hysteresis):
+
+* ``UP`` / ``DEGRADED`` — routable at believed healthy capacity.
+* ``DARK`` — believed healthy capacity fell below ``dark_fraction``
+  of installed (a regional blackout): excluded from the pool, its
+  home demand fails over to surviving sites through the optimizer.
+* ``RECOVERING`` — capacity is back above ``recover_fraction`` but
+  the site is only re-admitted after ``recovery_periods`` consecutive
+  healthy summaries — the anti-flap hysteresis.
+
+Every mode/health transition and every failover lands in the
+:class:`~repro.obs.AuditTrail` (the router owns a tracer bound to a
+parent-side clock shim), so "why did region X leave home at t=..." is
+one query, same as any other actuation in the stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+import types
+import typing
+
+from repro.controlplane.telemetry import StateEstimator
+from repro.core.geo import (
+    GeoScheduler,
+    RegionDemand,
+    SiteSpec,
+    primary_assignment,
+)
+from repro.obs import AuditTrail, Tracer
+from repro.sim import RandomStreams
+
+from repro.federation.sites import SiteSummary
+
+__all__ = ["Region", "SiteMeta", "RouterConfig", "RoutingMode",
+           "SiteHealth", "RouteDecision", "GlobalRouter"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """One user population and its latency geometry."""
+
+    name: str
+    home: str                               # home site name
+    peak_units: float                       # work units/s at peak
+    latency_ms: typing.Mapping[str, float]  # site -> RTT
+    latency_ceiling_ms: float = 150.0
+    utc_offset_h: float = 0.0               # phase of its diurnal peak
+
+    def __post_init__(self):
+        if self.peak_units < 0:
+            raise ValueError("peak demand cannot be negative")
+        if self.home not in self.latency_ms:
+            raise ValueError(f"region {self.name!r} has no latency "
+                             f"entry for its home site {self.home!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteMeta:
+    """Parent-side pricing facts about one site (never crosses a pipe)."""
+
+    name: str
+    energy_price_per_kwh: float = 0.10
+    static_pue: float = 1.3                 # fallback before telemetry
+    watts_per_unit: float = 3.0
+
+    def __post_init__(self):
+        if self.energy_price_per_kwh < 0:
+            raise ValueError("price cannot be negative")
+        if self.static_pue < 1.0:
+            raise ValueError("PUE cannot be below 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterConfig:
+    """Trust and hysteresis knobs of the degraded-routing ladder."""
+
+    stale_after_s: float = 900.0       # optimizing -> last-known-good
+    partition_after_s: float = 1800.0  # last-known-good -> static-home
+    dark_fraction: float = 0.5         # healthy/installed below => dark
+    recover_fraction: float = 0.9      # healthy/installed above => healing
+    recovery_periods: int = 3          # consecutive healthy summaries
+    telemetry_dropout: float = 0.0     # chance a summary never arrives
+    #: Keep a region at its current site unless a from-scratch plan is
+    #: at least this much cheaper (or sheds less).  Every migration
+    #: costs real served work — the receiving manager has to wake
+    #: servers while the demand is already there — so the router only
+    #: follows the moon when the moon is worth following.
+    migration_threshold: float = 0.10
+    #: Drain a site the moment it reports running on battery: the
+    #: bridge lasts minutes, and demand still on the floor when the
+    #: battery dies is shed, not served.
+    evacuate_on_battery: bool = True
+    #: Fraction of a site's believed healthy capacity the router will
+    #: actually load.  Routing a room to 100% leaves no slack for
+    #: dispatch granularity or the thermal envelope — a fully loaded
+    #: small room rides its CRACs into alarm, drains, and sheds far
+    #: more than the headroom costs.
+    headroom_fraction: float = 0.8
+
+    def __post_init__(self):
+        if not 0 < self.stale_after_s <= self.partition_after_s:
+            raise ValueError("need 0 < stale_after_s <= partition_after_s")
+        if not 0.0 <= self.dark_fraction <= self.recover_fraction <= 1.0:
+            raise ValueError(
+                "need 0 <= dark_fraction <= recover_fraction <= 1")
+        if self.recovery_periods < 1:
+            raise ValueError("recovery needs at least one period")
+        if not 0.0 <= self.telemetry_dropout < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        if self.migration_threshold < 0.0:
+            raise ValueError("migration threshold cannot be negative")
+        if not 0.0 < self.headroom_fraction <= 1.0:
+            raise ValueError("headroom fraction must be in (0, 1]")
+
+
+class RoutingMode(enum.Enum):
+    """How much the router trusts its telemetry for one site."""
+
+    OPTIMIZING = "optimizing"
+    LAST_KNOWN_GOOD = "last-known-good"
+    STATIC_HOME = "static-home"
+
+
+class SiteHealth(enum.Enum):
+    """What the router believes about one site's fleet."""
+
+    UP = "up"
+    DEGRADED = "degraded"
+    DARK = "dark"
+    RECOVERING = "recovering"
+
+
+class RouteDecision(typing.NamedTuple):
+    """One period's routing outcome."""
+
+    time_s: float
+    assignments: dict            # site -> work units/s
+    shed: dict                   # region -> work units/s unplaced
+    modes: dict                  # site -> RoutingMode
+    health: dict                 # site -> SiteHealth
+    cost_per_hour: float
+    off_home: int                # regions primarily served off-home
+    failovers: int               # failover *events* this period
+
+    @property
+    def total_shed(self) -> float:
+        return sum(self.shed.values())
+
+
+class GlobalRouter:
+    """Period-by-period demand placement across federation sites.
+
+    ``policy`` selects the headline comparison: ``"optimizing"`` is
+    the managed federation (cost optimization + failover + the
+    degraded-routing ladder); ``"static-home"`` is the naive baseline
+    that pins every region to its home site no matter what.
+
+    The router is a parent-side object with no simulation environment
+    of its own: a tiny clock shim carries the federation time into the
+    :class:`StateEstimator` and the tracer, and all randomness (the
+    optional telemetry dropout) comes from the ``federation.telemetry``
+    substream drawn in fixed site order — worker scheduling can never
+    perturb it.
+    """
+
+    def __init__(self, sites: typing.Sequence[SiteMeta],
+                 regions: typing.Sequence[Region],
+                 config: RouterConfig | None = None,
+                 policy: str = "optimizing",
+                 streams: RandomStreams | None = None,
+                 audit_capacity: int = 16_384):
+        if policy not in ("optimizing", "static-home"):
+            raise ValueError(f"unknown routing policy {policy!r}")
+        if not sites:
+            raise ValueError("need at least one site")
+        names = [s.name for s in sites]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate site names")
+        homes = {r.home for r in regions}
+        missing = homes - set(names)
+        if missing:
+            raise ValueError(f"regions homed to unknown sites: "
+                             f"{sorted(missing)}")
+        self.sites = {s.name: s for s in sites}
+        self.site_order = names
+        self.regions = list(regions)
+        self.config = config or RouterConfig()
+        self.policy = policy
+        self.clock = types.SimpleNamespace(now=0.0)
+        self.estimator = StateEstimator(
+            self.clock, history_s=4 * self.config.partition_after_s)
+        self.tracer = Tracer().bind(self.clock)
+        self.audit = AuditTrail(self.tracer, capacity=audit_capacity)
+        self._rng = (streams or RandomStreams(0)).get(
+            "federation.telemetry")
+        self._installed: dict[str, float] = {}
+        self._mode = {n: RoutingMode.OPTIMIZING for n in names}
+        self._health = {n: SiteHealth.UP for n in names}
+        self._streak = {n: 0 for n in names}
+        self._primary: dict[str, str] | None = None
+        #: ``(time_s, site, axis, old, new)`` for every transition.
+        self.transitions: list[tuple] = []
+        #: Cumulative failover *events*: a region's primary site
+        #: changed to somewhere other than its home.  Serving off-home
+        #: for a hundred quiet periods is one event, not a hundred.
+        self.failovers = 0
+        self.decisions = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry intake
+    # ------------------------------------------------------------------
+    def _ingest(self, summaries: typing.Mapping[str, SiteSummary | None]
+                ) -> None:
+        dropout = self.config.telemetry_dropout
+        for name in self.site_order:
+            summary = summaries.get(name)
+            # The dropout draw happens for every *delivered* summary in
+            # fixed site order, so the stream is identical no matter
+            # how many workers produced the summaries.
+            if (summary is not None and dropout > 0.0
+                    and self._rng.random() < dropout):
+                summary = None
+            if summary is None:
+                continue
+            self._installed[name] = summary.installed_capacity
+            self.estimator.observe(f"{name}.healthy",
+                                   summary.healthy_capacity,
+                                   summary.time_s)
+            if not math.isnan(summary.window_pue):
+                self.estimator.observe(f"{name}.pue",
+                                       summary.window_pue,
+                                       summary.time_s)
+            self.estimator.observe(f"{name}.on_battery",
+                                   summary.on_battery, summary.time_s)
+
+    def _transition(self, table: dict, name: str, new, axis: str) -> None:
+        old = table[name]
+        if old is new:
+            return
+        table[name] = new
+        self.transitions.append(
+            (self.clock.now, name, axis, old.value, new.value))
+        self.tracer.event(f"route-{axis}", "actuation", site=name,
+                          old=old.value, new=new.value)
+
+    def _update_modes(self) -> None:
+        cfg = self.config
+        for name in self.site_order:
+            age = self.estimator.age_s(f"{name}.healthy")
+            if age <= cfg.stale_after_s:
+                mode = RoutingMode.OPTIMIZING
+            elif age <= cfg.partition_after_s:
+                mode = RoutingMode.LAST_KNOWN_GOOD
+            else:
+                mode = RoutingMode.STATIC_HOME
+            self._transition(self._mode, name, mode, "mode")
+
+    def _update_health(self) -> None:
+        cfg = self.config
+        for name in self.site_order:
+            if self._mode[name] is RoutingMode.STATIC_HOME:
+                # Partitioned: no basis for changing our belief.
+                continue
+            reading = self.estimator.read(f"{name}.healthy")
+            installed = self._installed.get(name)
+            if reading.missing or not installed:
+                continue
+            frac = reading.value / installed
+            current = self._health[name]
+            if frac < cfg.dark_fraction:
+                self._streak[name] = 0
+                health = SiteHealth.DARK
+            elif current in (SiteHealth.DARK, SiteHealth.RECOVERING):
+                if frac >= cfg.recover_fraction:
+                    self._streak[name] += 1
+                    health = (SiteHealth.UP
+                              if self._streak[name]
+                              >= cfg.recovery_periods
+                              else SiteHealth.RECOVERING)
+                else:
+                    self._streak[name] = 0
+                    health = SiteHealth.RECOVERING
+            else:
+                on_battery = self.estimator.read(
+                    f"{name}.on_battery").value is True
+                health = (SiteHealth.DEGRADED
+                          if on_battery or frac < cfg.recover_fraction
+                          else SiteHealth.UP)
+            self._transition(self._health, name, health, "health")
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _site_spec(self, name: str) -> SiteSpec:
+        meta = self.sites[name]
+        capacity = self.estimator.read(f"{name}.healthy")
+        pue = self.estimator.read(f"{name}.pue")
+        believed = (capacity.value if not capacity.missing
+                    else self._installed.get(name, 0.0))
+        return SiteSpec(
+            name=name,
+            capacity=self.config.headroom_fraction * believed,
+            pue=(max(1.0, pue.value) if not pue.missing
+                 else meta.static_pue),
+            energy_price_per_kwh=meta.energy_price_per_kwh,
+            watts_per_unit=meta.watts_per_unit)
+
+    def _static_cost(self, name: str) -> float:
+        """$/unit-hour at a blind site (static PUE — we can't see it)."""
+        meta = self.sites[name]
+        return (meta.watts_per_unit * meta.static_pue / 1000.0
+                * meta.energy_price_per_kwh)
+
+    def _place(self, pool: list[SiteSpec],
+               routable: list[Region],
+               demands: typing.Mapping[str, float]
+               ) -> tuple[dict, dict, float]:
+        """Sticky-first placement with a re-optimization trigger.
+
+        Pass 1 keeps every region whole at its current primary site
+        when that site is still in the pool, latency-eligible, and has
+        the capacity; the rest go through the greedy optimizer on the
+        residual capacities.  A from-scratch plan is then computed and
+        adopted only when it sheds less or beats the sticky plan's
+        cost by ``migration_threshold`` — the routing-level hysteresis
+        that stops regions ping-ponging between near-equal sites every
+        period (each ping costs served work while the receiving
+        manager wakes its fleet).
+        """
+        specs = {s.name: s for s in pool}
+        previous = self._primary or {}
+        remaining = {s.name: s.capacity for s in pool}
+        sticky: dict[tuple[str, str], float] = {}
+        leftovers: list[Region] = []
+        for region in routable:
+            home = previous.get(region.name)
+            amount = float(demands[region.name])
+            rtt = region.latency_ms.get(home) if home else None
+            if (home in specs and rtt is not None
+                    and rtt <= region.latency_ceiling_ms
+                    and remaining[home] >= amount):
+                sticky[(region.name, home)] = amount
+                remaining[home] -= amount
+            else:
+                leftovers.append(region)
+
+        def to_demands(regions: list[Region]) -> list[RegionDemand]:
+            return [RegionDemand(r.name, float(demands[r.name]),
+                                 r.latency_ms, r.latency_ceiling_ms)
+                    for r in regions]
+
+        fresh = GeoScheduler(pool).route(to_demands(routable))
+        if not sticky:
+            return fresh.allocation, fresh.unplaced, fresh.cost_per_hour
+        residual = [dataclasses.replace(s, capacity=remaining[s.name])
+                    for s in pool]
+        rest = GeoScheduler(residual).route(to_demands(leftovers))
+        sticky_cost = rest.cost_per_hour + sum(
+            amount * specs[site].cost_per_unit_hour
+            for (_, site), amount in sticky.items())
+        if (fresh.total_unplaced < rest.total_unplaced - 1e-9
+                or fresh.cost_per_hour
+                < (1.0 - self.config.migration_threshold)
+                * sticky_cost):
+            return fresh.allocation, fresh.unplaced, fresh.cost_per_hour
+        allocation = dict(sticky)
+        allocation.update(rest.allocation)
+        return allocation, rest.unplaced, sticky_cost
+
+    def decide(self, time_s: float,
+               summaries: typing.Mapping[str, SiteSummary | None],
+               demands: typing.Mapping[str, float]) -> RouteDecision:
+        """Place this period's regional demand; audit the decision."""
+        self.clock.now = float(time_s)
+        self.decisions += 1
+        self._ingest(summaries)
+        record = self.audit.begin(time_s)
+        for name in self.site_order:
+            reading = self.estimator.read(f"{name}.healthy")
+            self.audit.observe(f"{name}.healthy", reading.value,
+                               reading.time_s, reading.age_s,
+                               source="telemetry")
+        self._update_modes()
+        self._update_health()
+
+        assignments = {name: 0.0 for name in self.site_order}
+        shed: dict[str, float] = {}
+        cost = 0.0
+        off_home: set[str] = set()
+        failover_regions: set[str] = set()
+        primary: dict[str, str] = {}
+
+        if self.policy == "static-home":
+            for region in self.regions:
+                amount = float(demands.get(region.name, 0.0))
+                if amount <= 0.0:
+                    continue
+                assignments[region.home] += amount
+                cost += amount * self._static_cost(region.home)
+                primary[region.name] = region.home
+        else:
+            blind = {n for n in self.site_order
+                     if self._mode[n] is RoutingMode.STATIC_HOME}
+            routable: list[Region] = []
+            for region in self.regions:
+                amount = float(demands.get(region.name, 0.0))
+                if amount <= 0.0:
+                    continue
+                if region.home in blind:
+                    # Partitioned from the home site: route blind.
+                    assignments[region.home] += amount
+                    cost += amount * self._static_cost(region.home)
+                    primary[region.name] = region.home
+                else:
+                    routable.append(region)
+            pool = [self._site_spec(n) for n in self.site_order
+                    if n not in blind
+                    and self._health[n] in (SiteHealth.UP,
+                                            SiteHealth.DEGRADED)
+                    and not (self.config.evacuate_on_battery
+                             and self.estimator.read(
+                                 f"{n}.on_battery").value is True)]
+            if pool:
+                allocation, unplaced, pool_cost = self._place(
+                    pool, routable, demands)
+                for (region_name, site), amount in allocation.items():
+                    assignments[site] += amount
+                shed.update(unplaced)
+                cost += pool_cost
+                primary.update(primary_assignment(allocation))
+            else:
+                for region in routable:
+                    shed[region.name] = float(demands[region.name])
+            homes = {r.name: r.home for r in self.regions}
+            for region_name, site in primary.items():
+                if site != homes[region_name]:
+                    off_home.add(region_name)
+                    previous = (self._primary or {}).get(region_name)
+                    if previous != site:
+                        failover_regions.add(region_name)
+                        self.tracer.event(
+                            "failover", "actuation",
+                            region=region_name, site=site,
+                            home=homes[region_name])
+            self._primary = primary
+
+        self.failovers += len(failover_regions)
+        unhealthy = [n for n in self.site_order
+                     if self._health[n] is not SiteHealth.UP]
+        silent = [n for n in self.site_order
+                  if self._mode[n] is not RoutingMode.OPTIMIZING]
+        self.audit.context(
+            mode=("degraded" if unhealthy or silent else "normal"),
+            active_incidents=len(unhealthy),
+            fault_domains=[f"{n}:{self._health[n].value}"
+                           for n in unhealthy],
+            watchdog_suspects=len(silent))
+        self.audit.commit(
+            assignments={k: round(v, 6)
+                         for k, v in assignments.items() if v > 0.0},
+            shed=round(sum(shed.values()), 6),
+            failovers=sorted(failover_regions),
+            off_home=sorted(off_home),
+            cost_per_hour=round(cost, 6))
+        del record
+        return RouteDecision(
+            time_s=float(time_s), assignments=assignments, shed=shed,
+            modes=dict(self._mode), health=dict(self._health),
+            cost_per_hour=cost, off_home=len(off_home),
+            failovers=len(failover_regions))

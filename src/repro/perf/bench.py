@@ -18,7 +18,8 @@ import time
 import typing
 
 __all__ = ["bench_spec", "run_scale_bench", "run_placement_bench",
-           "format_placement_report"]
+           "format_placement_report", "federation_scenario",
+           "run_federation_bench", "format_federation_report"]
 
 
 def bench_spec(servers: int, backend: str = "object"):
@@ -168,6 +169,135 @@ def format_placement_report(metrics: typing.Mapping) -> str:
             f"{metrics['hosts_used']:,} hosts used, "
             f"{metrics['servers_freed']:,} freed, "
             f"{metrics['unplaced']} unplaced")
+
+
+def federation_scenario(n_sites: int = 5, shards: int = 1,
+                        outage_site: str = "dc0",
+                        outage_start_s: float = 2 * 86_400.0
+                        + 6 * 3600.0,
+                        outage_duration_s: float = 12 * 3600.0):
+    """The canonical EXP-FED geography: ``(sites, regions)``.
+
+    ``n_sites`` small vector plants (800 units each) ring-connected by
+    latency, each with a home region whose diurnal peak is phased
+    4.8 h east of its neighbour and priced on a west-to-east gradient.
+    ``outage_site`` suffers a utility outage with dead generators
+    (``generator_start_probability=0``) so the site truly goes dark —
+    the scenario the router's failover exists for.  Shared verbatim by
+    the EXP-FED benchmark, ``python -m repro bench --scenario
+    federation``, and the CI chaos smoke so they all gate the same
+    deterministic run.  Pass ``outage_site=None`` for a quiet week.
+    """
+    from repro.core.faults import FaultKind, FaultSchedule, Incident
+    from repro.datacenter import DataCenterSpec
+    from repro.federation import (FederationSite, Region, SiteConfig,
+                                  SiteMeta)
+
+    if n_sites < 2:
+        raise ValueError(f"need at least two sites, got {n_sites}")
+    sites = []
+    for i in range(n_sites):
+        name = f"dc{i}"
+        spec = DataCenterSpec(name=name, racks=2, servers_per_rack=4,
+                              zones=2, cracs=1, backend="vector")
+        schedule = None
+        engine_kwargs = None
+        if name == outage_site:
+            schedule = FaultSchedule()
+            schedule.add(Incident(FaultKind.UTILITY_OUTAGE,
+                                  outage_start_s, outage_duration_s))
+            engine_kwargs = {"generator_start_probability": 0.0}
+        sites.append(FederationSite(
+            config=SiteConfig(name=name, spec=spec, shards=shards,
+                              fault_schedule=schedule,
+                              fault_engine_kwargs=engine_kwargs),
+            meta=SiteMeta(name=name,
+                          energy_price_per_kwh=0.08 + 0.015 * i,
+                          static_pue=1.5)))
+    capacity = (sites[0].config.spec.total_servers
+                * sites[0].config.spec.server_capacity)
+    regions = [
+        Region(name=f"r{i}", home=f"dc{i}",
+               peak_units=0.45 * capacity,
+               latency_ms={
+                   f"dc{j}": 20.0 + 15.0 * min(abs(i - j),
+                                               n_sites - abs(i - j))
+                   for j in range(n_sites)},
+               utc_offset_h=4.8 * i)
+        for i in range(n_sites)]
+    return sites, regions
+
+
+def run_federation_bench(days: float = 1.0, n_sites: int = 5,
+                         policy: str = "optimizing",
+                         workers: bool = False, outage: bool = True,
+                         chaos_kill: typing.Mapping | None = None,
+                         repeat: int = 1, warmup: int = 0) -> dict:
+    """A federated multi-DC run on the canonical scenario.
+
+    Runs :func:`federation_scenario` for ``days`` under the given
+    routing policy (``python -m repro bench --scenario federation``).
+    With the default single day the outage (scheduled for day 3)
+    never fires and this is a pure throughput benchmark; ``days >= 3``
+    exercises the failover path too.  ``repeat``/``warmup`` report a
+    best-of-N wall time, as in :func:`run_scale_bench`.
+    """
+    from repro.federation import FederatedCoSimulation
+
+    if days <= 0:
+        raise ValueError(f"days must be positive, got {days}")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    if warmup < 0:
+        raise ValueError(f"warmup cannot be negative, got {warmup}")
+    best: dict | None = None
+    for i in range(warmup + repeat):
+        sites, regions = federation_scenario(
+            n_sites=n_sites,
+            outage_site=("dc0" if outage else None))
+        fed = FederatedCoSimulation(sites, regions, policy=policy,
+                                    workers=workers,
+                                    chaos_kill=chaos_kill)
+        start = time.perf_counter()
+        result = fed.run(days * 86_400.0)
+        wall_s = time.perf_counter() - start
+        metrics = {
+            "sites": n_sites,
+            "servers": sum(s.config.spec.total_servers
+                           for s in sites),
+            "days": days,
+            "policy": policy,
+            "workers": workers,
+            "wall_s": wall_s,
+            "sim_seconds_per_wall_second": days * 86_400.0 / wall_s,
+            "served_fraction": result.served_fraction,
+            "router_shed_unit_s": result.router_shed_unit_s,
+            "site_shed_unit_s": result.site_shed_unit_s,
+            "facility_kwh": result.facility_kwh,
+            "pue": result.energy_weighted_pue,
+            "failovers": result.failovers,
+            "decisions": result.decisions,
+            "recoveries": sum(fed.recoveries.values()),
+        }
+        if i >= warmup and (best is None
+                            or metrics["wall_s"] < best["wall_s"]):
+            best = metrics
+    best["repeat"] = repeat
+    return best
+
+
+def format_federation_report(metrics: typing.Mapping) -> str:
+    """Human-readable one-run summary of a federation bench."""
+    return (f"{metrics['sites']} sites / {metrics['servers']:,} "
+            f"servers ({metrics['policy']}"
+            f"{', workers' if metrics['workers'] else ''}): "
+            f"{metrics['days']:.0f} d simulated in "
+            f"{metrics['wall_s']:.2f} s wall "
+            f"({metrics['sim_seconds_per_wall_second']:,.0f}x "
+            f"realtime) | served {metrics['served_fraction']:.2%}, "
+            f"PUE {metrics['pue']:.2f}, "
+            f"{metrics['failovers']} failovers, "
+            f"{metrics['recoveries']} worker recoveries")
 
 
 def format_report(metrics: typing.Mapping) -> str:

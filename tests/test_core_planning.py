@@ -279,8 +279,11 @@ def three_sites():
 
 
 def test_site_validation():
+    # Zero capacity is legal — a federation site gone dark still sits
+    # in the pool shape; only negative capacity is nonsense.
+    SiteSpec("x", capacity=0.0, pue=1.5, energy_price_per_kwh=0.1)
     with pytest.raises(ValueError):
-        SiteSpec("x", capacity=0.0, pue=1.5, energy_price_per_kwh=0.1)
+        SiteSpec("x", capacity=-1.0, pue=1.5, energy_price_per_kwh=0.1)
     with pytest.raises(ValueError):
         SiteSpec("x", capacity=1.0, pue=0.9, energy_price_per_kwh=0.1)
     with pytest.raises(ValueError):
@@ -359,3 +362,65 @@ def test_constrained_regions_served_first():
     plan = scheduler.route([flexible, picky])
     assert plan.total_unplaced == 0.0
     assert plan.allocation[("picky", "only")] == pytest.approx(100.0)
+
+
+def test_all_sites_ineligible_exact_unplaced():
+    """Every region beyond every ceiling: nothing placed, all shed."""
+    scheduler = GeoScheduler(three_sites())
+    demands = [
+        RegionDemand("a", demand=123.5,
+                     latency_ms={"cheap-cool": 500.0, "mid": 400.0,
+                                 "pricey-hot": 300.0}),
+        RegionDemand("b", demand=76.5, latency_ms={}),
+    ]
+    plan = scheduler.route(demands)
+    assert plan.allocation == {}
+    assert plan.unplaced == {"a": 123.5, "b": 76.5}
+    assert plan.total_unplaced == 200.0
+    assert plan.cost_per_hour == 0.0
+
+
+def test_zero_capacity_site_hosts_nothing():
+    """A dark site stays in the pool shape but never hosts work."""
+    sites = [
+        SiteSpec("dark", capacity=0.0, pue=1.2,
+                 energy_price_per_kwh=0.01),
+        SiteSpec("alive", capacity=300.0, pue=1.8,
+                 energy_price_per_kwh=0.20),
+    ]
+    plan = GeoScheduler(sites).route([RegionDemand(
+        "r", demand=250.0, latency_ms={"dark": 10.0, "alive": 10.0})])
+    # The dark site is the cheapest by far — and gets nothing.
+    assert ("r", "dark") not in plan.allocation
+    assert plan.allocation[("r", "alive")] == pytest.approx(250.0)
+    assert plan.total_unplaced == 0.0
+
+
+def test_demand_exactly_at_aggregate_capacity():
+    """Filling every site to the brim is not a shortfall.
+
+    The last take equals the residual exactly, so ``todo`` must land
+    on 0.0 — not on a float crumb that shows up as phantom shed.
+    """
+    sites = three_sites()  # 3 x 1000 units
+    eligible = {s.name: 10.0 for s in sites}
+    plan = GeoScheduler(sites).route([
+        RegionDemand("big", demand=3000.0, latency_ms=eligible)])
+    assert plan.unplaced == {}
+    assert plan.total_unplaced == 0.0
+    assert sum(plan.allocation.values()) == pytest.approx(3000.0)
+    # One unit more and the overflow is reported exactly.
+    over = GeoScheduler(sites).route([
+        RegionDemand("big", demand=3001.0, latency_ms=eligible)])
+    assert over.total_unplaced == pytest.approx(1.0)
+
+
+def test_primary_assignment_majority_and_ties():
+    from repro.core import primary_assignment
+    allocation = {
+        ("r1", "east"): 70.0, ("r1", "west"): 30.0,
+        ("r2", "west"): 50.0, ("r2", "east"): 50.0,  # tie: first wins
+    }
+    assert primary_assignment(allocation) == {"r1": "east",
+                                              "r2": "west"}
+    assert primary_assignment({}) == {}

@@ -150,3 +150,162 @@ class TestShardedCoSimulation:
         assert shard.it_energy_j == pytest.approx(mono.it_energy_j,
                                                   rel=0.15)
         assert shard.sla.served_fraction > 0.997
+
+
+class TestPollRecv:
+    def test_timeout_names_context(self):
+        import multiprocessing
+
+        from repro.datacenter import ShardWorkerTimeout, poll_recv
+
+        parent, child = multiprocessing.Pipe()
+        try:
+            with pytest.raises(ShardWorkerTimeout) as err:
+                poll_recv(parent, 0.2, context=" (shards [3], last "
+                                               "completed period 7)")
+            assert "shards [3]" in str(err.value)
+            assert "period 7" in str(err.value)
+        finally:
+            parent.close()
+            child.close()
+
+    def test_closed_pipe_raises_died(self):
+        import multiprocessing
+
+        from repro.datacenter import ShardWorkerDied, poll_recv
+
+        parent, child = multiprocessing.Pipe()
+        child.close()
+        try:
+            with pytest.raises(ShardWorkerDied):
+                poll_recv(parent, 1.0)
+        finally:
+            parent.close()
+
+    def test_timeout_is_a_died(self):
+        from repro.datacenter import ShardWorkerDied, ShardWorkerTimeout
+
+        assert issubclass(ShardWorkerTimeout, ShardWorkerDied)
+
+    def test_rejects_nonpositive_deadline(self):
+        import multiprocessing
+
+        from repro.datacenter import poll_recv
+
+        parent, child = multiprocessing.Pipe()
+        try:
+            with pytest.raises(ValueError):
+                poll_recv(parent, 0.0)
+        finally:
+            parent.close()
+            child.close()
+
+    def test_killed_worker_names_shard_and_period(self):
+        """A SIGKILLed shard worker surfaces as ShardWorkerDied with
+        the shard ids and last completed macro period in the message —
+        never as a parent blocked forever in recv()."""
+        import os
+        import signal
+
+        from repro.datacenter import ShardWorkerDied
+        from repro.datacenter.sharded import _ShardWorkerHandle
+
+        spec = _spec()
+        parts = partition_spec(spec, 2)
+        items = [(i, part, None) for i, part in enumerate(parts)]
+        handle = _ShardWorkerHandle(
+            items, DEMAND, spec.total_servers * spec.server_capacity,
+            True, recv_deadline_s=30.0)
+        try:
+            ready = handle.ready()
+            start = ready[0][1]
+            handle.advance(start + 300.0,
+                           {0: 0.5, 1: 0.5})
+            os.kill(handle.proc.pid, signal.SIGKILL)
+            handle.proc.join(timeout=10.0)
+            with pytest.raises(ShardWorkerDied) as err:
+                handle.advance(start + 600.0, {0: 0.5, 1: 0.5})
+            assert "shards [0, 1]" in str(err.value)
+            assert "period 1" in str(err.value)
+        finally:
+            handle.close()
+
+
+class TestShardedFaults:
+    def _schedule(self, spec):
+        from repro.core.faults import FaultKind, FaultSchedule, Incident
+
+        sched = FaultSchedule()
+        sched.add(Incident(FaultKind.RACK_BRANCH, 1800.0, 3600.0,
+                           target=f"{spec.name}-rack1"))
+        sched.add(Incident(FaultKind.CRAC_FAILURE, 2400.0, 1800.0,
+                           target=1))
+        sched.add(Incident(FaultKind.UPS_DERATE, 5400.0, 1200.0,
+                           severity=0.5))
+        return sched
+
+    def test_fault_coverage_workers_bit_identical(self):
+        """A facility fault schedule, partitioned into the shards,
+        merges to byte-identical results with 1 vs N workers —
+        including the merged ResilienceReport."""
+        spec = _spec()
+        sched = self._schedule(spec)
+        ref = ShardedCoSimulation(spec, DEMAND, shards=2, workers=1,
+                                  fault_schedule=sched).run(3 * 3600.0)
+        par = ShardedCoSimulation(spec, DEMAND, shards=2, workers=2,
+                                  fault_schedule=sched).run(3 * 3600.0)
+        assert ref.resilience is not None
+        assert par == ref
+
+    def test_merged_resilience_accounts_all_incidents(self):
+        spec = _spec()
+        sched = self._schedule(spec)
+        result = ShardedCoSimulation(
+            spec, DEMAND, shards=2, workers=1,
+            fault_schedule=sched).run(3 * 3600.0)
+        report = result.resilience
+        kinds = sorted(r.kind.value for r in report.incidents)
+        # Rack + CRAC land in one shard each; the facility-wide UPS
+        # derate is replicated into both shards' banks.
+        assert kinds == ["crac-failure", "rack-branch",
+                         "ups-derate", "ups-derate"]
+        assert report.incident_count == 4
+        assert report.mttr_s > 0.0
+
+    def test_partition_faults_rejects_unknown_rack(self):
+        from repro.core.faults import FaultKind, FaultSchedule, Incident
+        from repro.datacenter import partition_faults
+
+        spec = _spec()
+        parts = partition_spec(spec, 2)
+        sched = FaultSchedule()
+        sched.add(Incident(FaultKind.RACK_BRANCH, 60.0, 60.0,
+                           target="nonexistent-rack"))
+        with pytest.raises(KeyError):
+            partition_faults(spec, parts, sched)
+
+    def test_repair_restores_demand_share(self):
+        """A faulted shard's capacity is re-read after repair: its
+        healthy capacity drops while the rack is dark and returns
+        afterwards, so the demand redistribution follows."""
+        from repro.core.faults import FaultKind, FaultSchedule, Incident
+        from repro.datacenter.sharded import _Shard
+
+        spec = _spec()
+        parts = partition_spec(spec, 2)
+        shard_scheds = {}
+        sched = FaultSchedule()
+        sched.add(Incident(FaultKind.RACK_BRANCH, 600.0, 1200.0,
+                           target=f"{spec.name}-rack0"))
+        from repro.datacenter import partition_faults
+
+        per_shard = partition_faults(spec, parts, sched)
+        total = spec.total_servers * spec.server_capacity
+        shard = _Shard(0, parts[0], DEMAND, total, True, per_shard[0])
+        installed = (parts[0].total_servers
+                     * parts[0].server_capacity)
+        assert shard.deliverable_cap() == pytest.approx(installed)
+        shard.advance(shard.start + 900.0)      # mid-incident
+        assert shard.deliverable_cap() < installed
+        shard.advance(shard.start + 2400.0)     # after repair
+        assert shard.deliverable_cap() == pytest.approx(installed)
