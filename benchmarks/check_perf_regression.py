@@ -9,7 +9,13 @@ Usage::
 
 Compares every ``PERF:``-prefixed row in the freshly generated results
 against the committed baseline and exits non-zero when any row's mean
-wall time regressed by more than ``--threshold`` (default 25 %).
+wall time regressed past its gate.  Thresholds are per row: the
+baseline's ``"PERF gate thresholds"`` entry (a mean_s-less row, so it
+is never itself gated) maps row names to allowed fractional slowdowns
+— tight on stable pure-compute rows, loose on sub-100 ms rows whose
+variance dominates and on worker-heavy giants at the mercy of a
+shared runner.  ``--threshold`` is only the fallback for rows the
+table does not name (then the table's ``"default"``, then 25 %).
 Non-PERF rows (experiment artifacts) are ignored: their wall times are
 incidental, and their *metrics* are guarded by the benchmarks' own
 assertions.
@@ -47,6 +53,25 @@ def load_rows(path: pathlib.Path) -> dict[str, float]:
     return rows
 
 
+def load_thresholds(
+        path: pathlib.Path) -> tuple[float | None, dict[str, float]]:
+    """``(default, {name: threshold})`` from the baseline's table row.
+
+    The table lives in the baseline itself (a ``"PERF gate
+    thresholds"`` row without ``mean_s``) so threshold changes are
+    reviewed alongside the timings they guard, and the pytest
+    conftest's merge-by-name regeneration never touches it.
+    """
+    for row in json.loads(path.read_text()):
+        if row.get("name") == "PERF gate thresholds":
+            table = {str(k): float(v)
+                     for k, v in dict(row.get("thresholds", {})).items()}
+            default = row.get("default")
+            return (float(default) if default is not None else None,
+                    table)
+    return None, {}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--baseline", type=pathlib.Path,
@@ -54,8 +79,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed reference results")
     parser.add_argument("--current", type=pathlib.Path, required=True,
                         help="freshly generated results to check")
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="allowed fractional slowdown per row")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fallback fractional slowdown for rows "
+                             "the baseline's threshold table does not "
+                             "name (default: the table's own default, "
+                             "else 0.25)")
     parser.add_argument("--rows", action="append", default=None,
                         metavar="NAME",
                         help="gate only these row names (repeatable); "
@@ -64,8 +92,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="warn instead of failing when a baseline "
                              "row is absent from the current results")
     args = parser.parse_args(argv)
-    if args.threshold < 0:
+    if args.threshold is not None and args.threshold < 0:
         parser.error("threshold cannot be negative")
+
+    table_default, per_row = load_thresholds(args.baseline)
+    fallback = args.threshold
+    if fallback is None:
+        fallback = table_default if table_default is not None else 0.25
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)
@@ -86,9 +119,10 @@ def main(argv: list[str] | None = None) -> int:
             continue
         ref, now = baseline[name], current[name]
         ratio = now / ref if ref > 0 else float("inf")
-        status = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+        threshold = per_row.get(name, fallback)
+        status = "FAIL" if ratio > 1.0 + threshold else "ok"
         print(f"{status:<5} {name}: {ref:.3f}s -> {now:.3f}s "
-              f"({ratio:+.0%} of baseline)")
+              f"({ratio:.2f}x baseline, gate +{threshold:.0%})")
         if status == "FAIL":
             failures.append(name)
     for name in sorted(set(current) - set(baseline)):
@@ -96,7 +130,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if failures:
         print(f"\n{len(failures)} PERF row(s) regressed beyond "
-              f"{args.threshold:.0%}: {', '.join(failures)}")
+              f"their gate: {', '.join(failures)}")
         return EXIT_REGRESSED
     if missing and not args.allow_missing:
         print(f"\n{len(missing)} baseline PERF row(s) missing from "

@@ -159,6 +159,42 @@ def test_scale_smoke_100000_servers(benchmark):
             f"wall time {benchmark.stats['mean']:.1f} s"])
 
 
+def test_scale_smoke_1000000_servers(benchmark):
+    """A million-server managed day over the shared-memory fabric.
+
+    Fifty thousand racks, 1000 zones, 400 CRACs, cut into 16
+    zone-shards over 4 worker processes exchanging per-period
+    telemetry through ``repro.datacenter.shm``.  Roughly 10x the 100k
+    row's wall time, so it only runs when ``REPRO_BIG_BENCH=1`` (the
+    nightly job sets it; the default suite stays fast).
+    """
+    import os
+
+    import pytest
+
+    if not os.environ.get("REPRO_BIG_BENCH"):
+        pytest.skip("set REPRO_BIG_BENCH=1 for the 1M-server day")
+
+    from repro.datacenter import ShardedCoSimulation
+    from repro.perf.bench import bench_spec
+
+    def run():
+        spec = bench_spec(1_000_000, backend="vector")
+        sim = ShardedCoSimulation(
+            spec, {"kind": "constant", "fraction": 0.5},
+            shards=16, workers=4)
+        return sim.run(86_400.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.thermal_alarms == 0
+    assert result.sla.served_fraction > 0.99
+    assert benchmark.stats["mean"] < 1800.0
+    record(benchmark, "PERF: 1000000-server day",
+           [f"facility energy {result.facility_kwh:.0f} kWh, "
+            f"PUE {result.energy_weighted_pue:.2f}, "
+            f"wall time {benchmark.stats['mean']:.1f} s"])
+
+
 def test_perf_federated_day(benchmark):
     """A 5-site federated day (quiet geography) in seconds.
 

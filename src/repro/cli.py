@@ -187,7 +187,7 @@ def _bench(args: argparse.Namespace) -> int:
         # can feed it straight to check_perf_regression.py.
         row = {"name": name,
                "metrics": {k: v for k, v in metrics.items()
-                           if isinstance(v, (int, float))},
+                           if isinstance(v, (int, float, str))},
                "mean_s": metrics["wall_s"]}
         with open(args.json, "w") as fh:
             json.dump([row], fh, indent=2)

@@ -142,7 +142,14 @@ class LoadBalancer:
         active = self.fleet.active_servers()
         batch = self.fleet.batcher()
         if batch is not None:
-            batch.zero_inactive()
+            if not active:
+                batch.zero_inactive()
+                self.shed_monitor.record(total_load)
+                return 0.0
+            # Fused zero→split→apply→serve step; a repeated demand
+            # level against an unmutated fleet is one memo hit.
+            served = batch.fused_dispatch(self.policy, total_load,
+                                          active)
         else:
             for server in self.servers:
                 if server._state is not ServerState.ACTIVE:
@@ -150,12 +157,9 @@ class LoadBalancer:
                     # so monitors do not fill with no-op samples.
                     if server._offered_load:
                         server.set_offered_load(0.0)
-        if not active:
-            self.shed_monitor.record(total_load)
-            return 0.0
-        if batch is not None:
-            served = batch.dispatch_loads(self.policy, total_load, active)
-        else:
+            if not active:
+                self.shed_monitor.record(total_load)
+                return 0.0
             shares = self.policy.split(total_load, active)
             if len(shares) != len(active):
                 raise RuntimeError(

@@ -10,6 +10,7 @@ decide on their own slow 15-minute schedule.
 
 from __future__ import annotations
 
+import math
 import typing
 
 import numpy as np
@@ -67,6 +68,16 @@ class MachineRoom:
         self.zone_monitors = {z.name: Monitor(env, f"zone.{z.name}.temp_c")
                               for z in self.zones}
         self.mechanical_monitor = Monitor(env, "room.mechanical_w")
+        #: Zone heat capacities never change after construction, so the
+        #: fused thermal step gathers them once.
+        self._capacitances = np.array([z.capacitance for z in self.zones])
+        #: Static per-step lookups hoisted out of the fine loop.
+        self._zone_monitor_list = [self.zone_monitors[z.name]
+                                   for z in self.zones]
+        self._alarm_temps = np.array([z.alarm_temp_c for z in self.zones])
+        #: Per-CRAC conductance column sums; the matrix only changes
+        #: through fail/repair, which invalidate this cache.
+        self._col_totals: list | None = None
 
     def on_alarm(self, callback: typing.Callable[[ThermalAlarm], None]) -> None:
         """Register a callback fired on each new thermal alarm.
@@ -77,34 +88,81 @@ class MachineRoom:
         self._alarm_callbacks.append(callback)
 
     # ------------------------------------------------------------------
-    def return_temp_c(self, crac_index: int) -> float:
+    def zone_temps(self) -> np.ndarray:
+        """Current zone temperatures as one column.
+
+        The per-CRAC queries below all consume this vector; callers
+        looping over CRACs at one instant (``step_once``, the spine's
+        economizer fold) build it once and pass it through instead of
+        re-gathering ``zone.temp_c`` per CRAC — at 10³ zones ×
+        hundreds of CRACs per fine step, that gather dominates the
+        thermal loop.
+        """
+        return np.array([z.temp_c for z in self.zones])
+
+    def return_temp_c(self, crac_index: int,
+                      temps: np.ndarray | None = None) -> float:
         """Return-air temperature a CRAC senses.
 
         Conductance-weighted mix of zone temperatures: the CRAC
         ingests more air from the zones it is strongly coupled to.
+        ``temps`` is an optional pre-gathered :meth:`zone_temps`
+        vector (same values, so the result is bit-identical).
         """
         column = self.conductance[:, crac_index]
-        total = column.sum()
+        totals = self._col_totals
+        if totals is None:
+            # Same per-column ``column.sum()`` reduction, cached until
+            # a fail/repair rewrites the matrix.
+            totals = self._col_totals = [
+                self.conductance[:, j].sum()
+                for j in range(len(self.cracs))]
+        total = totals[crac_index]
+        if temps is None:
+            temps = self.zone_temps()
         if total <= 0:
             # A disconnected CRAC senses generic room air.
-            return float(np.mean([z.temp_c for z in self.zones]))
-        temps = np.array([z.temp_c for z in self.zones])
+            return float(np.mean(temps))
         return float((column * temps).sum() / total)
 
-    def heat_removed_w(self, crac_index: int) -> float:
+    def heat_removed_w(self, crac_index: int,
+                       temps: np.ndarray | None = None) -> float:
         """Heat the CRAC currently extracts from its coupled zones."""
         if crac_index in self.failed_cracs:
             return 0.0
         supply = self.cracs[crac_index].supply_temp_c
         column = self.conductance[:, crac_index]
-        temps = np.array([z.temp_c for z in self.zones])
+        if temps is None:
+            temps = self.zone_temps()
         return float(np.maximum(temps - supply, 0.0) @ column)
 
-    def mechanical_power_w(self) -> float:
-        """Total electrical power of the cooling plant right now."""
-        return sum(crac.mechanical_power_w(self.heat_removed_w(j))
-                   for j, crac in enumerate(self.cracs)
-                   if j not in self.failed_cracs)
+    def mechanical_power_w(self, temps: np.ndarray | None = None
+                           ) -> float:
+        """Total electrical power of the cooling plant right now.
+
+        Inlines :meth:`heat_removed_w` per CRAC (same expressions,
+        same fold order) — this runs for every unit on every fine
+        thermal step, so the extra call layer was measurable.
+        """
+        if temps is None:
+            temps = self.zone_temps()
+        cracs = self.cracs
+        if not cracs:
+            return 0.0
+        failed = self.failed_cracs
+        matrix = self.conductance
+        # One broadcast subtract+clip for all units; column ``j`` holds
+        # exactly ``np.maximum(temps - supply_j, 0.0)`` (element-wise
+        # IEEE ops, no reassociation), and the per-column ``@`` fold is
+        # unchanged, so every per-CRAC heat is bit-identical.
+        supplies = np.array([c.supply_temp_c for c in cracs])
+        clipped = np.maximum(temps[:, None] - supplies, 0.0)
+        total = 0.0
+        for j, crac in enumerate(cracs):
+            if j not in failed:
+                heat = float(clipped[:, j] @ matrix[:, j])
+                total += crac.mechanical_power_w(heat)
+        return total
 
     # ------------------------------------------------------------------
     # CRAC failure domain (§2.2: cooling loss → thermal runaway)
@@ -120,6 +178,7 @@ class MachineRoom:
             raise IndexError(f"no CRAC at index {crac_index}")
         self.failed_cracs.add(crac_index)
         self.conductance[:, crac_index] = 0.0
+        self._col_totals = None
 
     def repair_crac(self, crac_index: int) -> None:
         """Bring a failed CRAC back, restoring its design coupling."""
@@ -128,6 +187,7 @@ class MachineRoom:
         self.failed_cracs.discard(crac_index)
         self.conductance[:, crac_index] = (
             self._nominal_conductance[:, crac_index])
+        self._col_totals = None
 
     def impaired_zones(self, dominance: float = 0.5) -> list[str]:
         """Zones that lost their dominant cooling path.
@@ -148,26 +208,84 @@ class MachineRoom:
         return impaired
 
     # ------------------------------------------------------------------
+    def _step_zones(self, dt_s: float) -> np.ndarray:
+        """Advance every zone ``dt_s`` seconds in one fused update.
+
+        Bit-identical to calling :meth:`ThermalZone.step` per zone:
+        the conductance folds use ``cumsum``'s sequential left fold
+        (the repo's bit-exactness convention for replacing ``sum``),
+        every other operation is element-wise IEEE arithmetic in the
+        scalar's evaluation order, and the exponential relaxation uses
+        element-wise :func:`math.exp` because vectorized ``np.exp``
+        may differ from libm by one ulp.  The per-zone loop with its
+        O(zones x CRACs) Python generator folds was the hottest part
+        of the thermal spine at scale.
+        """
+        zones = self.zones
+        matrix = self.conductance
+        heat = np.array([z.heat_load_w for z in zones])
+        temps = np.array([z.temp_c for z in zones])
+        cap = self._capacitances
+        if matrix.shape[1]:
+            supplies = np.array([c.supply_temp_c for c in self.cracs])
+            g_total = np.cumsum(matrix, axis=1)[:, -1]
+            weighted = np.cumsum(matrix * supplies, axis=1)[:, -1]
+        else:
+            g_total = np.zeros(len(zones))
+            weighted = np.zeros(len(zones))
+        # Adiabatic default (g_total <= 0): heat accumulates linearly,
+        # in the scalar's ``temp + heat * dt / capacitance`` order.
+        new = temps + heat * dt_s / cap
+        pos = g_total > 0.0
+        if pos.all():
+            idx = slice(None)
+            gt, t0, q, c = g_total, temps, heat, cap
+        elif pos.any():
+            idx = np.nonzero(pos)[0]
+            gt, t0, q, c = g_total[idx], temps[idx], heat[idx], cap[idx]
+        else:
+            idx = None
+        if idx is not None:
+            t_eq = (q + weighted[idx]) / gt
+            tau = c / gt
+            args = (-dt_s) / tau
+            decay = np.array([math.exp(a) for a in args])
+            new[idx] = t_eq + (t0 - t_eq) * decay
+        for i, zone in enumerate(zones):
+            # np.float64 scalars, matching what the scalar step stores.
+            zone.temp_c = new[i]
+        return new
+
     def step_once(self) -> None:
         """Advance thermals by one step and let CRACs decide."""
         now = self.env.now
-        supplies = [c.supply_temp_c for c in self.cracs]
-        for i, zone in enumerate(self.zones):
-            zone.step(self.step_s, supplies, list(self.conductance[i]))
-            self.zone_monitors[zone.name].record(zone.temp_c)
-            self._check_alarm(zone)
+        # One fused update yields the post-step temperature vector that
+        # every CRAC query below consumes.
+        temps = self._step_zones(self.step_s)
+        zones = self.zones
+        for monitor, value in zip(self._zone_monitor_list, temps):
+            # ``temps[i]`` is the exact value just stored on the zone;
+            # passing ``now`` skips the per-sample env lookup.
+            monitor.record(value, now)
+        # ``_check_alarm`` only acts when a zone is at/above its trip
+        # point or currently latched; the vector pre-check skips the
+        # whole per-zone sweep on quiet steps.
+        if self._in_alarm or (temps >= self._alarm_temps).any():
+            for zone in zones:
+                self._check_alarm(zone)
         tracer = self.env.tracer
         for j, crac in enumerate(self.cracs):
             if j not in self.failed_cracs:
                 before = crac.commanded_supply_c
-                crac.maybe_decide(now, self.return_temp_c(j))
+                crac.maybe_decide(now, self.return_temp_c(j, temps))
                 if (tracer is not None
                         and crac.commanded_supply_c != before):
                     tracer.event("crac.setpoint", "control",
                                  crac=crac.name,
                                  supply_c=crac.commanded_supply_c,
-                                 return_c=self.return_temp_c(j))
-        self.mechanical_monitor.record(self.mechanical_power_w())
+                                 return_c=self.return_temp_c(j, temps))
+        self.mechanical_monitor.record(self.mechanical_power_w(temps),
+                                       now)
 
     def _check_alarm(self, zone: ThermalZone) -> None:
         if zone.in_alarm and zone.name not in self._in_alarm:

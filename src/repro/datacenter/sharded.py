@@ -18,6 +18,30 @@ points the shards share nothing, so they can run in worker processes
 per worker) with only ``2 × shards`` floats crossing the boundary per
 period.
 
+Transport: zero-copy shard fabric
+---------------------------------
+With workers, the per-period payloads (demand-share vector down,
+capacity column up) travel through one shared-memory
+:class:`~repro.datacenter.shm.FabricBlock` per worker under the
+seqlock/epoch protocol — the pipe then carries only control tokens,
+so the hot path serializes nothing.  When shared memory is
+unavailable (or ``REPRO_NO_SHM=1``), the payloads ride the pipe
+exactly as before; :attr:`ShardedCoSimulation.transport` records
+which path ran (``"local"`` / ``"shm"`` / ``"pipe"``), and both
+transports are bit-identical to ``workers=1`` (float64 columns
+round-trip exactly either way).  Control, error reporting, build
+configs and the final result pickle always stay on the pipe — they
+are the crash-attribution and replay surface.
+
+Warm worker reuse
+-----------------
+Spawning a worker pays interpreter fork + first-build cost; bench
+``--repeat`` loops rebuild everything per iteration by design (runs
+are one-shot for determinism) but can share a
+:class:`ShardWorkerPool`, which keeps persistent worker processes
+alive between runs and re-``build``\\ s each run's shard batches on
+the warm processes.
+
 Determinism contract
 --------------------
 * The worker-side driver is the *same object* (:class:`_ShardGroup`)
@@ -74,10 +98,13 @@ import multiprocessing
 import time
 import typing
 
+import numpy as np
+
 from repro.cluster.server import ServerState
 from repro.core.faults import FaultKind, FaultSchedule, ResilienceReport
 from repro.core.sla import SLAReport
 from repro.datacenter.cosim import CoSimResult, CoSimulation
+from repro.datacenter.shm import FabricBlock, shm_available
 from repro.datacenter.spec import DataCenterSpec
 
 __all__ = [
@@ -89,6 +116,7 @@ __all__ = [
     "ShardWorkerDied",
     "ShardWorkerTimeout",
     "ShardedCoSimulation",
+    "ShardWorkerPool",
 ]
 
 
@@ -455,21 +483,79 @@ class _ShardGroup:
         return [(s.index, s.finish()) for s in self.shards]
 
 
-def _shard_worker(conn, items, demand_cfg, total_capacity,
-                  managed) -> None:
-    """Persistent worker: serve one :class:`_ShardGroup` over a pipe."""
+def _group_layout(n_shards: int,
+                  n_local: int) -> tuple[tuple[str, int], ...]:
+    """Fabric lanes for one worker group.
+
+    ``shares``: the parent's full demand-share vector (indexed by
+    global shard id — every group reads the same column it would have
+    received as a dict).  ``caps``: the group's deliverable-capacity
+    column, one slot per local shard in ``shard_ids`` order.
+    """
+    return (("shares", n_shards), ("caps", max(1, n_local)))
+
+
+def _shard_worker(conn, persist: bool = False) -> None:
+    """Persistent worker: serve shard batches over a pipe (+ fabric).
+
+    Each run starts with ``("build", items, demand_cfg,
+    total_capacity, managed, shm)`` and ends with ``("finish",)`` →
+    ``("result", ...)``; with ``persist`` the worker then waits for
+    the next ``build`` (warm reuse across bench repeats) until an
+    ``("exit",)``, otherwise it returns.  ``shm`` is ``(block name,
+    total shard count)`` or ``None``: with a fabric, the per-period
+    demand shares and capacity columns travel through the block's
+    seqlock lanes and the pipe carries only control tokens; without
+    one, the payloads ride the pipe as before.
+    """
+    block = None
     try:
-        group = _ShardGroup(items, demand_cfg, total_capacity, managed)
-        conn.send(("ready", group.ready()))
         while True:
             msg = conn.recv()
-            if msg[0] == "advance":
-                conn.send(("ok", group.advance(msg[1], msg[2])))
-            elif msg[0] == "finish":
-                conn.send(("result", group.finish()))
+            if msg[0] == "exit":
                 return
-            else:  # pragma: no cover - protocol guard
+            if msg[0] != "build":  # pragma: no cover - protocol guard
                 raise RuntimeError(f"unknown message {msg[0]!r}")
+            _, items, demand_cfg, total_capacity, managed, shm = msg
+            group = _ShardGroup(items, demand_cfg, total_capacity,
+                                managed)
+            local_ids = [i for i, _, _ in items]
+            shares_lane = caps_lane = None
+            if shm is not None:
+                name, n_shards = shm
+                block = FabricBlock.attach(
+                    name, _group_layout(n_shards, len(local_ids)))
+                shares_lane = block.lane("shares")
+                caps_lane = block.lane("caps")
+            conn.send(("ready", group.ready()))
+            period = 0
+            while True:
+                msg = conn.recv()
+                if msg[0] == "advance":
+                    period += 1
+                    if msg[2] is not None:
+                        shares = msg[2]
+                    else:
+                        vec = shares_lane.read(period)
+                        shares = {i: float(vec[i]) for i in local_ids}
+                    out = group.advance(msg[1], shares)
+                    if caps_lane is not None:
+                        caps_lane.write(period,
+                                        [cap for _, cap in out])
+                        conn.send(("ok", None))
+                    else:
+                        conn.send(("ok", out))
+                elif msg[0] == "finish":
+                    conn.send(("result", group.finish()))
+                    break
+                else:  # pragma: no cover - protocol guard
+                    raise RuntimeError(f"unknown message {msg[0]!r}")
+            del group
+            if block is not None:
+                block.close()
+                block = None
+            if not persist:
+                return
     except BaseException as exc:  # noqa: BLE001 - reported to parent
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -477,6 +563,8 @@ def _shard_worker(conn, items, demand_cfg, total_capacity,
             pass
         raise
     finally:
+        if block is not None:
+            block.close()
         conn.close()
 
 
@@ -509,21 +597,48 @@ class _ShardWorkerHandle:
     :class:`ShardWorkerTimeout` naming the shards it served and the
     last macro period it completed — never as a parent blocked forever
     in ``Connection.recv``.
+
+    With a ``fabric`` (a :class:`~repro.datacenter.shm.FabricBlock`
+    the caller created and owns), the per-period share vector and
+    capacity column travel through its lanes at the macro-period
+    epoch; the pipe then carries only control tokens.  With
+    ``persist``, the worker process outlives :meth:`finish` so a
+    :class:`ShardWorkerPool` can rebuild the next run on it warm.
     """
 
     def __init__(self, items, demand_cfg, total_capacity, managed,
-                 recv_deadline_s: float = 120.0):
+                 recv_deadline_s: float = 120.0, fabric=None,
+                 persist: bool = False):
         ctx = multiprocessing.get_context()
         self.conn, child = ctx.Pipe()
-        self.shard_ids = [i for i, _, _ in items]
         self.recv_deadline_s = float(recv_deadline_s)
+        self.persist = bool(persist)
+        self.shard_ids: list[int] = []
         self.completed_periods = 0
-        self.proc = ctx.Process(
-            target=_shard_worker,
-            args=(child, items, demand_cfg, total_capacity, managed),
-            daemon=True)
+        self._done = True
+        self.proc = ctx.Process(target=_shard_worker,
+                                args=(child, self.persist), daemon=True)
         self.proc.start()
         child.close()
+        self.build(items, demand_cfg, total_capacity, managed, fabric)
+
+    def build(self, items, demand_cfg, total_capacity, managed,
+              fabric=None) -> None:
+        """Start one run (on a fresh spawn or a warm pooled worker)."""
+        self.shard_ids = [i for i, _, _ in items]
+        self.completed_periods = 0
+        self._done = False
+        self._fabric = fabric
+        if fabric is not None:
+            self._shares_lane = fabric.lane("shares")
+            self._caps_lane = fabric.lane("caps")
+            self._share_vec = np.zeros(self._shares_lane.size)
+            shm = (fabric.name, self._shares_lane.size)
+        else:
+            self._shares_lane = self._caps_lane = None
+            shm = None
+        self._send(("build", items, demand_cfg, total_capacity,
+                    managed, shm))
 
     def _context(self) -> str:
         return (f" (shards {self.shard_ids}, last completed period "
@@ -550,22 +665,115 @@ class _ShardWorkerHandle:
         return self._recv("ready")
 
     def advance(self, until, shares):
-        self._send(("advance", until, shares))
-        out = self._recv("ok")
+        period = self.completed_periods + 1
+        if self._fabric is not None:
+            for i, share in shares.items():
+                self._share_vec[i] = share
+            self._shares_lane.write(period, self._share_vec)
+            self._send(("advance", until, None))
+            self._recv("ok")
+            caps = self._caps_lane.read(period,
+                                        deadline_s=self.recv_deadline_s)
+            out = [(i, float(caps[k]))
+                   for k, i in enumerate(self.shard_ids)]
+        else:
+            self._send(("advance", until, shares))
+            out = self._recv("ok")
         self.completed_periods += 1
         return out
 
     def finish(self):
         self._send(("finish",))
         out = self._recv("result")
-        self.proc.join(timeout=30.0)
+        self._done = True
+        if not self.persist:
+            self.proc.join(timeout=30.0)
         return out
 
     def close(self):
+        """Release the run; pooled workers survive a *clean* finish.
+
+        A persistent worker that completed its run stays alive for the
+        pool to rebuild (the pool's own :meth:`ShardWorkerPool.close`
+        retires it); one closed mid-run is in an unknown state and is
+        terminated like a non-pooled worker.
+        """
+        if self.persist and self._done and self.proc.is_alive():
+            return
         self.conn.close()
         if self.proc.is_alive():  # pragma: no cover - error cleanup
             self.proc.terminate()
             self.proc.join(timeout=5.0)
+
+
+class ShardWorkerPool:
+    """Persistent shard workers reused across sharded runs.
+
+    ``ShardedCoSimulation`` is one-shot by design; benchmark
+    ``--repeat`` loops therefore pay worker spawn + build every
+    iteration.  A pool keeps up to ``workers`` persistent pipe
+    servers alive between runs: pass the same pool to successive
+    ``ShardedCoSimulation(..., pool=...)`` constructions and each run
+    re-``build``\\ s its shard batches on the warm processes.  Close
+    the pool (or use it as a context manager) to retire the workers.
+
+    Reuse cannot perturb results: the worker rebuilds its whole
+    :class:`_ShardGroup` from the build message, so a warm process
+    differs from a fresh one only by interpreter startup cost.
+    """
+
+    def __init__(self, workers: int, recv_deadline_s: float = 120.0):
+        if workers < 1:
+            raise ValueError("pool needs at least one worker")
+        self.workers = int(workers)
+        self.recv_deadline_s = float(recv_deadline_s)
+        self._handles: list[_ShardWorkerHandle] = []
+
+    def lease(self, batches, demand_cfg, total_capacity, managed,
+              fabrics) -> list[_ShardWorkerHandle]:
+        """Handles for one run, reusing live workers where possible."""
+        if len(batches) > self.workers:
+            raise ValueError(
+                f"run wants {len(batches)} workers, pool holds "
+                f"{self.workers}")
+        out = []
+        for w, (items, fabric) in enumerate(zip(batches, fabrics)):
+            if (w < len(self._handles)
+                    and self._handles[w]._done
+                    and self._handles[w].proc.is_alive()):
+                handle = self._handles[w]
+                handle.build(items, demand_cfg, total_capacity,
+                             managed, fabric)
+            else:
+                handle = _ShardWorkerHandle(
+                    items, demand_cfg, total_capacity, managed,
+                    recv_deadline_s=self.recv_deadline_s,
+                    fabric=fabric, persist=True)
+                if w < len(self._handles):
+                    self._handles[w] = handle
+                else:
+                    self._handles.append(handle)
+            out.append(handle)
+        return out
+
+    def close(self) -> None:
+        """Retire every pooled worker (idempotent)."""
+        for handle in self._handles:
+            if handle.proc.is_alive() and handle._done:
+                try:
+                    handle._send(("exit",))
+                    handle.proc.join(timeout=5.0)
+                except ShardWorkerDied:  # pragma: no cover
+                    pass
+            handle.persist = False
+            handle.close()
+        self._handles = []
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ShardedCoSimulation:
@@ -597,6 +805,19 @@ class ShardedCoSimulation:
         Wall-clock deadline for any single worker reply (a macro
         period of the largest shard takes well under a second; the
         default 120 s only trips on a genuinely dead or hung worker).
+    pool:
+        Optional :class:`ShardWorkerPool` to lease worker processes
+        from instead of spawning fresh ones (warm reuse across bench
+        repeats).  The pool outlives the run; the caller closes it.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; the chosen
+        transport is recorded as a ``sharded.transport.<name>``
+        counter.
+
+    After :meth:`run`, :attr:`transport` names the exchange path that
+    ran: ``"local"`` (in-process), ``"shm"`` (shared-memory fabric),
+    or ``"pipe"`` (payloads pickled over the pipe — the fallback when
+    shared memory is unavailable or ``REPRO_NO_SHM=1``).
     """
 
     def __init__(self, spec: DataCenterSpec, demand: dict,
@@ -604,7 +825,9 @@ class ShardedCoSimulation:
                  managed: bool = True,
                  sync_period_s: float = 300.0,
                  fault_schedule: FaultSchedule | None = None,
-                 recv_deadline_s: float = 120.0):
+                 recv_deadline_s: float = 120.0,
+                 pool: "ShardWorkerPool | None" = None,
+                 tracer=None):
         if sync_period_s <= 0:
             raise ValueError("sync period must be positive")
         if recv_deadline_s <= 0:
@@ -636,6 +859,10 @@ class ShardedCoSimulation:
             total += cap
         self._static_shares = {i: cap / total
                                for i, cap in enumerate(caps)}
+        self.pool = pool
+        self.tracer = tracer
+        #: Exchange path of the (last) run: local / shm / pipe.
+        self.transport: str | None = None
         self._ran = False
 
     def _shares(self, caps: dict[int, float]) -> dict[int, float]:
@@ -660,15 +887,39 @@ class ShardedCoSimulation:
         self._ran = True
         items = [(i, spec, sched) for i, (spec, sched) in enumerate(
             zip(self.shard_specs, self.shard_faults))]
+        fabrics: list[FabricBlock | None] = []
         if self.workers <= 1:
+            self.transport = "local"
             groups = [_LocalGroup(items, self.demand,
                                   self.total_capacity, self.managed)]
         else:
-            groups = [_ShardWorkerHandle(
-                items[w::self.workers], self.demand,
-                self.total_capacity, self.managed,
-                recv_deadline_s=self.recv_deadline_s)
-                for w in range(self.workers)]
+            batches = [items[w::self.workers]
+                       for w in range(self.workers)]
+            self.transport = "pipe"
+            if shm_available():
+                try:
+                    fabrics = [FabricBlock.create(
+                        _group_layout(len(items), len(batch)))
+                        for batch in batches]
+                    self.transport = "shm"
+                except OSError:  # pragma: no cover - /dev/shm exhausted
+                    for fabric in fabrics:
+                        fabric.close()
+                    fabrics = []
+            if not fabrics:
+                fabrics = [None] * len(batches)
+            if self.pool is not None:
+                groups = self.pool.lease(batches, self.demand,
+                                         self.total_capacity,
+                                         self.managed, fabrics)
+            else:
+                groups = [_ShardWorkerHandle(
+                    batch, self.demand, self.total_capacity,
+                    self.managed, recv_deadline_s=self.recv_deadline_s,
+                    fabric=fabric)
+                    for batch, fabric in zip(batches, fabrics)]
+        if self.tracer is not None:
+            self.tracer.count(f"sharded.transport.{self.transport}")
         try:
             caps: dict[int, float] = {}
             starts: set[float] = set()
@@ -694,3 +945,6 @@ class ShardedCoSimulation:
         finally:
             for group in groups:
                 group.close()
+            for fabric in fabrics:
+                if fabric is not None:
+                    fabric.close()

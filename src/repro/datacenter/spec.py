@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.cluster.rack import Cluster, Rack
 from repro.cluster.server import Server
 from repro.cooling.crac import CRACUnit
@@ -94,7 +96,7 @@ class DataCenterSpec:
         # --- compute: servers -> zoned racks -> cluster --------------
         fleet = None
         if self.backend == "vector":
-            from repro.fleet import VectorCluster, VectorFleet, VectorServer
+            from repro.fleet import VectorCluster, VectorFleet
             fleet = VectorFleet(env, self.total_servers)
         racks = []
         servers: list[Server] = []
@@ -103,13 +105,15 @@ class DataCenterSpec:
             if fleet is not None:
                 # One shared model: every server is identical anyway,
                 # so they all land in a single model group (the fused
-                # single-pass batch kernel).
-                rack_servers = [
-                    VectorServer(fleet, env, f"{self.name}-r{r}-s{s}",
-                                 power_model=model,
-                                 capacity=self.server_capacity,
-                                 boot_s=self.boot_s, wake_s=self.wake_s)
-                    for s in range(self.servers_per_rack)]
+                # single-pass batch kernel) and the whole rack is one
+                # bulk row claim.
+                rack_servers = fleet.build_servers(
+                    env,
+                    [f"{self.name}-r{r}-s{s}"
+                     for s in range(self.servers_per_rack)],
+                    power_model=model,
+                    capacity=self.server_capacity,
+                    boot_s=self.boot_s, wake_s=self.wake_s)
             else:
                 rack_servers = [
                     Server(env, f"{self.name}-r{r}-s{s}",
@@ -228,7 +232,11 @@ class DataCenter:
                 and leaf.efficiency.knots[0][1] == 1.0
                 for leaf, rack in zip(leaves, racks)))
             if leaf_ok:
-                self._tree_fast = (ups_node, pdu, leaves)
+                # Leaf state (``_leaf_demand_w``, ``failed``) lives in
+                # plain instance dicts; binding them here turns the
+                # per-tick store loop into raw dict writes.
+                self._tree_fast = (ups_node, pdu, leaves,
+                                   [leaf.__dict__ for leaf in leaves])
                 return self._tree_fast
         self._tree_fast = ()
         return None
@@ -254,16 +262,32 @@ class DataCenter:
         # Power tree leaves <- rack draws.
         fast = self._tree_fast_path()
         if fast is not None:
-            ups_node, pdu, leaves = fast
-            demands = self.cluster.rack_powers()
+            ups_node, pdu, leaves, leaf_dicts = fast
+            arr_fn = getattr(self.cluster, "rack_powers_array", None)
+            demands_arr = arr_fn() if arr_fn is not None else None
+            demands = (demands_arr.tolist() if demands_arr is not None
+                       else self.cluster.rack_powers())
             # One fused pass: leaf input == leaf demand (identity
             # efficiency, exact), folded left-to-right in child order
-            # — bit-identical to the recursive walk it replaces.
-            pdu_out = 0.0
-            for leaf, watts in zip(leaves, demands):
-                leaf._leaf_demand_w = watts
-                if not leaf.failed:
-                    pdu_out += watts
+            # — bit-identical to the recursive walk it replaces.  The
+            # common no-failed-leaves case folds with one cumsum (the
+            # same sequential left fold); any tripped leaf drops to
+            # the skip-aware scalar fold.
+            clean = True
+            for d, watts in zip(leaf_dicts, demands):
+                d["_leaf_demand_w"] = watts
+                if d["failed"]:
+                    clean = False
+            if clean:
+                if demands_arr is None:
+                    demands_arr = np.asarray(demands)
+                pdu_out = (float(np.cumsum(demands_arr)[-1])
+                           if demands else 0.0)
+            else:
+                pdu_out = 0.0
+                for leaf, watts in zip(leaves, demands):
+                    if not leaf.failed:
+                        pdu_out += watts
             if pdu.failed:
                 pdu_out = 0.0
             pdu_in = self._stage_in(pdu, pdu_out)
@@ -291,7 +315,8 @@ class DataCenter:
             # Air-side heat rejection: the CRAC blowers still move the
             # air, but the heat leaves via outside air / trimmed
             # chiller per the economizer mode.
-            removed = sum(self.room.heat_removed_w(j)
+            temps = self.room.zone_temps()
+            removed = sum(self.room.heat_removed_w(j, temps)
                           for j in range(len(self.room.cracs)))
             now = self.env.now
             mechanical_w = self.economizer.mechanical_power_w(

@@ -36,6 +36,7 @@ import typing
 
 from repro.datacenter.cosim import CoSimResult
 from repro.datacenter.sharded import ShardWorkerDied, poll_recv
+from repro.datacenter.shm import FabricBlock, shm_available
 from repro.sim import RandomStreams
 from repro.workload.diurnal import DiurnalProfile
 
@@ -47,10 +48,12 @@ from repro.federation.router import (
     SiteMeta,
 )
 from repro.federation.sites import (
+    SUMMARY_LAYOUT,
     SiteConfig,
     SiteRuntime,
     SiteSummary,
     _site_worker,
+    unpack_summary,
 )
 
 __all__ = ["FederationSite", "FederationResult",
@@ -110,6 +113,7 @@ class _LocalSiteHandle:
         self.runtime = SiteRuntime(cfg)
         self.ready_summary = self.runtime.ready()
         self.pid = None
+        self.transport = "local"
 
     def advance(self, until: float, units: float) -> SiteSummary:
         return self.runtime.advance(until, units)
@@ -140,14 +144,32 @@ class _SiteHandle:
         self.max_restarts = int(max_restarts)
         self.restarts = 0
         self.log: list[tuple] = []
+        self._fabric: FabricBlock | None = None
+        self.transport = "pipe"
         self._spawn()
 
     # -- process lifecycle --------------------------------------------
     def _spawn(self) -> None:
+        """Start (or restart) the worker, with a fresh fabric block.
+
+        The worker-side summary lane is per-spawn state: a respawned
+        worker attaches a brand-new block and replaying the log
+        repopulates it from epoch 1, so stale telemetry from the dead
+        incarnation can never satisfy a read.
+        """
         ctx = multiprocessing.get_context()
         self.conn, child = ctx.Pipe()
+        shm_name = None
+        if shm_available():
+            try:
+                self._fabric = FabricBlock.create(SUMMARY_LAYOUT)
+                shm_name = self._fabric.name
+            except OSError:  # pragma: no cover - /dev/shm exhausted
+                self._fabric = None
+        self.transport = "shm" if self._fabric is not None else "pipe"
         self.proc = ctx.Process(target=_site_worker,
-                                args=(child, self.cfg), daemon=True)
+                                args=(child, self.cfg, shm_name),
+                                daemon=True)
         self.proc.start()
         child.close()
         self.ready_summary = self._recv("ready")
@@ -174,9 +196,22 @@ class _SiteHandle:
         return msg[1]
 
     # -- supervised request/replay ------------------------------------
-    def _exchange(self, message: tuple, expect: str):
+    def _exchange(self, message: tuple, expect: str, period: int):
+        """One send/receive; ``period`` indexes the summary lane.
+
+        On the shm transport an ``advance`` reply's payload lives in
+        the fabric: the pipe ``ok`` (which orders writer before
+        reader) carries ``None`` and the summary is read from the
+        lane at the period's epoch.
+        """
         self.conn.send(message)
-        return self._recv(expect)
+        reply = self._recv(expect)
+        if (reply is None and expect == "ok"
+                and self._fabric is not None):
+            vec = self._fabric.lane("summary").read(
+                period, deadline_s=self.recv_deadline_s)
+            reply = unpack_summary(self.name, vec)
+        return reply
 
     def _recover(self) -> None:
         self.restarts += 1
@@ -189,15 +224,18 @@ class _SiteHandle:
         # Replay everything already acknowledged; deterministic sims
         # reproduce the same trajectory, so the replies (discarded
         # here) are bit-identical to the ones consumed the first time.
-        for message in self.log[:-1]:
-            self._exchange(message, _expect_for(message))
+        # Periods renumber from 1 because the fresh worker's lane
+        # epochs do too.
+        for period, message in enumerate(self.log[:-1], start=1):
+            self._exchange(message, _expect_for(message), period)
 
     def request(self, message: tuple):
         self.log.append(message)
         expect = _expect_for(message)
+        period = len(self.log)
         while True:
             try:
-                return self._exchange(self.log[-1], expect)
+                return self._exchange(self.log[-1], expect, period)
             except (ShardWorkerDied, BrokenPipeError, OSError):
                 self._recover()
 
@@ -214,6 +252,9 @@ class _SiteHandle:
         if self.proc.is_alive():
             self.proc.terminate()
             self.proc.join(timeout=5.0)
+        if self._fabric is not None:
+            self._fabric.close()
+            self._fabric = None
 
 
 def _expect_for(message: tuple) -> str:
@@ -246,6 +287,17 @@ class FederatedCoSimulation:
         ``{site name: period index}`` — SIGKILL that site's worker
         just before the given period's exchange (test hook for the
         crash-tolerance contract; ignored in-process).
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; the chosen
+        transport is recorded as a ``federation.transport.<name>``
+        counter.
+
+    After :meth:`run`, :attr:`transport` names the summary exchange
+    path: ``"local"`` (in-process), ``"shm"`` (shared-memory summary
+    lanes), or ``"pipe"`` (pickled summaries — the fallback when
+    shared memory is unavailable or ``REPRO_NO_SHM=1``).  The
+    parent→worker advance stream always stays on the pipe: it is the
+    supervisor's replay log.
     """
 
     def __init__(self, sites: typing.Sequence[FederationSite],
@@ -257,7 +309,8 @@ class FederatedCoSimulation:
                  seed: int = 0,
                  recv_deadline_s: float = 60.0,
                  max_restarts: int = 3,
-                 chaos_kill: typing.Mapping[str, int] | None = None):
+                 chaos_kill: typing.Mapping[str, int] | None = None,
+                 tracer=None):
         if period_s <= 0:
             raise ValueError("period must be positive")
         names = [s.name for s in sites]
@@ -275,6 +328,9 @@ class FederatedCoSimulation:
             [s.meta for s in sites], regions, config=router_config,
             policy=policy, streams=RandomStreams(seed))
         self._profile = DiurnalProfile()
+        self.tracer = tracer
+        #: Summary exchange path of the (last) run: local / shm / pipe.
+        self.transport: str | None = None
         #: Wall-time facts only — never part of the result.
         self.recoveries: dict[str, int] = {}
         self._ran = False
@@ -306,6 +362,9 @@ class FederatedCoSimulation:
                               recv_deadline_s=self.recv_deadline_s,
                               max_restarts=self.max_restarts)
                    for s in self.sites]
+        self.transport = handles[0].transport if handles else "local"
+        if self.tracer is not None:
+            self.tracer.count(f"federation.transport.{self.transport}")
         try:
             summaries: dict[str, SiteSummary] = {
                 h.name: h.ready_summary for h in handles}

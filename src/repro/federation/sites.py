@@ -41,7 +41,9 @@ from repro.datacenter.sharded import (
 )
 from repro.datacenter.spec import DataCenterSpec
 
-__all__ = ["SiteConfig", "SiteSummary", "SiteRuntime"]
+__all__ = ["SiteConfig", "SiteSummary", "SiteRuntime",
+           "SUMMARY_LAYOUT", "SUMMARY_SLOTS", "pack_summary",
+           "unpack_summary"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,6 +102,44 @@ class SiteSummary(typing.NamedTuple):
     #: Offered / shed work (unit-seconds) over the last macro period.
     window_offered: float
     window_shed: float
+
+
+#: Float64 slots a summary occupies in a shared-memory lane: every
+#: field except ``site`` (the supervisor knows which site it polls).
+SUMMARY_SLOTS = 10
+
+#: Fabric layout for one site worker's telemetry lane.
+SUMMARY_LAYOUT = (("summary", SUMMARY_SLOTS),)
+
+
+def pack_summary(summary: SiteSummary) -> list[float]:
+    """Encode a summary as float64s for the shared-memory lane.
+
+    Bools and counts round-trip exactly (they are small integers);
+    the float fields are already float64, so the shm transport is
+    bit-identical to pickling the tuple — NaN PUE included.
+    """
+    return [summary.time_s, summary.installed_capacity,
+            summary.healthy_capacity, summary.awake_capacity,
+            1.0 if summary.on_battery else 0.0,
+            float(summary.active_incidents),
+            float(summary.failed_servers), summary.window_pue,
+            summary.window_offered, summary.window_shed]
+
+
+def unpack_summary(site: str, vec) -> SiteSummary:
+    """Decode :func:`pack_summary`'s lane payload back to a summary."""
+    return SiteSummary(
+        site=site, time_s=float(vec[0]),
+        installed_capacity=float(vec[1]),
+        healthy_capacity=float(vec[2]),
+        awake_capacity=float(vec[3]),
+        on_battery=bool(vec[4] != 0.0),
+        active_incidents=int(vec[5]),
+        failed_servers=int(vec[6]),
+        window_pue=float(vec[7]),
+        window_offered=float(vec[8]),
+        window_shed=float(vec[9]))
 
 
 class _Plant:
@@ -261,21 +301,43 @@ class SiteRuntime:
         return merged, offered, shed
 
 
-def _site_worker(conn, cfg: SiteConfig) -> None:
+def _site_worker(conn, cfg: SiteConfig, shm_name: str | None = None) -> None:
     """Persistent pipe server: one :class:`SiteRuntime` per process.
 
     Same protocol shape as the zone-sharded plant's worker; the
     federation supervisor drives it through the shared
     :func:`~repro.datacenter.sharded.poll_recv` helper and replays the
     message log into a fresh worker after a crash.
+
+    With ``shm_name``, each period's :class:`SiteSummary` is published
+    to that fabric block's ``summary`` lane at the macro-period epoch
+    and the pipe ``ok`` carries ``None``.  The parent→worker direction
+    (the ``advance`` messages) deliberately stays on the pipe: that
+    stream *is* the supervisor's replay log, and a respawned worker
+    must be able to consume it with nothing but its config — epochs
+    restart from 1 on each spawn, so the replayed periods rewrite the
+    same lane slots deterministically.
     """
+    block = None
     try:
         runtime = SiteRuntime(cfg)
+        lane = None
+        if shm_name is not None:
+            from repro.datacenter.shm import FabricBlock
+            block = FabricBlock.attach(shm_name, SUMMARY_LAYOUT)
+            lane = block.lane("summary")
         conn.send(("ready", runtime.ready()))
+        period = 0
         while True:
             msg = conn.recv()
             if msg[0] == "advance":
-                conn.send(("ok", runtime.advance(msg[1], msg[2])))
+                period += 1
+                summary = runtime.advance(msg[1], msg[2])
+                if lane is not None:
+                    lane.write(period, pack_summary(summary))
+                    conn.send(("ok", None))
+                else:
+                    conn.send(("ok", summary))
             elif msg[0] == "finish":
                 conn.send(("result", runtime.finish()))
                 return
@@ -288,4 +350,6 @@ def _site_worker(conn, cfg: SiteConfig) -> None:
             pass
         raise
     finally:
+        if block is not None:
+            block.close()
         conn.close()

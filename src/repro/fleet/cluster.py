@@ -92,6 +92,16 @@ class VectorCluster(Cluster):
         slots, _, _, _, fleet = prep
         return fleet.rack_power[slots].tolist()
 
+    def rack_powers_array(self) -> "np.ndarray | None":
+        """Rack draws as one float column, or ``None`` off the fast
+        path.  Same values as :meth:`rack_powers` — the physical sync
+        folds this directly instead of round-tripping a Python list."""
+        prep = self._prep()
+        if prep is None:
+            return None
+        slots, _, _, _, fleet = prep
+        return fleet.rack_power[slots]
+
     def heat_by_zone(self) -> dict[str, float]:
         prep = self._prep()
         if prep is None:

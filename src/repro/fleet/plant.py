@@ -232,6 +232,16 @@ class VectorFleet:
         #: Bumped whenever any server's watcher list changes shape;
         #: aggregates re-validate batch wiring when it moves.
         self._wiring_epoch = 0
+        #: Bumped whenever a dispatch-relevant column changes —
+        #: lifecycle state, offered load, effective capacity,
+        #: capacity, P/T-state, power cap.  The farm aggregate's
+        #: fused-dispatch and mean-utilization/response memos key on
+        #: it: an unchanged epoch proves the active set, the split
+        #: inputs, and the per-server loads are all unchanged, so the
+        #: whole sense pipeline for a repeated demand level is a
+        #: cache hit.  Power/energy columns deliberately do *not*
+        #: bump (they are outputs of dispatch, not inputs).
+        self.mutation_epoch = 0
         # Model groups: one per distinct (table contents, r) pair.
         # ``cap_frac`` / ``dyn_frac`` alias group 0's tables so the
         # single-group fast paths can index them directly.
@@ -272,6 +282,93 @@ class VectorFleet:
         self.n_claimed = i + 1
         self.objs[i] = server
         return i
+
+    def build_servers(self, env: Environment,
+                      names: typing.Sequence[str],
+                      power_model: ServerPowerModel,
+                      capacity: float = 100.0,
+                      boot_s: float = 120.0,
+                      wake_s: float = 15.0,
+                      sleep_w: float = 10.0,
+                      zone: str | None = None) -> list["VectorServer"]:
+        """Bulk-construct OFF servers sharing one model on fresh rows.
+
+        Field-for-field equivalent to constructing each
+        :class:`VectorServer` in turn with the same arguments — same
+        validations, same column state (held power is the model's off
+        draw, energy meters zeroed at ``env.now``), same per-server
+        Python objects (state log seeded with the OFF entry, empty
+        watcher list, ``EnergyMeter`` monitor) — but the uniform-args
+        checks are hoisted and every column write is one slice store,
+        which is what makes building a 10\\ :sup:`5`-row plant cheap.
+        """
+        # Server.__init__'s validations, hoisted (the args are shared).
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if boot_s < 0 or wake_s < 0:
+            raise ValueError("transition latencies cannot be negative")
+        if sleep_w < 0 or sleep_w > power_model.peak_w:
+            raise ValueError(f"sleep_w {sleep_w} outside [0, peak]")
+        count = len(names)
+        if count == 0:
+            return []
+        i0 = self.n_claimed
+        if i0 + count > self.n:
+            raise ValueError(
+                f"fleet is full ({self.n} rows); size it to the exact "
+                f"server count at construction")
+        rows = slice(i0, i0 + count)
+        now = float(env.now)
+        bs = float(boot_s)
+        ws = float(wake_s)
+        off_state = ServerState.OFF
+        objs = self.objs
+        servers: list[VectorServer] = []
+        append = servers.append
+        new = object.__new__
+        for k, name in enumerate(names):
+            idx = i0 + k
+            srv = new(VectorServer)
+            d = srv.__dict__
+            d["_fleet"] = self
+            d["_idx"] = idx
+            d["env"] = env
+            d["name"] = name
+            d["model"] = power_model
+            d["boot_s"] = bs
+            d["wake_s"] = ws
+            d["_transition"] = None
+            d["power_monitor"] = EnergyMeter(self, idx,
+                                             name=f"{name}.power_w")
+            d["state_log"] = [(now, off_state)]
+            d["_watchers"] = _WatcherList((), self)
+            objs[idx] = srv
+            append(srv)
+        self.n_claimed = i0 + count
+        # Column state after the scalar constructor chain: OFF row,
+        # zeroed load/P/T/eff-cap, uncapped, meter seeded at ``now``
+        # with the off draw held (the initial ``_record_power``).
+        self.state_code[rows] = C_OFF
+        self.capacity[rows] = float(capacity)
+        self.sleep_w[rows] = float(sleep_w)
+        self.zone_id[rows] = self._zone_code(zone)
+        self.offered[rows] = 0.0
+        self.pstate[rows] = 0
+        self.tstate[rows] = 0
+        self.cap_w[rows] = np.nan
+        self.eff_cap[rows] = 0.0
+        self.t_last[rows] = now
+        self.energy_j[rows] = 0.0
+        self.power[rows] = power_model.off_w
+        # ``_install_model`` over the uniform model, one slice each.
+        self.idle_w[rows] = power_model._idle_w
+        self.cpu_dyn_w[rows] = power_model._cpu_dynamic_w
+        self.other_dyn_w[rows] = power_model._other_dynamic_w
+        self.off_w[rows] = power_model.off_w
+        self.boot_w[rows] = power_model.boot_w
+        self.group_id[rows] = self._group_for(power_model)
+        self.mutation_epoch += 1
+        return servers
 
     def _install_model(self, idx: int, model: ServerPowerModel) -> None:
         self.idle_w[idx] = model._idle_w
@@ -402,6 +499,14 @@ class VectorFleet:
         shapes through element-wise libm pow).
         """
         if self.uniform_linear:
+            # Uniform P-/T-state columns (the common case after a
+            # batch command) collapse to one scalar table lookup —
+            # the same table entry every row would gather, so the
+            # broadcast product is element-for-element identical.
+            if isinstance(p, np.ndarray) and p.size and (p == p[0]).all():
+                p = int(p[0])
+            if isinstance(t, np.ndarray) and t.size and (t == t[0]).all():
+                t = int(t[0])
             u = np.minimum(offered / eff, 1.0)
             cap = self.cap_frac[p, t]
             scale = self.dyn_frac[p, t]
@@ -455,6 +560,13 @@ class VectorFleet:
         without T-states read column 0 just like the scalar lookup.
         """
         if self.uniform_linear:
+            # Same uniform-column collapse as the batch power kernel:
+            # one scalar lookup broadcasts to the identical per-row
+            # fractions a gathered index would produce.
+            if isinstance(p, np.ndarray) and p.size and (p == p[0]).all():
+                p = int(p[0])
+            if isinstance(t, np.ndarray) and t.size and (t == t[0]).all():
+                t = int(t[0])
             return self.cap_frac[p, t]
         out = np.empty(idx.size, dtype=np.float64)
         for gid, m, _rows in self._group_masks(idx):
@@ -608,40 +720,209 @@ class VectorFleet:
         demand[mask] = self.sleep_w[mask]
         active = np.flatnonzero(code == C_ACTIVE)
         if active.size:
-            p = self.pstate[active]
-            cap0 = self.capacity[active] * self._cap_fractions(
-                active, p, 0)
-            demand[active] = self._active_power(
-                active, self.offered[active], cap0, p, 0)
+            # ``flatnonzero`` rows are ascending and unique, so a
+            # full-coverage active set IS ``arange(n)``: slice views
+            # replace every per-column gather (uniform-linear fleets
+            # only — the grouped kernel masks by fancy index).
+            rows = (slice(None)
+                    if (active.size == code.size
+                        and self.uniform_linear) else active)
+            p = self.pstate[rows]
+            cap0 = self.capacity[rows] * self._cap_fractions(
+                rows, p, 0)
+            demand[rows] = self._active_power(
+                rows, self.offered[rows], cap0, p, 0)
         return float(np.cumsum(demand)[-1])
 
     def uncap_candidates(self) -> np.ndarray:
         """Rows where ``remove_cap()`` is not a no-op, in pool order."""
         return np.flatnonzero(~np.isnan(self.cap_w) | (self.tstate != 0))
 
+    # ------------------------------------------------------------------
+    # Fused boot storm
+    # ------------------------------------------------------------------
+    def boot_many(self, servers) -> "object | None":
+        """Boot a batch of OFF servers in one fused storm.
+
+        Replays exactly what ``server.power_on()`` per server would do
+        — the same state-log entries, EnergyMeter folds, rack
+        running-sum delta folds (drift guard included) and transition
+        guard — but with the per-server work in column operations and
+        one shared timer process instead of one process per server.
+        Built for the bring-up storm in ``CoSimulation.__init__``,
+        where tens of thousands of scalar OFF→BOOTING→ACTIVE walks
+        dominate construction time.
+
+        Preconditions (else returns ``None`` and the caller falls back
+        to scalar ``power_on`` calls, which are always correct): every
+        server is a view on this fleet and currently OFF, rows are in
+        ascending pool order, boot times are uniform, per-row capacity
+        at the current P/T-state is positive, and each server's only
+        watcher is its rack aggregate — true during plant bring-up,
+        before any farm/balancer aggregate attaches.  Returns the
+        shared transition event (servers' ``_transition`` points at
+        it, so a mid-boot ``power_on()`` still returns a live event).
+        """
+        if not servers:
+            return None
+        rack_aggs = self.rack_aggs
+        rack_slot = self.rack_slot
+        rows_list = []
+        boot_s = None
+        prev = -1
+        for s in servers:
+            if getattr(s, "_fleet", None) is not self:
+                return None
+            i = s._idx
+            if (i <= prev or self.state_code[i] != C_OFF
+                    or s._transition is not None):
+                return None
+            watchers = s._watchers
+            slot = rack_slot[i]
+            if (slot < 0 or len(watchers) != 1
+                    or watchers[0] is not rack_aggs[slot]):
+                return None
+            if boot_s is None:
+                boot_s = s.boot_s
+            elif s.boot_s != boot_s:
+                return None
+            rows_list.append(i)
+            prev = i
+        rows = np.asarray(rows_list, dtype=np.int64)
+        p = self.pstate[rows]
+        t = self.tstate[rows]
+        eff = self.capacity[rows] * self._cap_fractions(rows, p, t)
+        if not (eff > 0.0).all():
+            return None
+
+        env = self.env
+        now = env.now
+        booting = _STATES[C_BOOTING]
+        for s in servers:
+            s.state_log.append((now, booting))
+        self.state_code[rows] = C_BOOTING
+        self.mutation_epoch += 1
+        for slot in np.unique(rack_slot[rows]).tolist():
+            # FleetAggregate.state_changed on OFF→BOOTING only drops
+            # the roster cache (the active count is untouched).
+            rack_aggs[slot]._active_cache = None
+        # The scalar power funnel: flush the held EnergyMeter segment
+        # at the old power, then publish the new sample and fold the
+        # deltas into the rack running sums.
+        self.eff_cap[rows] = 0.0
+        oldp = self.power[rows].copy()
+        self.energy_j[rows] += oldp * (now - self.t_last[rows])
+        self.t_last[rows] = now
+        newp = self.boot_w[rows].copy()
+        self.power[rows] = newp
+        changed = newp != oldp
+        if changed.any():
+            fidx = rows[changed]
+            old = oldp[changed]
+            self._fold_rack_deltas(fidx, old, newp[changed] - old)
+
+        fleet = self
+        active = _STATES[C_ACTIVE]
+
+        def body(env):
+            yield env.timeout(boot_s)
+            t1 = env.now
+            # Same guard as the scalar transition body: only rows
+            # still BOOTING complete; anything preempted (e.g. a
+            # protective fail) keeps its new state.
+            still = fleet.state_code[rows] == C_BOOTING
+            brows = rows[still]
+            objs = fleet.objs[brows]
+            rewired = any(
+                len(s._watchers) != 1
+                or s._watchers[0] is not rack_aggs[rack_slot[s._idx]]
+                for s in objs)
+            if rewired:
+                # A watcher attached mid-boot: replay the scalar walk,
+                # which notifies whatever is wired now.
+                for s in objs:
+                    s._set_state(active)
+                    s._transition = None
+                for s in servers:
+                    if s._transition is proc:
+                        s._transition = None
+                return
+            if brows.size:
+                for s in objs:
+                    s.state_log.append((t1, active))
+                fleet.state_code[brows] = C_ACTIVE
+                fleet.mutation_epoch += 1
+                slots = rack_slot[brows]
+                for slot in np.unique(slots).tolist():
+                    agg = rack_aggs[slot]
+                    agg._active_cache = None
+                np.add.at(fleet.rack_active, slots, 1)
+                bp = fleet.pstate[brows]
+                bt = fleet.tstate[brows]
+                beff = (fleet.capacity[brows]
+                        * fleet._cap_fractions(brows, bp, bt))
+                oldp = fleet.power[brows].copy()
+                fleet.energy_j[brows] += oldp * (t1 - fleet.t_last[brows])
+                fleet.t_last[brows] = t1
+                fleet.eff_cap[brows] = beff
+                newp = fleet._active_power(brows, fleet.offered[brows],
+                                           beff, bp, bt)
+                fleet.power[brows] = newp
+                changed = newp != oldp
+                if changed.any():
+                    fidx = brows[changed]
+                    old = oldp[changed]
+                    fleet._fold_rack_deltas(fidx, old,
+                                            newp[changed] - old)
+            for s in servers:
+                if s._transition is proc:
+                    s._transition = None
+
+        proc = env.process(body(env), name="fleet:boot_many")
+        for s in servers:
+            s._transition = proc
+        return proc
+
     def __repr__(self) -> str:
         return (f"<VectorFleet n={self.n} claimed={self.n_claimed} "
                 f"racks={self.n_racks} uniform_linear={self.uniform_linear}>")
 
 
-def _column_property(column: str, doc: str):
-    """Float column accessor: plain-float reads, direct writes."""
+def _column_property(column: str, doc: str, tracked: bool = False):
+    """Float column accessor: plain-float reads, direct writes.
+
+    ``tracked`` columns are dispatch inputs: their setters bump the
+    fleet's :attr:`~VectorFleet.mutation_epoch` so the farm
+    aggregate's memos invalidate.
+    """
 
     def fget(self):
         return float(getattr(self._fleet, column)[self._idx])
 
-    def fset(self, value):
-        getattr(self._fleet, column)[self._idx] = value
+    if tracked:
+        def fset(self, value):
+            fleet = self._fleet
+            getattr(fleet, column)[self._idx] = value
+            fleet.mutation_epoch += 1
+    else:
+        def fset(self, value):
+            getattr(self._fleet, column)[self._idx] = value
 
     return property(fget, fset, doc=doc)
 
 
-def _int_column_property(column: str, doc: str):
+def _int_column_property(column: str, doc: str, tracked: bool = False):
     def fget(self):
         return int(getattr(self._fleet, column)[self._idx])
 
-    def fset(self, value):
-        getattr(self._fleet, column)[self._idx] = value
+    if tracked:
+        def fset(self, value):
+            fleet = self._fleet
+            getattr(fleet, column)[self._idx] = value
+            fleet.mutation_epoch += 1
+    else:
+        def fset(self, value):
+            getattr(self._fleet, column)[self._idx] = value
 
     return property(fget, fset, doc=doc)
 
@@ -676,7 +957,9 @@ class VectorServer(Server):
 
     @_state.setter
     def _state(self, value: ServerState) -> None:
-        self._fleet.state_code[self._idx] = _STATE_TO_CODE[value]
+        fleet = self._fleet
+        fleet.state_code[self._idx] = _STATE_TO_CODE[value]
+        fleet.mutation_epoch += 1
 
     # -- cap (NaN column <-> None) --------------------------------------
     @property
@@ -688,6 +971,7 @@ class VectorServer(Server):
     def _cap_w(self, value: float | None) -> None:
         self._fleet.cap_w[self._idx] = (np.nan if value is None
                                         else value)
+        self._fleet.mutation_epoch += 1
 
     # -- thermal zone (interned name <-> id column) ---------------------
     @property
@@ -700,10 +984,15 @@ class VectorServer(Server):
         self._fleet.zone_id[self._idx] = self._fleet._zone_code(name)
 
     # -- plain float / int columns --------------------------------------
-    _offered_load = _column_property("offered", "Offered load column.")
+    _offered_load = _column_property("offered", "Offered load column.",
+                                     tracked=True)
     _power_w = _column_property("power", "Cached wall-power column.")
-    _eff_cap = _column_property("eff_cap", "Effective-capacity column.")
-    capacity = _column_property("capacity", "P0 capacity column.")
+    _eff_cap = _column_property("eff_cap", "Effective-capacity column.",
+                                tracked=True)
+    capacity = _column_property("capacity", "P0 capacity column.",
+                                tracked=True)
     sleep_w = _column_property("sleep_w", "Sleep-draw column.")
-    _pstate = _int_column_property("pstate", "P-state column.")
-    _tstate = _int_column_property("tstate", "T-state column.")
+    _pstate = _int_column_property("pstate", "P-state column.",
+                                   tracked=True)
+    _tstate = _int_column_property("tstate", "T-state column.",
+                                   tracked=True)
