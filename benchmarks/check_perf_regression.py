@@ -27,7 +27,10 @@ from a slowdown; pass ``--allow-missing`` to downgrade it to a
 warning).  Rows present only in *current* are reported but never fail
 the gate — adding a benchmark must not require a baseline edit in the
 same commit to keep CI green.  ``--rows`` restricts the comparison to
-the named rows (the nightly job gates only the 20k-server day).
+the named rows (the nightly job gates only the 20k-server day);
+``--skip-rows`` excludes named rows from an otherwise-full gate (the
+CI perf-smoke job skips the nightly-only million-server day, whose
+benchmark only runs with ``REPRO_BIG_BENCH=1``).
 """
 
 from __future__ import annotations
@@ -88,6 +91,13 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="NAME",
                         help="gate only these row names (repeatable); "
                              "default: every baseline PERF row")
+    parser.add_argument("--skip-rows", action="append", default=None,
+                        metavar="NAME",
+                        help="exclude these baseline rows from the "
+                             "gate (repeatable) — for rows whose "
+                             "benchmark only runs in another job, so "
+                             "their absence here is expected while a "
+                             "dropped row still fails")
     parser.add_argument("--allow-missing", action="store_true",
                         help="warn instead of failing when a baseline "
                              "row is absent from the current results")
@@ -107,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
         if unknown:
             parser.error(f"--rows not in baseline: {', '.join(unknown)}")
         baseline = {n: baseline[n] for n in args.rows}
+    if args.skip_rows is not None:
+        unknown = sorted(set(args.skip_rows) - set(baseline))
+        if unknown:
+            parser.error(
+                f"--skip-rows not in baseline: {', '.join(unknown)}")
+        baseline = {n: v for n, v in baseline.items()
+                    if n not in set(args.skip_rows)}
 
     failures = []
     missing = []

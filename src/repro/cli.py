@@ -183,9 +183,15 @@ def _bench(args: argparse.Namespace) -> int:
         print(format_report(metrics))
         name = f"PERF: {metrics['servers']}-server day"
     if args.json:
+        from repro.perf.bench import SCHEMA_VERSION
+
         # One row in the BENCH_PERF.json shape, so the nightly CI job
-        # can feed it straight to check_perf_regression.py.
+        # can feed it straight to check_perf_regression.py.  The
+        # schema_version stamp keeps archived artifacts comparable
+        # across runs (the gate reads rows with .get(), so extra keys
+        # are compatible in both directions).
         row = {"name": name,
+               "schema_version": SCHEMA_VERSION,
                "metrics": {k: v for k, v in metrics.items()
                            if isinstance(v, (int, float, str))},
                "mean_s": metrics["wall_s"]}
@@ -228,6 +234,89 @@ def _flight_sim(args: argparse.Namespace, tracer):
                         sla=SLA("flight", response_target_s=0.15),
                         control_plane=ControlPlaneProfile.hardened(),
                         power_budget_w=budget_w, tracer=tracer)
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the co-simulation as a live daemon (``repro serve``)."""
+    from repro.serve import ServeScenario
+    from repro.serve.daemon import run_daemon
+
+    zones = min(4, args.racks)
+    scenario = ServeScenario(
+        racks=args.racks, servers_per_rack=args.servers_per_rack,
+        zones=zones, cracs=min(2, zones), backend=args.backend,
+        seed=args.seed, tick_s=args.tick,
+        initial_work_fraction=args.initial_fraction,
+        budget_fraction=args.budget_fraction)
+    log = open(args.log, "w") if args.log else sys.stdout
+    try:
+        run_daemon(scenario, host=args.host, port=args.port,
+                   unix_path=args.unix, realtime_scale=args.realtime,
+                   report_path=args.report, log=log)
+    finally:
+        if args.log:
+            log.close()
+    return 0
+
+
+def _connect(args: argparse.Namespace) -> int:
+    """Drive a running daemon (``repro connect``).
+
+    With ``--sessions`` this is the load generator: draw that many
+    user sessions against the flash-crowd profile, stream them as
+    demand mutations, soak the telemetry subscription, and verify the
+    served result — bit-for-bit against the in-process golden when
+    ``--golden`` is set.  Without it, subscribe + advance ``--ticks``.
+    """
+    from repro.serve import ServeClient, ServeScenario
+    from repro.serve.loadgen import drive, golden_run, session_script
+
+    client = ServeClient(host=args.host, port=args.port,
+                         unix_path=args.unix, name="repro-connect")
+    try:
+        scenario = ServeScenario.from_dict(client.welcome.scenario)
+        print(f"connected: tick_s={client.welcome.tick_s:g} "
+              f"servers={scenario.racks * scenario.servers_per_rack} "
+              f"backend={scenario.backend}")
+        ok = True
+        if args.sessions:
+            script, ticks = session_script(scenario, args.sessions,
+                                           days=args.days)
+            report = drive(client, script, ticks, args.sessions,
+                           subscribe_every=args.every)
+            print(f"loadgen: {report.sessions} sessions -> "
+                  f"{report.mutations_acked}/{report.mutations_sent} "
+                  f"mutations acked, "
+                  f"{report.telemetry_frames}/"
+                  f"{report.telemetry_expected} telemetry frames, "
+                  f"dropped={report.daemon_stats['frames_dropped']}")
+            print(f"result: pue="
+                  f"{report.result['energy_weighted_pue']:.3f} "
+                  f"served={report.result['sla']['served_fraction']:.4f}")
+            print(f"fingerprint: {report.fingerprint[:64]}...")
+            ok = report.lossless
+            if args.golden:
+                fingerprint = golden_run(scenario, script, ticks)
+                match = fingerprint == report.fingerprint
+                print("bit-identical vs in-process golden: "
+                      + ("yes" if match else "NO"))
+                ok = ok and match
+        else:
+            client.subscribe(["power", "pue", "served", "health"],
+                             every_ticks=args.every)
+            done = client.run(args.ticks)
+            result = client.result()
+            stats = client.stats()
+            print(f"ran {done.ticks} ticks to t={done.now_s:g}s; "
+                  f"{len(client.telemetry)} telemetry frames, "
+                  f"dropped={stats['frames_dropped']}")
+            print(f"result: pue="
+                  f"{result.result['energy_weighted_pue']:.3f} "
+                  f"served="
+                  f"{result.result['sla']['served_fraction']:.4f}")
+        return 0 if ok else 1
+    finally:
+        client.close()
 
 
 def _trace(args: argparse.Namespace) -> int:
@@ -344,6 +433,53 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="also write the result as a one-row "
                             "BENCH_PERF-style JSON file")
+    serve = sub.add_parser(
+        "serve", help="run the co-simulation as a live NDJSON daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick one and log it)")
+    serve.add_argument("--unix", metavar="PATH", default=None,
+                       help="serve on a Unix socket instead of TCP")
+    serve.add_argument("--racks", type=int, default=4)
+    serve.add_argument("--servers-per-rack", type=int, default=20)
+    serve.add_argument("--backend", choices=("object", "vector"),
+                       default="object")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--tick", type=float, default=60.0,
+                       help="tick size in simulated seconds; mutations "
+                            "land on tick boundaries")
+    serve.add_argument("--initial-fraction", type=float, default=0.3,
+                       help="starting demand as a fraction of fleet "
+                            "work capacity")
+    serve.add_argument("--budget-fraction", type=float, default=0.9,
+                       help="power budget as a fraction of fleet peak "
+                            "wall draw")
+    serve.add_argument("--realtime", type=float, default=0.0,
+                       help="simulated seconds per wall second "
+                            "(0 = free-running)")
+    serve.add_argument("--report", metavar="PATH", default=None,
+                       help="write the served RunReport JSON here on "
+                            "shutdown")
+    serve.add_argument("--log", metavar="PATH", default=None,
+                       help="daemon log file (default: stdout)")
+    connect = sub.add_parser(
+        "connect", help="drive a running serve daemon (loadgen client)")
+    connect.add_argument("--host", default="127.0.0.1")
+    connect.add_argument("--port", type=int, default=None)
+    connect.add_argument("--unix", metavar="PATH", default=None)
+    connect.add_argument("--sessions", type=int, default=0,
+                         help="loadgen: drive N simulated user "
+                              "sessions over the fluid request path")
+    connect.add_argument("--days", type=float, default=2.0,
+                         help="loadgen horizon in simulated days")
+    connect.add_argument("--ticks", type=int, default=60,
+                         help="ticks to advance when not in loadgen "
+                              "mode")
+    connect.add_argument("--every", type=int, default=1,
+                         help="telemetry subscription cadence in ticks")
+    connect.add_argument("--golden", action="store_true",
+                         help="replay the script in-process and "
+                              "require a bit-identical result")
     for verb, help_text in (
             ("trace", "print a managed day's causal decision chain"),
             ("report", "emit a flight-recorder RunReport JSON")):
@@ -375,6 +511,10 @@ def main(argv: list[str] | None = None) -> int:
         return _sweep(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "connect":
+        return _connect(args)
     if args.command == "trace":
         return _trace(args)
     if args.command == "report":

@@ -269,6 +269,8 @@ class FaultDomainEngine:
         self.battery_check_s = float(battery_check_s)
 
         self.records: list[IncidentRecord] = []
+        #: Incidents injected live (outside the construction schedule).
+        self.injected: list[Incident] = []
         self.protective_trips: list[tuple[float, str, int]] = []
         self.blackouts: list[float] = []
         self.generator_failures = 0
@@ -332,6 +334,30 @@ class FaultDomainEngine:
                 yield self.env.timeout(delay)
             record = self._apply(incident)
             self.env.process(self._clear_later(incident, record))
+
+    def inject(self, incident: Incident) -> IncidentRecord | None:
+        """Inject one incident into the *running* facility.
+
+        The construction-time :class:`FaultSchedule` is fixed once
+        :meth:`run` starts walking it; this is the live path
+        (``repro.serve`` mutations, interactive experiments).  An
+        incident whose ``at_s`` is not in the future is applied
+        immediately and its open :class:`IncidentRecord` returned;
+        a future one is scheduled and ``None`` returned.
+        """
+        self.injected.append(incident)
+        delay = incident.at_s - self.env.now
+        if delay > 0:
+            self.env.process(self._inject_later(incident, delay))
+            return None
+        record = self._apply(incident)
+        self.env.process(self._clear_later(incident, record))
+        return record
+
+    def _inject_later(self, incident: Incident, delay: float):
+        yield self.env.timeout(delay)
+        record = self._apply(incident)
+        self.env.process(self._clear_later(incident, record))
 
     def _clear_later(self, incident: Incident, record: IncidentRecord):
         yield self.env.timeout(incident.duration_s)

@@ -527,6 +527,46 @@ class MacroResourceManager:
             yield self.env.timeout(self.period_s)
 
     # ------------------------------------------------------------------
+    # Live retargeting (the ``repro.serve`` mutation surface)
+    # ------------------------------------------------------------------
+    def swap_forecaster(self, forecaster) -> None:
+        """Hot-swap the demand forecaster mid-run.
+
+        The replacement starts cold: ``_forecast_ready`` drops, so the
+        next cycle provisions on instantaneous demand until the new
+        model has observed its first sample — the same warm-up contract
+        a freshly built manager has.
+        """
+        self.forecaster = forecaster
+        self._forecast_ready = False
+        if self.tracer is not None:
+            self.tracer.event("macro.swap_forecaster", "actuation",
+                              forecaster=type(forecaster).__name__)
+
+    def retarget_budget(self, budget_w: float) -> bool:
+        """Retarget the facility power cap mid-run.
+
+        The new watts become the *nominal* budget (degraded-ops
+        tightening still applies on top next cycle); in normal mode the
+        capper budget moves immediately and re-evaluates, so any
+        APPLY_CAP/REMOVE_CAP commands issue synchronously — under the
+        caller's open audit record when one is open.  Returns ``False``
+        when capping is disabled on this facility.
+        """
+        if budget_w <= 0:
+            raise ValueError("power budget must be positive")
+        if self.capper is None:
+            return False
+        self._nominal_budget_w = float(budget_w)
+        if self.mode == "normal":
+            self.capper.budget_w = float(budget_w)
+        if self.tracer is not None:
+            self.tracer.event("macro.retarget_budget", "actuation",
+                              budget_w=float(budget_w))
+        self.capper.evaluate()
+        return True
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def sla_report(self, start: float | None = None,

@@ -24,6 +24,7 @@ observation that triggered it.
 from __future__ import annotations
 
 import collections
+import contextlib
 import itertools
 import typing
 
@@ -146,6 +147,26 @@ class AuditTrail:
         record.active_incidents = active_incidents
         record.fault_domains = list(fault_domains)
         record.watchdog_suspects = watchdog_suspects
+
+    @contextlib.contextmanager
+    def external(self, time_s: float, kind: str, **context):
+        """Audit one *externally requested* mutation as a decision.
+
+        The live service (``repro.serve``) routes every client mutation
+        — fault injections, cap retargets, policy swaps, demand edits —
+        through this: the mutation runs inside an open record (so any
+        actuation events and bus commands it causes are stamped with
+        its decision id), and the record commits with
+        ``origin="external"`` plus the request context.  Yields the
+        open :class:`DecisionRecord`; its ``decision_id`` goes back to
+        the client in the acknowledgement frame.
+        """
+        record = self.begin(time_s)
+        record.mode = kind
+        try:
+            yield record
+        finally:
+            self.commit(origin="external", kind=kind, **context)
 
     def commit(self, **outputs) -> DecisionRecord | None:
         """Close the open cycle, stamping its outputs."""

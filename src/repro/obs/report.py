@@ -39,11 +39,18 @@ class RunReport:
     recorder: dict
     audit: dict
     commands: list[dict]
+    #: Daemon-side session summary for served runs (protocol stats,
+    #: subscription counters, applied mutations); empty when the run
+    #: was in-process.
+    serve: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {"meta": self.meta, "metrics": self.metrics,
-                "recorder": self.recorder, "audit": self.audit,
-                "commands": self.commands}
+        out = {"meta": self.meta, "metrics": self.metrics,
+               "recorder": self.recorder, "audit": self.audit,
+               "commands": self.commands}
+        if self.serve:
+            out["serve"] = self.serve
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent,
@@ -119,12 +126,14 @@ def _command_rows(sim) -> list[dict]:
 
 def build_run_report(sim, result, tracer: Tracer | None = None,
                      audit: AuditTrail | None = None,
-                     meta: dict | None = None) -> RunReport:
+                     meta: dict | None = None,
+                     serve: dict | None = None) -> RunReport:
     """Assemble the report from a finished co-simulation.
 
     ``tracer``/``audit`` default to the instances wired into ``sim``
     (``sim.tracer`` and ``sim.manager.audit``); pass them explicitly
-    for bespoke harnesses.
+    for bespoke harnesses.  ``serve`` attaches the daemon-side session
+    summary when the run was driven over the wire.
     """
     tracer = tracer or getattr(sim, "tracer", None)
     if audit is None:
@@ -136,6 +145,7 @@ def build_run_report(sim, result, tracer: Tracer | None = None,
         recorder=tracer.summary() if tracer is not None else {},
         audit=audit.to_dict() if audit is not None else {},
         commands=_command_rows(sim),
+        serve=dict(serve or {}),
     )
 
 

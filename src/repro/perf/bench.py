@@ -17,9 +17,16 @@ from __future__ import annotations
 import time
 import typing
 
-__all__ = ["bench_spec", "run_scale_bench", "run_placement_bench",
-           "format_placement_report", "federation_scenario",
-           "run_federation_bench", "format_federation_report"]
+__all__ = ["SCHEMA_VERSION", "bench_spec", "run_scale_bench",
+           "run_placement_bench", "format_placement_report",
+           "federation_scenario", "run_federation_bench",
+           "format_federation_report"]
+
+#: Version stamp for ``bench --json`` artifact rows.  Bump when a
+#: row's shape changes so archived CI artifacts stay comparable; the
+#: regression gate reads rows with ``.get()`` and tolerates both
+#: stamped and unstamped rows.
+SCHEMA_VERSION = 1
 
 
 def bench_spec(servers: int, backend: str = "object"):

@@ -1,0 +1,39 @@
+"""The simulator as a live service (ROADMAP: live control-plane surface).
+
+``repro.serve`` wraps one co-simulation in an asyncio daemon speaking
+a strict newline-delimited JSON protocol over TCP or Unix sockets:
+clients subscribe to telemetry streams (per-zone power, PUE, served
+fraction, facility health), inject faults from the existing fault
+domains, retarget power caps, and hot-swap forecasting policies
+mid-run — every mutation audited with a decision id.  The
+:mod:`~repro.serve.loadgen` client drives the daemon with millions of
+simulated user sessions collapsed onto the fluid request path, and a
+served run is bit-identical to its in-process golden replay
+(DESIGN.md §15).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeDaemon, run_daemon
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    TELEMETRY_STREAMS,
+    ProtocolError,
+    result_fingerprint,
+)
+from repro.serve.session import MutableDemand, ServeScenario, SimSession
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SCHEMA_VERSION",
+    "TELEMETRY_STREAMS",
+    "MutableDemand",
+    "ProtocolError",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServeScenario",
+    "SimSession",
+    "result_fingerprint",
+    "run_daemon",
+]

@@ -1,0 +1,145 @@
+"""Blocking client for the serve protocol (tests, CLI, loadgen).
+
+A deliberately simple synchronous counterpart to the asyncio daemon:
+one socket, one line-buffered file, strict frame decoding.  Telemetry
+frames that arrive while waiting for a reply are collected into
+:attr:`telemetry` rather than lost, so ``run()`` returns with the
+whole stream the daemon emitted during the advance.
+"""
+
+from __future__ import annotations
+
+import socket
+import typing
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Ack,
+    Bye,
+    Error,
+    GetResult,
+    GetStats,
+    Hello,
+    ProtocolError,
+    Result,
+    Run,
+    RunDone,
+    Stats,
+    Subscribe,
+    Subscribed,
+    Telemetry,
+    Unsubscribe,
+    Welcome,
+)
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an ``error`` frame."""
+
+    def __init__(self, error: Error):
+        super().__init__(f"{error.code}: {error.message}")
+        self.code = error.code
+        self.detail = error.message
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.daemon.ServeDaemon`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int | None = None,
+                 unix_path: str | None = None, name: str = "client",
+                 timeout_s: float = 120.0):
+        if (port is None) == (unix_path is None):
+            raise ValueError("pass exactly one of port / unix_path")
+        self.name = name
+        if unix_path is not None:
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.settimeout(timeout_s)
+            self.sock.connect(unix_path)
+        else:
+            self.sock = socket.create_connection((host, port),
+                                                 timeout=timeout_s)
+        self._file = self.sock.makefile("rwb")
+        #: Telemetry frames collected while waiting for replies.
+        self.telemetry: list[Telemetry] = []
+        self.welcome: Welcome = self._request(
+            Hello(client=name), Welcome)
+
+    # ------------------------------------------------------------------
+    # Frame plumbing
+    # ------------------------------------------------------------------
+    def send(self, msg) -> None:
+        self._file.write(protocol.encode(msg))
+        self._file.flush()
+
+    def send_raw(self, line: bytes) -> None:
+        """Ship an arbitrary (possibly malformed) line — test hook."""
+        self._file.write(line)
+        self._file.flush()
+
+    def recv(self):
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return protocol.decode_line(line)
+
+    def recv_until(self, expect: type | tuple):
+        """Next frame of the expected type; telemetry is collected,
+        an ``error`` frame raises :class:`ServeError`."""
+        while True:
+            msg = self.recv()
+            if isinstance(msg, expect):
+                return msg
+            if isinstance(msg, Telemetry):
+                self.telemetry.append(msg)
+                continue
+            if isinstance(msg, Error):
+                raise ServeError(msg)
+            raise ProtocolError("unexpected-type",
+                                f"did not expect {msg.TYPE!r}")
+
+    def _request(self, msg, expect: type | tuple):
+        self.send(msg)
+        return self.recv_until(expect)
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def subscribe(self, streams: typing.Sequence[str],
+                  every_ticks: int = 1) -> Subscribed:
+        return self._request(
+            Subscribe(streams=list(streams), every_ticks=every_ticks),
+            Subscribed)
+
+    def unsubscribe(self) -> Subscribed:
+        return self._request(Unsubscribe(), Subscribed)
+
+    def mutate(self, msg) -> Ack:
+        """Submit one mutation frame; returns its acknowledgement."""
+        return self._request(msg, Ack)
+
+    def run(self, ticks: int) -> RunDone:
+        """Advance the daemon; telemetry lands in :attr:`telemetry`."""
+        return self._request(Run(ticks=ticks), RunDone)
+
+    def result(self) -> Result:
+        return self._request(GetResult(), Result)
+
+    def stats(self) -> dict:
+        return self._request(GetStats(), Stats).stats
+
+    def close(self) -> None:
+        try:
+            self._request(Bye(), Bye)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._file.close()
+            self.sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

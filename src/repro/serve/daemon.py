@@ -1,0 +1,416 @@
+"""The asyncio serve daemon: one SimSession behind a socket.
+
+Accepts TCP or Unix-socket connections speaking the NDJSON protocol
+(:mod:`repro.serve.protocol`).  Any number of clients may subscribe to
+telemetry, submit mutations, and drive the run; the simulation itself
+advances tick-by-tick inside whichever connection issued the ``run``
+frame (guarded by a lock, so concurrent runs get a ``busy`` error
+instead of interleaved stepping).
+
+Robustness contract: a malformed frame — broken JSON, unknown type,
+unknown field, over-long line — costs the client one ``error`` frame
+and nothing else; the read loop recovers and keeps serving.  Delivery
+contract: each subscriber owns an unbounded queue drained by its own
+writer task, so telemetry frames are never dropped under backpressure
+(``frames_dropped`` stays zero and is asserted by the soak test).
+Shutdown contract: SIGTERM/SIGINT quiesces connections, flushes
+writers, optionally writes the served RunReport, and logs a
+``serve: shutdown`` line with leaked-task and fd accounting that the
+soak test parses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import sys
+import typing
+
+from repro.obs import build_run_report
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Ack,
+    Bye,
+    Error,
+    GetResult,
+    GetStats,
+    Hello,
+    InjectFault,
+    ProtocolError,
+    Result,
+    Run,
+    RunDone,
+    SetCap,
+    SetDemand,
+    Stats,
+    Subscribe,
+    Subscribed,
+    SwapPolicy,
+    Telemetry,
+    Unsubscribe,
+    Welcome,
+)
+from repro.serve.session import ServeScenario, SimSession
+
+__all__ = ["ServeDaemon", "run_daemon", "LINE_LIMIT"]
+
+#: Per-line read limit: a frame longer than this is malformed.
+LINE_LIMIT = 1 << 20
+
+MUTATIONS = (SetDemand, InjectFault, SetCap, SwapPolicy)
+
+
+class _Subscriber:
+    """One connection's telemetry subscription + writer task."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.streams: tuple[str, ...] = ()
+        self.every_ticks = 0
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.sent = 0
+
+    @property
+    def active(self) -> bool:
+        return self.every_ticks > 0
+
+
+def _fd_count() -> int:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-procfs platforms
+        return -1
+
+
+class ServeDaemon:
+    """Run one :class:`SimSession` as a live network service."""
+
+    def __init__(self, scenario: ServeScenario | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unix_path: str | None = None,
+                 realtime_scale: float = 0.0,
+                 report_path: str | None = None,
+                 log: typing.TextIO | None = None):
+        if realtime_scale < 0:
+            raise ValueError("realtime scale cannot be negative")
+        self.scenario = scenario or ServeScenario()
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        #: Simulated seconds per wall second; 0 = free-running.
+        self.realtime_scale = float(realtime_scale)
+        self.report_path = report_path
+        self._log_file = log if log is not None else sys.stderr
+        self.session = SimSession(self.scenario)
+
+        self.server: asyncio.base_events.Server | None = None
+        self._subscribers: dict[int, _Subscriber] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._run_lock = asyncio.Lock()
+        self._shutdown = asyncio.Event()
+        self._conn_ids = iter(range(1, 1 << 62))
+        self._baseline_fds = 0
+        self._baseline_tasks = 0
+
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.connections_total = 0
+        self.mutations_total = 0
+        self.errors_total = 0
+
+    # ------------------------------------------------------------------
+    # Logging
+    # ------------------------------------------------------------------
+    def _log(self, line: str) -> None:
+        print(line, file=self._log_file, flush=True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and install signal handlers."""
+        if self.unix_path:
+            self.server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path,
+                limit=LINE_LIMIT)
+            endpoint = f"unix {self.unix_path}"
+        else:
+            self.server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port,
+                limit=LINE_LIMIT)
+            self.port = self.server.sockets[0].getsockname()[1]
+            endpoint = f"{self.host} {self.port}"
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            # RuntimeError/ValueError: not on the main thread (tests
+            # embed the daemon); signals then belong to the embedder.
+            with contextlib.suppress(NotImplementedError, RuntimeError,
+                                     ValueError):
+                loop.add_signal_handler(sig, self._shutdown.set)
+        self._baseline_fds = _fd_count()
+        self._baseline_tasks = len(asyncio.all_tasks())
+        self._log(f"serve: listening {endpoint} "
+                  f"tick_s={self.session.tick_s:g} "
+                  f"scale={self.realtime_scale:g}")
+
+    async def serve_forever(self) -> None:
+        """Serve until SIGTERM/SIGINT, then shut down cleanly."""
+        if self.server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Quiesce: stop accepting, flush writers, account for leaks."""
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+        # Let subscriber writer tasks drain their queues first.
+        for sub in list(self._subscribers.values()):
+            sub.queue.put_nowait(None)
+        await asyncio.sleep(0)
+        pending = list(self._tasks)
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+        self._tasks.clear()
+        if self.unix_path and os.path.exists(self.unix_path):
+            with contextlib.suppress(OSError):
+                os.unlink(self.unix_path)
+        if self.report_path:
+            self._write_report()
+        current = asyncio.current_task()
+        leaked = [t for t in asyncio.all_tasks()
+                  if t is not current and not t.done()]
+        self._log(f"serve: shutdown clean leaked_tasks={len(leaked)} "
+                  f"fds_final={_fd_count()} "
+                  f"fds_baseline={self._baseline_fds} "
+                  f"frames_sent={self.frames_sent} "
+                  f"frames_dropped={self.frames_dropped} "
+                  f"mutations={self.mutations_total} "
+                  f"errors={self.errors_total}")
+
+    def _write_report(self) -> None:
+        result = self.session.result()
+        report = build_run_report(
+            self.session.sim, result,
+            meta={"mode": "served",
+                  "schema_version": protocol.SCHEMA_VERSION},
+            serve=self.stats() | {
+                "scenario": self.scenario.to_dict(),
+                "fingerprint": protocol.result_fingerprint(result),
+                "applied_mutations": list(self.session.applied),
+            })
+        report.write(self.report_path)
+        self._log(f"serve: report written {self.report_path}")
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "schema_version": protocol.SCHEMA_VERSION,
+            "frames_sent": self.frames_sent,
+            "frames_dropped": self.frames_dropped,
+            "connections_total": self.connections_total,
+            "subscribers": sum(1 for s in self._subscribers.values()
+                               if s.active),
+            "mutations_total": self.mutations_total,
+            "errors_total": self.errors_total,
+            "ticks_run": self.session.ticks_run,
+            "sim_elapsed_s": self.session.elapsed_s,
+        }
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn_id = next(self._conn_ids)
+        self.connections_total += 1
+        # Track the handler task itself: start_server's per-connection
+        # tasks are not otherwise ours to cancel at shutdown.
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        sub = _Subscriber(writer)
+        self._subscribers[conn_id] = sub
+        writer_task = asyncio.create_task(self._writer_loop(sub))
+        self._tasks.add(writer_task)
+        writer_task.add_done_callback(self._tasks.discard)
+        try:
+            await self._read_loop(reader, sub)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancelled us; finish cleanup and end the task
+            # *uncancelled* so asyncio's stream machinery doesn't log
+            # a phantom connection error.
+            pass
+        finally:
+            self._subscribers.pop(conn_id, None)
+            sub.queue.put_nowait(None)
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer_task
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _writer_loop(self, sub: _Subscriber) -> None:
+        """Drain one subscriber queue; ``None`` is the flush sentinel."""
+        while True:
+            frame = await sub.queue.get()
+            if frame is None:
+                return
+            try:
+                sub.writer.write(frame)
+                await sub.writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            self.frames_sent += 1
+            sub.sent += 1
+
+    def _send(self, sub: _Subscriber, msg) -> None:
+        sub.queue.put_nowait(protocol.encode(msg))
+
+    async def _drain_overlong(self, reader: asyncio.StreamReader) -> bool:
+        """Swallow the rest of an over-limit line; False on EOF."""
+        while True:
+            chunk = await reader.read(65_536)
+            if not chunk:
+                return False
+            if b"\n" in chunk:
+                return True
+
+    async def _read_loop(self, reader: asyncio.StreamReader,
+                         sub: _Subscriber) -> None:
+        while not self._shutdown.is_set():
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Line exceeded LINE_LIMIT: report, resync, continue —
+                # a hostile frame must not wedge the loop.
+                self.errors_total += 1
+                self._send(sub, Error("frame-too-long",
+                                      f"line exceeds {LINE_LIMIT} bytes"))
+                if not await self._drain_overlong(reader):
+                    return
+                continue
+            except asyncio.CancelledError:
+                raise
+            if not line:
+                return
+            if not line.strip():
+                continue
+            try:
+                msg = protocol.decode_line(line)
+            except ProtocolError as exc:
+                self.errors_total += 1
+                self._send(sub, Error(exc.code, exc.message))
+                continue
+            if isinstance(msg, Bye):
+                self._send(sub, Bye())
+                await asyncio.sleep(0)
+                return
+            try:
+                await self._dispatch(msg, sub)
+            except ProtocolError as exc:
+                self.errors_total += 1
+                self._send(sub, Error(exc.code, exc.message))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, msg, sub: _Subscriber) -> None:
+        if isinstance(msg, Hello):
+            if msg.protocol != protocol.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    "bad-protocol",
+                    f"daemon speaks protocol {protocol.PROTOCOL_VERSION},"
+                    f" client sent {msg.protocol}")
+            self._send(sub, Welcome(
+                protocol=protocol.PROTOCOL_VERSION,
+                schema_version=protocol.SCHEMA_VERSION,
+                tick_s=self.session.tick_s,
+                scenario=self.scenario.to_dict()))
+        elif isinstance(msg, Subscribe):
+            unknown = set(msg.streams) - set(protocol.TELEMETRY_STREAMS)
+            if unknown:
+                raise ProtocolError(
+                    "unknown-stream",
+                    f"unknown streams {sorted(unknown)} "
+                    f"(have {list(protocol.TELEMETRY_STREAMS)})")
+            if msg.every_ticks < 1:
+                raise ProtocolError("bad-subscription",
+                                    "every_ticks must be >= 1")
+            sub.streams = tuple(msg.streams)
+            sub.every_ticks = int(msg.every_ticks)
+            self._send(sub, Subscribed(list(sub.streams),
+                                       sub.every_ticks))
+        elif isinstance(msg, Unsubscribe):
+            sub.streams = ()
+            sub.every_ticks = 0
+            self._send(sub, Subscribed([], 0))
+        elif isinstance(msg, MUTATIONS):
+            seq, applied_at, decision_id = self.session.submit(msg)
+            self.mutations_total += 1
+            self._send(sub, Ack(op=msg.TYPE, seq=seq,
+                                applied_at_s=applied_at
+                                - self.session.start_s,
+                                decision_id=decision_id))
+        elif isinstance(msg, Run):
+            if msg.ticks <= 0:
+                raise ProtocolError("bad-run", "ticks must be positive")
+            if self._run_lock.locked():
+                raise ProtocolError("busy", "a run is already advancing")
+            async with self._run_lock:
+                await self._advance(int(msg.ticks))
+            self._send(sub, RunDone(now_s=self.session.elapsed_s,
+                                    ticks=int(msg.ticks)))
+        elif isinstance(msg, GetResult):
+            result = self.session.result()
+            self._send(sub, Result(
+                fingerprint=protocol.result_fingerprint(result),
+                result=protocol.to_jsonable(result)))
+        elif isinstance(msg, GetStats):
+            self._send(sub, Stats(self.stats()))
+        else:
+            raise ProtocolError(
+                "unexpected-type",
+                f"{msg.TYPE!r} is a daemon-to-client message")
+
+    async def _advance(self, ticks: int) -> None:
+        """Advance tick-by-tick, broadcasting telemetry between ticks."""
+        pace = (self.session.tick_s / self.realtime_scale
+                if self.realtime_scale > 0 else 0.0)
+        for _ in range(ticks):
+            self.session.advance(1)
+            self._broadcast()
+            # Yield so writer tasks interleave flushing with stepping
+            # (and pace against the wall clock in real-time mode).
+            await asyncio.sleep(pace)
+            if self._shutdown.is_set():
+                return
+
+    def _broadcast(self) -> None:
+        tick = self.session.ticks_run
+        t_s = self.session.elapsed_s
+        frames: dict[tuple[str, ...], bytes] = {}
+        for sub in self._subscribers.values():
+            if not sub.active or tick % sub.every_ticks:
+                continue
+            frame = frames.get(sub.streams)
+            if frame is None:
+                data = self.session.telemetry(sub.streams)
+                frame = protocol.encode(Telemetry(t_s=t_s, data=data))
+                frames[sub.streams] = frame
+            sub.queue.put_nowait(frame)
+
+
+def run_daemon(scenario: ServeScenario | None = None, **kwargs) -> None:
+    """Blocking entry point used by ``python -m repro serve``."""
+    daemon = ServeDaemon(scenario, **kwargs)
+    asyncio.run(daemon.serve_forever())

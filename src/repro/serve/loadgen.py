@@ -1,0 +1,131 @@
+"""Load generator: millions of user sessions against the daemon.
+
+The generator draws N user sessions vectorized
+(:func:`repro.workload.flash_crowd_sessions`) against a flash-crowd ×
+diurnal rate profile, reduces them exactly to a piecewise-constant
+concurrency trace, and turns that trace into a ``set_demand`` mutation
+script over the fluid request path — a 2-sim-day, 2-million-session
+crowd is ~576 frames, not 2 million events.  The same script drives
+both sides of the bit-identity gate: :func:`drive` ships it over the
+wire, :func:`golden_run` replays it in-process through the identical
+:class:`~repro.serve.session.SimSession` stepping loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import SetDemand, result_fingerprint
+from repro.serve.session import ServeScenario, SimSession
+from repro.workload import DiurnalProfile, FlashCrowdEvent
+from repro.workload.sessions import flash_crowd_sessions
+
+__all__ = ["LoadgenReport", "session_script", "drive", "golden_run"]
+
+_DAY_S = 86_400.0
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadgenReport:
+    """What one loadgen drive observed end to end."""
+
+    sessions: int
+    mutations_sent: int
+    mutations_acked: int
+    ticks: int
+    telemetry_frames: int
+    #: Telemetry frames the daemon expected to send this subscriber.
+    telemetry_expected: int
+    fingerprint: str
+    result: dict
+    daemon_stats: dict
+
+    @property
+    def lossless(self) -> bool:
+        """Every subscription frame arrived and every mutation acked."""
+        return (self.telemetry_frames == self.telemetry_expected
+                and self.mutations_acked == self.mutations_sent
+                and self.daemon_stats.get("frames_dropped") == 0)
+
+
+def session_script(scenario: ServeScenario, sessions: int,
+                   days: float = 2.0, step_s: float = 300.0,
+                   peak_fraction: float = 0.85,
+                   mean_session_s: float = 600.0,
+                   surge_magnitude: float = 6.0,
+                   seed: int | None = None
+                   ) -> tuple[list[SetDemand], int]:
+    """Draw the crowd and compile it to a mutation script.
+
+    The flash crowd starts half a day in, rises for six hours, holds
+    for four, and decays over twelve — the Animoto shape compressed to
+    a soak-testable two days.  Returns the ``set_demand`` script plus
+    the tick count covering the horizon.
+    """
+    duration_s = days * _DAY_S
+    event = FlashCrowdEvent(start_s=0.5 * _DAY_S, rise_s=6 * 3600.0,
+                            plateau_s=4 * 3600.0, decay_s=12 * 3600.0,
+                            magnitude=surge_magnitude, aftermath=1.5)
+    trace = flash_crowd_sessions(
+        sessions, duration_s, step_s=step_s, event=event,
+        base=DiurnalProfile(), mean_session_s=mean_session_s,
+        seed=scenario.seed if seed is None else seed)
+    values = trace.demand_values(peak_fraction * scenario.work_capacity)
+    script = [SetDemand(at_s=float(t), work=float(w))
+              for t, w in zip(trace.times, values)]
+    ticks = math.ceil(duration_s / scenario.tick_s)
+    return script, ticks
+
+
+def drive(client: ServeClient, script: typing.Sequence[SetDemand],
+          ticks: int, sessions: int, subscribe_every: int = 1,
+          chunk_ticks: int = 240) -> LoadgenReport:
+    """Drive a connected daemon with a compiled script.
+
+    Subscribes to every stream, submits the whole script up front
+    (future ``at_s`` values land at their tick boundaries — the
+    replayable shape), then advances in chunks so telemetry keeps
+    flowing between run frames.
+    """
+    sub = client.subscribe(["power", "pue", "served", "health"],
+                           every_ticks=subscribe_every)
+    acked = 0
+    for mutation in script:
+        ack = client.mutate(mutation)
+        acked += 1
+        if ack.op != mutation.TYPE:  # pragma: no cover - defensive
+            raise RuntimeError(f"ack for wrong op {ack.op!r}")
+    remaining = ticks
+    while remaining > 0:
+        step = min(chunk_ticks, remaining)
+        client.run(step)
+        remaining -= step
+    result = client.result()
+    stats = client.stats()
+    expected = ticks // max(1, sub.every_ticks)
+    return LoadgenReport(
+        sessions=sessions,
+        mutations_sent=len(script),
+        mutations_acked=acked,
+        ticks=ticks,
+        telemetry_frames=len(client.telemetry),
+        telemetry_expected=expected,
+        fingerprint=result.fingerprint,
+        result=result.result,
+        daemon_stats=stats,
+    )
+
+
+def golden_run(scenario: ServeScenario,
+               script: typing.Sequence[SetDemand], ticks: int) -> str:
+    """In-process replay of the same script; returns the fingerprint.
+
+    This is the other half of the bit-identity gate: same scenario,
+    same mutation schedule, same stepping loop — no network.
+    """
+    session = SimSession(scenario)
+    result = session.run_script(script, ticks)
+    return result_fingerprint(result)

@@ -26,6 +26,7 @@ from repro.workload.mix import (
 )
 from repro.workload.requests import FanoutModel, Request
 from repro.workload.service_sim import ServiceSimulation, ServiceStats
+from repro.workload.sessions import SessionTrace, flash_crowd_sessions
 from repro.workload.traces import (
     load_trace,
     save_trace,
@@ -49,9 +50,11 @@ __all__ = [
     "ResourceProfile",
     "ServiceSimulation",
     "ServiceStats",
+    "SessionTrace",
     "WorkloadTrace",
     "animoto_demand",
     "demand_trace",
+    "flash_crowd_sessions",
     "load_trace",
     "peak_correlation",
     "save_trace",

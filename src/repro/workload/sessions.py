@@ -1,0 +1,131 @@
+"""Millions of user sessions, collapsed to a fluid demand trace.
+
+The serve load generator needs to drive the daemon with "millions of
+simulated user sessions" without ever materializing millions of
+discrete-event arrivals: the fluid request path (the M/M/1-mixture
+farm) consumes *servers' worth of concurrent work*, so the sessions
+only matter through their aggregate concurrency.  This module draws
+every session vectorized — start times from a multinomial allocation
+over a rate profile (diurnal base × optional flash-crowd multiplier),
+exponential think/hold durations — and reduces them *exactly* to a
+piecewise-constant mean-concurrency trace via sorted prefix sums:
+
+    busy(t) = Σ_j min(e_j, t) − Σ_j min(s_j, t)
+
+evaluated at every bin edge, so the per-bin mean concurrency is the
+true time-weighted average, not a sampled approximation.  Two million
+sessions reduce in tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.workload.flashcrowd import FlashCrowdEvent
+
+__all__ = ["SessionTrace", "flash_crowd_sessions"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionTrace:
+    """N sessions reduced to a mean-concurrency-per-bin trace."""
+
+    #: Left edge of each bin (seconds).
+    times: np.ndarray
+    #: Time-weighted mean concurrent sessions inside each bin.
+    concurrency: np.ndarray
+    #: Total sessions drawn.
+    sessions: int
+    step_s: float
+
+    @property
+    def peak_concurrency(self) -> float:
+        return float(self.concurrency.max()) if len(self.concurrency) \
+            else 0.0
+
+    def demand_values(self, peak_work: float) -> np.ndarray:
+        """Scale concurrency so its peak lands at ``peak_work``.
+
+        The farm's demand signal is in servers' worth of work; the
+        caller picks where the crowd's peak should sit relative to
+        fleet capacity and the whole trace scales with it.
+        """
+        if peak_work <= 0:
+            raise ValueError("peak work must be positive")
+        peak = self.peak_concurrency
+        if peak == 0.0:
+            return np.zeros_like(self.concurrency)
+        return self.concurrency * (peak_work / peak)
+
+
+def _mean_concurrency(starts: np.ndarray, ends: np.ndarray,
+                      edges: np.ndarray) -> np.ndarray:
+    """Exact time-weighted mean concurrency between consecutive edges.
+
+    ``Σ_j min(x_j, t)`` over sorted ``x`` is ``prefix[k] + t·(n−k)``
+    with ``k = searchsorted(x, t)``; the busy-seconds integral at every
+    edge is that sum over ends minus the sum over starts, and the
+    per-bin mean is the integral's increment over the bin width.
+    """
+    def clipped_sum(sorted_x: np.ndarray, prefix: np.ndarray,
+                    t: np.ndarray) -> np.ndarray:
+        k = np.searchsorted(sorted_x, t, side="right")
+        return prefix[k] + t * (len(sorted_x) - k)
+
+    starts = np.sort(starts)
+    ends = np.sort(ends)
+    sp = np.concatenate(([0.0], np.cumsum(starts)))
+    ep = np.concatenate(([0.0], np.cumsum(ends)))
+    integral = clipped_sum(ends, ep, edges) - clipped_sum(starts, sp, edges)
+    return np.diff(integral) / np.diff(edges)
+
+
+def flash_crowd_sessions(sessions: int, duration_s: float,
+                         step_s: float = 300.0,
+                         event: FlashCrowdEvent | None = None,
+                         base: typing.Callable[[float], float] | None = None,
+                         mean_session_s: float = 600.0,
+                         seed: int = 0) -> SessionTrace:
+    """Draw ``sessions`` user sessions against a flash-crowd profile.
+
+    Session start rates follow ``base(t) × event.multiplier(t)`` (base
+    defaults to flat; pass a :class:`~repro.workload.DiurnalProfile`
+    for the paper's day/night shape), allocated to ``step_s`` bins by a
+    single multinomial draw and placed uniformly inside their bin.
+    Durations are exponential with mean ``mean_session_s``.  Fully
+    deterministic per ``seed``.
+    """
+    if sessions <= 0:
+        raise ValueError("need at least one session")
+    if duration_s <= 0 or step_s <= 0:
+        raise ValueError("durations must be positive")
+    if mean_session_s <= 0:
+        raise ValueError("mean session length must be positive")
+    rng = np.random.default_rng(seed)
+    edges = np.arange(0.0, duration_s + step_s, step_s)
+    edges = edges[edges <= duration_s]
+    if edges[-1] < duration_s:
+        edges = np.append(edges, duration_s)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    weights = np.ones_like(centers)
+    if base is not None:
+        weights *= np.array([base(t) for t in centers])
+    if event is not None:
+        weights *= np.array([event.multiplier(t) for t in centers])
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("rate profile is zero everywhere")
+    counts = rng.multinomial(sessions, weights / total)
+
+    widths = np.diff(edges)
+    starts = (np.repeat(edges[:-1], counts)
+              + rng.random(sessions) * np.repeat(widths, counts))
+    durations = rng.exponential(mean_session_s, sessions)
+    ends = np.minimum(starts + durations, duration_s)
+
+    concurrency = _mean_concurrency(starts, ends, edges)
+    return SessionTrace(times=edges[:-1], concurrency=concurrency,
+                        sessions=int(sessions), step_s=float(step_s))

@@ -1,0 +1,153 @@
+"""Edge cases for ``repro.core.forecast`` (ISSUE 10 satellite).
+
+Covers the corners the provisioning loop can actually hit: an empty
+history (first decide cycle before any telemetry), a constant series
+(idle weekend), a single-period seasonality (one day of history with a
+daily season), and the Holt-Winters *cold-seasonal collapse* — a
+forecast targeting a bucket no observation has ever landed in must
+fall back to level + trend with a 0.0 seasonal term, not garbage.
+"""
+
+import math
+
+import pytest
+
+from repro.core.forecast import (
+    EWMAForecaster,
+    HoltWintersForecaster,
+    ReactiveForecaster,
+)
+
+DAY = 86_400.0
+
+
+def _all_forecasters():
+    return [ReactiveForecaster(), EWMAForecaster(),
+            HoltWintersForecaster()]
+
+
+# ----------------------------------------------------------------------
+# Empty history
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("forecaster", _all_forecasters(),
+                         ids=lambda f: type(f).__name__)
+def test_empty_history_raises(forecaster):
+    with pytest.raises(RuntimeError, match="no observations yet"):
+        forecaster.forecast(3600.0)
+
+
+# ----------------------------------------------------------------------
+# Constructor validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+def test_ewma_rejects_bad_alpha(alpha):
+    with pytest.raises(ValueError):
+        EWMAForecaster(alpha=alpha)
+
+
+def test_holt_winters_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        HoltWintersForecaster(alpha=0.0)
+    with pytest.raises(ValueError):
+        HoltWintersForecaster(gamma=1.5)
+    with pytest.raises(ValueError):
+        HoltWintersForecaster(season_buckets=1)
+
+
+# ----------------------------------------------------------------------
+# Constant series: every forecaster must predict the constant
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("forecaster", _all_forecasters(),
+                         ids=lambda f: type(f).__name__)
+def test_constant_series_forecasts_the_constant(forecaster):
+    for step in range(96):  # two days at 30-minute cadence
+        forecaster.observe(step * 1_800.0, 40.0)
+    for horizon in (1_800.0, 6 * 3_600.0, DAY):
+        assert forecaster.forecast(horizon) == pytest.approx(
+            40.0, abs=1e-9)
+
+
+def test_constant_series_accumulates_no_trend_or_season():
+    hw = HoltWintersForecaster()
+    for step in range(96):
+        hw.observe(step * 1_800.0, 40.0)
+    assert hw._trend == pytest.approx(0.0, abs=1e-12)
+    assert max(abs(s) for s in hw._season) == pytest.approx(
+        0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Single-period seasonality
+# ----------------------------------------------------------------------
+def test_single_period_seasonality_orders_peak_above_trough():
+    """One day of a diurnal sinusoid seeds every bucket exactly once;
+    the next morning's forecast must already rank the afternoon peak
+    above the small-hours trough."""
+    hw = HoltWintersForecaster(season_buckets=48)
+    cadence = DAY / 48
+    for step in range(48):  # exactly one season period
+        t = step * cadence
+        value = 100.0 + 50.0 * math.sin(2 * math.pi * t / DAY)
+        hw.observe(t, value)
+    assert all(hw._seen)  # one observation per bucket
+    last = hw._last_t
+    # From t just before the next day: look ahead to the peak bucket
+    # (~06:00, sin=+1) and the trough bucket (~18:00, sin=-1).
+    peak = hw.forecast((DAY + 6 * 3_600.0) - last)
+    trough = hw.forecast((DAY + 18 * 3_600.0) - last)
+    assert peak > trough
+    # One period of training already separates the extremes by a
+    # usable margin (the sinusoid swings ±50).
+    assert peak - trough > 10.0
+
+
+# ----------------------------------------------------------------------
+# Cold-seasonal collapse (noted in PR 8)
+# ----------------------------------------------------------------------
+def test_cold_bucket_collapses_to_level_plus_trend():
+    """Only morning buckets trained: an afternoon target bucket has
+    never been seen, so its seasonal term is exactly 0.0 and the
+    forecast is the bare level + trend extrapolation."""
+    hw = HoltWintersForecaster(season_buckets=48)
+    for day in range(3):
+        for step in range(12):  # 00:00–06:00 only
+            t = day * DAY + step * 1_800.0
+            hw.observe(t, 50.0 + step)
+    horizon = 14 * 3_600.0  # lands mid-afternoon, never observed
+    target = hw._bucket(hw._last_t + horizon)
+    assert not hw._seen[target]
+    steps = horizon / (DAY / 48)
+    expected = max(hw._level + hw._trend * steps, 0.0)
+    assert hw.forecast(horizon) == expected
+
+
+def test_cold_collapse_never_goes_negative():
+    hw = HoltWintersForecaster(alpha=1.0, beta=1.0)
+    hw.observe(0.0, 100.0)
+    hw.observe(1_800.0, 1.0)  # crash: strongly negative trend
+    assert hw._trend < 0
+    assert hw.forecast(2 * DAY) == 0.0  # clamped, not negative
+
+
+# ----------------------------------------------------------------------
+# Walk-forward MAE
+# ----------------------------------------------------------------------
+def test_mae_rejects_mismatched_lengths():
+    hw = HoltWintersForecaster()
+    with pytest.raises(ValueError):
+        hw.mean_absolute_error([0.0, 1.0], [1.0], horizon_s=3_600.0)
+
+
+def test_mae_is_nan_when_no_prediction_matures():
+    hw = HoltWintersForecaster()
+    mae = hw.mean_absolute_error([0.0], [5.0], horizon_s=3_600.0)
+    assert math.isnan(mae)
+
+
+def test_mae_is_zero_on_a_constant_series():
+    hw = HoltWintersForecaster()
+    times = [step * 1_800.0 for step in range(96)]
+    values = [40.0] * 96
+    assert hw.mean_absolute_error(times, values,
+                                  horizon_s=3_600.0) == \
+        pytest.approx(0.0, abs=1e-9)

@@ -221,6 +221,33 @@ class TestCheckPerfRegression:
                             "--current", str(cur),
                             "--rows", "PERF: a"]) == 0
 
+    def test_skip_rows_excludes_named_row_from_gate(self, tmp_path):
+        script = load_script("check_perf_regression")
+        base = self.write(tmp_path / "base.json",
+                          self.rows(**{"PERF: a": 1.0, "PERF: b": 2.0}))
+        cur = self.write(tmp_path / "cur.json",
+                         self.rows(**{"PERF: a": 1.0}))
+        # Row b (nightly-only) is skipped, so its absence passes …
+        assert script.main(["--baseline", str(base),
+                            "--current", str(cur),
+                            "--skip-rows", "PERF: b"]) == 0
+        # … but a row dropped from an un-skipped gate still fails.
+        short = self.write(tmp_path / "short.json", self.rows())
+        assert script.main(["--baseline", str(base),
+                            "--current", str(short),
+                            "--skip-rows", "PERF: b"]) == 2
+
+    def test_skip_rows_rejects_unknown_name(self, tmp_path):
+        script = load_script("check_perf_regression")
+        base = self.write(tmp_path / "base.json",
+                          self.rows(**{"PERF: a": 1.0}))
+        cur = self.write(tmp_path / "cur.json",
+                         self.rows(**{"PERF: a": 1.0}))
+        with pytest.raises(SystemExit):
+            script.main(["--baseline", str(base),
+                         "--current", str(cur),
+                         "--skip-rows", "PERF: nope"])
+
 
 class TestCheckGoldenTables:
     BLOCK = "=== EXP-X: thing ===\nrow one\nrow two\n"

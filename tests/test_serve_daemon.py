@@ -1,0 +1,241 @@
+"""Daemon integration: a real socket, a real event loop, one thread.
+
+Each test boots a :class:`ServeDaemon` on an ephemeral TCP port inside
+a background thread and talks to it with the blocking
+:class:`ServeClient`.  Covers the robustness contract (bad frames cost
+an error reply, never the connection), the delivery contract (frame
+counts exact, ``frames_dropped`` zero), the run lock, and the clean
+shutdown accounting the soak test parses.
+"""
+
+import asyncio
+import io
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import LINE_LIMIT, ServeDaemon
+from repro.serve.loadgen import golden_run
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    Hello,
+    SetCap,
+    SetDemand,
+    SwapPolicy,
+    Welcome,
+)
+from repro.serve.session import ServeScenario
+
+SMALL = ServeScenario(racks=2, servers_per_rack=5, zones=2, cracs=1,
+                      seed=9)
+
+
+class DaemonHarness:
+    """Run one daemon in a background thread; join it on close."""
+
+    def __init__(self, **kwargs):
+        self.log = io.StringIO()
+        self.daemon = ServeDaemon(scenario=SMALL, log=self.log,
+                                  **kwargs)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        async def _main():
+            await self.daemon.start()
+            started.set()
+            await self.daemon.serve_forever()
+
+        def _runner():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(_main())
+            self.loop.close()
+
+        self.thread = threading.Thread(target=_runner, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "daemon failed to start"
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def connect(self, **kwargs) -> ServeClient:
+        return ServeClient(port=self.port, **kwargs)
+
+    def stop(self) -> str:
+        self.loop.call_soon_threadsafe(self.daemon._shutdown.set)
+        self.thread.join(15)
+        assert not self.thread.is_alive(), "daemon did not shut down"
+        return self.log.getvalue()
+
+
+@pytest.fixture
+def harness():
+    h = DaemonHarness()
+    yield h
+    if h.thread.is_alive():
+        h.stop()
+
+
+def test_welcome_carries_the_scenario(harness):
+    with harness.connect(name="hello-test") as client:
+        welcome = client.welcome
+        assert welcome.protocol == PROTOCOL_VERSION
+        assert welcome.schema_version == SCHEMA_VERSION
+        assert welcome.tick_s == SMALL.tick_s
+        assert ServeScenario.from_dict(welcome.scenario) == SMALL
+
+
+def test_protocol_mismatch_is_an_error_not_a_hangup(harness):
+    with harness.connect() as client:
+        client.send(Hello(client="time-traveler", protocol=99))
+        with pytest.raises(ServeError) as exc:
+            client.recv_until(Welcome)
+        assert exc.value.code == "bad-protocol"
+        # The connection survived the bad hello.
+        assert client.stats()["errors_total"] >= 1
+
+
+def test_subscribe_run_counts_frames_exactly(harness):
+    with harness.connect() as client:
+        sub = client.subscribe(["power", "served"], every_ticks=5)
+        assert sub.streams == ["power", "served"]
+        client.run(20)
+        assert len(client.telemetry) == 4  # ticks 5, 10, 15, 20
+        for frame in client.telemetry:
+            assert set(frame.data) == {"power", "served"}
+        assert client.stats()["frames_dropped"] == 0
+
+
+def test_unsubscribe_stops_the_stream(harness):
+    with harness.connect() as client:
+        client.subscribe(["pue"])
+        client.run(3)
+        assert len(client.telemetry) == 3
+        off = client.unsubscribe()
+        assert off.every_ticks == 0
+        client.run(3)
+        assert len(client.telemetry) == 3  # no new frames
+
+
+def test_bad_subscriptions_rejected(harness):
+    with harness.connect() as client:
+        with pytest.raises(ServeError) as exc:
+            client.subscribe(["power", "vibes"])
+        assert exc.value.code == "unknown-stream"
+        with pytest.raises(ServeError) as exc:
+            client.subscribe(["power"], every_ticks=0)
+        assert exc.value.code == "bad-subscription"
+
+
+def test_served_run_is_bit_identical_to_golden(harness):
+    script = [SetDemand(at_s=0.0, work=7.0),
+              SetCap(at_s=600.0, budget_w=3_500.0),
+              SwapPolicy(at_s=1_200.0, forecaster="reactive")]
+    with harness.connect() as client:
+        for msg in script:
+            ack = client.mutate(msg)
+            assert ack.op == msg.TYPE
+        client.run(60)
+        fingerprint = client.result().fingerprint
+    assert fingerprint == golden_run(SMALL, script, ticks=60)
+
+
+def test_future_ack_has_no_decision_id_yet(harness):
+    with harness.connect() as client:
+        ack = client.mutate(SetDemand(at_s=600.0, work=3.0))
+        assert ack.applied_at_s == 600.0
+        assert ack.decision_id is None
+        now = client.mutate(SetDemand(at_s=0.0, work=2.0))
+        assert now.decision_id is not None
+
+
+def test_malformed_frames_never_wedge_the_read_loop(harness):
+    with harness.connect() as client:
+        probes = [
+            (b'{"type": "run", "ticks": \n', "bad-json"),
+            (b'{"type": "selfdestruct"}\n', "unknown-type"),
+            (b'{"type": "run", "ticks": 1, "warp": 9}\n',
+             "unknown-field"),
+            (b'{"type": "set_demand", "at_s": 1.0}\n', "missing-field"),
+            (b'{"type": "set_cap", "at_s": 0.0, "budget_w": -5}\n',
+             "bad-mutation"),
+            (b'{"type": "ack", "op": "x", "seq": 1, '
+             b'"applied_at_s": 0.0}\n', "unexpected-type"),
+            (b"x" * (LINE_LIMIT + 512) + b"\n", "frame-too-long"),
+        ]
+        for line, code in probes:
+            client.send_raw(line)
+            with pytest.raises(ServeError) as exc:
+                client.recv_until(Welcome)  # only an Error can arrive
+            assert exc.value.code == code
+        # Blank lines are ignored outright, and the connection still
+        # answers real requests after every abuse above.
+        client.send_raw(b"\n")
+        stats = client.stats()
+        assert stats["errors_total"] == len(probes)
+        assert client.run(2).ticks == 2
+
+
+def test_concurrent_run_gets_busy_error():
+    harness = DaemonHarness(realtime_scale=SMALL.tick_s / 0.02)
+    try:
+        with harness.connect(name="a") as first, \
+                harness.connect(name="b") as second:
+            runner = threading.Thread(
+                target=lambda: first.run(100), daemon=True)
+            runner.start()
+            time.sleep(0.4)  # well inside first's ~2 s advance
+            with pytest.raises(ServeError) as exc:
+                second.run(1)
+            assert exc.value.code == "busy"
+            runner.join(30)
+            assert not runner.is_alive()
+    finally:
+        harness.stop()
+
+
+def test_two_subscribers_both_get_their_streams(harness):
+    with harness.connect(name="a") as first, \
+            harness.connect(name="b") as second:
+        first.subscribe(["power"], every_ticks=1)
+        second.subscribe(["health"], every_ticks=2)
+        first.run(10)
+        assert len(first.telemetry) == 10
+        # Second's frames sit in its socket until it next reads.
+        second.send_raw(b"\n")  # no-op keepalive
+        stats = second.stats()
+        assert stats["frames_dropped"] == 0
+        assert len(second.telemetry) == 5
+        assert all(set(f.data) == {"health"}
+                   for f in second.telemetry)
+
+
+def test_stats_shape(harness):
+    with harness.connect() as client:
+        client.run(2)
+        stats = client.stats()
+    assert stats["schema_version"] == SCHEMA_VERSION
+    assert stats["ticks_run"] == 2
+    assert stats["sim_elapsed_s"] == 2 * SMALL.tick_s
+    assert stats["connections_total"] >= 1
+    assert stats["frames_dropped"] == 0
+
+
+def test_shutdown_is_clean_and_accounted():
+    harness = DaemonHarness()
+    with harness.connect() as client:
+        client.subscribe(["power"])
+        client.run(5)
+    log = harness.stop()
+    lines = [ln for ln in log.splitlines()
+             if ln.startswith("serve: shutdown clean")]
+    assert len(lines) == 1, log
+    fields = dict(part.split("=") for part in lines[0].split()[3:])
+    assert fields["leaked_tasks"] == "0"
+    assert fields["frames_dropped"] == "0"
+    # frames_sent counts every outbound frame: welcome + subscribed +
+    # 5 telemetry + run_done + bye.
+    assert int(fields["frames_sent"]) == 9

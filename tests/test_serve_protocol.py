@@ -1,0 +1,192 @@
+"""Round-trip and strictness tests for the serve wire protocol.
+
+The codec contract (DESIGN.md §15): every registered message type
+encodes to one JSON line and decodes back losslessly; anything else —
+unknown type, unknown field, missing field, broken JSON — raises a
+:class:`ProtocolError` with a machine-readable code, which the daemon
+turns into a structured ``error`` frame instead of dropping the
+connection.
+"""
+
+import dataclasses
+import enum
+import json
+import math
+from collections import namedtuple
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    MESSAGE_TYPES,
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    TELEMETRY_STREAMS,
+    Ack,
+    Bye,
+    Error,
+    GetResult,
+    GetStats,
+    Hello,
+    InjectFault,
+    ProtocolError,
+    Result,
+    Run,
+    RunDone,
+    SetCap,
+    SetDemand,
+    Stats,
+    Subscribe,
+    Subscribed,
+    SwapPolicy,
+    Telemetry,
+    Unsubscribe,
+    Welcome,
+    decode,
+    decode_line,
+    encode,
+    result_fingerprint,
+    to_jsonable,
+)
+
+#: One representative instance per registered message type.
+SAMPLES = [
+    Hello(client="pytest", protocol=PROTOCOL_VERSION),
+    Welcome(protocol=1, schema_version=SCHEMA_VERSION, tick_s=60.0,
+            scenario={"racks": 4, "seed": 7}),
+    Bye(),
+    Subscribe(streams=list(TELEMETRY_STREAMS), every_ticks=4),
+    Subscribed(streams=["power"], every_ticks=1),
+    Unsubscribe(),
+    Telemetry(t_s=120.0, data={"pue": 1.8, "served": 0.99}),
+    SetDemand(at_s=300.0, work=42.5),
+    InjectFault(at_s=600.0, kind="crac-failure", duration_s=900.0,
+                target=1, severity=1.0),
+    SetCap(at_s=0.0, budget_w=12_000.0),
+    SwapPolicy(at_s=3600.0, forecaster="ewma", params={"alpha": 0.4}),
+    Ack(op="set_cap", seq=3, applied_at_s=0.0, decision_id=17),
+    Run(ticks=240),
+    RunDone(now_s=14_400.0, ticks=240),
+    GetResult(),
+    Result(fingerprint='{"a": 1}', result={"a": 1}),
+    GetStats(),
+    Stats(stats={"frames_sent": 9}),
+    Error(code="bad-json", message="not JSON"),
+]
+
+
+def test_samples_cover_every_registered_type():
+    assert {m.TYPE for m in SAMPLES} == set(MESSAGE_TYPES)
+
+
+@pytest.mark.parametrize("msg", SAMPLES, ids=lambda m: m.TYPE)
+def test_round_trip_is_lossless(msg):
+    line = encode(msg)
+    assert line.endswith(b"\n") and line.count(b"\n") == 1
+    assert decode_line(line) == msg
+
+
+@pytest.mark.parametrize("msg", SAMPLES, ids=lambda m: m.TYPE)
+def test_encoding_is_byte_stable(msg):
+    assert encode(msg) == encode(decode_line(encode(msg)))
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        decode({"type": "launch-missiles"})
+    assert exc.value.code == "unknown-type"
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        decode({"type": "run", "ticks": 3, "warp": 9})
+    assert exc.value.code == "unknown-field"
+    assert "warp" in exc.value.message
+
+
+def test_missing_field_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        decode({"type": "set_demand", "at_s": 0.0})
+    assert exc.value.code == "missing-field"
+
+
+def test_non_object_frame_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        decode([1, 2, 3])
+    assert exc.value.code == "bad-frame"
+
+
+def test_bad_json_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        decode_line(b'{"type": "run", "ticks": \n')
+    assert exc.value.code == "bad-json"
+
+
+def test_blank_line_rejected():
+    with pytest.raises(ProtocolError) as exc:
+        decode_line(b"   \n")
+    assert exc.value.code == "empty-frame"
+
+
+def test_error_codes_survive_their_own_round_trip():
+    # The daemon answers a ProtocolError with an Error frame built
+    # from (code, message) — that frame must itself round-trip.
+    try:
+        decode({"type": "nope"})
+    except ProtocolError as exc:
+        frame = Error(exc.code, exc.message)
+    assert decode_line(encode(frame)) == frame
+
+
+# ----------------------------------------------------------------------
+# Result codec + fingerprint
+# ----------------------------------------------------------------------
+class _Color(enum.Enum):
+    RED = "red"
+
+
+_Point = namedtuple("_Point", ["x", "y"])
+
+
+@dataclasses.dataclass(frozen=True)
+class _Inner:
+    values: tuple
+    tag: _Color
+
+
+@dataclasses.dataclass(frozen=True)
+class _Outer:
+    inner: _Inner
+    point: _Point
+    members: frozenset
+    scale: float
+
+
+def test_to_jsonable_lowers_rich_shapes():
+    obj = _Outer(inner=_Inner(values=(1, 2), tag=_Color.RED),
+                 point=_Point(x=np.float64(1.5), y=2),
+                 members=frozenset({"b", "a"}),
+                 scale=np.int64(3))
+    lowered = to_jsonable(obj)
+    assert lowered == {
+        "inner": {"values": [1, 2], "tag": "red"},
+        "point": {"x": 1.5, "y": 2},
+        "members": ["a", "b"],
+        "scale": 3,
+    }
+    # Everything below the codec is plain JSON.
+    json.dumps(lowered)
+
+
+def test_fingerprint_is_order_insensitive_and_nan_stable():
+    a = {"served": math.nan, "pue": 1.8}
+    b = {"pue": 1.8, "served": math.nan}
+    # NaN != NaN as floats, but the canonical text compares equal —
+    # exactly what the bit-identity gate needs for empty-SLA runs.
+    assert result_fingerprint(a) == result_fingerprint(b)
+
+
+def test_fingerprint_detects_last_digit_drift():
+    a = {"served_fraction": 0.8956101926159253}
+    b = {"served_fraction": 0.8956101926159248}
+    assert result_fingerprint(a) != result_fingerprint(b)

@@ -1,0 +1,100 @@
+"""The vectorized session reduction behind the serve load generator.
+
+The claim under test: ``flash_crowd_sessions`` reduces N discrete user
+sessions to a piecewise-constant concurrency trace *exactly* — the
+prefix-sum reduction must agree with a brute-force per-session
+integral, conserve total session-seconds, and be bit-deterministic per
+seed (the loadgen's mutation script, and therefore the bit-identity
+gate, is built from it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload import DiurnalProfile, FlashCrowdEvent
+from repro.workload.sessions import (
+    SessionTrace,
+    _mean_concurrency,
+    flash_crowd_sessions,
+)
+
+
+def _brute_force_mean(starts, ends, edges):
+    means = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        busy = np.clip(np.minimum(ends, hi) - np.maximum(starts, lo),
+                       0.0, None)
+        means.append(busy.sum() / (hi - lo))
+    return np.array(means)
+
+
+def test_reduction_matches_brute_force():
+    rng = np.random.default_rng(5)
+    starts = rng.uniform(0.0, 1_000.0, 400)
+    ends = starts + rng.exponential(120.0, 400)
+    edges = np.linspace(0.0, 1_200.0, 13)
+    exact = _mean_concurrency(starts, ends, edges)
+    assert exact == pytest.approx(
+        _brute_force_mean(starts, ends, edges), rel=1e-12)
+
+
+def test_trace_conserves_session_seconds():
+    trace = flash_crowd_sessions(50_000, duration_s=6 * 3_600.0,
+                                 mean_session_s=300.0, seed=2)
+    # Every session-second spent inside the horizon shows up in
+    # exactly one bin: Σ mean·width == Σ (end − start).
+    integral = float(np.sum(trace.concurrency * trace.step_s))
+    # Mean duration 300 s, clipped at the horizon, so the total is a
+    # little under sessions × mean.
+    assert 0.9 * 50_000 * 300.0 < integral <= 50_000 * 300.0 * 1.1
+
+
+def test_trace_is_deterministic_per_seed():
+    kwargs = dict(duration_s=3_600.0, event=FlashCrowdEvent(
+        start_s=600.0, rise_s=300.0, plateau_s=600.0, decay_s=900.0,
+        magnitude=5.0), base=DiurnalProfile())
+    a = flash_crowd_sessions(10_000, seed=7, **kwargs)
+    b = flash_crowd_sessions(10_000, seed=7, **kwargs)
+    c = flash_crowd_sessions(10_000, seed=8, **kwargs)
+    assert np.array_equal(a.concurrency, b.concurrency)
+    assert not np.array_equal(a.concurrency, c.concurrency)
+
+
+def test_flash_crowd_concentrates_sessions_in_the_surge():
+    quiet = flash_crowd_sessions(100_000, duration_s=86_400.0, seed=1)
+    surged = flash_crowd_sessions(
+        100_000, duration_s=86_400.0, seed=1,
+        event=FlashCrowdEvent(start_s=43_200.0, rise_s=3_600.0,
+                              plateau_s=3_600.0, decay_s=7_200.0,
+                              magnitude=10.0))
+    assert surged.peak_concurrency > 2.0 * quiet.peak_concurrency
+    # ...and the peak sits inside the surge window.
+    peak_t = surged.times[np.argmax(surged.concurrency)]
+    assert 43_200.0 <= peak_t <= 43_200.0 + 3_600.0 + 3_600.0 + 7_200.0
+
+
+def test_demand_values_scale_peak_to_capacity():
+    trace = flash_crowd_sessions(20_000, duration_s=3_600.0, seed=3)
+    values = trace.demand_values(64.0)
+    assert float(values.max()) == pytest.approx(64.0)
+    with pytest.raises(ValueError):
+        trace.demand_values(0.0)
+
+
+def test_empty_trace_handles_degenerate_scaling():
+    trace = SessionTrace(times=np.array([0.0]),
+                         concurrency=np.array([0.0]),
+                         sessions=0, step_s=300.0)
+    assert trace.peak_concurrency == 0.0
+    assert np.array_equal(trace.demand_values(10.0), np.array([0.0]))
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        flash_crowd_sessions(0, duration_s=100.0)
+    with pytest.raises(ValueError):
+        flash_crowd_sessions(10, duration_s=-1.0)
+    with pytest.raises(ValueError):
+        flash_crowd_sessions(10, duration_s=100.0, mean_session_s=0.0)
+    with pytest.raises(ValueError):
+        flash_crowd_sessions(10, duration_s=100.0, base=lambda t: 0.0)
